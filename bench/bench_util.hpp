@@ -1,0 +1,29 @@
+// Shared helpers for the per-figure bench binaries: consistent headers,
+// table printing, and CSV output under results/.
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace parva::bench {
+
+/// Prints the figure banner.
+inline void banner(const std::string& figure, const std::string& caption) {
+  std::cout << "==============================================================\n"
+            << figure << " — " << caption << "\n"
+            << "==============================================================\n";
+}
+
+/// Prints a table and mirrors it to results/<stem>.csv.
+inline void emit(const TextTable& table, const std::string& stem) {
+  table.print(std::cout);
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  if (!ec) write_csv_file("results/" + stem + ".csv", table.to_csv());
+  std::cout << "\n[csv: results/" << stem << ".csv]\n\n";
+}
+
+}  // namespace parva::bench

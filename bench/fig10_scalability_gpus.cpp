@@ -1,0 +1,59 @@
+// Reproduces Figure 10: total GPUs as the S5 service count scales from 1x
+// to 10x, using each framework's predictor (no physical deployment — the
+// schedulers already operate on plans). iGniter is excluded: it cannot run
+// S5 (as in the paper).
+//
+// Paper: ParvaGPU uses on average 45.2% / 30% / 7.4% fewer GPUs than
+// gpulet / MIG-serving / ParvaGPU-single across the folds.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "common/strings.hpp"
+#include "scenarios/experiment.hpp"
+
+int main() {
+  using namespace parva;
+  using namespace parva::scenarios;
+
+  bench::banner("Figure 10", "Total GPUs with S5 services scaled 1x..10x (predictor mode)");
+
+  const ExperimentContext context = ExperimentContext::create();
+  const std::vector<Framework> frameworks = {Framework::kGpulet, Framework::kMigServing,
+                                             Framework::kParvaGpu,
+                                             Framework::kParvaGpuSingle};
+
+  std::vector<std::string> header = {"framework"};
+  for (int fold = 1; fold <= 10; ++fold) header.push_back("x" + std::to_string(fold));
+  TextTable table(header);
+
+  std::map<std::string, std::vector<int>> gpus;
+  for (Framework framework : frameworks) {
+    std::vector<std::string> row = {framework_name(framework)};
+    for (int fold = 1; fold <= 10; ++fold) {
+      const Scenario scaled = scale_scenario(scenario("S5"), fold);
+      const ExperimentResult r = run_experiment(context, framework, scaled);
+      if (!r.feasible) {
+        row.push_back("fail");
+      } else {
+        row.push_back(std::to_string(r.gpu_count));
+        gpus[framework_name(framework)].push_back(r.gpu_count);
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, "fig10_scalability_gpus");
+
+  const auto& parva = gpus["ParvaGPU"];
+  for (const auto& [name, counts] : gpus) {
+    if (name == "ParvaGPU" || counts.size() != parva.size()) continue;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      sum += 1.0 - static_cast<double>(parva[i]) / static_cast<double>(counts[i]);
+    }
+    std::cout << "ParvaGPU saves on average "
+              << format_double(100.0 * sum / static_cast<double>(counts.size()), 1)
+              << "% GPUs vs " << name << "\n";
+  }
+  std::cout << "Paper: 45.2% vs gpulet, 30% vs MIG-serving, 7.4% vs ParvaGPU-single.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Figures 3 and 4: InceptionV3 throughput (req/s) and latency
+// (ms) across MIG instance sizes and batch sizes, for 1, 2, and 3 MPS
+// processes. Out-of-memory grid points print as "OOM", matching the holes
+// in the paper's surfaces.
+//
+// Paper anchors (A100): g=1,b=4 -> 354/444/446 req/s at 11/18/27 ms;
+// g=4,b=8 -> 786/1695/1810 req/s at 10/9/13 ms.
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/strings.hpp"
+#include "profiler/profiler.hpp"
+
+int main() {
+  using namespace parva;
+
+  perfmodel::AnalyticalPerfModel perf(perfmodel::ModelCatalog::builtin());
+  profiler::Profiler profiler(perf);
+  const profiler::ProfileTable table = profiler.profile("inceptionv3");
+
+  bench::banner("Figure 3 / Figure 4",
+                "InceptionV3 throughput and latency vs (instance size, batch, processes)");
+
+  const std::vector<int> sizes = {1, 2, 3, 4, 7};
+  const std::vector<int> batches = {1, 2, 4, 8, 16, 32, 64, 128};
+
+  for (int procs = 1; procs <= 3; ++procs) {
+    for (const bool latency : {false, true}) {
+      std::vector<std::string> header = {latency ? "latency_ms(b)" : "throughput(b)"};
+      for (int g : sizes) header.push_back("g=" + std::to_string(g));
+      TextTable out(header);
+      for (int batch : batches) {
+        std::vector<std::string> row = {"b=" + std::to_string(batch)};
+        for (int g : sizes) {
+          const profiler::ProfilePoint* point = table.find(g, batch, procs);
+          if (point == nullptr || point->oom) {
+            row.push_back("OOM");
+          } else {
+            row.push_back(format_double(latency ? point->latency_ms : point->throughput, 1));
+          }
+        }
+        out.add_row(std::move(row));
+      }
+      std::cout << (latency ? "Latency (ms), " : "Throughput (req/s), ") << procs
+                << " process(es):\n";
+      bench::emit(out, std::string(latency ? "fig4" : "fig3") + "_p" + std::to_string(procs) +
+                           "_inceptionv3");
+    }
+  }
+
+  std::cout << "Paper anchors: g1/b4 -> 354,444,446 req/s @ 11,18,27 ms; "
+               "g4/b8 -> 786,1695,1810 req/s @ 10,9,13 ms\n";
+  return 0;
+}

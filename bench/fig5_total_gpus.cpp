@@ -1,0 +1,62 @@
+// Reproduces Figure 5: total number of GPUs used by each framework across
+// scenarios S1-S6, plus the average ParvaGPU savings the paper headlines
+// (46.5% vs gpulet, 34.6% vs iGniter, 41.0% vs MIG-serving; 12.5/7.1/11.1%
+// vs ParvaGPU-single in S4/S5/S6).
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "common/strings.hpp"
+#include "scenarios/experiment.hpp"
+
+int main() {
+  using namespace parva;
+  using namespace parva::scenarios;
+
+  bench::banner("Figure 5", "Total number of GPUs of each baseline and ParvaGPU");
+
+  const ExperimentContext context = ExperimentContext::create();
+  const auto frameworks = all_frameworks();
+
+  std::vector<std::string> header = {"framework"};
+  for (const Scenario& sc : all_scenarios()) header.push_back(sc.name);
+  TextTable table(header);
+
+  // savings[f] accumulates ParvaGPU's relative GPU savings vs framework f.
+  std::map<std::string, std::pair<double, int>> savings;
+  std::map<std::string, std::map<std::string, int>> gpus;
+
+  for (Framework framework : frameworks) {
+    std::vector<std::string> row = {framework_name(framework)};
+    for (const Scenario& sc : all_scenarios()) {
+      const ExperimentResult r = run_experiment(context, framework, sc);
+      if (!r.feasible) {
+        row.push_back("fail");
+      } else {
+        row.push_back(std::to_string(r.gpu_count));
+        gpus[framework_name(framework)][sc.name] = r.gpu_count;
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, "fig5_total_gpus");
+
+  const auto& parva_row = gpus["ParvaGPU"];
+  for (const auto& [name, by_scenario] : gpus) {
+    if (name == "ParvaGPU") continue;
+    double sum = 0.0;
+    int count = 0;
+    for (const auto& [scenario_name, n] : by_scenario) {
+      const auto it = parva_row.find(scenario_name);
+      if (it == parva_row.end() || n == 0) continue;
+      sum += 1.0 - static_cast<double>(it->second) / static_cast<double>(n);
+      ++count;
+    }
+    if (count > 0) {
+      std::cout << "ParvaGPU saves on average " << format_double(100.0 * sum / count, 1)
+                << "% GPUs vs " << name << " (over " << count << " feasible scenarios)\n";
+    }
+  }
+  std::cout << "Paper: 46.5% vs gpulet, 34.6% vs iGniter, 41.0% vs MIG-serving;\n"
+               "       iGniter cannot execute S5/S6 (high request rates).\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Figure 6: GPU internal slack rate (Eq. 3) of each framework
+// across scenarios. Two measurements are reported:
+//   * analytic — Eq. 3 evaluated from the deployment's modelled SM
+//     occupancy and load fractions;
+//   * measured — Eq. 3 from the discrete-event simulator's DCGM-style
+//     SM-activity counters under the offered load.
+// Paper: gpulet/iGniter/MIG-serving/ParvaGPU-single carry on average
+// 26/32/30/4.7 percentage points more slack than ParvaGPU, whose slack
+// stays in the 3-5% band.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "common/strings.hpp"
+#include "scenarios/experiment.hpp"
+
+int main() {
+  using namespace parva;
+  using namespace parva::scenarios;
+
+  bench::banner("Figure 6", "Internal slack rate of each baseline and ParvaGPU");
+
+  const ExperimentContext context = ExperimentContext::create();
+  ExperimentOptions options;
+  options.run_simulation = true;
+  options.sim.duration_ms = 10'000.0;
+
+  for (const bool measured : {false, true}) {
+    std::vector<std::string> header = {measured ? "slack_measured" : "slack_analytic"};
+    for (const Scenario& sc : all_scenarios()) header.push_back(sc.name);
+    TextTable table(header);
+    for (Framework framework : all_frameworks()) {
+      std::vector<std::string> row = {framework_name(framework)};
+      for (const Scenario& sc : all_scenarios()) {
+        const ExperimentResult r = run_experiment(context, framework, sc, options);
+        if (!r.feasible) {
+          row.push_back("fail");
+        } else {
+          row.push_back(
+              format_double(measured ? r.measured_internal_slack : r.internal_slack, 3));
+        }
+      }
+      table.add_row(std::move(row));
+    }
+    bench::emit(table, measured ? "fig6_internal_slack_measured" : "fig6_internal_slack");
+  }
+
+  std::cout << "Paper: ParvaGPU slack 3-5%; gpulet +26pp, iGniter +32pp, MIG-serving +30pp,\n"
+               "       ParvaGPU-single +4.7pp on average.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Figure 7: GPU external fragmentation rate of each framework.
+// Reported both strictly (Eq. 4 complement over all GPUs, which charges the
+// unavoidable rounding remainder on the trailing GPU) and excluding the
+// trailing partial GPU (the unusable-hole measure Allocation Optimization
+// targets; the paper reports ParvaGPU at 0%).
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "common/strings.hpp"
+#include "scenarios/experiment.hpp"
+
+int main() {
+  using namespace parva;
+  using namespace parva::scenarios;
+
+  bench::banner("Figure 7", "External fragmentation rate of each baseline and ParvaGPU");
+
+  const ExperimentContext context = ExperimentContext::create();
+
+  for (const bool excl_tail : {false, true}) {
+    std::vector<std::string> header = {excl_tail ? "frag_excl_tail" : "frag_strict"};
+    for (const Scenario& sc : all_scenarios()) header.push_back(sc.name);
+    TextTable table(header);
+    for (Framework framework : all_frameworks()) {
+      std::vector<std::string> row = {framework_name(framework)};
+      for (const Scenario& sc : all_scenarios()) {
+        const ExperimentResult r = run_experiment(context, framework, sc);
+        if (!r.feasible) {
+          row.push_back("fail");
+        } else {
+          row.push_back(format_double(
+              excl_tail ? r.fragmentation_excl_tail : r.external_fragmentation, 3));
+        }
+      }
+      table.add_row(std::move(row));
+    }
+    bench::emit(table, excl_tail ? "fig7_fragmentation_excl_tail" : "fig7_fragmentation");
+  }
+
+  std::cout << "Paper: ParvaGPU eliminates external fragmentation in all scenarios;\n"
+               "       iGniter averages 26.9%; gpulet grants all space (0%);\n"
+               "       MIG-serving converts fragmentation into slack via scoring.\n";
+  return 0;
+}

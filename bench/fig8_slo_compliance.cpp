@@ -1,0 +1,62 @@
+// Reproduces Figure 8: SLO compliance rate of each framework under load
+// (discrete-event simulation, three seeds per cell, batch-weighted
+// compliance as Section IV-C1 defines). The paper shows every framework at
+// 100% except a gpulet episode (~3.5% violations) caused by its optimistic
+// interference estimates; iGniter cannot run S5/S6.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "scenarios/experiment.hpp"
+
+int main() {
+  using namespace parva;
+  using namespace parva::scenarios;
+
+  bench::banner("Figure 8", "SLO compliance rate of each baseline and ParvaGPU");
+
+  const ExperimentContext context = ExperimentContext::create();
+
+  std::vector<std::string> header = {"compliance"};
+  for (const Scenario& sc : all_scenarios()) header.push_back(sc.name);
+  TextTable table(header);
+  std::vector<std::string> tail_header = {"worst p99/SLO"};
+  for (const Scenario& sc : all_scenarios()) tail_header.push_back(sc.name);
+  TextTable tail_table(tail_header);
+
+  for (Framework framework : all_frameworks()) {
+    std::vector<std::string> row = {framework_name(framework)};
+    std::vector<std::string> tail_row = {framework_name(framework)};
+    for (const Scenario& sc : all_scenarios()) {
+      OnlineStats compliance;
+      OnlineStats tail;
+      bool feasible = true;
+      for (std::uint64_t seed : {11ULL, 23ULL, 47ULL}) {
+        ExperimentOptions options;
+        options.run_simulation = true;
+        options.sim.duration_ms = 15'000.0;
+        options.sim.seed = seed;
+        const ExperimentResult r = run_experiment(context, framework, sc, options);
+        if (!r.feasible) {
+          feasible = false;
+          break;
+        }
+        compliance.add(r.slo_compliance);
+        tail.add(r.worst_p99_over_slo);
+      }
+      row.push_back(feasible ? format_double(compliance.mean(), 4) : "fail");
+      tail_row.push_back(feasible ? format_double(tail.mean(), 3) : "fail");
+    }
+    table.add_row(std::move(row));
+    tail_table.add_row(std::move(tail_row));
+  }
+  bench::emit(table, "fig8_slo_compliance");
+  std::cout << "Tail headroom (worst per-service p99 latency over SLO; < 1 = headroom):\n";
+  bench::emit(tail_table, "fig8_tail_headroom");
+
+  std::cout << "Paper: all frameworks compliant except gpulet (3.5% violations in one\n"
+               "       scenario, attributed to interference misprediction); iGniter\n"
+               "       cannot execute S5/S6.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// google-benchmark microbenchmarks of the building blocks: MIG geometry
+// enumeration, the Segment Configurator, the Segment Allocator stages, the
+// end-to-end schedulers, and the discrete-event simulator throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/allocator.hpp"
+#include "core/configurator.hpp"
+#include "core/parvagpu.hpp"
+#include "gpu/mig_geometry.hpp"
+#include "profiler/profiler.hpp"
+#include "scenarios/experiment.hpp"
+#include "serving/cluster_sim.hpp"
+
+namespace {
+
+using namespace parva;
+using namespace parva::scenarios;
+
+const ExperimentContext& context() {
+  static const ExperimentContext ctx = ExperimentContext::create();
+  return ctx;
+}
+
+void BM_MigEnumerateMaximalConfigs(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpu::enumerate_maximal_configs());
+  }
+}
+BENCHMARK(BM_MigEnumerateMaximalConfigs);
+
+void BM_ProfileOneModel(benchmark::State& state) {
+  perfmodel::AnalyticalPerfModel perf(perfmodel::ModelCatalog::builtin());
+  profiler::Profiler profiler(perf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profiler.profile("inceptionv3"));
+  }
+}
+BENCHMARK(BM_ProfileOneModel);
+
+void BM_SegmentConfigurator(benchmark::State& state) {
+  const auto& services = scenario("S6").services;
+  core::SegmentConfigurator configurator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(configurator.configure(services, context().profiles()));
+  }
+}
+BENCHMARK(BM_SegmentConfigurator);
+
+void BM_SegmentAllocator(benchmark::State& state) {
+  const auto& services = scenario("S6").services;
+  core::SegmentConfigurator configurator;
+  auto configured = configurator.configure(services, context().profiles()).value();
+  core::SegmentAllocator allocator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocator.allocate(configured));
+  }
+}
+BENCHMARK(BM_SegmentAllocator);
+
+void BM_Scheduler(benchmark::State& state, Framework framework, const char* scenario_name) {
+  const Scenario& sc = scenario(scenario_name);
+  for (auto _ : state) {
+    auto scheduler = context().make_scheduler(framework);
+    benchmark::DoNotOptimize(scheduler->schedule(sc.services));
+  }
+}
+BENCHMARK_CAPTURE(BM_Scheduler, parvagpu_s2, Framework::kParvaGpu, "S2");
+BENCHMARK_CAPTURE(BM_Scheduler, parvagpu_s6, Framework::kParvaGpu, "S6");
+BENCHMARK_CAPTURE(BM_Scheduler, gpulet_s6, Framework::kGpulet, "S6");
+BENCHMARK_CAPTURE(BM_Scheduler, migserving_s2, Framework::kMigServing, "S2");
+
+void BM_ClusterSimulationS2(benchmark::State& state) {
+  const Scenario& sc = scenario("S2");
+  auto scheduler = context().make_scheduler(Framework::kParvaGpu);
+  const auto schedule = scheduler->schedule(sc.services).value();
+  serving::SimulationOptions options;
+  options.duration_ms = 1'000.0;
+  options.warmup_ms = 100.0;
+  for (auto _ : state) {
+    serving::ClusterSimulation sim(schedule.deployment, sc.services, context().perf());
+    benchmark::DoNotOptimize(sim.run(options));
+  }
+}
+BENCHMARK(BM_ClusterSimulationS2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

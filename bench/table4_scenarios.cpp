@@ -1,0 +1,56 @@
+// Prints Table IV: the six evaluation scenarios (request rate and SLO
+// latency per model), plus each scenario's aggregate demand — the input
+// data every other bench consumes.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "common/strings.hpp"
+#include "perfmodel/model_catalog.hpp"
+#include "scenarios/scenarios.hpp"
+
+int main() {
+  using namespace parva;
+  using namespace parva::scenarios;
+
+  bench::banner("Table IV", "Six scenarios from eleven DNN inference models");
+
+  const auto& catalog = perfmodel::ModelCatalog::builtin();
+
+  std::vector<std::string> header = {"workload", "params(M)"};
+  for (const Scenario& sc : all_scenarios()) {
+    header.push_back(sc.name + ".rate");
+    header.push_back(sc.name + ".slo_ms");
+  }
+  TextTable table(header);
+
+  for (const auto& traits : catalog.all()) {
+    std::vector<std::string> row = {traits.name, format_double(traits.params_millions, 1)};
+    for (const Scenario& sc : all_scenarios()) {
+      const core::ServiceSpec* found = nullptr;
+      for (const core::ServiceSpec& spec : sc.services) {
+        if (spec.model == traits.name) {
+          found = &spec;
+          break;
+        }
+      }
+      if (found == nullptr) {
+        row.push_back("N/A");
+        row.push_back("N/A");
+      } else {
+        row.push_back(format_double(found->request_rate, 0));
+        row.push_back(format_double(found->slo_latency_ms, 0));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, "table4_scenarios");
+
+  TextTable totals({"scenario", "services", "total_rate(req/s)"});
+  for (const Scenario& sc : all_scenarios()) {
+    double total = 0.0;
+    for (const core::ServiceSpec& spec : sc.services) total += spec.request_rate;
+    totals.add_row({sc.name, std::to_string(sc.services.size()), format_double(total, 0)});
+  }
+  bench::emit(totals, "table4_totals");
+  return 0;
+}

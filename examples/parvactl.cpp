@@ -1,0 +1,212 @@
+// parvactl — command-line front end to the ParvaGPU scheduler.
+//
+// Subcommands:
+//   profile  --models a,b,c --out profiles.csv
+//       Run the one-time profiling sweep and save the grid.
+//   schedule --services services.csv [--profiles profiles.csv]
+//            [--framework ParvaGPU|ParvaGPU-single|ParvaGPU-unoptimized]
+//       Produce a deployment map for a service list. The services CSV has
+//       a header and rows: id,model,slo_latency_ms,request_rate.
+//   scenarios
+//       List the built-in Table IV scenarios.
+//
+// Examples:
+//   $ parvactl profile --models resnet-50,vgg-19 --out /tmp/profiles.csv
+//   $ parvactl schedule --services my_services.csv
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/metrics.hpp"
+#include "core/parvagpu.hpp"
+#include "profiler/profile_store.hpp"
+#include "profiler/profiler.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace {
+
+using namespace parva;
+
+int usage() {
+  std::cerr << "usage: parvactl <profile|schedule|scenarios> [flags]\n"
+               "  profile   --models a,b,c [--out profiles.csv]\n"
+               "  schedule  --services services.csv | --scenario S2\n"
+               "            [--profiles profiles.csv] [--framework ParvaGPU]\n"
+               "  scenarios\n";
+  return 2;
+}
+
+Result<std::vector<core::ServiceSpec>> load_services(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Error(ErrorCode::kNotFound, "cannot open " + path);
+  std::vector<core::ServiceSpec> services;
+  std::string line;
+  bool first = true;
+  while (std::getline(file, line)) {
+    const auto trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    const auto fields = split(trimmed, ',');
+    if (fields.size() != 4) {
+      return Error(ErrorCode::kInvalidArgument, "bad row: " + std::string(trimmed));
+    }
+    core::ServiceSpec spec;
+    unsigned long long id = 0;
+    double value = 0.0;
+    if (!parse_uint(trim(fields[0]), id)) {
+      return Error(ErrorCode::kInvalidArgument, "bad id: " + fields[0]);
+    }
+    spec.id = static_cast<int>(id);
+    spec.model = std::string(trim(fields[1]));
+    if (!parse_double(trim(fields[2]), value)) {
+      return Error(ErrorCode::kInvalidArgument, "bad slo: " + fields[2]);
+    }
+    spec.slo_latency_ms = value;
+    if (!parse_double(trim(fields[3]), value)) {
+      return Error(ErrorCode::kInvalidArgument, "bad rate: " + fields[3]);
+    }
+    spec.request_rate = value;
+    services.push_back(std::move(spec));
+  }
+  return services;
+}
+
+int cmd_profile(const CliArgs& args) {
+  const std::string models_arg = args.get("models", "");
+  std::vector<std::string> models;
+  if (models_arg.empty()) {
+    models = perfmodel::ModelCatalog::builtin().names();
+  } else {
+    for (const auto& name : split(models_arg, ',')) models.push_back(std::string(trim(name)));
+  }
+  perfmodel::AnalyticalPerfModel perf(perfmodel::ModelCatalog::builtin());
+  profiler::Profiler profiler(perf);
+  profiler::ProfileSet set;
+  for (const auto& model : models) {
+    if (perfmodel::ModelCatalog::builtin().find(model) == nullptr) {
+      std::cerr << "unknown model: " << model << "\n";
+      return 1;
+    }
+    set.add(profiler.profile(model));
+  }
+  const std::string out = args.get("out", "profiles.csv");
+  const Status saved = profiler::save_csv_file(set, out);
+  if (!saved.ok()) {
+    std::cerr << saved.to_string() << "\n";
+    return 1;
+  }
+  std::cout << "profiled " << set.size() << " model(s) -> " << out << "\n";
+  return 0;
+}
+
+int cmd_schedule(const CliArgs& args) {
+  // Services: from CSV or a built-in scenario.
+  std::vector<core::ServiceSpec> services;
+  if (args.has("services")) {
+    auto loaded = load_services(args.get("services", ""));
+    if (!loaded.ok()) {
+      std::cerr << loaded.error().to_string() << "\n";
+      return 1;
+    }
+    services = std::move(loaded).value();
+  } else if (args.has("scenario")) {
+    services = scenarios::scenario(args.get("scenario", "S2")).services;
+  } else {
+    return usage();
+  }
+
+  // Profiles: from CSV or computed on the fly.
+  perfmodel::AnalyticalPerfModel perf(perfmodel::ModelCatalog::builtin());
+  profiler::ProfileSet profiles;
+  if (args.has("profiles")) {
+    auto loaded = profiler::load_csv_file(args.get("profiles", ""));
+    if (!loaded.ok()) {
+      std::cerr << loaded.error().to_string() << "\n";
+      return 1;
+    }
+    profiles = std::move(loaded).value();
+  } else {
+    profiler::Profiler profiler(perf);
+    profiles = profiler.profile_all(perfmodel::ModelCatalog::builtin().names());
+  }
+
+  core::ParvaGpuOptions options;
+  const std::string framework = args.get("framework", "ParvaGPU");
+  if (framework == "ParvaGPU-single") {
+    options.use_mps = false;
+  } else if (framework == "ParvaGPU-unoptimized") {
+    options.optimize_allocation = false;
+  } else if (framework != "ParvaGPU") {
+    std::cerr << "unknown framework: " << framework << "\n";
+    return 1;
+  }
+
+  core::ParvaGpuScheduler scheduler(profiles, options);
+  const auto result = scheduler.schedule(services);
+  if (!result.ok()) {
+    std::cerr << "scheduling failed: " << result.error().to_string() << "\n";
+    return 1;
+  }
+
+  std::cout << "deployment map: " << scheduler.last_plan().to_string() << "\n\n";
+  TextTable table({"service", "model", "gpu", "segment", "batch", "procs", "capacity",
+                   "latency_ms"});
+  for (const auto& unit : result.value().deployment.units) {
+    table.add_row({std::to_string(unit.service_id), unit.model,
+                   std::to_string(unit.gpu_index),
+                   format_double(unit.gpc_grant, 0) + "g@" +
+                       std::to_string(unit.placement->start_slot),
+                   std::to_string(unit.batch), std::to_string(unit.procs),
+                   format_double(unit.actual_throughput, 1),
+                   format_double(unit.actual_latency_ms, 2)});
+  }
+  table.print(std::cout);
+
+  const auto metrics = core::compute_metrics(result.value().deployment, services);
+  std::cout << "\nGPUs: " << metrics.gpu_count
+            << "  slack: " << format_double(metrics.internal_slack * 100, 1)
+            << "%  fragmentation: "
+            << format_double(metrics.external_fragmentation * 100, 1)
+            << "%  delay: " << format_double(result.value().scheduling_delay_ms, 3)
+            << " ms\n";
+  return 0;
+}
+
+int cmd_scenarios() {
+  TextTable table({"scenario", "services", "total req/s", "tightest SLO (ms)"});
+  for (const auto& sc : scenarios::all_scenarios()) {
+    double total = 0.0;
+    double tightest = 1e18;
+    for (const auto& spec : sc.services) {
+      total += spec.request_rate;
+      tightest = std::min(tightest, spec.slo_latency_ms);
+    }
+    table.add_row({sc.name, std::to_string(sc.services.size()), format_double(total, 0),
+                   format_double(tightest, 0)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.positional().empty()) return usage();
+  const std::string& command = args.positional().front();
+  try {
+    if (command == "profile") return cmd_profile(args);
+    if (command == "schedule") return cmd_schedule(args);
+    if (command == "scenarios") return cmd_scenarios();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,175 @@
+#include "baselines/gslice.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "baselines/mps_partition.hpp"
+#include "perfmodel/interference.hpp"
+
+namespace parva::baselines {
+namespace {
+
+struct TunedPartition {
+  const core::ServiceSpec* spec = nullptr;
+  const perfmodel::WorkloadTraits* traits = nullptr;
+  double fraction = 0.0;
+  PartitionPoint point;  ///< measured operating point under real co-location
+};
+
+}  // namespace
+
+Result<core::ScheduleResult> GsliceScheduler::schedule(
+    std::span<const core::ServiceSpec> services) {
+  const auto start = std::chrono::steady_clock::now();
+  if (services.empty()) {
+    core::ScheduleResult empty;
+    empty.deployment.framework = name();
+    return empty;
+  }
+
+  std::vector<TunedPartition> partitions;
+  for (const core::ServiceSpec& spec : services) {
+    const perfmodel::WorkloadTraits* traits = perf_->catalog().find(spec.model);
+    if (traits == nullptr) {
+      return Error(ErrorCode::kNotFound, "unknown model " + spec.model);
+    }
+    partitions.push_back({&spec, traits, 0.0, {}});
+  }
+
+  // Start from an even split (GSLICE's initial configuration), quantized.
+  const double initial =
+      std::floor(1.0 / static_cast<double>(partitions.size()) / options_.fraction_quantum) *
+      options_.fraction_quantum;
+  if (initial < options_.fraction_quantum) {
+    return Error(ErrorCode::kCapacityExceeded,
+                 "GSLICE: more workloads than minimum partitions on one GPU");
+  }
+  for (auto& partition : partitions) partition.fraction = initial;
+
+  // "Measure" a partition under the current configuration: GSLICE observes
+  // real latency/throughput, so the measurement uses TRUE interference.
+  auto measure = [&](std::size_t index) -> std::optional<PartitionPoint> {
+    std::vector<perfmodel::CoRunner> others;
+    for (std::size_t j = 0; j < partitions.size(); ++j) {
+      if (j == index) continue;
+      others.push_back({partitions[j].traits, partitions[j].fraction});
+    }
+    const double inflation = perfmodel::true_interference(*partitions[index].traits, others);
+    const double cap =
+        partitions[index].spec->slo_latency_ms * options_.internal_latency_factor;
+    return best_partition_point(*perf_, *partitions[index].traits,
+                                partitions[index].fraction, cap, inflation);
+  };
+
+  // Self-tuning loop: grow starving partitions from the free pool or from
+  // the partition with the largest relative headroom; shrink partitions
+  // whose headroom stays large (slack prevention).
+  for (int round = 0; round < options_.max_tuning_rounds; ++round) {
+    bool changed = false;
+
+    double used = 0.0;
+    for (const auto& partition : partitions) used += partition.fraction;
+    double free_pool = 1.0 - used;
+
+    // Measure everyone.
+    std::vector<double> headroom(partitions.size());  // tp/rate - 1
+    for (std::size_t i = 0; i < partitions.size(); ++i) {
+      const auto point = measure(i);
+      if (point.has_value()) {
+        partitions[i].point = *point;
+        headroom[i] = point->throughput / partitions[i].spec->request_rate - 1.0;
+      } else {
+        headroom[i] = -1.0;  // cannot even meet latency: starving
+      }
+    }
+
+    // Grow the most starving partition.
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < partitions.size(); ++i) {
+      if (headroom[i] < headroom[worst]) worst = i;
+    }
+    if (headroom[worst] < 0.0) {
+      if (free_pool >= options_.fraction_quantum - 1e-12) {
+        partitions[worst].fraction += options_.fraction_quantum;
+        changed = true;
+      } else {
+        // Steal from the partition with the largest headroom, if it can
+        // afford a quantum.
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < partitions.size(); ++i) {
+          if (headroom[i] > headroom[best]) best = i;
+        }
+        if (best != worst && headroom[best] > 0.15 &&
+            partitions[best].fraction > options_.fraction_quantum + 1e-12) {
+          partitions[best].fraction -= options_.fraction_quantum;
+          partitions[worst].fraction += options_.fraction_quantum;
+          changed = true;
+        }
+      }
+    } else {
+      // Everyone satisfied: shrink the most over-provisioned partition to
+      // prevent internal slack, as long as a healthy margin remains.
+      std::size_t fattest = 0;
+      for (std::size_t i = 1; i < partitions.size(); ++i) {
+        if (headroom[i] > headroom[fattest]) fattest = i;
+      }
+      if (headroom[fattest] > 0.30 &&
+          partitions[fattest].fraction > options_.fraction_quantum + 1e-12) {
+        const double saved = partitions[fattest].fraction;
+        partitions[fattest].fraction -= options_.fraction_quantum;
+        const auto shrunk = measure(fattest);
+        if (shrunk.has_value() &&
+            shrunk->throughput >= partitions[fattest].spec->request_rate) {
+          changed = true;
+        } else {
+          partitions[fattest].fraction = saved;  // revert
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Final verification.
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    const auto point = measure(i);
+    if (!point.has_value() || point->throughput < partitions[i].spec->request_rate) {
+      return Error(ErrorCode::kCapacityExceeded,
+                   "GSLICE: " + partitions[i].spec->model +
+                       " cannot meet its SLO/rate on a single shared GPU");
+    }
+    partitions[i].point = *point;
+  }
+
+  const auto stop = std::chrono::steady_clock::now();
+
+  core::Deployment deployment;
+  deployment.framework = name();
+  deployment.uses_mig = false;
+  deployment.gpu_count = 1;
+  for (const TunedPartition& partition : partitions) {
+    core::DeployedUnit unit;
+    unit.service_id = partition.spec->id;
+    unit.model = partition.spec->model;
+    unit.gpu_index = 0;
+    unit.gpc_grant = partition.fraction * 7.0;
+    unit.batch = partition.point.batch;
+    unit.procs = 1;
+    // GSLICE plans from measurement: planned == actual.
+    unit.planned_throughput = partition.point.throughput;
+    unit.planned_latency_ms = partition.point.latency_ms;
+    unit.actual_throughput = partition.point.throughput;
+    unit.actual_latency_ms = partition.point.latency_ms;
+    unit.sm_occupancy = partition.point.sm_occupancy;
+    unit.memory_gib = partition.point.memory_gib;
+    deployment.units.push_back(std::move(unit));
+  }
+
+  core::ScheduleResult result;
+  result.deployment = std::move(deployment);
+  result.scheduling_delay_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  return result;
+}
+
+}  // namespace parva::baselines

@@ -1,0 +1,37 @@
+// GSLICE baseline (Dhakal et al., SoCC'20), as characterised in the
+// paper's Table I and Section II-A:
+//   * MPS percentage partitions on a SINGLE GPU with a self-tuning loop:
+//     partition sizes are adjusted from *measured* latency/throughput (no
+//     prediction model, hence no misprediction) until every workload meets
+//     its SLO; adaptive batching picks the largest batch that still fits.
+//   * Prevents internal slack (partitions shrink to fit) but has no
+//     multi-GPU story: workload sets that exceed one GPU are infeasible
+//     ("high request rate support: no" in Table I).
+#pragma once
+
+#include "core/deployment.hpp"
+#include "perfmodel/analytical_model.hpp"
+
+namespace parva::baselines {
+
+struct GsliceOptions {
+  double fraction_quantum = 0.025;  ///< GSLICE retunes in fine-grained steps
+  double internal_latency_factor = 0.5;
+  int max_tuning_rounds = 64;
+};
+
+class GsliceScheduler final : public core::Scheduler {
+ public:
+  explicit GsliceScheduler(const perfmodel::AnalyticalPerfModel& perf,
+                           GsliceOptions options = {})
+      : perf_(&perf), options_(options) {}
+
+  std::string name() const override { return "GSLICE"; }
+  Result<core::ScheduleResult> schedule(std::span<const core::ServiceSpec> services) override;
+
+ private:
+  const perfmodel::AnalyticalPerfModel* perf_;
+  GsliceOptions options_;
+};
+
+}  // namespace parva::baselines

@@ -1,0 +1,44 @@
+// iGniter baseline (Xu et al., TPDS'22), as characterised in the paper's
+// Sections I/II-A:
+//   * MPS percentage partitions; each service is provisioned ONE partition
+//     sized by an interference-aware performance model (5% quanta).
+//   * The model's coefficients come from lightweight profiling and carry
+//     per-pair error; iGniter compensates by PADDING every allocation —
+//     the source of its internal slack.
+//   * No mechanism handles request rates beyond a single full-GPU
+//     partition, so high-rate scenarios (the paper's S5/S6) fail.
+//   * No external-fragmentation handling: partitions are first-fit-decreasing
+//     packed; leftover GPU fractions are wasted (~27% in the paper).
+#pragma once
+
+#include "core/deployment.hpp"
+#include "perfmodel/analytical_model.hpp"
+
+namespace parva::baselines {
+
+struct IgniterOptions {
+  double fraction_quantum = 0.05;
+  double internal_latency_factor = 0.5;
+  /// Relative padding applied to the predicted required fraction.
+  double padding_factor = 0.15;
+  /// Absolute padding (fraction of a GPU).
+  double padding_bias = 0.025;
+  /// Maximum co-located workloads per GPU iGniter will attempt.
+  int max_partitions_per_gpu = 4;
+};
+
+class IgniterScheduler final : public core::Scheduler {
+ public:
+  explicit IgniterScheduler(const perfmodel::AnalyticalPerfModel& perf,
+                            IgniterOptions options = {})
+      : perf_(&perf), options_(options) {}
+
+  std::string name() const override { return "iGniter"; }
+  Result<core::ScheduleResult> schedule(std::span<const core::ServiceSpec> services) override;
+
+ private:
+  const perfmodel::AnalyticalPerfModel* perf_;
+  IgniterOptions options_;
+};
+
+}  // namespace parva::baselines

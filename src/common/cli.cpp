@@ -1,0 +1,55 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace parva {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const { return flags_.count(name) != 0; }
+
+std::string CliArgs::get(const std::string& name, const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  double value = 0.0;
+  return parse_double(it->second, value) ? value : fallback;
+}
+
+long long CliArgs::get_int(const std::string& name, long long fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return std::atoll(it->second.c_str());
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace parva

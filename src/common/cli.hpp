@@ -1,0 +1,33 @@
+// Minimal command-line flag parsing for examples and benches.
+// Supports --flag=value, --flag value, and boolean --flag forms.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace parva {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  long long get_int(const std::string& name, long long fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace parva

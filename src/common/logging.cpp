@@ -1,0 +1,53 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace parva {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_emit_mutex;
+
+LogLevel initial_level() {
+  const char* env = std::getenv("PARVA_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  const std::string value(env);
+  if (value == "debug") return LogLevel::kDebug;
+  if (value == "info") return LogLevel::kInfo;
+  if (value == "warn") return LogLevel::kWarn;
+  if (value == "error") return LogLevel::kError;
+  if (value == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+
+struct LevelInit {
+  LevelInit() { g_level.store(initial_level()); }
+} g_level_init;
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::cerr << "[parva:" << level_tag(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace parva

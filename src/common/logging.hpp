@@ -1,0 +1,48 @@
+// Tiny leveled logger. Thread-safe, writes to stderr; level selectable at
+// runtime (PARVA_LOG_LEVEL env var or set_log_level()).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace parva {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+/// Emits one formatted record; applied under an internal mutex.
+void log_emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace parva
+
+#define PARVA_LOG(level)                                   \
+  if (static_cast<int>(level) < static_cast<int>(::parva::log_level())) {} \
+  else ::parva::detail::LogLine(level)
+
+#define PARVA_LOG_DEBUG PARVA_LOG(::parva::LogLevel::kDebug)
+#define PARVA_LOG_INFO PARVA_LOG(::parva::LogLevel::kInfo)
+#define PARVA_LOG_WARN PARVA_LOG(::parva::LogLevel::kWarn)
+#define PARVA_LOG_ERROR PARVA_LOG(::parva::LogLevel::kError)

@@ -1,0 +1,81 @@
+// Streaming and batch statistics used by the profiler, the discrete-event
+// simulator, and the benches (mean, variance, percentiles, histograms).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace parva {
+
+/// Welford-style streaming moments. O(1) space; numerically stable.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch sample container with percentile queries. Stores all samples;
+/// intended for per-run latency distributions (≤ a few million points).
+class Samples {
+ public:
+  void reserve(std::size_t n) { values_.reserve(n); }
+  void add(double x) { values_.push_back(x); sorted_ = false; }
+  void merge(const Samples& other);
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Percentile in [0,100]; linear interpolation between closest ranks.
+  double percentile(double p) const;
+  double p50() const { return percentile(50.0); }
+  double p95() const { return percentile(95.0); }
+  double p99() const { return percentile(99.0); }
+
+  /// Fraction of samples strictly above `threshold`.
+  double fraction_above(double threshold) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-bin histogram for quick distribution summaries in bench output.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace parva

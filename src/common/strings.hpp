@@ -1,0 +1,31 @@
+// Small string utilities shared across libraries.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parva {
+
+/// Splits `input` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view input, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view input);
+
+/// True when `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Formats a double with fixed precision (no locale surprises).
+std::string format_double(double value, int precision);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Parses a double; returns false on malformed input.
+bool parse_double(std::string_view text, double& out);
+
+/// Parses a non-negative integer; returns false on malformed input.
+bool parse_uint(std::string_view text, unsigned long long& out);
+
+}  // namespace parva

@@ -1,0 +1,115 @@
+#include "core/configurator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parva::core {
+
+Result<ConfiguredService> SegmentConfigurator::triplet_decision(
+    const ServiceSpec& spec, const profiler::ProfileTable& profile) const {
+  PARVA_REQUIRE(spec.slo_latency_ms > 0.0, "service SLO latency must be positive");
+  PARVA_REQUIRE(spec.request_rate >= 0.0, "service request rate must be non-negative");
+
+  const double latency_bound = spec.slo_latency_ms * options_.internal_latency_factor;
+
+  ConfiguredService configured;
+  configured.spec = spec;
+
+  // UPDATEMAXTRIPLETS: keep the maximum-throughput point per instance size
+  // among points whose latency is below the internal bound.
+  for (const profiler::ProfilePoint& point : profile.points()) {
+    if (point.oom) continue;
+    if (point.procs > options_.max_processes) continue;
+    if (point.latency_ms >= latency_bound) continue;
+    const int index = instance_size_index(point.gpcs);
+    if (index < 0) continue;
+    auto& slot = configured.opt_tri_array[static_cast<std::size_t>(index)];
+    if (!slot.has_value() || point.throughput > slot->throughput) {
+      slot = to_triplet(point);
+    }
+  }
+
+  const bool any = std::any_of(configured.opt_tri_array.begin(), configured.opt_tri_array.end(),
+                               [](const auto& t) { return t.has_value(); });
+  if (!any) {
+    return Error(ErrorCode::kCapacityExceeded,
+                 "service " + std::to_string(spec.id) + " (" + spec.model +
+                     "): no instance size meets the internal latency bound of " +
+                     std::to_string(latency_bound) + " ms");
+  }
+  return configured;
+}
+
+Status SegmentConfigurator::demand_matching(ConfiguredService& service) const {
+  // OPTSEG: the triplet maximising Throughput/InstanceSize. By Eq. 2 this
+  // minimises the GPC count for any request rate, making the tree search
+  // of Section III-D2 an O(1) decision.
+  const Triplet* best = nullptr;
+  for (const auto& candidate : service.opt_tri_array) {
+    if (!candidate.has_value()) continue;
+    if (best == nullptr || candidate->throughput_per_gpc() > best->throughput_per_gpc()) {
+      best = &*candidate;
+    }
+  }
+  if (best == nullptr) {
+    return Status(ErrorCode::kInternal, "demand_matching before triplet_decision");
+  }
+  service.opt_seg = *best;
+
+  const double rate = service.spec.request_rate;
+  if (rate <= 0.0) {
+    service.num_opt_seg = 0;
+    service.last_seg.reset();
+    return Status::Ok();
+  }
+
+  service.num_opt_seg = static_cast<int>(std::floor(rate / service.opt_seg.throughput));
+
+  // GETLEFTREQRATE: remainder after the whole optimal segments.
+  const double left =
+      rate - static_cast<double>(service.num_opt_seg) * service.opt_seg.throughput;
+  constexpr double kRateEpsilon = 1e-9;
+  if (left <= kRateEpsilon) {
+    service.last_seg.reset();
+    return Status::Ok();
+  }
+
+  // LASTSEG: the smallest instance size whose best triplet covers the
+  // remainder (preventing internal slack on the final segment).
+  service.last_seg.reset();
+  for (const auto& candidate : service.opt_tri_array) {  // array is ordered by size
+    if (!candidate.has_value()) continue;
+    if (candidate->throughput >= left) {
+      service.last_seg = *candidate;
+      break;
+    }
+  }
+  if (!service.last_seg.has_value()) {
+    // The remainder is below one optimal segment's throughput, so the
+    // optimal segment itself always covers it; reaching here means the
+    // triplet array was inconsistent.
+    service.last_seg = service.opt_seg;
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<ConfiguredService>> SegmentConfigurator::configure(
+    std::span<const ServiceSpec> services, const profiler::ProfileSet& profiles) const {
+  std::vector<ConfiguredService> configured;
+  configured.reserve(services.size());
+  for (const ServiceSpec& spec : services) {
+    const profiler::ProfileTable* table = profiles.find(spec.model);
+    if (table == nullptr) {
+      return Error(ErrorCode::kNotFound, "no profile for model " + spec.model);
+    }
+    auto result = triplet_decision(spec, *table);
+    if (!result.ok()) return result.error();
+    ConfiguredService service = std::move(result).value();
+    const Status matched = demand_matching(service);
+    if (!matched.ok()) return matched.error();
+    configured.push_back(std::move(service));
+  }
+  return configured;
+}
+
+}  // namespace parva::core

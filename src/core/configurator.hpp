@@ -1,0 +1,51 @@
+// The GPU Segment Configurator (paper Algorithm 1): for every service,
+// derive the optimal triplet per instance size (Optimal Triplet Decision)
+// and the minimal segment set covering the request rate (Demand Matching).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/service.hpp"
+#include "profiler/profile_types.hpp"
+
+namespace parva::core {
+
+struct ConfiguratorOptions {
+  /// Fraction of the SLO latency usable inside the GPU; the other half is
+  /// reserved for request queueing on the server (paper Section IV-A,
+  /// following Nexus [12]).
+  double internal_latency_factor = 0.5;
+  /// Cap on MPS processes considered; 1 reproduces ParvaGPU-single.
+  int max_processes = 3;
+};
+
+class SegmentConfigurator {
+ public:
+  explicit SegmentConfigurator(ConfiguratorOptions options = {}) : options_(options) {}
+
+  const ConfiguratorOptions& options() const { return options_; }
+
+  /// Runs TripletDecision for one service: scans the profile grid and keeps
+  /// the maximum-throughput point per instance size whose latency fits the
+  /// internal bound. Fails with kCapacityExceeded when no instance size can
+  /// meet the SLO at all.
+  Result<ConfiguredService> triplet_decision(const ServiceSpec& spec,
+                                             const profiler::ProfileTable& profile) const;
+
+  /// Runs DemandMatching on a triplet-decided service: selects the
+  /// GPC-efficiency-optimal segment (the O(1) argument of Eq. 1-2), counts
+  /// whole optimal segments with the floor rule, and picks the smallest
+  /// last segment covering the remainder.
+  Status demand_matching(ConfiguredService& service) const;
+
+  /// Full Algorithm 1 over a service set.
+  Result<std::vector<ConfiguredService>> configure(std::span<const ServiceSpec> services,
+                                                   const profiler::ProfileSet& profiles) const;
+
+ private:
+  ConfiguratorOptions options_;
+};
+
+}  // namespace parva::core

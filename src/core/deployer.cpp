@@ -1,0 +1,71 @@
+#include "core/deployer.hpp"
+
+namespace parva::core {
+
+Result<DeployedState> Deployer::deploy(const Deployment& deployment) {
+  if (!deployment.uses_mig) {
+    return Error(ErrorCode::kUnsupported,
+                 "Deployer materialises MIG-backed deployments; MPS-share baselines manage "
+                 "whole GPUs directly");
+  }
+  DeployedState state;
+  state.unit_instances.reserve(deployment.units.size());
+
+  // Grow the cluster up front so placements land on the intended devices.
+  while (nvml_->cluster().size() < static_cast<std::size_t>(deployment.gpu_count)) {
+    auto grown = nvml_->cluster().add_gpu();
+    if (!grown.ok()) return grown.error();
+  }
+
+  for (const DeployedUnit& unit : deployment.units) {
+    PARVA_REQUIRE(unit.placement.has_value(), "MIG unit requires a placement");
+    gpu::GlobalInstanceId id;
+    auto ret = nvml_->create_gpu_instance_with_placement(
+        static_cast<unsigned>(unit.gpu_index), unit.placement->gpcs, unit.placement->start_slot,
+        &id);
+    if (ret != gpu::NvmlReturn::kSuccess) {
+      return Error(ErrorCode::kInternal, std::string("create_gpu_instance failed: ") +
+                                             gpu::nvml_error_string(ret));
+    }
+    if (unit.procs > 1) {
+      ret = nvml_->start_mps_daemon(id);
+      if (ret != gpu::NvmlReturn::kSuccess) {
+        return Error(ErrorCode::kInternal,
+                     std::string("start_mps_daemon failed: ") + gpu::nvml_error_string(ret));
+      }
+    }
+    const perfmodel::WorkloadTraits* traits = perf_->catalog().find(unit.model);
+    if (traits == nullptr) {
+      return Error(ErrorCode::kNotFound, "unknown model " + unit.model);
+    }
+    const double per_process_mem =
+        perfmodel::AnalyticalPerfModel::process_memory_gib(*traits, unit.batch);
+    for (int p = 0; p < unit.procs; ++p) {
+      gpu::MpsProcess process;
+      process.model = unit.model;
+      process.batch_size = unit.batch;
+      process.memory_gib = per_process_mem;
+      ret = nvml_->launch_process(id, process);
+      if (ret != gpu::NvmlReturn::kSuccess) {
+        return Error(ErrorCode::kInternal,
+                     std::string("launch_process failed: ") + gpu::nvml_error_string(ret));
+      }
+    }
+    state.unit_instances.push_back(id);
+  }
+  return state;
+}
+
+Status Deployer::teardown(const DeployedState& state) {
+  for (const auto& id : state.unit_instances) {
+    nvml_->kill_processes(id);
+    const auto ret = nvml_->destroy_gpu_instance(id);
+    if (ret != gpu::NvmlReturn::kSuccess) {
+      return Status(ErrorCode::kInternal,
+                    std::string("destroy_gpu_instance failed: ") + gpu::nvml_error_string(ret));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace parva::core

@@ -1,0 +1,41 @@
+// The Deployer (paper Section III-F): materialises a deployment map on the
+// cluster through the NVML-shaped control plane — create GPU instances at
+// their planned placements, start MPS daemons, and launch the inference
+// processes.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "gpu/nvml_sim.hpp"
+#include "perfmodel/analytical_model.hpp"
+
+namespace parva::core {
+
+/// Mapping from deployed units to their live instance ids.
+struct DeployedState {
+  std::vector<gpu::GlobalInstanceId> unit_instances;  ///< parallel to deployment.units
+};
+
+class Deployer {
+ public:
+  Deployer(gpu::NvmlSim& nvml, const perfmodel::AnalyticalPerfModel& perf)
+      : nvml_(&nvml), perf_(&perf) {}
+
+  /// Applies a MIG-backed deployment to the cluster. The cluster must have
+  /// enough devices (elastic clusters grow automatically).
+  Result<DeployedState> deploy(const Deployment& deployment);
+
+  /// Tears down the instances recorded in `state`.
+  Status teardown(const DeployedState& state);
+
+  gpu::NvmlSim& nvml() { return *nvml_; }
+
+ private:
+  gpu::NvmlSim* nvml_;
+  const perfmodel::AnalyticalPerfModel* perf_;
+};
+
+}  // namespace parva::core

@@ -1,0 +1,35 @@
+#include "core/deployment.hpp"
+
+#include <cmath>
+
+#include "gpu/arch.hpp"
+
+namespace parva::core {
+
+int DeployedUnit::granted_sms() const {
+  return static_cast<int>(std::lround(gpc_grant * gpu::kSmsPerGpc));
+}
+
+double Deployment::total_granted_gpcs() const {
+  double total = 0.0;
+  for (const auto& unit : units) total += unit.gpc_grant;
+  return total;
+}
+
+std::vector<const DeployedUnit*> Deployment::units_for_service(int service_id) const {
+  std::vector<const DeployedUnit*> out;
+  for (const auto& unit : units) {
+    if (unit.service_id == service_id) out.push_back(&unit);
+  }
+  return out;
+}
+
+double Deployment::service_capacity(int service_id) const {
+  double total = 0.0;
+  for (const auto& unit : units) {
+    if (unit.service_id == service_id) total += unit.actual_throughput;
+  }
+  return total;
+}
+
+}  // namespace parva::core

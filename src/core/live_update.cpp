@@ -1,0 +1,189 @@
+#include "core/live_update.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace parva::core {
+namespace {
+
+/// Identity of a deployed unit for diffing purposes.
+struct UnitKey {
+  int service_id;
+  int gpu_index;
+  int gpcs;
+  int start_slot;
+  int batch;
+  int procs;
+  auto operator<=>(const UnitKey&) const = default;
+};
+
+UnitKey key_of(const DeployedUnit& unit) {
+  return UnitKey{unit.service_id,
+                 unit.gpu_index,
+                 unit.placement.has_value() ? unit.placement->gpcs : -1,
+                 unit.placement.has_value() ? unit.placement->start_slot : -1,
+                 unit.batch,
+                 unit.procs};
+}
+
+}  // namespace
+
+Result<LiveUpdateReport> LiveUpdater::apply(const Deployment& current, DeployedState& state,
+                                            const Deployment& target,
+                                            UpdateStrategy strategy) {
+  if (!current.uses_mig || !target.uses_mig) {
+    return Error(ErrorCode::kUnsupported, "live update operates on MIG-backed deployments");
+  }
+  if (state.unit_instances.size() != current.units.size()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "DeployedState does not match the current deployment");
+  }
+
+  LiveUpdateReport report;
+
+  // Diff: units present in both maps stay untouched; the rest are
+  // removed/added. Duplicate keys are matched one-to-one.
+  std::multiset<UnitKey> target_keys;
+  for (const DeployedUnit& unit : target.units) target_keys.insert(key_of(unit));
+
+  std::vector<std::size_t> to_remove;          // indices into current.units
+  std::multiset<UnitKey> kept_keys;
+  std::vector<gpu::GlobalInstanceId> kept_instances;
+  std::vector<const DeployedUnit*> kept_units;
+  for (std::size_t i = 0; i < current.units.size(); ++i) {
+    const UnitKey key = key_of(current.units[i]);
+    const auto it = target_keys.find(key);
+    if (it != target_keys.end()) {
+      target_keys.erase(it);
+      kept_keys.insert(key);
+      kept_instances.push_back(state.unit_instances[i]);
+      kept_units.push_back(&current.units[i]);
+      ++report.untouched_units;
+    } else {
+      to_remove.push_back(i);
+    }
+  }
+  std::vector<const DeployedUnit*> to_add;  // units of target not yet live
+  {
+    std::multiset<UnitKey> remaining = target_keys;
+    for (const DeployedUnit& unit : target.units) {
+      const auto it = remaining.find(key_of(unit));
+      if (it != remaining.end()) {
+        remaining.erase(it);
+        to_add.push_back(&unit);
+      }
+    }
+  }
+  report.removed_units = static_cast<int>(to_remove.size());
+  report.added_units = static_cast<int>(to_add.size());
+
+  // Services whose serving set changes.
+  std::set<int> affected;
+  for (std::size_t i : to_remove) affected.insert(current.units[i].service_id);
+  for (const DeployedUnit* unit : to_add) affected.insert(unit->service_id);
+
+  // Phase 0 (shadowed only): clone one serving segment per affected
+  // service onto the spare pool (GPUs beyond the target's footprint).
+  const double per_unit_create =
+      costs_.create_instance_ms + costs_.start_mps_ms + costs_.launch_process_ms;
+  std::map<int, gpu::GlobalInstanceId> shadows;
+  int spare_gpu = std::max(current.gpu_count, target.gpu_count);
+  if (strategy == UpdateStrategy::kShadowed) {
+    for (int service_id : affected) {
+      // Template: any current unit of the service (prefer the smallest so
+      // the shadow is cheap); new services have nothing to shadow.
+      const DeployedUnit* tmpl = nullptr;
+      for (const DeployedUnit& unit : current.units) {
+        if (unit.service_id != service_id) continue;
+        if (tmpl == nullptr || unit.gpc_grant < tmpl->gpc_grant) tmpl = &unit;
+      }
+      if (tmpl == nullptr) continue;
+
+      Deployment shadow;
+      shadow.uses_mig = true;
+      shadow.gpu_count = spare_gpu + 1;
+      DeployedUnit clone = *tmpl;
+      clone.gpu_index = spare_gpu;
+      clone.placement = gpu::Placement{tmpl->placement->gpcs, 0};
+      // Place at the profile's first legal slot on the empty spare GPU.
+      clone.placement->start_slot = gpu::legal_start_slots(clone.placement->gpcs).front();
+      shadow.units.push_back(clone);
+      auto deployed = deployer_->deploy(shadow);
+      if (!deployed.ok()) continue;  // no spare capacity: in-place fallback
+      shadows[service_id] = deployed.value().unit_instances.front();
+      ++report.shadow_units;
+      ++spare_gpu;
+      report.makespan_ms += per_unit_create;
+    }
+  }
+
+  // Phase 1: tear down the replaced segments (per-service downtime starts
+  // here for unshadowed services).
+  std::map<int, double> window_ms;  // rebuild window per service
+  for (std::size_t i : to_remove) {
+    const DeployedUnit& unit = current.units[i];
+    (void)deployer_->nvml().kill_processes(state.unit_instances[i]);
+    const auto ret = deployer_->nvml().destroy_gpu_instance(state.unit_instances[i]);
+    if (ret != gpu::NvmlReturn::kSuccess) {
+      return Error(ErrorCode::kInternal, std::string("teardown failed: ") +
+                                             gpu::nvml_error_string(ret));
+    }
+    window_ms[unit.service_id] += costs_.destroy_instance_ms;
+  }
+
+  // Phase 2: build the new segments.
+  Deployment additions;
+  additions.uses_mig = true;
+  additions.gpu_count = target.gpu_count;
+  for (const DeployedUnit* unit : to_add) additions.units.push_back(*unit);
+  auto added = deployer_->deploy(additions);
+  if (!added.ok()) return added.error();
+  for (const DeployedUnit* unit : to_add) {
+    window_ms[unit->service_id] += per_unit_create;
+  }
+
+  // Phase 3: drop the shadows (their teardown happens after traffic has
+  // shifted back; it adds makespan but no downtime).
+  for (const auto& [service_id, instance] : shadows) {
+    (void)deployer_->nvml().kill_processes(instance);
+    (void)deployer_->nvml().destroy_gpu_instance(instance);
+    report.makespan_ms += costs_.destroy_instance_ms;
+  }
+
+  // Accounting: shadowed services keep serving through the window.
+  for (int service_id : affected) {
+    const bool shadowed = shadows.count(service_id) != 0;
+    report.downtime_ms[service_id] = shadowed ? 0.0 : window_ms[service_id];
+    report.makespan_ms += window_ms[service_id];
+  }
+
+  // New state: kept instances plus the additions, ordered as target.units.
+  DeployedState next;
+  next.unit_instances.resize(target.units.size());
+  std::vector<bool> filled(target.units.size(), false);
+  // Match kept units to target slots.
+  for (std::size_t k = 0; k < kept_units.size(); ++k) {
+    const UnitKey key = key_of(*kept_units[k]);
+    for (std::size_t t = 0; t < target.units.size(); ++t) {
+      if (filled[t]) continue;
+      if (key_of(target.units[t]) == key) {
+        next.unit_instances[t] = kept_instances[k];
+        filled[t] = true;
+        break;
+      }
+    }
+  }
+  // Match added units in order.
+  std::size_t add_cursor = 0;
+  for (std::size_t t = 0; t < target.units.size(); ++t) {
+    if (filled[t]) continue;
+    PARVA_CHECK(add_cursor < added.value().unit_instances.size(),
+                "added instance bookkeeping mismatch");
+    next.unit_instances[t] = added.value().unit_instances[add_cursor++];
+    filled[t] = true;
+  }
+  state = std::move(next);
+  return report;
+}
+
+}  // namespace parva::core

@@ -1,0 +1,56 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "gpu/arch.hpp"
+
+namespace parva::core {
+
+UtilizationMetrics compute_metrics(const Deployment& deployment,
+                                   std::span<const ServiceSpec> services) {
+  UtilizationMetrics metrics;
+  metrics.gpu_count = deployment.gpu_count;
+  metrics.total_granted_gpcs = deployment.total_granted_gpcs();
+
+  double granted_sms = 0.0;
+  double busy_sms = 0.0;
+  for (const DeployedUnit& unit : deployment.units) {
+    // Load fraction: the share of this unit's capacity its service's rate
+    // actually exercises. Units of one service all run at the same load
+    // fraction because the dispatcher splits proportionally to capacity.
+    double load_fraction = 0.0;
+    const auto spec = std::find_if(services.begin(), services.end(),
+                                   [&](const ServiceSpec& s) { return s.id == unit.service_id; });
+    if (spec != services.end()) {
+      const double capacity = deployment.service_capacity(unit.service_id);
+      load_fraction = capacity <= 0.0 ? 0.0 : std::min(1.0, spec->request_rate / capacity);
+    }
+    const double sms = unit.gpc_grant * gpu::kSmsPerGpc;
+    granted_sms += sms;
+    busy_sms += sms * unit.sm_occupancy * load_fraction;
+  }
+  metrics.internal_slack = granted_sms <= 0.0 ? 0.0 : 1.0 - busy_sms / granted_sms;
+
+  const double cluster_sms =
+      static_cast<double>(deployment.gpu_count) * gpu::kSmsPerGpu;
+  metrics.external_fragmentation =
+      cluster_sms <= 0.0 ? 0.0 : std::max(0.0, 1.0 - granted_sms / cluster_sms);
+  return metrics;
+}
+
+double internal_slack_from_activity(const Deployment& deployment,
+                                    std::span<const double> activities) {
+  PARVA_REQUIRE(activities.size() == deployment.units.size(),
+                "one activity sample per deployed unit required");
+  double granted_sms = 0.0;
+  double busy_sms = 0.0;
+  for (std::size_t i = 0; i < deployment.units.size(); ++i) {
+    const double sms = deployment.units[i].gpc_grant * gpu::kSmsPerGpc;
+    granted_sms += sms;
+    busy_sms += sms * std::clamp(activities[i], 0.0, 1.0);
+  }
+  return granted_sms <= 0.0 ? 0.0 : 1.0 - busy_sms / granted_sms;
+}
+
+}  // namespace parva::core

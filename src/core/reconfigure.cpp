@@ -1,0 +1,63 @@
+#include "core/reconfigure.hpp"
+
+#include <algorithm>
+
+namespace parva::core {
+
+Result<ReconfigureStats> Reconfigurer::update_service(
+    DeploymentPlan& plan, std::vector<ConfiguredService>& configured,
+    const ServiceSpec& updated_spec, const profiler::ProfileSet& profiles) const {
+  const profiler::ProfileTable* table = profiles.find(updated_spec.model);
+  if (table == nullptr) {
+    return Error(ErrorCode::kNotFound, "no profile for model " + updated_spec.model);
+  }
+
+  // Re-profiling is unnecessary (Section III-F): the Configurator
+  // reconstructs the optimal segments from the existing profile data.
+  auto reconfigured = configurator_.triplet_decision(updated_spec, *table);
+  if (!reconfigured.ok()) return reconfigured.error();
+  ConfiguredService service = std::move(reconfigured).value();
+  const Status matched = configurator_.demand_matching(service);
+  if (!matched.ok()) return matched.error();
+
+  ReconfigureStats stats;
+
+  // Strip the service's old segments; everything else stays put.
+  for (auto& gpu : plan.gpus()) {
+    for (std::size_t i = gpu.segments().size(); i-- > 0;) {
+      if (gpu.segments()[i].service_id == updated_spec.id) {
+        gpu.remove_segment(i);
+        ++stats.segments_removed;
+      }
+    }
+    stats.segments_untouched += static_cast<int>(gpu.segments().size());
+  }
+
+  // Targeted relocation for this service into the existing map.
+  const std::size_t before_units = [&] {
+    std::size_t count = 0;
+    for (const auto& gpu : plan.gpus()) count += gpu.segments().size();
+    return count;
+  }();
+  const Status placed = allocator_.place_service(plan, service);
+  if (!placed.ok()) return placed.error();
+  std::size_t after_units = 0;
+  for (const auto& gpu : plan.gpus()) after_units += gpu.segments().size();
+  stats.segments_added = static_cast<int>(after_units - before_units);
+
+  // Update the configured set, then run the optimization stage to squeeze
+  // out fragmentation the update may have opened.
+  const auto it = std::find_if(configured.begin(), configured.end(), [&](const auto& c) {
+    return c.spec.id == updated_spec.id;
+  });
+  if (it != configured.end()) {
+    *it = service;
+  } else {
+    configured.push_back(service);
+  }
+  plan = allocator_.allocation_optimization(std::move(plan), configured);
+  plan.compact();
+  return stats;
+}
+
+}  // namespace parva::core

@@ -1,0 +1,42 @@
+// SLO-change reconfiguration (paper Section III-F): when a service's SLO
+// (or rate) changes, only that service is re-configured and re-placed; all
+// other services keep their placements, so the physical reconfiguration
+// cost is proportional to the one service's segments.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/configurator.hpp"
+#include "core/plan.hpp"
+#include "profiler/profile_types.hpp"
+
+namespace parva::core {
+
+struct ReconfigureStats {
+  int segments_removed = 0;   ///< old segments of the updated service
+  int segments_added = 0;     ///< new segments placed for it
+  int segments_untouched = 0; ///< segments of other services left in place
+};
+
+class Reconfigurer {
+ public:
+  Reconfigurer(SegmentConfigurator configurator, SegmentAllocator allocator)
+      : configurator_(std::move(configurator)), allocator_(std::move(allocator)) {}
+
+  /// Applies an updated spec for one service: re-runs the Segment
+  /// Configurator for it alone, strips its old segments from the map,
+  /// re-places the new ones into the existing map, then runs Allocation
+  /// Optimization. `plan` and `configured` are updated in place.
+  Result<ReconfigureStats> update_service(DeploymentPlan& plan,
+                                          std::vector<ConfiguredService>& configured,
+                                          const ServiceSpec& updated_spec,
+                                          const profiler::ProfileSet& profiles) const;
+
+ private:
+  SegmentConfigurator configurator_;
+  SegmentAllocator allocator_;
+};
+
+}  // namespace parva::core

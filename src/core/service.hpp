@@ -1,0 +1,85 @@
+// Service and segment vocabulary of the paper (Tables II & III).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "profiler/profile_types.hpp"
+
+namespace parva::core {
+
+/// A client-registered inference service: model + SLO + request rate.
+struct ServiceSpec {
+  int id = -1;
+  std::string model;
+  double slo_latency_ms = 0.0;  ///< end-to-end SLO latency target
+  double request_rate = 0.0;    ///< requests/s the service must sustain
+};
+
+/// An operating triplet (instance size, batch size, process count) together
+/// with its profiled performance. A triplet materialised on a GPU becomes a
+/// "GPU segment" (an MPS-activated MIG instance).
+struct Triplet {
+  int gpcs = 0;
+  int batch = 0;
+  int procs = 0;
+  double throughput = 0.0;
+  double latency_ms = 0.0;
+  double sm_occupancy = 0.0;
+  double memory_gib = 0.0;
+
+  bool valid() const { return gpcs > 0; }
+  /// GPC efficiency: the quantity Demand Matching maximises (Eq. 2).
+  double throughput_per_gpc() const {
+    return gpcs == 0 ? 0.0 : throughput / static_cast<double>(gpcs);
+  }
+};
+
+/// Builds a Triplet from a profiled point.
+Triplet to_triplet(const profiler::ProfilePoint& point);
+
+/// Index of an instance size within the optimal-triplet array.
+/// Sizes {1,2,3,4,7} map to indices {0,1,2,3,4}.
+int instance_size_index(int gpcs);
+int instance_size_from_index(int index);
+inline constexpr int kInstanceSizeCount = 5;
+
+/// A service after the Segment Configurator ran (Table II's member
+/// variables: opt_tri_array, opt_seg, num_opt_seg, last_seg).
+struct ConfiguredService {
+  ServiceSpec spec;
+  /// Best triplet per instance size under the internal latency bound;
+  /// nullopt where no feasible point exists (e.g. OOM or SLO too strict).
+  std::array<std::optional<Triplet>, kInstanceSizeCount> opt_tri_array;
+  /// The GPC-efficiency-optimal triplet (Demand Matching).
+  Triplet opt_seg;
+  /// How many optimal segments the request rate requires.
+  int num_opt_seg = 0;
+  /// The segment covering the remaining rate; nullopt when the rate divides
+  /// exactly.
+  std::optional<Triplet> last_seg;
+
+  /// Total GPCs the configuration consumes.
+  int total_gpcs() const {
+    int total = num_opt_seg * opt_seg.gpcs;
+    if (last_seg.has_value()) total += last_seg->gpcs;
+    return total;
+  }
+  /// Aggregate configured throughput.
+  double total_throughput() const {
+    double total = static_cast<double>(num_opt_seg) * opt_seg.throughput;
+    if (last_seg.has_value()) total += last_seg->throughput;
+    return total;
+  }
+};
+
+/// One segment awaiting placement: which service it serves and at which
+/// operating point.
+struct Segment {
+  int service_id = -1;
+  Triplet triplet;
+};
+
+}  // namespace parva::core

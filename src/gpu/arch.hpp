@@ -1,0 +1,49 @@
+// Architecture constants for the simulated NVIDIA A100-80GB GPU.
+//
+// The MIG-visible topology is 7 GPC slices (compute) and 8 memory slices of
+// 10 GB each; instance profiles couple a GPC count with a fixed memory
+// grant, matching the NVIDIA MIG user guide and the paper's Figure 1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace parva::gpu {
+
+/// Number of GPC slots (compute slices) exposed by MIG on A100/H100.
+inline constexpr int kGpcSlots = 7;
+
+/// Total streaming multiprocessors on the full A100 die (GA100: 108 SMs,
+/// 98 usable under MIG = 7 slices x 14 SMs).
+inline constexpr int kSmsPerGpc = 14;
+inline constexpr int kSmsPerGpu = kGpcSlots * kSmsPerGpc;
+
+/// Total device memory in GiB (A100-80GB as used on p4de.24xlarge).
+inline constexpr double kGpuMemoryGiB = 80.0;
+
+/// Valid MIG instance sizes in GPCs. 5 and 6 GPC instances do not exist
+/// (hardware limitation discussed in Section II-B of the paper).
+inline constexpr std::array<int, 5> kInstanceSizes = {1, 2, 3, 4, 7};
+
+/// Memory grant per instance profile in GiB: 1g.10gb, 2g.20gb, 3g.40gb,
+/// 4g.40gb, 7g.80gb (paper Section II-B).
+constexpr double instance_memory_gib(int gpcs) {
+  switch (gpcs) {
+    case 1: return 10.0;
+    case 2: return 20.0;
+    case 3: return 40.0;
+    case 4: return 40.0;
+    case 7: return 80.0;
+    default: return 0.0;
+  }
+}
+
+/// True when `gpcs` is a legal MIG instance size.
+constexpr bool is_valid_instance_size(int gpcs) {
+  return gpcs == 1 || gpcs == 2 || gpcs == 3 || gpcs == 4 || gpcs == 7;
+}
+
+/// SM count of an instance with the given GPC count.
+constexpr int instance_sms(int gpcs) { return gpcs * kSmsPerGpc; }
+
+}  // namespace parva::gpu

@@ -1,0 +1,34 @@
+#include "gpu/dcgm_sim.hpp"
+
+namespace parva::gpu {
+
+void DcgmSim::watch(GlobalInstanceId id, int sms) {
+  ActivityRecord& record = records_[id];
+  record.sms = sms;
+}
+
+void DcgmSim::add_busy(GlobalInstanceId id, double busy_sm_ms) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return;  // unwatched entities are ignored, as in DCGM
+  it->second.busy_sm_ms += busy_sm_ms;
+}
+
+void DcgmSim::close_window(double window_ms) {
+  for (auto& [id, record] : records_) record.window_ms = window_ms;
+}
+
+ActivityRecord DcgmSim::activity(GlobalInstanceId id) const {
+  const auto it = records_.find(id);
+  return it == records_.end() ? ActivityRecord{} : it->second;
+}
+
+std::vector<GlobalInstanceId> DcgmSim::watched() const {
+  std::vector<GlobalInstanceId> ids;
+  ids.reserve(records_.size());
+  for (const auto& [id, record] : records_) ids.push_back(id);
+  return ids;
+}
+
+void DcgmSim::clear() { records_.clear(); }
+
+}  // namespace parva::gpu

@@ -1,0 +1,59 @@
+// DCGM-shaped SM-activity accounting.
+//
+// The paper's internal-slack metric (Eq. 3) is computed from DCGM's
+// "SM activity" field: the fraction of (SMs x time) an entity kept busy
+// during a window. The discrete-event simulator feeds busy intervals into
+// this store; metric code queries averaged activity per instance.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu_cluster.hpp"
+
+namespace parva::gpu {
+
+/// Accumulated activity for one MIG instance over an observation window.
+struct ActivityRecord {
+  double busy_sm_ms = 0.0;   ///< integral of (active SMs x time)
+  double window_ms = 0.0;    ///< observation window length
+  int sms = 0;               ///< SMs granted to the instance
+
+  /// DCGM SM activity in [0,1]: busy SM-time over granted SM-time.
+  double sm_activity() const {
+    const double denom = window_ms * static_cast<double>(sms);
+    return denom <= 0.0 ? 0.0 : busy_sm_ms / denom;
+  }
+};
+
+struct GlobalInstanceIdLess {
+  bool operator()(const GlobalInstanceId& a, const GlobalInstanceId& b) const {
+    return a.gpu != b.gpu ? a.gpu < b.gpu : a.handle < b.handle;
+  }
+};
+
+class DcgmSim {
+ public:
+  /// Registers an instance for monitoring with its SM grant.
+  void watch(GlobalInstanceId id, int sms);
+
+  /// Records `busy_sm_ms` of SM-time consumed within the instance.
+  void add_busy(GlobalInstanceId id, double busy_sm_ms);
+
+  /// Closes the observation window at `window_ms` for all instances.
+  void close_window(double window_ms);
+
+  /// Returns the record for an instance (zeroes when unknown).
+  ActivityRecord activity(GlobalInstanceId id) const;
+
+  /// All watched instances.
+  std::vector<GlobalInstanceId> watched() const;
+
+  void clear();
+
+ private:
+  std::map<GlobalInstanceId, ActivityRecord, GlobalInstanceIdLess> records_;
+};
+
+}  // namespace parva::gpu

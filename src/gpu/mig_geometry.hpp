@@ -1,0 +1,88 @@
+// MIG placement geometry for the A100: which instance profiles may start at
+// which GPC slot, which slots each placement occupies, and enumeration of
+// the 19 legal full-GPU configurations of the paper's Figure 1.
+//
+// Placement rules (matching the hardware and Section III-E1):
+//   * 7 GPC instances start at slot 0 and occupy all slots.
+//   * 4 GPC instances start at slot 0 and occupy slots 0-3.
+//   * 3 GPC instances start at slot 0 (occupying slots 0-3: the fourth slot
+//     is blocked by the memory-slice span, which is why the paper avoids
+//     placing size-3 segments at slot 0) or at slot 4 (occupying 4-6).
+//   * 2 GPC instances start at even slots 0, 2, or 4 (memory alignment).
+//   * 1 GPC instances start at any slot 0-6.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gpu/arch.hpp"
+
+namespace parva::gpu {
+
+/// A concrete placement: instance size plus start slot.
+struct Placement {
+  int gpcs = 0;       ///< instance size in GPCs (1,2,3,4,7)
+  int start_slot = 0; ///< first GPC slot occupied
+
+  /// Number of consecutive slots this placement makes unavailable.
+  /// Equals `gpcs` except for a 3-GPC instance at slot 0, which blocks
+  /// slots 0-3 (span 4) due to its memory-slice footprint.
+  int span() const { return (gpcs == 3 && start_slot == 0) ? 4 : gpcs; }
+
+  /// Bitmask over the 7 slots this placement occupies.
+  std::uint8_t slot_mask() const {
+    return static_cast<std::uint8_t>(((1u << span()) - 1u) << start_slot);
+  }
+
+  bool operator==(const Placement&) const = default;
+  auto operator<=>(const Placement&) const = default;
+};
+
+/// Start slots at which an instance of `gpcs` may legally begin, in
+/// hardware order (not preference order). Empty for invalid sizes.
+std::span<const int> legal_start_slots(int gpcs);
+
+/// Start slots in the *preference order* of Section III-E1: the order that
+/// minimises external fragmentation (e.g. size 3 prefers slot 4 over 0;
+/// size 2 prefers slots 0/2 over 4; size 1 prefers 0-3 before 4-6).
+std::span<const int> preferred_start_slots(int gpcs);
+
+/// Validates a single placement in isolation (size legal, start legal,
+/// span inside the GPU).
+bool is_legal_placement(const Placement& placement);
+
+/// A full-GPU configuration: a set of non-overlapping placements.
+struct GpuConfig {
+  std::vector<Placement> placements;
+
+  /// Combined slot occupancy mask.
+  std::uint8_t slot_mask() const;
+  /// Total GPCs allocated (note: a 3@0 placement allocates 3 GPCs while
+  /// blocking 4 slots).
+  int total_gpcs() const;
+  /// True when every placement is legal and none overlap.
+  bool valid() const;
+  /// True when no further instance (of any size) can be added.
+  bool maximal() const;
+
+  std::string to_string() const;
+};
+
+/// Enumerates every maximal legal configuration. The result has exactly 19
+/// entries, reproducing Figure 1 (verified by tests/gpu/mig_geometry_test).
+std::vector<GpuConfig> enumerate_maximal_configs();
+
+/// Enumerates every legal configuration (including non-maximal ones, e.g. a
+/// lone 2-GPC instance). Used by the MIG-serving baseline's search.
+std::vector<GpuConfig> enumerate_all_configs();
+
+/// Given the current slot occupancy mask, returns the first preferred start
+/// slot at which an instance of `gpcs` fits, or nullopt.
+std::optional<int> find_start_slot(std::uint8_t occupied_mask, int gpcs);
+
+}  // namespace parva::gpu

@@ -1,0 +1,133 @@
+#include "gpu/nvml_sim.hpp"
+
+#include "common/strings.hpp"
+
+namespace parva::gpu {
+
+const char* nvml_error_string(NvmlReturn ret) {
+  switch (ret) {
+    case NvmlReturn::kSuccess: return "success";
+    case NvmlReturn::kErrorInvalidArgument: return "invalid argument";
+    case NvmlReturn::kErrorNotFound: return "not found";
+    case NvmlReturn::kErrorInsufficientResources: return "insufficient resources";
+    case NvmlReturn::kErrorInsufficientMemory: return "insufficient memory";
+    case NvmlReturn::kErrorNotSupported: return "not supported";
+  }
+  return "unknown";
+}
+
+std::vector<GpuInstanceProfileInfo> NvmlSim::supported_profiles() {
+  std::vector<GpuInstanceProfileInfo> profiles;
+  int id = 0;
+  for (int gpcs : kInstanceSizes) {
+    GpuInstanceProfileInfo info;
+    info.profile_id = id++;
+    info.gpc_count = gpcs;
+    info.memory_gib = instance_memory_gib(gpcs);
+    info.name = std::to_string(gpcs) + "g." + format_double(info.memory_gib, 0) + "gb";
+    profiles.push_back(std::move(info));
+  }
+  return profiles;
+}
+
+std::vector<GpuInstancePlacementInfo> NvmlSim::profile_placements(int gpc_count) {
+  std::vector<GpuInstancePlacementInfo> placements;
+  for (int start : legal_start_slots(gpc_count)) {
+    const Placement p{gpc_count, start};
+    placements.push_back({start, p.span()});
+  }
+  return placements;
+}
+
+NvmlReturn NvmlSim::set_mig_mode(unsigned device, bool enabled) {
+  if (device >= cluster_->size()) return NvmlReturn::kErrorNotFound;
+  if (mig_enabled_.size() < cluster_->size()) mig_enabled_.resize(cluster_->size(), true);
+  mig_enabled_[device] = enabled;
+  cluster_->gpu(device).reset();
+  operations_.push_back("set_mig_mode gpu=" + std::to_string(device) +
+                        " enabled=" + (enabled ? "1" : "0"));
+  return NvmlReturn::kSuccess;
+}
+
+bool NvmlSim::mig_mode(unsigned device) const {
+  if (device < mig_enabled_.size()) return mig_enabled_[device];
+  return true;  // simulated devices boot with MIG enabled
+}
+
+NvmlReturn NvmlSim::translate(const Status& status, const std::string& op) {
+  operations_.push_back(op + (status.ok() ? "" : " FAILED(" + status.to_string() + ")"));
+  if (status.ok()) return NvmlReturn::kSuccess;
+  switch (status.error().code()) {
+    case ErrorCode::kInvalidArgument: return NvmlReturn::kErrorInvalidArgument;
+    case ErrorCode::kNotFound: return NvmlReturn::kErrorNotFound;
+    case ErrorCode::kOutOfMemory: return NvmlReturn::kErrorInsufficientMemory;
+    case ErrorCode::kUnsupported: return NvmlReturn::kErrorInsufficientResources;
+    case ErrorCode::kCapacityExceeded: return NvmlReturn::kErrorInsufficientResources;
+    case ErrorCode::kInternal: return NvmlReturn::kErrorNotSupported;
+  }
+  return NvmlReturn::kErrorNotSupported;
+}
+
+NvmlReturn NvmlSim::create_gpu_instance(unsigned device, int gpc_count, GlobalInstanceId* out) {
+  auto result = cluster_->create_instance(device, gpc_count);
+  if (!result.ok()) {
+    return translate(Status(result.error()), "create_gi gpu=" + std::to_string(device) +
+                                                 " gpcs=" + std::to_string(gpc_count));
+  }
+  if (out != nullptr) *out = result.value();
+  operations_.push_back("create_gi gpu=" + std::to_string(device) +
+                        " gpcs=" + std::to_string(gpc_count) +
+                        " handle=" + std::to_string(result.value().handle));
+  return NvmlReturn::kSuccess;
+}
+
+NvmlReturn NvmlSim::create_gpu_instance_with_placement(unsigned device, int gpc_count,
+                                                       int start_slot, GlobalInstanceId* out) {
+  if (device >= cluster_->size()) return NvmlReturn::kErrorNotFound;
+  auto result = cluster_->gpu(device).create_instance_at(gpc_count, start_slot);
+  if (!result.ok()) {
+    return translate(Status(result.error()),
+                     "create_gi_placed gpu=" + std::to_string(device) +
+                         " gpcs=" + std::to_string(gpc_count) + "@" + std::to_string(start_slot));
+  }
+  if (out != nullptr) *out = GlobalInstanceId{static_cast<int>(device), result.value()};
+  operations_.push_back("create_gi_placed gpu=" + std::to_string(device) +
+                        " gpcs=" + std::to_string(gpc_count) + "@" + std::to_string(start_slot));
+  return NvmlReturn::kSuccess;
+}
+
+NvmlReturn NvmlSim::destroy_gpu_instance(GlobalInstanceId id) {
+  return translate(cluster_->destroy_instance(id),
+                   "destroy_gi gpu=" + std::to_string(id.gpu) +
+                       " handle=" + std::to_string(id.handle));
+}
+
+NvmlReturn NvmlSim::start_mps_daemon(GlobalInstanceId id) {
+  if (id.gpu < 0 || static_cast<std::size_t>(id.gpu) >= cluster_->size()) {
+    return NvmlReturn::kErrorNotFound;
+  }
+  return translate(cluster_->gpu(static_cast<std::size_t>(id.gpu)).enable_mps(id.handle),
+                   "start_mps gpu=" + std::to_string(id.gpu) +
+                       " handle=" + std::to_string(id.handle));
+}
+
+NvmlReturn NvmlSim::launch_process(GlobalInstanceId id, const MpsProcess& process) {
+  if (id.gpu < 0 || static_cast<std::size_t>(id.gpu) >= cluster_->size()) {
+    return NvmlReturn::kErrorNotFound;
+  }
+  return translate(cluster_->gpu(static_cast<std::size_t>(id.gpu)).attach_process(id.handle, process),
+                   "launch gpu=" + std::to_string(id.gpu) + " handle=" +
+                       std::to_string(id.handle) + " model=" + process.model +
+                       " batch=" + std::to_string(process.batch_size));
+}
+
+NvmlReturn NvmlSim::kill_processes(GlobalInstanceId id) {
+  if (id.gpu < 0 || static_cast<std::size_t>(id.gpu) >= cluster_->size()) {
+    return NvmlReturn::kErrorNotFound;
+  }
+  return translate(
+      cluster_->gpu(static_cast<std::size_t>(id.gpu)).detach_all_processes(id.handle),
+      "kill gpu=" + std::to_string(id.gpu) + " handle=" + std::to_string(id.handle));
+}
+
+}  // namespace parva::gpu

@@ -1,0 +1,98 @@
+// NVML-shaped control-plane facade over the simulated cluster.
+//
+// ParvaGPU's Deployer is written against this interface; on a machine with
+// real MIG hardware the same call shapes map 1:1 onto
+// nvmlDeviceCreateGpuInstance / nvmlGpuInstanceCreateComputeInstance /
+// MPS control commands, making the substitution a link-time swap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu_cluster.hpp"
+
+namespace parva::gpu {
+
+/// NVML-style return codes (subset).
+enum class NvmlReturn {
+  kSuccess = 0,
+  kErrorInvalidArgument,
+  kErrorNotFound,
+  kErrorInsufficientResources,
+  kErrorInsufficientMemory,
+  kErrorNotSupported,
+};
+
+const char* nvml_error_string(NvmlReturn ret);
+
+/// GPU-instance profile descriptors (mirrors nvmlGpuInstanceProfileInfo_t).
+struct GpuInstanceProfileInfo {
+  int profile_id = 0;      ///< index into kInstanceSizes
+  int gpc_count = 0;       ///< slice count (1,2,3,4,7)
+  double memory_gib = 0.0; ///< memory grant
+  std::string name;        ///< e.g. "1g.10gb"
+};
+
+/// Placement descriptor (mirrors nvmlGpuInstancePlacement_t).
+struct GpuInstancePlacementInfo {
+  int start = 0;
+  int size = 0;  ///< slot span
+};
+
+/// The control plane. All mutation of the simulated GPUs performed by the
+/// schedulers' deployers flows through this class, so a transcript of calls
+/// is available for tests (operation log).
+class NvmlSim {
+ public:
+  explicit NvmlSim(GpuCluster& cluster) : cluster_(&cluster) {}
+
+  unsigned device_count() const { return static_cast<unsigned>(cluster_->size()); }
+
+  /// Supported GI profiles on A100-80GB.
+  static std::vector<GpuInstanceProfileInfo> supported_profiles();
+
+  /// Legal placements for a profile on an idle device.
+  static std::vector<GpuInstancePlacementInfo> profile_placements(int gpc_count);
+
+  /// Enables MIG mode on a device; destroys existing instances
+  /// (matches real-driver semantics where toggling MIG resets the device).
+  NvmlReturn set_mig_mode(unsigned device, bool enabled);
+  bool mig_mode(unsigned device) const;
+
+  /// Creates a GPU instance of `gpc_count` at the driver-chosen placement.
+  NvmlReturn create_gpu_instance(unsigned device, int gpc_count, GlobalInstanceId* out);
+
+  /// Creates a GPU instance at an explicit start slot.
+  NvmlReturn create_gpu_instance_with_placement(unsigned device, int gpc_count, int start_slot,
+                                                GlobalInstanceId* out);
+
+  NvmlReturn destroy_gpu_instance(GlobalInstanceId id);
+
+  /// Starts an MPS control daemon for an instance (prereq for >1 client).
+  NvmlReturn start_mps_daemon(GlobalInstanceId id);
+
+  /// Launches an inference process (MPS client) inside an instance.
+  NvmlReturn launch_process(GlobalInstanceId id, const MpsProcess& process);
+
+  /// Tears down all processes in an instance.
+  NvmlReturn kill_processes(GlobalInstanceId id);
+
+  /// Number of control-plane operations performed (reconfiguration cost
+  /// accounting for the Deployer tests).
+  std::size_t operation_count() const { return operations_.size(); }
+  const std::vector<std::string>& operation_log() const { return operations_; }
+  void clear_operation_log() { operations_.clear(); }
+
+  GpuCluster& cluster() { return *cluster_; }
+  const GpuCluster& cluster() const { return *cluster_; }
+
+ private:
+  NvmlReturn translate(const Status& status, const std::string& op);
+
+  GpuCluster* cluster_;
+  std::vector<bool> mig_enabled_;
+  std::vector<std::string> operations_;
+};
+
+}  // namespace parva::gpu

@@ -1,0 +1,141 @@
+#include "gpu/virtual_gpu.hpp"
+
+#include <algorithm>
+
+namespace parva::gpu {
+
+Result<InstanceHandle> VirtualGpu::create_instance(int gpcs) {
+  if (!is_valid_instance_size(gpcs)) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "invalid instance size " + std::to_string(gpcs) + " GPCs");
+  }
+  const auto slot = find_start_slot(occupied_mask_, gpcs);
+  if (!slot.has_value()) {
+    return Error(ErrorCode::kUnsupported,
+                 "no legal free slot for a " + std::to_string(gpcs) + "-GPC instance on GPU " +
+                     std::to_string(id_));
+  }
+  return create_instance_at(gpcs, *slot);
+}
+
+Result<InstanceHandle> VirtualGpu::create_instance_at(int gpcs, int start_slot) {
+  const Placement placement{gpcs, start_slot};
+  if (!is_legal_placement(placement)) {
+    return Error(ErrorCode::kUnsupported, "illegal placement " + std::to_string(gpcs) + "@" +
+                                              std::to_string(start_slot));
+  }
+  if ((occupied_mask_ & placement.slot_mask()) != 0) {
+    return Error(ErrorCode::kUnsupported, "placement overlaps existing instance");
+  }
+  MigInstance instance;
+  instance.handle = next_handle_++;
+  instance.placement = placement;
+  instance.memory_gib = instance_memory_gib(gpcs);
+  occupied_mask_ |= placement.slot_mask();
+  const InstanceHandle handle = instance.handle;
+  instances_.emplace(handle, std::move(instance));
+  return handle;
+}
+
+Status VirtualGpu::destroy_instance(InstanceHandle handle) {
+  const auto it = instances_.find(handle);
+  if (it == instances_.end()) {
+    return Status(ErrorCode::kNotFound, "no instance " + std::to_string(handle));
+  }
+  occupied_mask_ &= static_cast<std::uint8_t>(~it->second.placement.slot_mask());
+  instances_.erase(it);
+  return Status::Ok();
+}
+
+void VirtualGpu::reset() {
+  instances_.clear();
+  occupied_mask_ = 0;
+}
+
+Status VirtualGpu::enable_mps(InstanceHandle handle) {
+  const auto it = instances_.find(handle);
+  if (it == instances_.end()) {
+    return Status(ErrorCode::kNotFound, "no instance " + std::to_string(handle));
+  }
+  it->second.mps_enabled = true;
+  return Status::Ok();
+}
+
+Status VirtualGpu::attach_process(InstanceHandle handle, const MpsProcess& process) {
+  const auto it = instances_.find(handle);
+  if (it == instances_.end()) {
+    return Status(ErrorCode::kNotFound, "no instance " + std::to_string(handle));
+  }
+  MigInstance& instance = it->second;
+  if (!instance.processes.empty() && !instance.mps_enabled) {
+    return Status(ErrorCode::kUnsupported, "second process requires MPS");
+  }
+  if (!instance.processes.empty() && instance.processes.front().model != process.model) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "heterogeneous models in one segment are not allowed (got " + process.model +
+                      ", segment runs " + instance.processes.front().model + ")");
+  }
+  if (instance.memory_used_gib + process.memory_gib > instance.memory_gib) {
+    return Status(ErrorCode::kOutOfMemory,
+                  "instance memory exceeded: " + std::to_string(instance.memory_used_gib) + "+" +
+                      std::to_string(process.memory_gib) + " > " +
+                      std::to_string(instance.memory_gib) + " GiB");
+  }
+  instance.memory_used_gib += process.memory_gib;
+  instance.processes.push_back(process);
+  return Status::Ok();
+}
+
+Status VirtualGpu::detach_all_processes(InstanceHandle handle) {
+  const auto it = instances_.find(handle);
+  if (it == instances_.end()) {
+    return Status(ErrorCode::kNotFound, "no instance " + std::to_string(handle));
+  }
+  it->second.processes.clear();
+  it->second.memory_used_gib = 0.0;
+  return Status::Ok();
+}
+
+int VirtualGpu::allocated_gpcs() const {
+  int total = 0;
+  for (const auto& [handle, instance] : instances_) total += instance.gpcs();
+  return total;
+}
+
+int VirtualGpu::occupied_slots() const {
+  int count = 0;
+  for (int slot = 0; slot < kGpcSlots; ++slot) {
+    if ((occupied_mask_ >> slot) & 1u) ++count;
+  }
+  return count;
+}
+
+const MigInstance* VirtualGpu::find_instance(InstanceHandle handle) const {
+  const auto it = instances_.find(handle);
+  return it == instances_.end() ? nullptr : &it->second;
+}
+
+std::vector<const MigInstance*> VirtualGpu::instances() const {
+  std::vector<const MigInstance*> out;
+  out.reserve(instances_.size());
+  for (const auto& [handle, instance] : instances_) out.push_back(&instance);
+  return out;
+}
+
+std::string VirtualGpu::to_string() const {
+  std::string out = "GPU" + std::to_string(id_) + "[";
+  bool first = true;
+  for (const auto& [handle, instance] : instances_) {
+    if (!first) out += ' ';
+    first = false;
+    out += std::to_string(instance.gpcs()) + "@" + std::to_string(instance.placement.start_slot);
+    if (!instance.processes.empty()) {
+      out += "(" + instance.processes.front().model + " x" +
+             std::to_string(instance.processes.size()) + ")";
+    }
+  }
+  out += " free:" + std::to_string(free_slots()) + "]";
+  return out;
+}
+
+}  // namespace parva::gpu

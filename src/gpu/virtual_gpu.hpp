@@ -1,0 +1,103 @@
+// A simulated MIG-capable GPU: tracks instance placements against the slot
+// geometry, per-instance memory budgets, and per-instance MPS state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gpu/arch.hpp"
+#include "gpu/mig_geometry.hpp"
+
+namespace parva::gpu {
+
+/// Handle to an instance within one GPU. Stable until destroyed.
+using InstanceHandle = int;
+
+/// One MPS client process attached to an instance.
+struct MpsProcess {
+  std::string model;       ///< workload identifier (same-model processes only, per ParvaGPU)
+  int batch_size = 1;      ///< batch the process serves
+  double memory_gib = 0.0; ///< device-memory footprint of this process
+};
+
+/// A provisioned MIG instance (a "GPU segment" once MPS processes attach).
+struct MigInstance {
+  InstanceHandle handle = -1;
+  Placement placement;
+  double memory_gib = 0.0;       ///< memory grant of the profile
+  double memory_used_gib = 0.0;  ///< sum of attached process footprints
+  bool mps_enabled = false;
+  std::vector<MpsProcess> processes;
+
+  int gpcs() const { return placement.gpcs; }
+  int sms() const { return instance_sms(placement.gpcs); }
+};
+
+/// One simulated A100. Enforces the same constraints the real driver does:
+/// placements must be geometrically legal and non-overlapping, instance
+/// memory cannot be oversubscribed, and MPS processes of different models
+/// may not share an instance when homogeneous mode is requested.
+class VirtualGpu {
+ public:
+  explicit VirtualGpu(int id) : id_(id) {}
+
+  int id() const { return id_; }
+
+  /// Creates an instance of `gpcs`, choosing the first preferred slot that
+  /// fits. Fails with kUnsupported when no legal slot is free.
+  Result<InstanceHandle> create_instance(int gpcs);
+
+  /// Creates an instance at an explicit start slot.
+  Result<InstanceHandle> create_instance_at(int gpcs, int start_slot);
+
+  /// Destroys an instance and releases its slots.
+  Status destroy_instance(InstanceHandle handle);
+
+  /// Destroys every instance (equivalent to disabling and re-enabling MIG).
+  void reset();
+
+  /// Enables MPS on an instance (idempotent).
+  Status enable_mps(InstanceHandle handle);
+
+  /// Attaches an MPS client process. Fails with kOutOfMemory when the
+  /// instance memory grant would be exceeded, and kInvalidArgument when a
+  /// process of a different model is already attached (ParvaGPU runs only
+  /// homogeneous processes per segment).
+  Status attach_process(InstanceHandle handle, const MpsProcess& process);
+
+  /// Detaches all processes from an instance.
+  Status detach_all_processes(InstanceHandle handle);
+
+  bool can_fit(int gpcs) const { return find_start_slot(occupied_mask_, gpcs).has_value(); }
+  std::uint8_t occupied_mask() const { return occupied_mask_; }
+
+  /// GPCs allocated to instances (a 3-GPC instance at slot 0 counts 3 even
+  /// though it blocks 4 slots).
+  int allocated_gpcs() const;
+  /// Slots currently blocked (allocated or unusable).
+  int occupied_slots() const;
+  /// Free slots (may be unreachable for large profiles; use can_fit()).
+  int free_slots() const { return kGpcSlots - occupied_slots(); }
+
+  bool empty() const { return instances_.empty(); }
+  std::size_t instance_count() const { return instances_.size(); }
+
+  const MigInstance* find_instance(InstanceHandle handle) const;
+  /// Instances in handle order.
+  std::vector<const MigInstance*> instances() const;
+
+  /// Human-readable layout, e.g. "GPU0[3@4(resnet50 x2) 2@0 free:2]".
+  std::string to_string() const;
+
+ private:
+  int id_;
+  int next_handle_ = 0;
+  std::uint8_t occupied_mask_ = 0;
+  std::map<InstanceHandle, MigInstance> instances_;
+};
+
+}  // namespace parva::gpu

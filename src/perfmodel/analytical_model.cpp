@@ -1,0 +1,99 @@
+#include "perfmodel/analytical_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parva::perfmodel {
+
+double AnalyticalPerfModel::batch_work_ms(const WorkloadTraits& traits, int batch) {
+  return traits.w0 + traits.w1 * static_cast<double>(batch);
+}
+
+double AnalyticalPerfModel::exposed_parallelism(const WorkloadTraits& traits, int batch) {
+  return traits.pi1 + traits.pi0 * static_cast<double>(batch);
+}
+
+double AnalyticalPerfModel::process_memory_gib(const WorkloadTraits& traits, int batch) {
+  return traits.mem0_gib + traits.mem1_gib * static_cast<double>(batch);
+}
+
+Result<PerfPoint> AnalyticalPerfModel::evaluate(const WorkloadTraits& traits,
+                                                double effective_gpcs, double memory_grant_gib,
+                                                int batch, int processes,
+                                                double interference_inflation) const {
+  PARVA_REQUIRE(batch >= 1, "batch must be positive");
+  PARVA_REQUIRE(processes >= 1, "process count must be positive");
+  PARVA_REQUIRE(effective_gpcs > 0.0, "instance must have compute");
+
+  const double per_process_mem = process_memory_gib(traits, batch);
+  const double total_mem = per_process_mem * static_cast<double>(processes);
+  if (total_mem > memory_grant_gib) {
+    return Error(ErrorCode::kOutOfMemory,
+                 traits.name + ": " + std::to_string(total_mem) + " GiB > grant " +
+                     std::to_string(memory_grant_gib) + " GiB");
+  }
+
+  const double work =
+      batch_work_ms(traits, batch) / generation_.compute_scale * (1.0 + interference_inflation);
+  const double parallelism = exposed_parallelism(traits, batch);
+  const double usable_gpcs = std::min(effective_gpcs, parallelism);
+  const double t_gpu = work / usable_gpcs;                       // serial-limited
+  const double t_saturated = static_cast<double>(processes) * work / effective_gpcs;
+  const double mps_inflation =
+      1.0 + kMpsInflationPerProcess * static_cast<double>(processes - 1);
+  const double latency =
+      std::max(t_gpu, t_saturated) * mps_inflation + traits.host_ms / static_cast<double>(processes);
+
+  PerfPoint point;
+  point.latency_ms = latency;
+  point.throughput = 1000.0 * static_cast<double>(processes) * static_cast<double>(batch) / latency;
+  // Occupancy: fraction of the instance's compute kept busy in steady state.
+  const double per_process_busy = (work / usable_gpcs) * (usable_gpcs / effective_gpcs);
+  point.sm_occupancy =
+      std::min(1.0, static_cast<double>(processes) * per_process_busy / latency);
+  point.memory_gib = total_mem;
+  return point;
+}
+
+Result<PerfPoint> AnalyticalPerfModel::evaluate_mig(const WorkloadTraits& traits, int gpcs,
+                                                    int batch, int processes) const {
+  if (!gpu::is_valid_instance_size(gpcs)) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "invalid MIG instance size " + std::to_string(gpcs));
+  }
+  return evaluate(traits, static_cast<double>(gpcs), gpu::instance_memory_gib(gpcs), batch,
+                  processes, /*interference_inflation=*/0.0);
+}
+
+Result<PerfPoint> AnalyticalPerfModel::evaluate_mig(std::string_view model, int gpcs, int batch,
+                                                    int processes) const {
+  const WorkloadTraits* traits = catalog_->find(model);
+  if (traits == nullptr) {
+    return Error(ErrorCode::kNotFound, "unknown model " + std::string(model));
+  }
+  return evaluate_mig(*traits, gpcs, batch, processes);
+}
+
+Result<PerfPoint> AnalyticalPerfModel::evaluate_mps_share(const WorkloadTraits& traits,
+                                                          double gpu_fraction, int batch,
+                                                          int processes,
+                                                          double interference_inflation) const {
+  if (gpu_fraction <= 0.0 || gpu_fraction > 1.0) {
+    return Error(ErrorCode::kInvalidArgument, "gpu_fraction must be in (0, 1]");
+  }
+  // A percentage partition grants compute proportionally but shares the
+  // whole device memory; memory is granted proportionally to the share
+  // (the MPS frameworks co-locate at most a few workloads).
+  const double effective_gpcs = gpu_fraction * static_cast<double>(gpu::kGpcSlots);
+  const double memory = gpu_fraction * gpu::kGpuMemoryGiB;
+  return evaluate(traits, effective_gpcs, memory, batch, processes, interference_inflation);
+}
+
+double AnalyticalPerfModel::sample_latency_ms(double mean_latency_ms, Rng& rng) {
+  // Multiplicative jitter, truncated to +-3 sigma, sigma = 3%.
+  double factor = rng.normal(1.0, 0.03);
+  factor = std::clamp(factor, 0.91, 1.09);
+  return mean_latency_ms * factor;
+}
+
+}  // namespace parva::perfmodel

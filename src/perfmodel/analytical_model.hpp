@@ -1,0 +1,99 @@
+// The analytical DNN-inference performance law.
+//
+// A process serving batches of size b on an instance of g GPCs follows a
+// two-regime latency model (serial-limited vs. throughput-limited):
+//
+//   W(b)  = w0 + w1*b                      kernel work   [GPC-ms]
+//   r(b)  = pi1 + pi0*b                    exposed parallelism [GPCs]
+//   t_gpu = W(b) / min(g, r(b))            single-process kernel time [ms]
+//
+// With p homogeneous MPS processes sharing the instance:
+//
+//   L(g,b,p) = max( t_gpu , p*W(b)/g ) * mps_inflation(p) + host_ms / p
+//   T(g,b,p) = 1000 * p * b / L(g,b,p)     [requests/s]
+//
+// The max() captures the paper's Section III-B observation: when the
+// instance is already saturated (small g, large b), extra processes buy
+// almost no throughput but multiply latency; when the instance is
+// under-occupied (large g, small b), extra processes raise throughput
+// superlinearly — the host overhead pipelines away (host_ms/p) — with
+// little latency cost.
+//
+// Out-of-memory: a point is infeasible when p*(mem0 + mem1*b) exceeds the
+// instance's memory grant (the holes in the paper's Figure 3).
+#pragma once
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "gpu/arch.hpp"
+#include "perfmodel/model_catalog.hpp"
+
+namespace parva::perfmodel {
+
+/// One evaluated operating point.
+struct PerfPoint {
+  double latency_ms = 0.0;    ///< steady-state per-batch latency
+  double throughput = 0.0;    ///< aggregate requests/s across all p processes
+  double sm_occupancy = 0.0;  ///< fraction of the instance's SMs kept busy
+  double memory_gib = 0.0;    ///< total device memory used by the p processes
+};
+
+/// Per-process MPS scheduling overhead: ~2% work inflation per extra client.
+inline constexpr double kMpsInflationPerProcess = 0.02;
+
+/// GPU generation: MIG-capable parts share the A100's instance geometry
+/// (Ampere through Blackwell, paper Section V) but differ in per-GPC
+/// compute rate. The traits are calibrated for the A100; other generations
+/// scale the kernel work.
+struct GpuGeneration {
+  const char* name = "A100-80GB";
+  double compute_scale = 1.0;  ///< per-GPC speed relative to A100
+};
+
+inline constexpr GpuGeneration kA100{"A100-80GB", 1.0};
+inline constexpr GpuGeneration kH100{"H100-80GB", 1.9};
+
+class AnalyticalPerfModel {
+ public:
+  explicit AnalyticalPerfModel(const ModelCatalog& catalog, GpuGeneration generation = kA100)
+      : catalog_(&catalog), generation_(generation) {}
+
+  const ModelCatalog& catalog() const { return *catalog_; }
+  const GpuGeneration& generation() const { return generation_; }
+
+  /// Work per batch in GPC-ms.
+  static double batch_work_ms(const WorkloadTraits& traits, int batch);
+  /// Exposed parallelism in GPCs.
+  static double exposed_parallelism(const WorkloadTraits& traits, int batch);
+  /// Device memory per process in GiB.
+  static double process_memory_gib(const WorkloadTraits& traits, int batch);
+
+  /// Evaluates a MIG operating point (isolated instance, homogeneous MPS).
+  /// Fails with kOutOfMemory when the memory grant is exceeded.
+  Result<PerfPoint> evaluate_mig(const WorkloadTraits& traits, int gpcs, int batch,
+                                 int processes) const;
+  Result<PerfPoint> evaluate_mig(std::string_view model, int gpcs, int batch,
+                                 int processes) const;
+
+  /// Evaluates an MPS percentage partition on a whole (non-MIG) GPU, as the
+  /// gpulet/iGniter baselines use: `gpu_fraction` in (0,1] of the 7 GPCs,
+  /// with `interference_inflation` >= 0 from heterogeneous co-runners
+  /// stretching the kernel work (MIG isolation makes this 0 for ParvaGPU).
+  Result<PerfPoint> evaluate_mps_share(const WorkloadTraits& traits, double gpu_fraction,
+                                       int batch, int processes,
+                                       double interference_inflation) const;
+
+  /// Samples a noisy execution latency for the discrete-event simulator:
+  /// multiplicative jitter around the analytical value (sigma ~3%).
+  static double sample_latency_ms(double mean_latency_ms, Rng& rng);
+
+ private:
+  Result<PerfPoint> evaluate(const WorkloadTraits& traits, double effective_gpcs,
+                             double memory_grant_gib, int batch, int processes,
+                             double interference_inflation) const;
+
+  const ModelCatalog* catalog_;
+  GpuGeneration generation_;
+};
+
+}  // namespace parva::perfmodel

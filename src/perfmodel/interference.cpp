@@ -1,0 +1,45 @@
+#include "perfmodel/interference.hpp"
+
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace parva::perfmodel {
+namespace {
+
+double accumulate(const WorkloadTraits& victim, std::span<const CoRunner> co_runners,
+                  double coefficient, bool noisy) {
+  double inflation = 0.0;
+  for (const CoRunner& other : co_runners) {
+    PARVA_REQUIRE(other.traits != nullptr, "co-runner traits must be set");
+    if (other.traits->name == victim.name) continue;  // homogeneous sharing is handled by MPS law
+    double pair_coefficient = coefficient;
+    if (noisy) {
+      // Deterministic pseudo-error per (victim, other) pair in
+      // [-kIgniterNoise, +kIgniterNoise].
+      const std::size_t h = std::hash<std::string>{}(victim.name + "|" + other.traits->name);
+      const double unit = static_cast<double>(h % 10007) / 10007.0;  // [0,1)
+      pair_coefficient *= 1.0 + kIgniterNoise * (2.0 * unit - 1.0);
+    }
+    inflation += pair_coefficient * other.traits->mem_intensity * other.gpu_fraction;
+  }
+  return inflation;
+}
+
+}  // namespace
+
+double true_interference(const WorkloadTraits& victim, std::span<const CoRunner> co_runners) {
+  return accumulate(victim, co_runners, kTrueContention, /*noisy=*/false);
+}
+
+double gpulet_predicted_interference(const WorkloadTraits& victim,
+                                     std::span<const CoRunner> co_runners) {
+  return accumulate(victim, co_runners, kGpuletContention, /*noisy=*/false);
+}
+
+double igniter_predicted_interference(const WorkloadTraits& victim,
+                                      std::span<const CoRunner> co_runners) {
+  return accumulate(victim, co_runners, kIgniterContention, /*noisy=*/true);
+}
+
+}  // namespace parva::perfmodel

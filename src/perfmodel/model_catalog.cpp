@@ -1,0 +1,63 @@
+#include "perfmodel/model_catalog.hpp"
+
+#include "common/error.hpp"
+
+namespace parva::perfmodel {
+namespace {
+
+std::vector<WorkloadTraits> builtin_traits() {
+  // name, params(M), GFLOPs, w0, w1, pi0, pi1, host_ms, mem0, mem1, mem_int
+  // w1 values are calibrated so each model's small-instance capacity under
+  // the Table IV latency bounds tracks the paper's per-scenario rate units
+  // (the paper derived its rates from real profiling results, which is why
+  // e.g. S4 rates are almost exactly 3x the S3 half-rates); see
+  // EXPERIMENTS.md "Calibration".
+  // The DenseNet/MobileNet families are launch-bound on large instances: a
+  // single process exposes little parallelism (small pi0), so MPS process
+  // stacking buys real throughput there — the effect behind the paper's
+  // ParvaGPU vs ParvaGPU-single gap under tight SLOs (S4-S6).
+  return {
+      {"bert-large",   330.0, 80.0, 3.0, 40.20, 0.50, 0.40, 2.5, 2.80, 0.120, 0.45},
+      {"densenet-121",   8.0,  2.9, 2.2,  2.37, 0.06, 0.30, 2.0, 1.10, 0.030, 0.35},
+      {"densenet-169",  14.1,  3.4, 2.8,  2.70, 0.06, 0.30, 2.1, 1.20, 0.035, 0.35},
+      {"densenet-201",  20.0,  4.3, 3.2,  3.08, 0.065,0.30, 2.2, 1.25, 0.040, 0.35},
+      {"inceptionv3",   27.2,  5.7, 1.2,  1.73, 0.20, 0.31, 1.5, 1.30, 0.045, 0.30},
+      {"mobilenetv2",    3.5,  0.3, 1.0,  1.13, 0.03, 0.20, 1.6, 1.00, 0.020, 0.25},
+      {"resnet-101",    44.5,  7.8, 2.0,  2.25, 0.22, 0.32, 1.5, 1.40, 0.050, 0.30},
+      {"resnet-152",    60.2, 11.5, 2.8,  3.06, 0.22, 0.32, 1.6, 1.50, 0.055, 0.30},
+      {"resnet-50",     25.6,  4.1, 1.1,  1.086,0.20, 0.30, 1.2, 1.30, 0.040, 0.30},
+      {"vgg-16",       138.4, 15.5, 0.8,  2.24, 0.45, 0.50, 1.8, 1.90, 0.060, 0.40},
+      {"vgg-19",       143.7, 19.6, 0.9,  2.60, 0.45, 0.50, 1.8, 2.00, 0.065, 0.40},
+  };
+}
+
+}  // namespace
+
+const ModelCatalog& ModelCatalog::builtin() {
+  static const ModelCatalog catalog(builtin_traits());
+  return catalog;
+}
+
+ModelCatalog::ModelCatalog(std::vector<WorkloadTraits> traits) : traits_(std::move(traits)) {}
+
+const WorkloadTraits* ModelCatalog::find(std::string_view name) const {
+  for (const auto& traits : traits_) {
+    if (traits.name == name) return &traits;
+  }
+  return nullptr;
+}
+
+const WorkloadTraits& ModelCatalog::at(std::string_view name) const {
+  const WorkloadTraits* traits = find(name);
+  PARVA_REQUIRE(traits != nullptr, "unknown model: " + std::string(name));
+  return *traits;
+}
+
+std::vector<std::string> ModelCatalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(traits_.size());
+  for (const auto& traits : traits_) out.push_back(traits.name);
+  return out;
+}
+
+}  // namespace parva::perfmodel

@@ -1,0 +1,71 @@
+// The 11 DNN inference workloads of the paper's Table IV, with the
+// calibrated analytical-performance traits used by the simulator.
+//
+// Trait semantics (see analytical_model.hpp for the latency law):
+//   w0, w1   — kernel work per batch in GPC-milliseconds: W(b) = w0 + w1*b.
+//              w0 captures the serial launch/depth component, w1 the
+//              per-item compute.
+//   pi0, pi1 — exposed parallelism in "GPCs worth of blocks":
+//              r(b) = pi1 + pi0*b. A single process can keep at most
+//              min(g, r(b)) GPCs of a g-GPC instance busy.
+//   host_ms  — host-side pre/post-processing + PCIe time per batch; with p
+//              MPS processes it pipelines and amortises as host_ms / p.
+//   mem0,mem1— device-memory footprint per process in GiB: mem0 + mem1*b
+//              (weights + CUDA context, plus activation memory per item).
+//   mem_intensity — relative L2/DRAM pressure in [0,1]; drives the
+//              heterogeneous-MPS interference model used by the gpulet and
+//              iGniter baselines (MIG instances are isolated and unaffected).
+//
+// Calibration anchor: InceptionV3 reproduces the paper's Section III-B
+// numbers (354/444/446 req/s and ~11/18/27 ms at g=1,b=4,p=1..3;
+// 786/1695/1810 req/s and ~10/9/13 ms at g=4,b=8,p=1..3); the other models
+// are scaled by published parameter counts and per-image GFLOPs.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parva::perfmodel {
+
+struct WorkloadTraits {
+  std::string name;
+  double params_millions = 0.0;  ///< Table IV "number of parameters"
+  double gflops_per_item = 0.0;  ///< approximate forward-pass GFLOPs
+  // Analytical performance coefficients.
+  double w0 = 0.0;
+  double w1 = 0.0;
+  double pi0 = 0.0;
+  double pi1 = 0.0;
+  double host_ms = 0.0;
+  double mem0_gib = 0.0;
+  double mem1_gib = 0.0;
+  double mem_intensity = 0.0;
+};
+
+/// Immutable catalog of the paper's 11 workloads.
+class ModelCatalog {
+ public:
+  /// The built-in catalog (Table IV models).
+  static const ModelCatalog& builtin();
+
+  /// Constructs a catalog from explicit traits (tests use this).
+  explicit ModelCatalog(std::vector<WorkloadTraits> traits);
+
+  const WorkloadTraits* find(std::string_view name) const;
+  /// Lookup that throws on unknown model (for internal callers).
+  const WorkloadTraits& at(std::string_view name) const;
+
+  std::span<const WorkloadTraits> all() const { return traits_; }
+  std::size_t size() const { return traits_.size(); }
+
+  /// Canonical model names, in Table IV order.
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<WorkloadTraits> traits_;
+};
+
+}  // namespace parva::perfmodel

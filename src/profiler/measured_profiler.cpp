@@ -1,0 +1,104 @@
+#include "profiler/measured_profiler.hpp"
+
+namespace parva::profiler {
+
+Result<ProfileTable> MeasuredProfiler::profile(const std::string& model_name) {
+  const perfmodel::WorkloadTraits* traits = perf_->catalog().find(model_name);
+  if (traits == nullptr) {
+    return Error(ErrorCode::kNotFound, "unknown model " + model_name);
+  }
+  if (options_.profiling_device >= nvml_->device_count()) {
+    return Error(ErrorCode::kInvalidArgument, "no such profiling device");
+  }
+  gpu::VirtualGpu& device = nvml_->cluster().gpu(options_.profiling_device);
+  if (!device.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "profiling device must be idle");
+  }
+
+  Rng rng(options_.seed);
+  ProfileTable table(model_name);
+
+  for (int gpcs : options_.grid.instance_sizes) {
+    for (int batch : options_.grid.batch_sizes) {
+      for (int procs = 1; procs <= options_.grid.max_processes; ++procs) {
+        ProfilePoint point;
+        point.model = model_name;
+        point.gpcs = gpcs;
+        point.batch = batch;
+        point.procs = procs;
+
+        // Provision the segment through the control plane.
+        gpu::GlobalInstanceId instance;
+        auto ret = nvml_->create_gpu_instance(options_.profiling_device, gpcs, &instance);
+        if (ret != gpu::NvmlReturn::kSuccess) {
+          return Error(ErrorCode::kInternal,
+                       std::string("profiling instance creation failed: ") +
+                           gpu::nvml_error_string(ret));
+        }
+        if (procs > 1) (void)nvml_->start_mps_daemon(instance);
+
+        const double process_mem =
+            perfmodel::AnalyticalPerfModel::process_memory_gib(*traits, batch);
+        bool oom = false;
+        for (int p = 0; p < procs; ++p) {
+          ret = nvml_->launch_process(instance, {model_name, batch, process_mem});
+          if (ret == gpu::NvmlReturn::kErrorInsufficientMemory) {
+            oom = true;  // CUDA OOM on this grid point: record and move on
+            break;
+          }
+          if (ret != gpu::NvmlReturn::kSuccess) {
+            (void)nvml_->destroy_gpu_instance(instance);
+            return Error(ErrorCode::kInternal, std::string("process launch failed: ") +
+                                                   gpu::nvml_error_string(ret));
+          }
+        }
+
+        if (oom) {
+          point.oom = true;
+        } else {
+          // Closed-loop measurement: back-to-back batches, noisy per-batch
+          // latency, warm-up discarded.
+          const auto ground_truth = perf_->evaluate_mig(*traits, gpcs, batch, procs);
+          PARVA_CHECK(ground_truth.ok(),
+                      "launch succeeded but the operating point is infeasible");
+          const double true_latency = ground_truth.value().latency_ms;
+          for (int i = 0; i < options_.warmup_batches; ++i) {
+            (void)perfmodel::AnalyticalPerfModel::sample_latency_ms(true_latency, rng);
+          }
+          double total_ms = 0.0;
+          for (int i = 0; i < options_.measurement_batches; ++i) {
+            total_ms += perfmodel::AnalyticalPerfModel::sample_latency_ms(true_latency, rng);
+          }
+          const double mean_latency = total_ms / options_.measurement_batches;
+          point.latency_ms = mean_latency;
+          point.throughput =
+              1000.0 * static_cast<double>(procs) * static_cast<double>(batch) / mean_latency;
+          point.sm_occupancy = ground_truth.value().sm_occupancy;
+          point.memory_gib = ground_truth.value().memory_gib;
+        }
+
+        (void)nvml_->kill_processes(instance);
+        ret = nvml_->destroy_gpu_instance(instance);
+        if (ret != gpu::NvmlReturn::kSuccess) {
+          return Error(ErrorCode::kInternal, std::string("profiling teardown failed: ") +
+                                                 gpu::nvml_error_string(ret));
+        }
+        table.add(std::move(point));
+      }
+    }
+  }
+  PARVA_CHECK(device.empty(), "profiling must leave the device idle");
+  return table;
+}
+
+Result<ProfileSet> MeasuredProfiler::profile_all(const std::vector<std::string>& model_names) {
+  ProfileSet set;
+  for (const std::string& name : model_names) {
+    auto table = profile(name);
+    if (!table.ok()) return table.error();
+    set.add(std::move(table).value());
+  }
+  return set;
+}
+
+}  // namespace parva::profiler

@@ -1,0 +1,55 @@
+// Hardware-path profiler: the methodology a real deployment uses.
+//
+// Where Profiler (profiler.hpp) queries the performance model analytically,
+// MeasuredProfiler walks the same grid the way the paper's Profiler does on
+// hardware: for every (instance size, batch, process count) point it
+//   1. creates a MIG instance through the NVML-shaped control plane,
+//   2. starts MPS and launches the processes (out-of-memory surfaces as a
+//      failed launch, exactly like a real CUDA OOM — not as a model check),
+//   3. runs a closed-loop measurement: each process executes batches
+//      back-to-back; per-batch latencies carry the simulator's noise and
+//      are averaged over `measurement_batches`,
+//   4. destroys the instance.
+//
+// Because measurements are noisy, the recorded throughput/latency differ
+// slightly from the analytical grid — the cross-validation test bounds the
+// disagreement, and schedulers built on measured profiles behave like ones
+// built on analytical profiles (profiler/measured_profiler_test.cpp).
+#pragma once
+
+#include "common/rng.hpp"
+#include "gpu/nvml_sim.hpp"
+#include "perfmodel/analytical_model.hpp"
+#include "profiler/profile_types.hpp"
+#include "profiler/profiler.hpp"
+
+namespace parva::profiler {
+
+struct MeasuredProfilerOptions {
+  ProfilerOptions grid;            ///< the sweep (defaults to the paper's 5x8x3)
+  int measurement_batches = 32;    ///< batches averaged per grid point
+  int warmup_batches = 4;          ///< discarded start-up batches
+  unsigned profiling_device = 0;   ///< which GPU hosts the profiling runs
+  std::uint64_t seed = 1234;
+};
+
+class MeasuredProfiler {
+ public:
+  MeasuredProfiler(gpu::NvmlSim& nvml, const perfmodel::AnalyticalPerfModel& perf,
+                   MeasuredProfilerOptions options = {})
+      : nvml_(&nvml), perf_(&perf), options_(options) {}
+
+  /// Profiles one model on the (simulated) hardware. The profiling device
+  /// must be idle; it is left idle afterwards.
+  Result<ProfileTable> profile(const std::string& model_name);
+
+  /// Profiles several models sequentially on the profiling device.
+  Result<ProfileSet> profile_all(const std::vector<std::string>& model_names);
+
+ private:
+  gpu::NvmlSim* nvml_;
+  const perfmodel::AnalyticalPerfModel* perf_;
+  MeasuredProfilerOptions options_;
+};
+
+}  // namespace parva::profiler

@@ -1,0 +1,104 @@
+#include "profiler/profile_store.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace parva::profiler {
+
+namespace {
+constexpr const char* kHeader = "model,gpcs,batch,procs,oom,throughput,latency_ms,sm_occupancy,memory_gib";
+}
+
+std::string to_csv(const ProfileSet& set) {
+  std::string out = kHeader;
+  out += '\n';
+  for (const auto& table : set.tables()) {
+    for (const auto& p : table.points()) {
+      out += p.model;
+      out += ',' + std::to_string(p.gpcs);
+      out += ',' + std::to_string(p.batch);
+      out += ',' + std::to_string(p.procs);
+      out += ',' + std::string(p.oom ? "1" : "0");
+      out += ',' + format_double(p.throughput, 4);
+      out += ',' + format_double(p.latency_ms, 4);
+      out += ',' + format_double(p.sm_occupancy, 4);
+      out += ',' + format_double(p.memory_gib, 4);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Result<ProfileSet> from_csv(const std::string& csv) {
+  ProfileSet set;
+  ProfileTable* current = nullptr;
+  std::string current_model;
+
+  std::istringstream stream(csv);
+  std::string line;
+  bool first = true;
+  std::vector<ProfileTable> tables;
+  while (std::getline(stream, line)) {
+    const auto trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (first) {
+      first = false;
+      if (trimmed != kHeader) {
+        return Error(ErrorCode::kInvalidArgument, "unexpected CSV header: " + std::string(trimmed));
+      }
+      continue;
+    }
+    const auto fields = split(trimmed, ',');
+    if (fields.size() != 9) {
+      return Error(ErrorCode::kInvalidArgument, "malformed CSV row: " + std::string(trimmed));
+    }
+    ProfilePoint point;
+    point.model = fields[0];
+    unsigned long long u = 0;
+    double d = 0.0;
+    if (!parse_uint(fields[1], u)) return Error(ErrorCode::kInvalidArgument, "bad gpcs");
+    point.gpcs = static_cast<int>(u);
+    if (!parse_uint(fields[2], u)) return Error(ErrorCode::kInvalidArgument, "bad batch");
+    point.batch = static_cast<int>(u);
+    if (!parse_uint(fields[3], u)) return Error(ErrorCode::kInvalidArgument, "bad procs");
+    point.procs = static_cast<int>(u);
+    if (!parse_uint(fields[4], u)) return Error(ErrorCode::kInvalidArgument, "bad oom flag");
+    point.oom = u != 0;
+    if (!parse_double(fields[5], d)) return Error(ErrorCode::kInvalidArgument, "bad throughput");
+    point.throughput = d;
+    if (!parse_double(fields[6], d)) return Error(ErrorCode::kInvalidArgument, "bad latency");
+    point.latency_ms = d;
+    if (!parse_double(fields[7], d)) return Error(ErrorCode::kInvalidArgument, "bad occupancy");
+    point.sm_occupancy = d;
+    if (!parse_double(fields[8], d)) return Error(ErrorCode::kInvalidArgument, "bad memory");
+    point.memory_gib = d;
+
+    if (current == nullptr || current_model != point.model) {
+      tables.emplace_back(point.model);
+      current = &tables.back();
+      current_model = point.model;
+    }
+    current->add(std::move(point));
+  }
+  for (auto& table : tables) set.add(std::move(table));
+  return set;
+}
+
+Status save_csv_file(const ProfileSet& set, const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status(ErrorCode::kInvalidArgument, "cannot open " + path);
+  file << to_csv(set);
+  return Status::Ok();
+}
+
+Result<ProfileSet> load_csv_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Error(ErrorCode::kNotFound, "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return from_csv(buffer.str());
+}
+
+}  // namespace parva::profiler

@@ -1,0 +1,22 @@
+// CSV persistence for profile data: profiling is a one-time cost per model
+// (Section III-C), so deployments save the grid and reload it on restart.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "profiler/profile_types.hpp"
+
+namespace parva::profiler {
+
+/// Serialises a ProfileSet to CSV text (header + one row per point).
+std::string to_csv(const ProfileSet& set);
+
+/// Parses CSV text produced by to_csv(). Fails on malformed rows.
+Result<ProfileSet> from_csv(const std::string& csv);
+
+/// File convenience wrappers.
+Status save_csv_file(const ProfileSet& set, const std::string& path);
+Result<ProfileSet> load_csv_file(const std::string& path);
+
+}  // namespace parva::profiler

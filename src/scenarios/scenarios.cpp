@@ -1,0 +1,132 @@
+#include "scenarios/scenarios.hpp"
+
+#include "common/error.hpp"
+
+namespace parva::scenarios {
+namespace {
+
+struct Row {
+  const char* model;
+  double rate;
+  double slo;
+};
+
+Scenario make(const std::string& name, const std::vector<Row>& rows) {
+  Scenario scenario;
+  scenario.name = name;
+  int id = 0;
+  for (const Row& row : rows) {
+    scenario.services.push_back(core::ServiceSpec{id++, row.model, row.slo, row.rate});
+  }
+  return scenario;
+}
+
+std::vector<Scenario> build_all() {
+  std::vector<Scenario> all;
+  // Table IV, verbatim. S1 uses six of the eleven models.
+  all.push_back(make("S1", {
+      {"bert-large", 19, 6434},
+      {"densenet-121", 353, 183},
+      {"inceptionv3", 460, 419},
+      {"mobilenetv2", 677, 167},
+      {"resnet-50", 829, 205},
+      {"vgg-19", 354, 397},
+  }));
+  all.push_back(make("S2", {
+      {"bert-large", 19, 6434},
+      {"densenet-121", 353, 183},
+      {"densenet-169", 308, 217},
+      {"densenet-201", 276, 169},
+      {"inceptionv3", 460, 419},
+      {"mobilenetv2", 677, 167},
+      {"resnet-101", 393, 212},
+      {"resnet-152", 281, 213},
+      {"resnet-50", 829, 205},
+      {"vgg-16", 410, 400},
+      {"vgg-19", 354, 397},
+  }));
+  all.push_back(make("S3", {
+      {"bert-large", 46, 4294},
+      {"densenet-121", 728, 126},
+      {"densenet-169", 633, 150},
+      {"densenet-201", 493, 119},
+      {"inceptionv3", 1051, 282},
+      {"mobilenetv2", 1546, 113},
+      {"resnet-101", 760, 144},
+      {"resnet-152", 543, 146},
+      {"resnet-50", 1463, 138},
+      {"vgg-16", 780, 227},
+      {"vgg-19", 673, 265},
+  }));
+  all.push_back(make("S4", {
+      {"bert-large", 69, 4294},
+      {"densenet-121", 1091, 126},
+      {"densenet-169", 949, 150},
+      {"densenet-201", 739, 119},
+      {"inceptionv3", 1576, 282},
+      {"mobilenetv2", 2318, 113},
+      {"resnet-101", 1140, 144},
+      {"resnet-152", 815, 146},
+      {"resnet-50", 2195, 138},
+      {"vgg-16", 1169, 227},
+      {"vgg-19", 1010, 265},
+  }));
+  all.push_back(make("S5", {
+      {"bert-large", 843, 2153},
+      {"densenet-121", 2228, 69},
+      {"densenet-169", 3507, 84},
+      {"densenet-201", 1513, 70},
+      {"inceptionv3", 3815, 146},
+      {"mobilenetv2", 5009, 59},
+      {"resnet-101", 1874, 77},
+      {"resnet-152", 1340, 80},
+      {"resnet-50", 2796, 72},
+      {"vgg-16", 1773, 115},
+      {"vgg-19", 1531, 134},
+  }));
+  all.push_back(make("S6", {
+      {"bert-large", 1264, 6434},
+      {"densenet-121", 3342, 183},
+      {"densenet-169", 5260, 217},
+      {"densenet-201", 2269, 169},
+      {"inceptionv3", 5722, 419},
+      {"mobilenetv2", 7513, 167},
+      {"resnet-101", 2811, 212},
+      {"resnet-152", 2010, 213},
+      {"resnet-50", 4196, 205},
+      {"vgg-16", 2659, 400},
+      {"vgg-19", 2296, 397},
+  }));
+  return all;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& all_scenarios() {
+  static const std::vector<Scenario> scenarios = build_all();
+  return scenarios;
+}
+
+const Scenario& scenario(const std::string& name) {
+  for (const Scenario& s : all_scenarios()) {
+    if (s.name == name) return s;
+  }
+  throw std::logic_error("unknown scenario " + name);
+}
+
+Scenario scale_scenario(const Scenario& base, int fold) {
+  PARVA_REQUIRE(fold >= 1, "fold must be >= 1");
+  Scenario scaled;
+  scaled.name = base.name + "x" + std::to_string(fold);
+  int id = 0;
+  for (int f = 0; f < fold; ++f) {
+    for (const core::ServiceSpec& spec : base.services) {
+      core::ServiceSpec copy = spec;
+      copy.id = id++;
+      scaled.services.push_back(copy);
+    }
+  }
+  return scaled;
+}
+
+}  // namespace parva::scenarios

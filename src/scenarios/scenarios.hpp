@@ -1,0 +1,28 @@
+// The paper's Table IV: six evaluation scenarios over eleven DNN inference
+// models, each pairing a request rate (requests/s) with an SLO latency (ms),
+// plus the fold-scaling used by the model-scalability experiment (Fig. 10/11).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/service.hpp"
+
+namespace parva::scenarios {
+
+struct Scenario {
+  std::string name;                            ///< "S1".."S6"
+  std::vector<core::ServiceSpec> services;
+};
+
+/// All six scenarios, in order S1..S6.
+const std::vector<Scenario>& all_scenarios();
+
+/// Lookup by name ("S1".."S6"); throws on unknown name.
+const Scenario& scenario(const std::string& name);
+
+/// Replicates every service `fold` times (fresh ids), modelling a client
+/// scaling up its service offerings (Section IV-D).
+Scenario scale_scenario(const Scenario& base, int fold);
+
+}  // namespace parva::scenarios

@@ -1,0 +1,242 @@
+#include "serving/cluster_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "core/metrics.hpp"
+#include "gpu/arch.hpp"
+
+namespace parva::serving {
+namespace {
+
+struct Request {
+  int service_id = -1;
+  double arrival_ms = 0.0;
+};
+
+/// Event kinds, ordered by time in the priority queue.
+enum class EventKind { kArrival, kBatchComplete };
+
+struct Event {
+  double time_ms = 0.0;
+  EventKind kind = EventKind::kArrival;
+  int service_index = -1;        ///< for arrivals
+  int unit_index = -1;           ///< for completions
+  std::uint64_t batch_id = 0;    ///< for completions
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const { return a.time_ms > b.time_ms; }
+};
+
+/// Runtime state of one deployed unit.
+struct UnitState {
+  const core::DeployedUnit* unit = nullptr;
+  const perfmodel::WorkloadTraits* traits = nullptr;
+  std::deque<Request> queue;
+  int idle_processes = 0;
+  double busy_sm_ms = 0.0;       ///< accumulated within the measurement window
+  std::vector<Request> in_flight_scratch;
+};
+
+struct InFlightBatch {
+  std::vector<Request> requests;
+};
+
+}  // namespace
+
+double SimulationResult::overall_compliance() const {
+  std::size_t total = 0;
+  std::size_t violated = 0;
+  for (const ServiceOutcome& outcome : services) {
+    total += outcome.batches;
+    violated += outcome.violated_batches;
+  }
+  return total == 0 ? 1.0
+                    : 1.0 - static_cast<double>(violated) / static_cast<double>(total);
+}
+
+double SimulationResult::worst_compliance() const {
+  double worst = 1.0;
+  for (const ServiceOutcome& outcome : services) worst = std::min(worst, outcome.compliance());
+  return worst;
+}
+
+SimulationResult ClusterSimulation::run(const SimulationOptions& options) const {
+  PARVA_REQUIRE(options.duration_ms > 0.0, "duration must be positive");
+  const double horizon_ms = options.warmup_ms + options.duration_ms;
+
+  Rng master(options.seed);
+  Rng arrival_rng = master.split();
+  // Inter-arrival sampler: paced generator (with a phase offset per
+  // service so services do not arrive in lock-step) or Poisson.
+  auto next_gap_ms = [&](double rate_per_s) {
+    const double rate_per_ms = rate_per_s / 1000.0;
+    if (options.arrivals == ArrivalProcess::kPoisson) {
+      return arrival_rng.exponential(rate_per_ms);
+    }
+    return 1.0 / rate_per_ms;
+  };
+  Rng service_time_rng = master.split();
+  Rng dispatch_rng = master.split();
+
+  // Per-unit runtime state.
+  std::vector<UnitState> units(deployment_->units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    units[i].unit = &deployment_->units[i];
+    units[i].traits = perf_->catalog().find(deployment_->units[i].model);
+    units[i].idle_processes = std::max(1, deployment_->units[i].procs);
+  }
+
+  // Service index lookup and per-service unit lists.
+  std::vector<std::vector<std::size_t>> service_units(services_.size());
+  for (std::size_t s = 0; s < services_.size(); ++s) {
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      if (units[u].unit->service_id == services_[s].id) service_units[s].push_back(u);
+    }
+  }
+
+  std::vector<ServiceOutcome> outcomes(services_.size());
+  for (std::size_t s = 0; s < services_.size(); ++s) {
+    outcomes[s].service_id = services_[s].id;
+    outcomes[s].offered_rate = services_[s].request_rate;
+  }
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  // Batches in flight, keyed by a cluster-wide id: service-time jitter can
+  // complete a later-issued batch first, so completions carry their id.
+  std::vector<std::map<std::uint64_t, InFlightBatch>> in_flight(units.size());
+  std::uint64_t next_batch_id = 0;
+
+  // Seed the first arrival of every service (random phase).
+  for (std::size_t s = 0; s < services_.size(); ++s) {
+    if (services_[s].request_rate <= 0.0 || service_units[s].empty()) continue;
+    const double phase = arrival_rng.next_double() * next_gap_ms(services_[s].request_rate);
+    events.push(Event{phase, EventKind::kArrival, static_cast<int>(s), -1, 0});
+  }
+
+  auto start_batch_if_possible = [&](std::size_t ui, double now) {
+    UnitState& state = units[ui];
+    while (state.idle_processes > 0 && !state.queue.empty()) {
+      const int take = std::min<std::size_t>(static_cast<std::size_t>(state.unit->batch),
+                                             state.queue.size());
+      InFlightBatch batch;
+      batch.requests.reserve(static_cast<std::size_t>(take));
+      for (int i = 0; i < take; ++i) {
+        batch.requests.push_back(state.queue.front());
+        state.queue.pop_front();
+      }
+      // Service time: ground-truth full-batch latency scaled to the fill
+      // level through the work model (partial batches finish faster), with
+      // multiplicative jitter.
+      double service_ms = state.unit->actual_latency_ms;
+      if (state.traits != nullptr && take < state.unit->batch) {
+        const double full = perfmodel::AnalyticalPerfModel::batch_work_ms(
+            *state.traits, state.unit->batch);
+        const double partial =
+            perfmodel::AnalyticalPerfModel::batch_work_ms(*state.traits, take);
+        service_ms *= partial / full;
+      }
+      service_ms = perfmodel::AnalyticalPerfModel::sample_latency_ms(service_ms,
+                                                                     service_time_rng);
+      // Charge SM-time (Eq. 3 numerator) within the measurement window.
+      if (state.traits != nullptr && now >= options.warmup_ms) {
+        state.busy_sm_ms += perfmodel::AnalyticalPerfModel::batch_work_ms(*state.traits, take) *
+                            gpu::kSmsPerGpc;
+      }
+      --state.idle_processes;
+      const std::uint64_t id = next_batch_id++;
+      in_flight[ui].emplace(id, std::move(batch));
+      events.push(Event{now + service_ms, EventKind::kBatchComplete, -1,
+                        static_cast<int>(ui), id});
+    }
+  };
+
+  double now = 0.0;
+  while (!events.empty()) {
+    const Event event = events.top();
+    events.pop();
+    now = event.time_ms;
+    if (now > horizon_ms && event.kind == EventKind::kArrival) continue;
+
+    if (event.kind == EventKind::kArrival) {
+      const auto s = static_cast<std::size_t>(event.service_index);
+      // Dispatch to the unit with the smallest expected delay: backlog
+      // (queued + in service) over ground-truth capacity.
+      const auto& candidates = service_units[s];
+      std::size_t chosen = candidates.front();
+      double best_score = 0.0;
+      for (std::size_t idx = 0; idx < candidates.size(); ++idx) {
+        const UnitState& state = units[candidates[idx]];
+        double backlog = static_cast<double>(state.queue.size());
+        for (const auto& [id, pending] : in_flight[candidates[idx]]) {
+          backlog += static_cast<double>(pending.requests.size());
+        }
+        const double capacity = std::max(1e-9, state.unit->actual_throughput);
+        const double score = backlog / capacity;
+        if (idx == 0 || score < best_score) {
+          best_score = score;
+          chosen = candidates[idx];
+        }
+      }
+      (void)dispatch_rng;
+      units[chosen].queue.push_back(Request{services_[s].id, now});
+      start_batch_if_possible(chosen, now);
+
+      // Schedule the next arrival of this service.
+      const double next = now + next_gap_ms(services_[s].request_rate);
+      if (next <= horizon_ms) {
+        events.push(Event{next, EventKind::kArrival, event.service_index, -1, 0});
+      }
+    } else {
+      const auto ui = static_cast<std::size_t>(event.unit_index);
+      UnitState& state = units[ui];
+      const auto it = in_flight[ui].find(event.batch_id);
+      PARVA_CHECK(it != in_flight[ui].end(), "completion without in-flight batch");
+      InFlightBatch batch = std::move(it->second);
+      in_flight[ui].erase(it);
+      ++state.idle_processes;
+
+      // Account the batch against its service (skip warm-up).
+      if (!batch.requests.empty() && batch.requests.front().arrival_ms >= options.warmup_ms) {
+        // Locate the service outcome.
+        for (std::size_t s = 0; s < services_.size(); ++s) {
+          if (services_[s].id != batch.requests.front().service_id) continue;
+          ServiceOutcome& outcome = outcomes[s];
+          ++outcome.batches;
+          bool violated = false;
+          for (const Request& request : batch.requests) {
+            const double latency = now - request.arrival_ms;
+            outcome.request_latency_ms.add(latency);
+            ++outcome.requests;
+            if (latency > services_[s].slo_latency_ms) violated = true;
+          }
+          if (violated) ++outcome.violated_batches;
+          break;
+        }
+      }
+      start_batch_if_possible(ui, now);
+    }
+  }
+
+  SimulationResult result;
+  for (std::size_t s = 0; s < services_.size(); ++s) {
+    outcomes[s].measured_rate =
+        static_cast<double>(outcomes[s].requests) / (options.duration_ms / 1000.0);
+  }
+  result.services = std::move(outcomes);
+
+  result.unit_activity.reserve(units.size());
+  for (const UnitState& state : units) {
+    const double granted_sm_ms =
+        state.unit->gpc_grant * gpu::kSmsPerGpc * options.duration_ms;
+    result.unit_activity.push_back(granted_sm_ms <= 0.0 ? 0.0
+                                                        : state.busy_sm_ms / granted_sm_ms);
+  }
+  result.internal_slack =
+      core::internal_slack_from_activity(*deployment_, result.unit_activity);
+  return result;
+}
+
+}  // namespace parva::serving

@@ -1,0 +1,72 @@
+#include "serving/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parva::serving {
+
+RateTrace::RateTrace(std::vector<TraceKnot> knots) : knots_(std::move(knots)) {
+  PARVA_REQUIRE(!knots_.empty(), "trace needs at least one knot");
+  std::sort(knots_.begin(), knots_.end(),
+            [](const TraceKnot& a, const TraceKnot& b) { return a.t_hours < b.t_hours; });
+  for (const TraceKnot& knot : knots_) {
+    PARVA_REQUIRE(knot.t_hours >= 0.0 && knot.t_hours < 24.0, "knots live in [0, 24)");
+    PARVA_REQUIRE(knot.multiplier >= 0.0, "multiplier must be non-negative");
+  }
+}
+
+RateTrace RateTrace::diurnal() {
+  return RateTrace({
+      {0.0, 0.40},  // midnight
+      {4.0, 0.30},  // deepest night
+      {7.0, 0.60},  // morning ramp
+      {10.0, 1.00}, // business hours
+      {14.0, 0.95},
+      {18.0, 1.10}, // after-work rise
+      {21.0, 1.25}, // evening peak
+      {23.0, 0.70},
+  });
+}
+
+RateTrace RateTrace::flat(double multiplier) { return RateTrace({{0.0, multiplier}}); }
+
+RateTrace RateTrace::surge(double from_hour, double to_hour, double factor) {
+  PARVA_REQUIRE(from_hour < to_hour, "surge window must be ordered");
+  std::vector<TraceKnot> knots = {{0.0, 1.0}};
+  if (from_hour > 0.25) knots.push_back({from_hour - 0.25, 1.0});
+  knots.push_back({from_hour, factor});
+  knots.push_back({to_hour, factor});
+  if (to_hour + 0.25 < 24.0) knots.push_back({to_hour + 0.25, 1.0});
+  return RateTrace(std::move(knots));
+}
+
+double RateTrace::multiplier_at(double t_hours) const {
+  double t = std::fmod(t_hours, 24.0);
+  if (t < 0.0) t += 24.0;
+  if (knots_.size() == 1) return knots_.front().multiplier;
+
+  // Find the surrounding knots (wrapping across midnight).
+  const TraceKnot* before = &knots_.back();
+  const TraceKnot* after = &knots_.front();
+  double before_t = before->t_hours - 24.0;  // wrapped copy
+  double after_t = after->t_hours;
+  for (std::size_t i = 0; i < knots_.size(); ++i) {
+    if (knots_[i].t_hours <= t) {
+      before = &knots_[i];
+      before_t = knots_[i].t_hours;
+      after = i + 1 < knots_.size() ? &knots_[i + 1] : &knots_.front();
+      after_t = i + 1 < knots_.size() ? knots_[i + 1].t_hours : knots_.front().t_hours + 24.0;
+    }
+  }
+  const double span = after_t - before_t;
+  const double frac = span <= 0.0 ? 0.0 : (t - before_t) / span;
+  return before->multiplier + (after->multiplier - before->multiplier) * frac;
+}
+
+double RateTrace::peak() const {
+  double peak = 0.0;
+  for (const TraceKnot& knot : knots_) peak = std::max(peak, knot.multiplier);
+  return peak;
+}
+
+}  // namespace parva::serving

@@ -1,0 +1,42 @@
+// Time-varying load traces: piecewise-linear request-rate multipliers over
+// a day. Cloud inference demand is strongly diurnal; the autoscaler
+// (autoscaler.hpp) follows a trace and reconfigures the cluster per epoch.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace parva::serving {
+
+/// One knot of the trace: at `t_hours`, offered rates are `multiplier` x
+/// the base scenario rates. Between knots the multiplier interpolates
+/// linearly; beyond the last knot it wraps (period = 24 h).
+struct TraceKnot {
+  double t_hours = 0.0;
+  double multiplier = 1.0;
+};
+
+class RateTrace {
+ public:
+  explicit RateTrace(std::vector<TraceKnot> knots);
+
+  /// A classic diurnal curve: quiet night (0.3x), morning ramp, midday
+  /// plateau (1.0x), evening peak (1.25x), late-night fall.
+  static RateTrace diurnal();
+
+  /// Flat trace (constant multiplier) — the static-provisioning baseline.
+  static RateTrace flat(double multiplier = 1.0);
+
+  /// A step surge: base level with a `factor`x spike between the two hours.
+  static RateTrace surge(double from_hour, double to_hour, double factor);
+
+  double multiplier_at(double t_hours) const;
+  double peak() const;
+  const std::vector<TraceKnot>& knots() const { return knots_; }
+
+ private:
+  std::vector<TraceKnot> knots_;  ///< sorted by t_hours, within [0, 24)
+};
+
+}  // namespace parva::serving

@@ -1,0 +1,84 @@
+#include "baselines/igniter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "scenarios/scenarios.hpp"
+
+namespace parva::baselines {
+namespace {
+
+class IgniterTest : public ::testing::Test {
+ protected:
+  perfmodel::AnalyticalPerfModel perf_{perfmodel::ModelCatalog::builtin()};
+  IgniterScheduler scheduler_{perf_};
+};
+
+TEST_F(IgniterTest, LowRateScenariosFeasible) {
+  for (const char* name : {"S1", "S2", "S3", "S4"}) {
+    const auto result = scheduler_.schedule(scenarios::scenario(name).services);
+    EXPECT_TRUE(result.ok()) << name;
+  }
+}
+
+TEST_F(IgniterTest, HighRateScenariosFail) {
+  // The paper: iGniter cannot handle S5/S6 (no mechanism for rates beyond
+  // one GPU partition).
+  for (const char* name : {"S5", "S6"}) {
+    const auto result = scheduler_.schedule(scenarios::scenario(name).services);
+    ASSERT_FALSE(result.ok()) << name;
+    EXPECT_EQ(result.error().code(), ErrorCode::kCapacityExceeded);
+  }
+}
+
+TEST_F(IgniterTest, OnePartitionPerService) {
+  const auto& services = scenarios::scenario("S2").services;
+  const auto result = scheduler_.schedule(services).value();
+  EXPECT_EQ(result.deployment.units.size(), services.size());
+  for (const auto& spec : services) {
+    EXPECT_EQ(result.deployment.units_for_service(spec.id).size(), 1u) << spec.model;
+  }
+}
+
+TEST_F(IgniterTest, PaddingCreatesHeadroom) {
+  // Every unit's ground-truth capacity must exceed its service's rate —
+  // iGniter pads allocations, so no violations (paper Fig. 8) but slack.
+  const auto& services = scenarios::scenario("S2").services;
+  const auto result = scheduler_.schedule(services).value();
+  for (const auto& spec : services) {
+    EXPECT_GT(result.deployment.service_capacity(spec.id), spec.request_rate) << spec.model;
+  }
+}
+
+TEST_F(IgniterTest, GpuFractionBudgetRespected) {
+  const auto result = scheduler_.schedule(scenarios::scenario("S3").services).value();
+  std::map<int, double> granted;
+  for (const auto& unit : result.deployment.units) {
+    granted[unit.gpu_index] += unit.gpc_grant;
+  }
+  for (const auto& [gpu, gpcs] : granted) {
+    EXPECT_LE(gpcs, 7.0 + 1e-9) << "GPU " << gpu;
+  }
+}
+
+TEST_F(IgniterTest, LeftoverFractionsAreFragmentation) {
+  // iGniter has no fragmentation handling: some GPU must be left with
+  // ungranted capacity in S2 (the paper measures ~27% on average).
+  const auto result = scheduler_.schedule(scenarios::scenario("S2").services).value();
+  double granted = 0.0;
+  for (const auto& unit : result.deployment.units) granted += unit.gpc_grant;
+  EXPECT_LT(granted, result.deployment.gpu_count * 7.0 - 1e-6);
+}
+
+TEST_F(IgniterTest, FractionsQuantizedToGrid) {
+  const auto result = scheduler_.schedule(scenarios::scenario("S1").services).value();
+  for (const auto& unit : result.deployment.units) {
+    const double fraction = unit.gpc_grant / 7.0;
+    const double steps = fraction / 0.05;
+    EXPECT_NEAR(steps, std::round(steps), 1e-6) << "fraction " << fraction;
+  }
+}
+
+}  // namespace
+}  // namespace parva::baselines

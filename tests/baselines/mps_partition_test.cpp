@@ -1,0 +1,73 @@
+#include "baselines/mps_partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parva::baselines {
+namespace {
+
+class MpsPartitionTest : public ::testing::Test {
+ protected:
+  perfmodel::AnalyticalPerfModel perf_{perfmodel::ModelCatalog::builtin()};
+  const perfmodel::WorkloadTraits& resnet_ = perfmodel::ModelCatalog::builtin().at("resnet-50");
+};
+
+TEST_F(MpsPartitionTest, BestPointRespectsLatencyCap) {
+  const auto point = best_partition_point(perf_, resnet_, 0.5, 50.0, 0.0);
+  ASSERT_TRUE(point.has_value());
+  EXPECT_LE(point->latency_ms, 50.0);
+  EXPECT_GT(point->throughput, 0.0);
+  EXPECT_DOUBLE_EQ(point->gpu_fraction, 0.5);
+}
+
+TEST_F(MpsPartitionTest, TighterCapNeverImprovesThroughput) {
+  const auto loose = best_partition_point(perf_, resnet_, 0.5, 200.0, 0.0);
+  const auto tight = best_partition_point(perf_, resnet_, 0.5, 20.0, 0.0);
+  ASSERT_TRUE(loose.has_value());
+  if (tight.has_value()) {
+    EXPECT_LE(tight->throughput, loose->throughput + 1e-9);
+  }
+}
+
+TEST_F(MpsPartitionTest, ImpossibleCapYieldsNothing) {
+  EXPECT_FALSE(best_partition_point(perf_, resnet_, 0.1, 0.01, 0.0).has_value());
+}
+
+TEST_F(MpsPartitionTest, InterferenceShrinksThroughput) {
+  const auto clean = best_partition_point(perf_, resnet_, 0.5, 100.0, 0.0);
+  const auto noisy = best_partition_point(perf_, resnet_, 0.5, 100.0, 0.3);
+  ASSERT_TRUE(clean.has_value());
+  ASSERT_TRUE(noisy.has_value());
+  EXPECT_LT(noisy->throughput, clean->throughput);
+}
+
+TEST_F(MpsPartitionTest, SmallestFractionIsMinimal) {
+  const auto minimal = smallest_fraction_for_rate(perf_, resnet_, 500.0, 100.0, 0.1, 0.0);
+  ASSERT_TRUE(minimal.has_value());
+  EXPECT_GE(minimal->throughput, 500.0);
+  if (minimal->gpu_fraction > 0.1 + 1e-9) {
+    // One quantum less must not satisfy the rate.
+    const auto smaller = best_partition_point(perf_, resnet_, minimal->gpu_fraction - 0.1,
+                                              100.0, 0.0);
+    if (smaller.has_value()) {
+      EXPECT_LT(smaller->throughput, 500.0);
+    }
+  }
+}
+
+TEST_F(MpsPartitionTest, UnreachableRateYieldsNothing) {
+  EXPECT_FALSE(smallest_fraction_for_rate(perf_, resnet_, 1e9, 100.0, 0.1, 0.0).has_value());
+}
+
+TEST_F(MpsPartitionTest, MemoryScalesWithFraction) {
+  // A tiny partition's memory grant excludes huge batches: its best batch
+  // must be no larger than a full partition's.
+  const auto tiny = best_partition_point(perf_, resnet_, 0.05, 1000.0, 0.0);
+  const auto full = best_partition_point(perf_, resnet_, 1.0, 1000.0, 0.0);
+  ASSERT_TRUE(full.has_value());
+  if (tiny.has_value()) {
+    EXPECT_LE(tiny->batch, full->batch);
+  }
+}
+
+}  // namespace
+}  // namespace parva::baselines

@@ -1,0 +1,57 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parva {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> args(argv);
+  return CliArgs(static_cast<int>(args.size()), args.data());
+}
+
+TEST(CliTest, EqualsForm) {
+  const auto args = make({"prog", "--rate=42.5"});
+  EXPECT_TRUE(args.has("rate"));
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 42.5);
+}
+
+TEST(CliTest, SpaceForm) {
+  const auto args = make({"prog", "--name", "hello"});
+  EXPECT_EQ(args.get("name", ""), "hello");
+}
+
+TEST(CliTest, BooleanFlag) {
+  const auto args = make({"prog", "--verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("quiet", false));
+}
+
+TEST(CliTest, Positional) {
+  const auto args = make({"prog", "input.csv", "--n", "3", "output.csv"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.csv");
+  EXPECT_EQ(args.positional()[1], "output.csv");
+  EXPECT_EQ(args.get_int("n", 0), 3);
+}
+
+TEST(CliTest, FallbacksWhenAbsent) {
+  const auto args = make({"prog"});
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(args.get_int("missing", -2), -2);
+  EXPECT_TRUE(args.get_bool("missing", true));
+}
+
+TEST(CliTest, MalformedDoubleFallsBack) {
+  const auto args = make({"prog", "--x=abc"});
+  EXPECT_DOUBLE_EQ(args.get_double("x", 9.0), 9.0);
+}
+
+TEST(CliTest, ProgramName) {
+  const auto args = make({"myprog"});
+  EXPECT_EQ(args.program(), "myprog");
+}
+
+}  // namespace
+}  // namespace parva

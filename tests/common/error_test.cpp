@@ -1,0 +1,76 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parva {
+namespace {
+
+TEST(ErrorTest, CarriesCodeAndMessage) {
+  const Error error(ErrorCode::kOutOfMemory, "10 GiB exceeded");
+  EXPECT_EQ(error.code(), ErrorCode::kOutOfMemory);
+  EXPECT_EQ(error.message(), "10 GiB exceeded");
+  EXPECT_EQ(error.to_string(), "out_of_memory: 10 GiB exceeded");
+}
+
+TEST(ErrorTest, EveryCodeHasAName) {
+  for (const auto code :
+       {ErrorCode::kInvalidArgument, ErrorCode::kNotFound, ErrorCode::kOutOfMemory,
+        ErrorCode::kUnsupported, ErrorCode::kCapacityExceeded, ErrorCode::kInternal}) {
+    EXPECT_STRNE(to_string(code), "unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  const Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  const Result<int> result(Error(ErrorCode::kNotFound, "missing"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, ValueOnErrorThrows) {
+  const Result<int> result(Error(ErrorCode::kInternal, "boom"));
+  EXPECT_THROW(result.value(), std::logic_error);
+}
+
+TEST(ResultTest, ErrorOnValueThrows) {
+  const Result<int> result(1);
+  EXPECT_THROW(result.error(), std::logic_error);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.to_string(), "ok");
+  EXPECT_THROW(status.error(), std::logic_error);
+}
+
+TEST(StatusTest, ErrorStatus) {
+  const Status status(ErrorCode::kUnsupported, "no slot");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), ErrorCode::kUnsupported);
+}
+
+TEST(RequireTest, ThrowsWithMessage) {
+  try {
+    PARVA_REQUIRE(false, "contract");
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("contract"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace parva

@@ -1,0 +1,127 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace parva {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  const OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, MeanAndVariance) {
+  OnlineStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, MergeMatchesSequential) {
+  OnlineStats a;
+  OnlineStats b;
+  OnlineStats whole;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    (i % 2 == 0 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(SamplesTest, PercentileInterpolates) {
+  Samples samples;
+  for (int i = 1; i <= 100; ++i) samples.add(static_cast<double>(i));
+  EXPECT_NEAR(samples.percentile(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(samples.percentile(100.0), 100.0, 1e-12);
+  EXPECT_NEAR(samples.p50(), 50.5, 1e-12);
+  EXPECT_NEAR(samples.p99(), 99.01, 1e-9);
+}
+
+TEST(SamplesTest, SingleValue) {
+  Samples samples;
+  samples.add(42.0);
+  EXPECT_DOUBLE_EQ(samples.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(samples.p99(), 42.0);
+}
+
+TEST(SamplesTest, PercentileOnEmptyThrows) {
+  const Samples samples;
+  EXPECT_THROW(samples.percentile(50.0), std::logic_error);
+}
+
+TEST(SamplesTest, FractionAbove) {
+  Samples samples;
+  for (int i = 1; i <= 10; ++i) samples.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(samples.fraction_above(7.0), 0.3);
+  EXPECT_DOUBLE_EQ(samples.fraction_above(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(samples.fraction_above(10.0), 0.0);
+}
+
+TEST(SamplesTest, AddAfterPercentileKeepsOrderCorrect) {
+  Samples samples;
+  samples.add(5.0);
+  samples.add(1.0);
+  EXPECT_DOUBLE_EQ(samples.min(), 1.0);
+  (void)samples.p50();
+  samples.add(0.5);  // must invalidate the sorted cache
+  EXPECT_DOUBLE_EQ(samples.percentile(0.0), 0.5);
+}
+
+TEST(SamplesTest, Merge) {
+  Samples a;
+  a.add(1.0);
+  Samples b;
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram histogram(0.0, 10.0, 5);
+  histogram.add(0.0);    // first bin
+  histogram.add(9.999);  // last bin
+  histogram.add(10.0);   // boundary lands in last bin
+  histogram.add(-5.0);   // clamped to first
+  histogram.add(15.0);   // clamped to last
+  EXPECT_EQ(histogram.total(), 5u);
+  EXPECT_EQ(histogram.bin_count(0), 2u);
+  EXPECT_EQ(histogram.bin_count(4), 3u);
+  EXPECT_DOUBLE_EQ(histogram.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.bin_hi(4), 10.0);
+}
+
+TEST(HistogramTest, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::logic_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace parva

@@ -1,0 +1,67 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parva {
+namespace {
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto fields = split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  const auto fields = split("alone", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "alone");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x \t\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-space"), "no-space");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(StringsTest, ParseDouble) {
+  double value = 0.0;
+  EXPECT_TRUE(parse_double("2.5", value));
+  EXPECT_DOUBLE_EQ(value, 2.5);
+  EXPECT_FALSE(parse_double("2.5x", value));
+  EXPECT_FALSE(parse_double("", value));
+  EXPECT_TRUE(parse_double("-1e3", value));
+  EXPECT_DOUBLE_EQ(value, -1000.0);
+}
+
+TEST(StringsTest, ParseUint) {
+  unsigned long long value = 0;
+  EXPECT_TRUE(parse_uint("123", value));
+  EXPECT_EQ(value, 123ull);
+  EXPECT_FALSE(parse_uint("-1", value));
+  EXPECT_FALSE(parse_uint("1.5", value));
+}
+
+}  // namespace
+}  // namespace parva

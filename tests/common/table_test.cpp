@@ -1,0 +1,58 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+
+namespace parva {
+namespace {
+
+TEST(TextTableTest, RendersAligned) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer-name", "22"});
+  const std::string out = table.render();
+  // Header present, separator present, rows present.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Columns aligned: "1" and "22" start at the same offset.
+  const auto lines = split(out, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[2].find('1'), lines[3].find("22"));
+}
+
+TEST(TextTableTest, ArityMismatchThrows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(TextTableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), std::logic_error);
+}
+
+TEST(TextTableTest, NumericRow) {
+  TextTable table({"label", "v1", "v2"});
+  table.add_row_numeric("row", {1.234, 5.678}, 1);
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("row,1.2,5.7"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvEscaping) {
+  TextTable table({"field"});
+  table.add_row({"has,comma"});
+  table.add_row({"has\"quote"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTableTest, RowCount) {
+  TextTable table({"a"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"1"});
+  EXPECT_EQ(table.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace parva

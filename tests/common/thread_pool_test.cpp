@@ -1,0 +1,68 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace parva {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, DefaultsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [&](std::size_t i) {
+                                   if (i == 3) throw std::runtime_error("task failed");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitExceptionSurfacesViaFuture) {
+  ThreadPool pool(1);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ManyTasksComplete) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 200; ++i) {
+    futures.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(sum.load(), 200 * 201 / 2);
+}
+
+}  // namespace
+}  // namespace parva

@@ -1,0 +1,106 @@
+// Randomised property tests for the Configurator+Allocator pipeline:
+// seeded fuzzing over service mixes drawn from the real profile grid.
+// Invariants checked on every draw:
+//   * every GPU layout is geometrically legal (no slot overlap),
+//   * every service's placed capacity covers its request rate,
+//   * every placed segment respects the internal latency bound,
+//   * Allocation Optimization never uses more GPUs than relocation alone.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "core/allocator.hpp"
+#include "core/configurator.hpp"
+#include "tests/core/test_support.hpp"
+
+namespace parva::core {
+namespace {
+
+using testing::builtin_profiles;
+
+struct FuzzDraw {
+  std::vector<ServiceSpec> services;
+};
+
+FuzzDraw draw_services(Rng& rng) {
+  static const std::vector<std::string> models =
+      perfmodel::ModelCatalog::builtin().names();
+  FuzzDraw draw;
+  const auto count = rng.uniform_int(1, 14);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ServiceSpec spec;
+    spec.id = static_cast<int>(i);
+    spec.model = models[rng.uniform_int(0, models.size() - 1)];
+    // SLOs from generous to tight; rates across four orders of magnitude.
+    spec.slo_latency_ms = rng.uniform(40.0, 8000.0);
+    spec.request_rate = std::exp(rng.uniform(std::log(2.0), std::log(20000.0)));
+    draw.services.push_back(std::move(spec));
+  }
+  return draw;
+}
+
+void check_plan(const DeploymentPlan& plan, const std::vector<ConfiguredService>& configured,
+                std::uint64_t seed) {
+  // Geometric validity.
+  for (const auto& gpu : plan.gpus()) {
+    std::uint8_t mask = 0;
+    for (const auto& segment : gpu.segments()) {
+      ASSERT_TRUE(gpu::is_legal_placement(segment.placement))
+          << "seed " << seed << " " << gpu.to_string();
+      ASSERT_EQ(mask & segment.placement.slot_mask(), 0)
+          << "seed " << seed << " " << gpu.to_string();
+      mask |= segment.placement.slot_mask();
+    }
+  }
+  // Coverage and latency bounds.
+  std::map<int, double> capacity;
+  for (const auto& [gpu_index, segment] : plan.all_segments()) {
+    capacity[segment->service_id] += segment->triplet.throughput;
+  }
+  for (const ConfiguredService& service : configured) {
+    EXPECT_GE(capacity[service.spec.id] + 1e-6, service.spec.request_rate)
+        << "seed " << seed << " service " << service.spec.model;
+  }
+  for (const auto& [gpu_index, segment] : plan.all_segments()) {
+    const auto it =
+        std::find_if(configured.begin(), configured.end(), [&](const ConfiguredService& c) {
+          return c.spec.id == segment->service_id;
+        });
+    ASSERT_NE(it, configured.end());
+    EXPECT_LT(segment->triplet.latency_ms, it->spec.slo_latency_ms * 0.5)
+        << "seed " << seed;
+  }
+}
+
+class AllocatorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorFuzz, InvariantsHoldOnRandomMixes) {
+  Rng rng(GetParam());
+  SegmentConfigurator configurator;
+  SegmentAllocator optimizing;
+  AllocatorOptions unopt_options;
+  unopt_options.optimize = false;
+  SegmentAllocator relocation_only(unopt_options);
+
+  for (int round = 0; round < 12; ++round) {
+    const FuzzDraw draw = draw_services(rng);
+    auto configured = configurator.configure(draw.services, builtin_profiles());
+    if (!configured.ok()) continue;  // infeasible SLO drawn: fine
+
+    const auto optimized = optimizing.allocate(configured.value());
+    const auto relocated = relocation_only.allocate(configured.value());
+    ASSERT_TRUE(optimized.ok());
+    ASSERT_TRUE(relocated.ok());
+    check_plan(optimized.value(), configured.value(), GetParam());
+    check_plan(relocated.value(), configured.value(), GetParam());
+    EXPECT_LE(optimized.value().gpus_in_use(), relocated.value().gpus_in_use())
+        << "seed " << GetParam() << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+
+}  // namespace
+}  // namespace parva::core

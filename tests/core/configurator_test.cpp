@@ -1,0 +1,215 @@
+#include "core/configurator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/core/test_support.hpp"
+
+namespace parva::core {
+namespace {
+
+using testing::builtin_profiles;
+using testing::service;
+
+class ConfiguratorTest : public ::testing::Test {
+ protected:
+  SegmentConfigurator configurator_;
+};
+
+TEST_F(ConfiguratorTest, TripletDecisionPicksMaxThroughputPerSize) {
+  const auto spec = service(0, "resnet-50", 205, 829);
+  const auto table = builtin_profiles().find("resnet-50");
+  const auto configured = configurator_.triplet_decision(spec, *table);
+  ASSERT_TRUE(configured.ok());
+  const double bound = 205.0 * 0.5;
+  for (int idx = 0; idx < kInstanceSizeCount; ++idx) {
+    const auto& slot = configured.value().opt_tri_array[static_cast<std::size_t>(idx)];
+    if (!slot.has_value()) continue;
+    const int gpcs = instance_size_from_index(idx);
+    EXPECT_EQ(slot->gpcs, gpcs);
+    EXPECT_LT(slot->latency_ms, bound);
+    // No profiled point of this size beats it under the bound.
+    for (const auto& point : table->points()) {
+      if (point.oom || point.gpcs != gpcs || point.latency_ms >= bound) continue;
+      EXPECT_LE(point.throughput, slot->throughput + 1e-9);
+    }
+  }
+}
+
+TEST_F(ConfiguratorTest, InternalLatencyIsHalfTheSlo) {
+  // A point at 0.6x SLO must be excluded (bound is 0.5x).
+  const auto spec = service(0, "resnet-50", 205, 100);
+  const auto table = builtin_profiles().find("resnet-50");
+  const auto configured = configurator_.triplet_decision(spec, *table).value();
+  for (const auto& slot : configured.opt_tri_array) {
+    if (slot.has_value()) {
+      EXPECT_LT(slot->latency_ms, 102.5);
+    }
+  }
+}
+
+TEST_F(ConfiguratorTest, InfeasibleSloRejected) {
+  const auto spec = service(0, "vgg-19", 1.0, 10);  // 0.5 ms internal bound
+  const auto table = builtin_profiles().find("vgg-19");
+  const auto configured = configurator_.triplet_decision(spec, *table);
+  ASSERT_FALSE(configured.ok());
+  EXPECT_EQ(configured.error().code(), ErrorCode::kCapacityExceeded);
+}
+
+TEST_F(ConfiguratorTest, DemandMatchingPicksGpcEfficiencyOptimum) {
+  const auto spec = service(0, "inceptionv3", 419, 5722);
+  const auto table = builtin_profiles().find("inceptionv3");
+  auto configured = configurator_.triplet_decision(spec, *table).value();
+  ASSERT_TRUE(configurator_.demand_matching(configured).ok());
+  for (const auto& slot : configured.opt_tri_array) {
+    if (!slot.has_value()) continue;
+    EXPECT_LE(slot->throughput_per_gpc(), configured.opt_seg.throughput_per_gpc() + 1e-9);
+  }
+}
+
+TEST_F(ConfiguratorTest, FloorRuleAndLastSegment) {
+  const auto spec = service(0, "inceptionv3", 419, 5722);
+  const auto table = builtin_profiles().find("inceptionv3");
+  auto configured = configurator_.triplet_decision(spec, *table).value();
+  ASSERT_TRUE(configurator_.demand_matching(configured).ok());
+  EXPECT_EQ(configured.num_opt_seg,
+            static_cast<int>(std::floor(5722.0 / configured.opt_seg.throughput)));
+  // Configured capacity covers the rate.
+  EXPECT_GE(configured.total_throughput(), 5722.0);
+  // The last segment is the smallest instance size covering the remainder.
+  const double left = 5722.0 - configured.num_opt_seg * configured.opt_seg.throughput;
+  if (left > 0) {
+    ASSERT_TRUE(configured.last_seg.has_value());
+    EXPECT_GE(configured.last_seg->throughput, left);
+    for (const auto& slot : configured.opt_tri_array) {
+      if (!slot.has_value() || slot->gpcs >= configured.last_seg->gpcs) continue;
+      EXPECT_LT(slot->throughput, left)
+          << "a smaller size could have covered the remainder";
+    }
+  }
+}
+
+TEST_F(ConfiguratorTest, SmallRateUsesSingleSegment) {
+  // Section III-D2: small request rates yield num_opt_seg = 0 and a single
+  // right-sized last segment.
+  const auto spec = service(0, "mobilenetv2", 167, 50);
+  const auto table = builtin_profiles().find("mobilenetv2");
+  auto configured = configurator_.triplet_decision(spec, *table).value();
+  ASSERT_TRUE(configurator_.demand_matching(configured).ok());
+  EXPECT_EQ(configured.num_opt_seg, 0);
+  ASSERT_TRUE(configured.last_seg.has_value());
+  EXPECT_EQ(configured.last_seg->gpcs, 1);  // smallest size suffices
+}
+
+TEST_F(ConfiguratorTest, ZeroRateNeedsNothing) {
+  const auto spec = service(0, "resnet-50", 205, 0);
+  const auto table = builtin_profiles().find("resnet-50");
+  auto configured = configurator_.triplet_decision(spec, *table).value();
+  ASSERT_TRUE(configurator_.demand_matching(configured).ok());
+  EXPECT_EQ(configured.num_opt_seg, 0);
+  EXPECT_FALSE(configured.last_seg.has_value());
+  EXPECT_EQ(configured.total_gpcs(), 0);
+}
+
+TEST_F(ConfiguratorTest, SingleProcessVariantRestrictsTriplets) {
+  ConfiguratorOptions options;
+  options.max_processes = 1;
+  SegmentConfigurator single(options);
+  const auto spec = service(0, "densenet-121", 69, 2228);  // S5's tight SLO
+  const auto table = builtin_profiles().find("densenet-121");
+  const auto configured = single.triplet_decision(spec, *table).value();
+  for (const auto& slot : configured.opt_tri_array) {
+    if (slot.has_value()) {
+      EXPECT_EQ(slot->procs, 1);
+    }
+  }
+  // With MPS allowed, some size uses more processes and beats it.
+  const auto mps = configurator_.triplet_decision(spec, *table).value();
+  bool used_mps = false;
+  double mps_best = 0.0;
+  double single_best = 0.0;
+  for (int idx = 0; idx < kInstanceSizeCount; ++idx) {
+    const auto& m = mps.opt_tri_array[static_cast<std::size_t>(idx)];
+    const auto& s = configured.opt_tri_array[static_cast<std::size_t>(idx)];
+    if (m.has_value()) {
+      used_mps |= m->procs > 1;
+      mps_best = std::max(mps_best, m->throughput_per_gpc());
+    }
+    if (s.has_value()) single_best = std::max(single_best, s->throughput_per_gpc());
+  }
+  EXPECT_TRUE(used_mps);
+  EXPECT_GT(mps_best, single_best);
+}
+
+TEST_F(ConfiguratorTest, ConfigureWholeServiceSet) {
+  const std::vector<ServiceSpec> services = {
+      service(0, "resnet-50", 205, 829),
+      service(1, "vgg-16", 400, 410),
+      service(2, "bert-large", 6434, 19),
+  };
+  const auto configured = configurator_.configure(services, builtin_profiles());
+  ASSERT_TRUE(configured.ok());
+  ASSERT_EQ(configured.value().size(), 3u);
+  for (const auto& c : configured.value()) {
+    EXPECT_GE(c.total_throughput(), c.spec.request_rate);
+  }
+}
+
+TEST_F(ConfiguratorTest, UnknownModelFailsCleanly) {
+  const std::vector<ServiceSpec> services = {service(0, "not-a-model", 100, 10)};
+  const auto configured = configurator_.configure(services, builtin_profiles());
+  ASSERT_FALSE(configured.ok());
+  EXPECT_EQ(configured.error().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ConfiguratorTest, PreconditionsThrow) {
+  const auto table = builtin_profiles().find("resnet-50");
+  EXPECT_THROW((void)configurator_.triplet_decision(service(0, "resnet-50", 0, 10), *table),
+               std::logic_error);
+  EXPECT_THROW((void)configurator_.triplet_decision(service(0, "resnet-50", 100, -1), *table),
+               std::logic_error);
+}
+
+TEST_F(ConfiguratorTest, DemandMatchingBeforeDecisionIsInternalError) {
+  ConfiguredService empty;
+  empty.spec = service(0, "resnet-50", 205, 100);
+  const auto status = configurator_.demand_matching(empty);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), ErrorCode::kInternal);
+}
+
+// Property: across every scenario-like (model, slo, rate) combination, the
+// configured capacity covers the rate and the latency bound holds — the
+// no-SLO-violation invariant of Fig. 8 begins here.
+class ConfiguratorProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ConfiguratorProperty, CapacityCoversEveryRate) {
+  SegmentConfigurator configurator;
+  const auto table = builtin_profiles().find(GetParam());
+  ASSERT_NE(table, nullptr);
+  for (double slo : {100.0, 200.0, 400.0, 1000.0}) {
+    for (double rate : {1.0, 50.0, 500.0, 5000.0, 20000.0}) {
+      const auto spec = service(0, GetParam(), slo, rate);
+      auto configured = configurator.triplet_decision(spec, *table);
+      if (!configured.ok()) continue;  // SLO infeasible for this model: fine
+      ASSERT_TRUE(configurator.demand_matching(configured.value()).ok());
+      const auto& c = configured.value();
+      EXPECT_GE(c.total_throughput() + 1e-6, rate)
+          << GetParam() << " slo=" << slo << " rate=" << rate;
+      EXPECT_LT(c.opt_seg.latency_ms, slo * 0.5);
+      if (c.last_seg.has_value()) {
+        EXPECT_LT(c.last_seg->latency_ms, slo * 0.5);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ConfiguratorProperty,
+                         ::testing::Values("bert-large", "densenet-121", "densenet-169",
+                                           "densenet-201", "inceptionv3", "mobilenetv2",
+                                           "resnet-101", "resnet-152", "resnet-50", "vgg-16",
+                                           "vgg-19"));
+
+}  // namespace
+}  // namespace parva::core

@@ -1,0 +1,104 @@
+#include "core/deployer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/parvagpu.hpp"
+#include "tests/core/test_support.hpp"
+
+namespace parva::core {
+namespace {
+
+using testing::builtin_profiles;
+using testing::service;
+
+class DeployerTest : public ::testing::Test {
+ protected:
+  DeployerTest() : nvml_(cluster_), deployer_(nvml_, perf_) {}
+
+  Deployment schedule(const std::vector<ServiceSpec>& services) {
+    ParvaGpuScheduler scheduler(builtin_profiles());
+    return scheduler.schedule(services).value().deployment;
+  }
+
+  perfmodel::AnalyticalPerfModel perf_{perfmodel::ModelCatalog::builtin()};
+  gpu::GpuCluster cluster_{2};
+  gpu::NvmlSim nvml_{cluster_};
+  Deployer deployer_;
+};
+
+TEST_F(DeployerTest, MaterialisesEveryUnit) {
+  const Deployment deployment = schedule({service(0, "resnet-50", 205, 829),
+                                          service(1, "vgg-19", 397, 354)});
+  const auto state = deployer_.deploy(deployment);
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state.value().unit_instances.size(), deployment.units.size());
+  for (std::size_t i = 0; i < deployment.units.size(); ++i) {
+    const gpu::MigInstance* instance = cluster_.find_instance(state.value().unit_instances[i]);
+    ASSERT_NE(instance, nullptr);
+    EXPECT_EQ(instance->gpcs(), static_cast<int>(deployment.units[i].gpc_grant));
+    EXPECT_EQ(static_cast<int>(instance->processes.size()), deployment.units[i].procs);
+    EXPECT_EQ(instance->placement.start_slot, deployment.units[i].placement->start_slot);
+    if (deployment.units[i].procs > 1) {
+      EXPECT_TRUE(instance->mps_enabled);
+    }
+  }
+}
+
+TEST_F(DeployerTest, GrowsElasticClusterOnDemand) {
+  // Enough load for more than the 2 initial GPUs.
+  const Deployment deployment = schedule({service(0, "vgg-16", 400, 12000)});
+  ASSERT_GT(deployment.gpu_count, 2);
+  const auto state = deployer_.deploy(deployment);
+  ASSERT_TRUE(state.ok());
+  EXPECT_GE(cluster_.size(), static_cast<std::size_t>(deployment.gpu_count));
+  EXPECT_EQ(cluster_.gpus_in_use(), static_cast<std::size_t>(deployment.gpu_count));
+}
+
+TEST_F(DeployerTest, TeardownRestoresCluster) {
+  const Deployment deployment = schedule({service(0, "resnet-50", 205, 829)});
+  const auto state = deployer_.deploy(deployment).value();
+  ASSERT_TRUE(deployer_.teardown(state).ok());
+  EXPECT_EQ(cluster_.gpus_in_use(), 0u);
+  EXPECT_EQ(cluster_.total_allocated_gpcs(), 0);
+}
+
+TEST_F(DeployerTest, RejectsMpsShareDeployments) {
+  Deployment deployment;
+  deployment.uses_mig = false;
+  deployment.gpu_count = 1;
+  const auto state = deployer_.deploy(deployment);
+  ASSERT_FALSE(state.ok());
+  EXPECT_EQ(state.error().code(), ErrorCode::kUnsupported);
+}
+
+TEST_F(DeployerTest, UnknownModelFails) {
+  Deployment deployment;
+  deployment.uses_mig = true;
+  deployment.gpu_count = 1;
+  DeployedUnit unit;
+  unit.service_id = 0;
+  unit.model = "not-a-model";
+  unit.gpu_index = 0;
+  unit.gpc_grant = 1.0;
+  unit.placement = gpu::Placement{1, 0};
+  unit.batch = 1;
+  unit.procs = 1;
+  deployment.units.push_back(unit);
+  const auto state = deployer_.deploy(deployment);
+  ASSERT_FALSE(state.ok());
+  EXPECT_EQ(state.error().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(DeployerTest, OperationLogShowsControlPlaneTraffic) {
+  const Deployment deployment = schedule({service(0, "resnet-50", 205, 829)});
+  nvml_.clear_operation_log();
+  ASSERT_TRUE(deployer_.deploy(deployment).ok());
+  bool saw_create = false;
+  for (const std::string& op : nvml_.operation_log()) {
+    if (op.find("create_gi_placed") != std::string::npos) saw_create = true;
+  }
+  EXPECT_TRUE(saw_create);
+}
+
+}  // namespace
+}  // namespace parva::core

@@ -1,0 +1,133 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_support.hpp"
+
+namespace parva::core {
+namespace {
+
+using testing::service;
+
+DeployedUnit unit(int service_id, int gpu, double gpcs, double throughput, double occupancy) {
+  DeployedUnit u;
+  u.service_id = service_id;
+  u.gpu_index = gpu;
+  u.gpc_grant = gpcs;
+  u.actual_throughput = throughput;
+  u.planned_throughput = throughput;
+  u.sm_occupancy = occupancy;
+  return u;
+}
+
+TEST(MetricsTest, FullyLoadedPerfectDeployment) {
+  Deployment deployment;
+  deployment.gpu_count = 1;
+  deployment.units.push_back(unit(0, 0, 7.0, 1000.0, 1.0));
+  const std::vector<ServiceSpec> services = {service(0, "m", 100, 1000.0)};
+  const auto metrics = compute_metrics(deployment, services);
+  EXPECT_EQ(metrics.gpu_count, 1);
+  EXPECT_NEAR(metrics.internal_slack, 0.0, 1e-12);
+  EXPECT_NEAR(metrics.external_fragmentation, 0.0, 1e-12);
+}
+
+TEST(MetricsTest, HalfLoadedUnitHasHalfSlack) {
+  Deployment deployment;
+  deployment.gpu_count = 1;
+  deployment.units.push_back(unit(0, 0, 7.0, 1000.0, 1.0));
+  const std::vector<ServiceSpec> services = {service(0, "m", 100, 500.0)};
+  const auto metrics = compute_metrics(deployment, services);
+  EXPECT_NEAR(metrics.internal_slack, 0.5, 1e-12);
+}
+
+TEST(MetricsTest, OccupancyLimitsActivity) {
+  Deployment deployment;
+  deployment.gpu_count = 1;
+  deployment.units.push_back(unit(0, 0, 7.0, 1000.0, 0.8));
+  const std::vector<ServiceSpec> services = {service(0, "m", 100, 1000.0)};
+  const auto metrics = compute_metrics(deployment, services);
+  EXPECT_NEAR(metrics.internal_slack, 0.2, 1e-12);
+}
+
+TEST(MetricsTest, FragmentationCountsUngrantedCapacity) {
+  Deployment deployment;
+  deployment.gpu_count = 2;  // 14 GPCs capacity
+  deployment.units.push_back(unit(0, 0, 7.0, 1000.0, 1.0));
+  deployment.units.push_back(unit(1, 1, 3.5, 500.0, 1.0));
+  const std::vector<ServiceSpec> services = {service(0, "a", 100, 1000.0),
+                                             service(1, "b", 100, 500.0)};
+  const auto metrics = compute_metrics(deployment, services);
+  EXPECT_NEAR(metrics.external_fragmentation, 1.0 - 10.5 / 14.0, 1e-12);
+  EXPECT_NEAR(metrics.total_granted_gpcs, 10.5, 1e-12);
+}
+
+TEST(MetricsTest, LoadSplitsAcrossUnitsOfOneService) {
+  Deployment deployment;
+  deployment.gpu_count = 2;
+  deployment.units.push_back(unit(0, 0, 7.0, 600.0, 1.0));
+  deployment.units.push_back(unit(0, 1, 7.0, 600.0, 1.0));
+  const std::vector<ServiceSpec> services = {service(0, "m", 100, 600.0)};
+  const auto metrics = compute_metrics(deployment, services);
+  // Each unit runs at half its capacity.
+  EXPECT_NEAR(metrics.internal_slack, 0.5, 1e-12);
+}
+
+TEST(MetricsTest, OverloadClampsToFullActivity) {
+  Deployment deployment;
+  deployment.gpu_count = 1;
+  deployment.units.push_back(unit(0, 0, 7.0, 100.0, 1.0));
+  const std::vector<ServiceSpec> services = {service(0, "m", 100, 500.0)};  // 5x overload
+  const auto metrics = compute_metrics(deployment, services);
+  EXPECT_NEAR(metrics.internal_slack, 0.0, 1e-12);
+}
+
+TEST(MetricsTest, UnknownServiceCountsAsIdle) {
+  Deployment deployment;
+  deployment.gpu_count = 1;
+  deployment.units.push_back(unit(42, 0, 7.0, 100.0, 1.0));
+  const std::vector<ServiceSpec> services = {};  // nobody offers load
+  const auto metrics = compute_metrics(deployment, services);
+  EXPECT_NEAR(metrics.internal_slack, 1.0, 1e-12);
+}
+
+TEST(MetricsTest, EmptyDeployment) {
+  const Deployment deployment;
+  const auto metrics = compute_metrics(deployment, {});
+  EXPECT_EQ(metrics.gpu_count, 0);
+  EXPECT_DOUBLE_EQ(metrics.internal_slack, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.external_fragmentation, 0.0);
+}
+
+TEST(MetricsTest, SlackFromMeasuredActivities) {
+  Deployment deployment;
+  deployment.gpu_count = 1;
+  deployment.units.push_back(unit(0, 0, 4.0, 100.0, 1.0));
+  deployment.units.push_back(unit(1, 0, 3.0, 100.0, 1.0));
+  const std::vector<double> activities = {1.0, 0.5};
+  // busy = 4*1 + 3*0.5 = 5.5 of 7 granted.
+  EXPECT_NEAR(internal_slack_from_activity(deployment, activities), 1.0 - 5.5 / 7.0, 1e-12);
+}
+
+TEST(MetricsTest, ActivityArityMismatchThrows) {
+  Deployment deployment;
+  deployment.gpu_count = 1;
+  deployment.units.push_back(unit(0, 0, 4.0, 100.0, 1.0));
+  const std::vector<double> wrong = {1.0, 0.5};
+  EXPECT_THROW((void)internal_slack_from_activity(deployment, wrong), std::logic_error);
+}
+
+TEST(MetricsTest, DeploymentHelpers) {
+  Deployment deployment;
+  deployment.gpu_count = 1;
+  deployment.units.push_back(unit(0, 0, 4.0, 100.0, 1.0));
+  deployment.units.push_back(unit(0, 0, 2.0, 50.0, 1.0));
+  deployment.units.push_back(unit(1, 0, 1.0, 25.0, 1.0));
+  EXPECT_DOUBLE_EQ(deployment.total_granted_gpcs(), 7.0);
+  EXPECT_EQ(deployment.units_for_service(0).size(), 2u);
+  EXPECT_DOUBLE_EQ(deployment.service_capacity(0), 150.0);
+  EXPECT_DOUBLE_EQ(deployment.service_capacity(9), 0.0);
+  EXPECT_EQ(deployment.units[0].granted_sms(), 56);
+}
+
+}  // namespace
+}  // namespace parva::core

@@ -1,0 +1,104 @@
+#include "core/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_support.hpp"
+
+namespace parva::core {
+namespace {
+
+using testing::triplet;
+
+TEST(GpuPlanTest, PlaceUsesPreferredSlots) {
+  GpuPlan gpu(0);
+  ASSERT_TRUE(gpu.try_place(0, triplet(3, 100)));
+  EXPECT_EQ(gpu.segments().front().placement.start_slot, 4);  // 3g -> slot 4
+  ASSERT_TRUE(gpu.try_place(1, triplet(2, 100)));
+  EXPECT_EQ(gpu.segments().back().placement.start_slot, 0);
+}
+
+TEST(GpuPlanTest, DeclinesSecondThreeGpcSegment) {
+  GpuPlan gpu(0);
+  ASSERT_TRUE(gpu.try_place(0, triplet(3, 100)));
+  // Slot 4 taken; 3@0 is declined by policy (Section III-E1).
+  EXPECT_FALSE(gpu.try_place(1, triplet(3, 100)));
+}
+
+TEST(GpuPlanTest, ExplicitPlacement) {
+  GpuPlan gpu(0);
+  ASSERT_TRUE(gpu.try_place_at(0, triplet(3, 100), 0));  // legal on hardware
+  EXPECT_EQ(gpu.allocated_gpcs(), 3);
+  EXPECT_EQ(gpu.occupied_slots(), 4);  // 3@0 blocks four slots
+  EXPECT_FALSE(gpu.try_place_at(1, triplet(2, 100), 2));  // overlap
+  EXPECT_FALSE(gpu.try_place_at(1, triplet(2, 100), 1));  // illegal start
+}
+
+TEST(GpuPlanTest, RemoveSegmentFreesSlots) {
+  GpuPlan gpu(0);
+  ASSERT_TRUE(gpu.try_place(0, triplet(4, 100)));
+  ASSERT_TRUE(gpu.try_place(1, triplet(3, 100)));
+  EXPECT_FALSE(gpu.can_fit(1));
+  const PlacedSegment removed = gpu.remove_segment(0);
+  EXPECT_EQ(removed.triplet.gpcs, 4);
+  EXPECT_TRUE(gpu.can_fit(4));
+  EXPECT_EQ(gpu.allocated_gpcs(), 3);
+}
+
+TEST(GpuPlanTest, RemoveOutOfRangeThrows) {
+  GpuPlan gpu(0);
+  EXPECT_THROW(gpu.remove_segment(0), std::logic_error);
+}
+
+TEST(DeploymentPlanTest, FirstFitAppendsWhenFull) {
+  DeploymentPlan plan;
+  EXPECT_EQ(plan.place_first_fit(0, triplet(7, 100)), 0u);
+  EXPECT_EQ(plan.place_first_fit(1, triplet(7, 100)), 1u);
+  EXPECT_EQ(plan.place_first_fit(2, triplet(1, 100)), 2u);
+  EXPECT_EQ(plan.gpu_count(), 3u);
+}
+
+TEST(DeploymentPlanTest, FirstFitFillsEarlierGaps) {
+  DeploymentPlan plan;
+  plan.place_first_fit(0, triplet(4, 100));  // GPU0 slots 0-3
+  plan.place_first_fit(1, triplet(7, 100));  // GPU1 (doesn't fit GPU0)
+  plan.place_first_fit(2, triplet(3, 100));  // back into GPU0 slot 4
+  EXPECT_EQ(plan.gpu_count(), 2u);
+  EXPECT_EQ(plan.gpu(0).allocated_gpcs(), 7);
+}
+
+TEST(DeploymentPlanTest, CompactDropsEmptyAndRenumbers) {
+  DeploymentPlan plan;
+  plan.place_first_fit(0, triplet(7, 100));
+  plan.place_first_fit(1, triplet(7, 100));
+  plan.place_first_fit(2, triplet(7, 100));
+  plan.gpu(1).remove_segment(0);
+  plan.compact();
+  ASSERT_EQ(plan.gpu_count(), 2u);
+  EXPECT_EQ(plan.gpu(0).id(), 0);
+  EXPECT_EQ(plan.gpu(1).id(), 1);
+  EXPECT_EQ(plan.gpus_in_use(), 2u);
+}
+
+TEST(DeploymentPlanTest, Accounting) {
+  DeploymentPlan plan;
+  plan.place_first_fit(0, triplet(4, 100));
+  plan.place_first_fit(1, triplet(2, 50));
+  EXPECT_EQ(plan.total_allocated_gpcs(), 6);
+  EXPECT_EQ(plan.all_segments().size(), 2u);
+  EXPECT_EQ(plan.gpus_in_use(), 1u);
+}
+
+TEST(DeploymentPlanTest, ToStringListsLayout) {
+  DeploymentPlan plan;
+  plan.place_first_fit(3, triplet(4, 100));
+  const std::string text = plan.to_string();
+  EXPECT_NE(text.find("s3:4@0"), std::string::npos);
+}
+
+TEST(DeploymentPlanTest, EmptyPlanToString) {
+  const DeploymentPlan plan;
+  EXPECT_EQ(plan.to_string(), "empty-plan");
+}
+
+}  // namespace
+}  // namespace parva::core

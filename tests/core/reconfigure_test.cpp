@@ -1,0 +1,119 @@
+#include "core/reconfigure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/parvagpu.hpp"
+#include "tests/core/test_support.hpp"
+
+namespace parva::core {
+namespace {
+
+using testing::builtin_profiles;
+using testing::service;
+
+class ReconfigureTest : public ::testing::Test {
+ protected:
+  ReconfigureTest() : reconfigurer_(SegmentConfigurator(), SegmentAllocator()) {}
+
+  void schedule(const std::vector<ServiceSpec>& services) {
+    ParvaGpuScheduler scheduler(builtin_profiles());
+    auto result = scheduler.schedule(services);
+    ASSERT_TRUE(result.ok());
+    plan_ = scheduler.last_plan();
+    configured_ = scheduler.last_configured();
+  }
+
+  double capacity_of(int service_id) const {
+    double total = 0.0;
+    for (const auto& [gpu, segment] : plan_.all_segments()) {
+      if (segment->service_id == service_id) total += segment->triplet.throughput;
+    }
+    return total;
+  }
+
+  Reconfigurer reconfigurer_;
+  DeploymentPlan plan_;
+  std::vector<ConfiguredService> configured_;
+};
+
+TEST_F(ReconfigureTest, RateIncreaseAddsCapacity) {
+  schedule({service(0, "resnet-50", 205, 829), service(1, "vgg-19", 397, 354)});
+  const ServiceSpec updated = service(0, "resnet-50", 205, 3000);
+  const auto stats =
+      reconfigurer_.update_service(plan_, configured_, updated, builtin_profiles());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(capacity_of(0) + 1e-6, 3000.0);
+  EXPECT_GE(capacity_of(1) + 1e-6, 354.0);  // the other service is untouched
+  EXPECT_GT(stats.value().segments_removed, 0);
+  EXPECT_GT(stats.value().segments_added, 0);
+}
+
+TEST_F(ReconfigureTest, SloTighteningReconfigures) {
+  schedule({service(0, "inceptionv3", 419, 460), service(1, "mobilenetv2", 167, 677)});
+  // Tighten inception's SLO to S5 levels; segments must be rebuilt with
+  // latency below the new internal bound.
+  const ServiceSpec updated = service(0, "inceptionv3", 146, 460);
+  ASSERT_TRUE(
+      reconfigurer_.update_service(plan_, configured_, updated, builtin_profiles()).ok());
+  for (const auto& [gpu, segment] : plan_.all_segments()) {
+    if (segment->service_id == 0) {
+      EXPECT_LT(segment->triplet.latency_ms, 73.0);
+    }
+  }
+  EXPECT_GE(capacity_of(0) + 1e-6, 460.0);
+}
+
+TEST_F(ReconfigureTest, OtherServicesKeepTheirOperatingPoints) {
+  schedule({service(0, "resnet-50", 205, 829), service(1, "vgg-19", 397, 354),
+            service(2, "bert-large", 6434, 19)});
+  std::map<int, std::vector<int>> before;
+  for (const auto& [gpu, segment] : plan_.all_segments()) {
+    if (segment->service_id != 0) before[segment->service_id].push_back(segment->triplet.batch);
+  }
+  const ServiceSpec updated = service(0, "resnet-50", 205, 1500);
+  ASSERT_TRUE(
+      reconfigurer_.update_service(plan_, configured_, updated, builtin_profiles()).ok());
+  std::map<int, std::vector<int>> after;
+  for (const auto& [gpu, segment] : plan_.all_segments()) {
+    if (segment->service_id != 0) after[segment->service_id].push_back(segment->triplet.batch);
+  }
+  EXPECT_EQ(before, after);
+}
+
+TEST_F(ReconfigureTest, AddBrandNewService) {
+  schedule({service(0, "resnet-50", 205, 829)});
+  const ServiceSpec fresh = service(7, "densenet-121", 183, 353);
+  const auto stats =
+      reconfigurer_.update_service(plan_, configured_, fresh, builtin_profiles());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().segments_removed, 0);
+  EXPECT_GT(stats.value().segments_added, 0);
+  EXPECT_GE(capacity_of(7) + 1e-6, 353.0);
+  EXPECT_EQ(configured_.size(), 2u);
+}
+
+TEST_F(ReconfigureTest, InfeasibleUpdateLeavesPlanUsable) {
+  schedule({service(0, "resnet-50", 205, 829)});
+  const ServiceSpec impossible = service(0, "resnet-50", 0.5, 829);
+  const auto stats =
+      reconfigurer_.update_service(plan_, configured_, impossible, builtin_profiles());
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.error().code(), ErrorCode::kCapacityExceeded);
+  // The failure happened before any mutation: the old placement survives.
+  EXPECT_GE(capacity_of(0) + 1e-6, 829.0);
+}
+
+TEST_F(ReconfigureTest, RateDecreaseShrinksFootprint) {
+  schedule({service(0, "mobilenetv2", 167, 7513), service(1, "vgg-19", 397, 354)});
+  const int before = plan_.total_allocated_gpcs();
+  const ServiceSpec updated = service(0, "mobilenetv2", 167, 500);
+  ASSERT_TRUE(
+      reconfigurer_.update_service(plan_, configured_, updated, builtin_profiles()).ok());
+  EXPECT_LT(plan_.total_allocated_gpcs(), before);
+  EXPECT_GE(capacity_of(0) + 1e-6, 500.0);
+}
+
+}  // namespace
+}  // namespace parva::core

@@ -1,0 +1,77 @@
+#include "core/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_support.hpp"
+
+namespace parva::core {
+namespace {
+
+TEST(ServiceTest, SizeIndexRoundTrip) {
+  for (int gpcs : {1, 2, 3, 4, 7}) {
+    const int index = instance_size_index(gpcs);
+    ASSERT_GE(index, 0);
+    EXPECT_EQ(instance_size_from_index(index), gpcs);
+  }
+  EXPECT_EQ(instance_size_index(5), -1);
+  EXPECT_EQ(instance_size_index(0), -1);
+  EXPECT_EQ(instance_size_from_index(5), -1);
+  EXPECT_EQ(instance_size_from_index(-1), -1);
+}
+
+TEST(ServiceTest, IndicesAreOrderedBySize) {
+  // LASTSEG iterates the array front-to-back expecting ascending sizes.
+  int previous = 0;
+  for (int index = 0; index < kInstanceSizeCount; ++index) {
+    const int gpcs = instance_size_from_index(index);
+    EXPECT_GT(gpcs, previous);
+    previous = gpcs;
+  }
+}
+
+TEST(ServiceTest, TripletFromProfilePoint) {
+  profiler::ProfilePoint point;
+  point.model = "resnet-50";
+  point.gpcs = 2;
+  point.batch = 16;
+  point.procs = 3;
+  point.throughput = 1234.5;
+  point.latency_ms = 38.9;
+  point.sm_occupancy = 0.91;
+  point.memory_gib = 5.5;
+  const Triplet triplet = to_triplet(point);
+  EXPECT_EQ(triplet.gpcs, 2);
+  EXPECT_EQ(triplet.batch, 16);
+  EXPECT_EQ(triplet.procs, 3);
+  EXPECT_DOUBLE_EQ(triplet.throughput, 1234.5);
+  EXPECT_DOUBLE_EQ(triplet.throughput_per_gpc(), 1234.5 / 2.0);
+  EXPECT_TRUE(triplet.valid());
+}
+
+TEST(ServiceTest, OomPointCannotBecomeTriplet) {
+  profiler::ProfilePoint point;
+  point.oom = true;
+  EXPECT_THROW((void)to_triplet(point), std::logic_error);
+}
+
+TEST(ServiceTest, DefaultTripletInvalid) {
+  const Triplet triplet;
+  EXPECT_FALSE(triplet.valid());
+  EXPECT_DOUBLE_EQ(triplet.throughput_per_gpc(), 0.0);
+}
+
+TEST(ServiceTest, ConfiguredServiceTotals) {
+  ConfiguredService service;
+  service.spec = testing::service(0, "m", 100, 1000);
+  service.opt_seg = testing::triplet(3, 400);
+  service.num_opt_seg = 2;
+  service.last_seg = testing::triplet(1, 150);
+  EXPECT_EQ(service.total_gpcs(), 7);
+  EXPECT_DOUBLE_EQ(service.total_throughput(), 950.0);
+  service.last_seg.reset();
+  EXPECT_EQ(service.total_gpcs(), 6);
+  EXPECT_DOUBLE_EQ(service.total_throughput(), 800.0);
+}
+
+}  // namespace
+}  // namespace parva::core

@@ -1,0 +1,36 @@
+// Shared fixtures for the core tests: the built-in profile set (computed
+// once per process) and helpers to build services/triplets.
+#pragma once
+
+#include "core/service.hpp"
+#include "profiler/profiler.hpp"
+
+namespace parva::core::testing {
+
+inline const profiler::ProfileSet& builtin_profiles() {
+  static const profiler::ProfileSet profiles = [] {
+    perfmodel::AnalyticalPerfModel perf(perfmodel::ModelCatalog::builtin());
+    profiler::Profiler profiler(perf);
+    return profiler.profile_all(perfmodel::ModelCatalog::builtin().names());
+  }();
+  return profiles;
+}
+
+inline ServiceSpec service(int id, const std::string& model, double slo_ms, double rate) {
+  return ServiceSpec{id, model, slo_ms, rate};
+}
+
+/// A synthetic triplet for plan/allocator tests that do not need profiles.
+inline Triplet triplet(int gpcs, double throughput, int batch = 8, int procs = 1) {
+  Triplet t;
+  t.gpcs = gpcs;
+  t.batch = batch;
+  t.procs = procs;
+  t.throughput = throughput;
+  t.latency_ms = 10.0;
+  t.sm_occupancy = 0.9;
+  t.memory_gib = 1.0;
+  return t;
+}
+
+}  // namespace parva::core::testing

@@ -1,0 +1,63 @@
+#include "gpu/dcgm_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parva::gpu {
+namespace {
+
+TEST(DcgmSimTest, ActivityIsBusyOverGrantedSmTime) {
+  DcgmSim dcgm;
+  const GlobalInstanceId id{0, 1};
+  dcgm.watch(id, 14);  // 1 GPC
+  dcgm.add_busy(id, 14.0 * 500.0);  // 14 SMs busy for 500 of 1000 ms
+  dcgm.close_window(1000.0);
+  EXPECT_NEAR(dcgm.activity(id).sm_activity(), 0.5, 1e-12);
+}
+
+TEST(DcgmSimTest, FullActivityIsOne) {
+  DcgmSim dcgm;
+  const GlobalInstanceId id{0, 0};
+  dcgm.watch(id, 28);
+  dcgm.add_busy(id, 28.0 * 1000.0);
+  dcgm.close_window(1000.0);
+  EXPECT_NEAR(dcgm.activity(id).sm_activity(), 1.0, 1e-12);
+}
+
+TEST(DcgmSimTest, UnwatchedEntitiesIgnored) {
+  DcgmSim dcgm;
+  dcgm.add_busy({3, 3}, 100.0);  // never watched: silently dropped, as DCGM does
+  dcgm.close_window(10.0);
+  EXPECT_DOUBLE_EQ(dcgm.activity({3, 3}).sm_activity(), 0.0);
+  EXPECT_TRUE(dcgm.watched().empty());
+}
+
+TEST(DcgmSimTest, ZeroWindowYieldsZeroActivity) {
+  DcgmSim dcgm;
+  const GlobalInstanceId id{0, 0};
+  dcgm.watch(id, 14);
+  dcgm.add_busy(id, 100.0);
+  EXPECT_DOUBLE_EQ(dcgm.activity(id).sm_activity(), 0.0);  // window not closed
+}
+
+TEST(DcgmSimTest, MultipleInstancesIndependent) {
+  DcgmSim dcgm;
+  const GlobalInstanceId a{0, 0};
+  const GlobalInstanceId b{1, 0};
+  dcgm.watch(a, 14);
+  dcgm.watch(b, 14);
+  dcgm.add_busy(a, 14.0 * 100.0);
+  dcgm.close_window(1000.0);
+  EXPECT_NEAR(dcgm.activity(a).sm_activity(), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(dcgm.activity(b).sm_activity(), 0.0);
+  EXPECT_EQ(dcgm.watched().size(), 2u);
+}
+
+TEST(DcgmSimTest, ClearResets) {
+  DcgmSim dcgm;
+  dcgm.watch({0, 0}, 14);
+  dcgm.clear();
+  EXPECT_TRUE(dcgm.watched().empty());
+}
+
+}  // namespace
+}  // namespace parva::gpu

@@ -1,0 +1,136 @@
+#include "gpu/mig_geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace parva::gpu {
+namespace {
+
+TEST(MigGeometryTest, LegalStartSlotsPerSize) {
+  EXPECT_EQ(std::vector<int>(legal_start_slots(7).begin(), legal_start_slots(7).end()),
+            (std::vector<int>{0}));
+  EXPECT_EQ(std::vector<int>(legal_start_slots(4).begin(), legal_start_slots(4).end()),
+            (std::vector<int>{0}));
+  EXPECT_EQ(std::vector<int>(legal_start_slots(3).begin(), legal_start_slots(3).end()),
+            (std::vector<int>{0, 4}));
+  EXPECT_EQ(std::vector<int>(legal_start_slots(2).begin(), legal_start_slots(2).end()),
+            (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(legal_start_slots(1).size(), 7u);
+  EXPECT_TRUE(legal_start_slots(5).empty());  // 5-GPC instances do not exist
+  EXPECT_TRUE(legal_start_slots(6).empty());
+}
+
+TEST(MigGeometryTest, ThreeGpcAtSlotZeroBlocksFourSlots) {
+  const Placement at0{3, 0};
+  EXPECT_EQ(at0.span(), 4);
+  EXPECT_EQ(at0.slot_mask(), 0b0001111);
+  const Placement at4{3, 4};
+  EXPECT_EQ(at4.span(), 3);
+  EXPECT_EQ(at4.slot_mask(), 0b1110000);
+}
+
+TEST(MigGeometryTest, IllegalPlacementsRejected) {
+  EXPECT_FALSE(is_legal_placement({4, 1}));   // 4g only at slot 0
+  EXPECT_FALSE(is_legal_placement({2, 1}));   // 2g only at even slots 0/2/4
+  EXPECT_FALSE(is_legal_placement({2, 6}));   // would exceed slot 6
+  EXPECT_FALSE(is_legal_placement({5, 0}));   // size does not exist
+  EXPECT_TRUE(is_legal_placement({1, 6}));
+  EXPECT_TRUE(is_legal_placement({3, 4}));
+}
+
+// === The Figure 1 property: exactly 19 maximal configurations. ===
+TEST(MigGeometryTest, ExactlyNineteenMaximalConfigs) {
+  const auto configs = enumerate_maximal_configs();
+  EXPECT_EQ(configs.size(), 19u);
+  for (const GpuConfig& config : configs) {
+    EXPECT_TRUE(config.valid()) << config.to_string();
+    EXPECT_TRUE(config.maximal()) << config.to_string();
+  }
+}
+
+TEST(MigGeometryTest, MaximalConfigsIncludeTheCanonicalOnes) {
+  const auto configs = enumerate_maximal_configs();
+  auto contains = [&](std::multiset<int> sizes) {
+    return std::any_of(configs.begin(), configs.end(), [&](const GpuConfig& config) {
+      std::multiset<int> have;
+      for (const auto& p : config.placements) have.insert(p.gpcs);
+      return have == sizes;
+    });
+  };
+  EXPECT_TRUE(contains({7}));
+  EXPECT_TRUE(contains({4, 3}));
+  EXPECT_TRUE(contains({4, 2, 1}));
+  EXPECT_TRUE(contains({4, 1, 1, 1}));
+  EXPECT_TRUE(contains({3, 3}));
+  EXPECT_TRUE(contains({2, 2, 3}));
+  EXPECT_TRUE(contains({1, 1, 1, 1, 1, 1, 1}));
+  EXPECT_FALSE(contains({5}));     // nonexistent profile
+  EXPECT_FALSE(contains({4, 4}));  // two 4g instances cannot coexist
+}
+
+TEST(MigGeometryTest, MaximalConfigsAllocateSixOrSevenGpcs) {
+  // Only configurations containing a 3g instance in the left block lose a
+  // GPC (configs 5-7 of Figure 1); all others allocate all 7.
+  for (const GpuConfig& config : enumerate_maximal_configs()) {
+    const int gpcs = config.total_gpcs();
+    EXPECT_GE(gpcs, 6) << config.to_string();
+    EXPECT_LE(gpcs, 7) << config.to_string();
+    const bool has_3_at_0 = std::any_of(
+        config.placements.begin(), config.placements.end(),
+        [](const Placement& p) { return p.gpcs == 3 && p.start_slot == 0; });
+    EXPECT_EQ(gpcs == 6, has_3_at_0) << config.to_string();
+  }
+}
+
+TEST(MigGeometryTest, AllConfigsAreValidAndDistinct) {
+  const auto configs = enumerate_all_configs();
+  EXPECT_GT(configs.size(), 19u);
+  std::set<std::string> seen;
+  for (const GpuConfig& config : configs) {
+    EXPECT_TRUE(config.valid()) << config.to_string();
+    EXPECT_TRUE(seen.insert(config.to_string()).second) << "duplicate " << config.to_string();
+  }
+}
+
+TEST(MigGeometryTest, FindStartSlotHonoursPreferences) {
+  // Empty GPU: size 3 must go to slot 4 (slot 0 would block slot 3).
+  EXPECT_EQ(find_start_slot(0, 3), 4);
+  // Size 2 prefers the left block.
+  EXPECT_EQ(find_start_slot(0, 2), 0);
+  // With slots 0-1 taken, size 2 goes to 2.
+  EXPECT_EQ(find_start_slot(0b0000011, 2), 2);
+  // Size 1 fills the left block first.
+  EXPECT_EQ(find_start_slot(0b0000001, 1), 1);
+  // Full GPU: nothing fits.
+  EXPECT_FALSE(find_start_slot(0b1111111, 1).has_value());
+}
+
+TEST(MigGeometryTest, AllocatorDeclinesThreeAtSlotZero) {
+  // Slot 4 occupied: the preference rules refuse 3@0 (Section III-E1),
+  // leaving the GPU to Allocation Optimization instead.
+  EXPECT_FALSE(find_start_slot(0b1110000, 3).has_value());
+}
+
+// Property sweep: every (size, legal start) pair produces a placement whose
+// mask stays inside the 7 slots and covers span() bits.
+class PlacementProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlacementProperty, MaskMatchesSpan) {
+  const int gpcs = GetParam();
+  for (int start : legal_start_slots(gpcs)) {
+    const Placement p{gpcs, start};
+    ASSERT_TRUE(is_legal_placement(p));
+    EXPECT_LT(p.slot_mask(), 1u << kGpcSlots);
+    int bits = 0;
+    for (int slot = 0; slot < kGpcSlots; ++slot) bits += (p.slot_mask() >> slot) & 1;
+    EXPECT_EQ(bits, p.span());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, PlacementProperty, ::testing::Values(1, 2, 3, 4, 7));
+
+}  // namespace
+}  // namespace parva::gpu

@@ -1,0 +1,145 @@
+#include "gpu/virtual_gpu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parva::gpu {
+namespace {
+
+TEST(VirtualGpuTest, CreateAndDestroy) {
+  VirtualGpu gpu(0);
+  auto handle = gpu.create_instance(4);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(gpu.allocated_gpcs(), 4);
+  EXPECT_EQ(gpu.instance_count(), 1u);
+  ASSERT_TRUE(gpu.destroy_instance(handle.value()).ok());
+  EXPECT_TRUE(gpu.empty());
+  EXPECT_EQ(gpu.occupied_mask(), 0);
+}
+
+TEST(VirtualGpuTest, InvalidSizeRejected) {
+  VirtualGpu gpu(0);
+  const auto result = gpu.create_instance(5);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(VirtualGpuTest, OverlapRejected) {
+  VirtualGpu gpu(0);
+  ASSERT_TRUE(gpu.create_instance_at(4, 0).ok());
+  const auto overlap = gpu.create_instance_at(2, 2);
+  ASSERT_FALSE(overlap.ok());
+  EXPECT_EQ(overlap.error().code(), ErrorCode::kUnsupported);
+}
+
+TEST(VirtualGpuTest, SevenGpcInstanceFillsGpu) {
+  VirtualGpu gpu(0);
+  ASSERT_TRUE(gpu.create_instance(7).ok());
+  EXPECT_FALSE(gpu.can_fit(1));
+  EXPECT_EQ(gpu.free_slots(), 0);
+}
+
+TEST(VirtualGpuTest, MaximalPackingFourThree) {
+  VirtualGpu gpu(0);
+  ASSERT_TRUE(gpu.create_instance(4).ok());
+  ASSERT_TRUE(gpu.create_instance(3).ok());  // lands at slot 4
+  EXPECT_EQ(gpu.allocated_gpcs(), 7);
+  EXPECT_FALSE(gpu.can_fit(1));
+}
+
+TEST(VirtualGpuTest, DestroyUnknownHandle) {
+  VirtualGpu gpu(0);
+  const auto status = gpu.destroy_instance(99);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), ErrorCode::kNotFound);
+}
+
+TEST(VirtualGpuTest, MemoryGrantPerProfile) {
+  VirtualGpu gpu(0);
+  const auto h1 = gpu.create_instance(1);
+  const auto h3 = gpu.create_instance(3);
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h3.ok());
+  EXPECT_DOUBLE_EQ(gpu.find_instance(h1.value())->memory_gib, 10.0);
+  EXPECT_DOUBLE_EQ(gpu.find_instance(h3.value())->memory_gib, 40.0);
+}
+
+TEST(VirtualGpuTest, AttachProcessWithinMemory) {
+  VirtualGpu gpu(0);
+  const auto handle = gpu.create_instance(1).value();  // 10 GiB grant
+  MpsProcess process{"resnet-50", 32, 4.0};
+  ASSERT_TRUE(gpu.attach_process(handle, process).ok());
+  EXPECT_DOUBLE_EQ(gpu.find_instance(handle)->memory_used_gib, 4.0);
+}
+
+TEST(VirtualGpuTest, SecondProcessRequiresMps) {
+  VirtualGpu gpu(0);
+  const auto handle = gpu.create_instance(2).value();
+  MpsProcess process{"resnet-50", 8, 2.0};
+  ASSERT_TRUE(gpu.attach_process(handle, process).ok());
+  const auto second = gpu.attach_process(handle, process);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code(), ErrorCode::kUnsupported);
+  ASSERT_TRUE(gpu.enable_mps(handle).ok());
+  EXPECT_TRUE(gpu.attach_process(handle, process).ok());
+}
+
+TEST(VirtualGpuTest, OutOfMemoryRejected) {
+  VirtualGpu gpu(0);
+  const auto handle = gpu.create_instance(1).value();  // 10 GiB
+  ASSERT_TRUE(gpu.enable_mps(handle).ok());
+  ASSERT_TRUE(gpu.attach_process(handle, {"m", 64, 6.0}).ok());
+  const auto status = gpu.attach_process(handle, {"m", 64, 6.0});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), ErrorCode::kOutOfMemory);
+}
+
+TEST(VirtualGpuTest, HeterogeneousModelsRejected) {
+  VirtualGpu gpu(0);
+  const auto handle = gpu.create_instance(2).value();
+  ASSERT_TRUE(gpu.enable_mps(handle).ok());
+  ASSERT_TRUE(gpu.attach_process(handle, {"resnet-50", 8, 2.0}).ok());
+  const auto status = gpu.attach_process(handle, {"vgg-16", 8, 2.0});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(VirtualGpuTest, DetachAllFreesMemory) {
+  VirtualGpu gpu(0);
+  const auto handle = gpu.create_instance(1).value();
+  ASSERT_TRUE(gpu.attach_process(handle, {"m", 1, 3.0}).ok());
+  ASSERT_TRUE(gpu.detach_all_processes(handle).ok());
+  EXPECT_DOUBLE_EQ(gpu.find_instance(handle)->memory_used_gib, 0.0);
+  EXPECT_TRUE(gpu.find_instance(handle)->processes.empty());
+}
+
+TEST(VirtualGpuTest, ResetClearsEverything) {
+  VirtualGpu gpu(3);
+  ASSERT_TRUE(gpu.create_instance(4).ok());
+  ASSERT_TRUE(gpu.create_instance(2).ok());
+  gpu.reset();
+  EXPECT_TRUE(gpu.empty());
+  EXPECT_TRUE(gpu.can_fit(7));
+}
+
+TEST(VirtualGpuTest, SevenSingleGpcInstances) {
+  VirtualGpu gpu(0);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(gpu.create_instance(1).ok()) << "instance " << i;
+  }
+  EXPECT_EQ(gpu.allocated_gpcs(), 7);
+  EXPECT_FALSE(gpu.can_fit(1));
+  const auto failed = gpu.create_instance(1);
+  EXPECT_FALSE(failed.ok());
+}
+
+TEST(VirtualGpuTest, ToStringMentionsLayout) {
+  VirtualGpu gpu(0);
+  const auto handle = gpu.create_instance(2).value();
+  ASSERT_TRUE(gpu.attach_process(handle, {"resnet-50", 8, 2.0}).ok());
+  const std::string text = gpu.to_string();
+  EXPECT_NE(text.find("GPU0"), std::string::npos);
+  EXPECT_NE(text.find("resnet-50"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parva::gpu

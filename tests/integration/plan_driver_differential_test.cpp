@@ -1,0 +1,91 @@
+// Differential tests between the planning layer (core::GpuPlan, what the
+// Segment Allocator reasons about) and the driver layer (gpu::VirtualGpu,
+// what the control plane enforces). Any divergence means the scheduler
+// could emit maps the driver rejects — the class of bug that bricks a
+// rollout. Random seeded sequences of create/destroy operations must
+// succeed or fail identically on both layers, leaving identical occupancy.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/plan.hpp"
+#include "gpu/virtual_gpu.hpp"
+
+namespace parva {
+namespace {
+
+core::Triplet synthetic_triplet(int gpcs) {
+  core::Triplet triplet;
+  triplet.gpcs = gpcs;
+  triplet.batch = 8;
+  triplet.procs = 1;
+  triplet.throughput = 100.0;
+  triplet.latency_ms = 10.0;
+  return triplet;
+}
+
+class PlanDriverDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlanDriverDifferential, RandomOpSequencesAgree) {
+  Rng rng(GetParam());
+  constexpr std::array<int, 5> kSizes = {1, 2, 3, 4, 7};
+
+  for (int episode = 0; episode < 20; ++episode) {
+    core::GpuPlan plan(0);
+    gpu::VirtualGpu driver(0);
+    // Track driver handles parallel to plan segment order.
+    std::vector<gpu::InstanceHandle> handles;
+
+    for (int op = 0; op < 40; ++op) {
+      const bool remove = !handles.empty() && rng.next_double() < 0.3;
+      if (remove) {
+        const auto index =
+            static_cast<std::size_t>(rng.uniform_int(0, handles.size() - 1));
+        const core::PlacedSegment removed = plan.remove_segment(index);
+        ASSERT_TRUE(driver.destroy_instance(handles[index]).ok())
+            << "seed " << GetParam() << ": driver rejected removing "
+            << removed.placement.gpcs << "@" << removed.placement.start_slot;
+        handles.erase(handles.begin() + static_cast<std::ptrdiff_t>(index));
+      } else {
+        const int gpcs = kSizes[rng.uniform_int(0, kSizes.size() - 1)];
+        // Pick an explicit slot half the time (exercising try_place_at /
+        // create_instance_at), the preferred path otherwise.
+        if (rng.next_double() < 0.5) {
+          const auto starts = gpu::legal_start_slots(gpcs);
+          const int start = starts[rng.uniform_int(0, starts.size() - 1)];
+          const bool plan_ok = plan.try_place_at(0, synthetic_triplet(gpcs), start);
+          const auto driver_result = driver.create_instance_at(gpcs, start);
+          ASSERT_EQ(plan_ok, driver_result.ok())
+              << "seed " << GetParam() << ": " << gpcs << "@" << start
+              << " plan=" << plan_ok << " driver=" << driver_result.ok();
+          if (plan_ok) handles.push_back(driver_result.value());
+        } else {
+          const bool plan_ok = plan.try_place(0, synthetic_triplet(gpcs));
+          // The driver's preferred-slot path must agree with the planner's.
+          const bool driver_fits = driver.can_fit(gpcs);
+          ASSERT_EQ(plan_ok, driver_fits)
+              << "seed " << GetParam() << ": size " << gpcs;
+          if (plan_ok) {
+            const auto driver_result = driver.create_instance(gpcs);
+            ASSERT_TRUE(driver_result.ok());
+            // Identical slot choice.
+            ASSERT_EQ(plan.segments().back().placement.start_slot,
+                      driver.find_instance(driver_result.value())->placement.start_slot)
+                << "seed " << GetParam();
+            handles.push_back(driver_result.value());
+          }
+        }
+      }
+      // Occupancy must match exactly after every operation.
+      ASSERT_EQ(plan.occupied_mask(), driver.occupied_mask()) << "seed " << GetParam();
+      ASSERT_EQ(plan.allocated_gpcs(), driver.allocated_gpcs()) << "seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanDriverDifferential,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u, 606u, 707u, 808u));
+
+}  // namespace
+}  // namespace parva

@@ -1,0 +1,193 @@
+#include "perfmodel/analytical_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace parva::perfmodel {
+namespace {
+
+class AnalyticalModelTest : public ::testing::Test {
+ protected:
+  AnalyticalPerfModel model_{ModelCatalog::builtin()};
+};
+
+TEST_F(AnalyticalModelTest, InceptionAnchorShape) {
+  // Section III-B anchor shapes (absolute numbers are calibration-specific,
+  // the relations are the paper's findings):
+  // (1) g=1,b=4: process stacking gives diminishing throughput but
+  //     multiplies latency.
+  const auto g1p1 = model_.evaluate_mig("inceptionv3", 1, 4, 1).value();
+  const auto g1p2 = model_.evaluate_mig("inceptionv3", 1, 4, 2).value();
+  const auto g1p3 = model_.evaluate_mig("inceptionv3", 1, 4, 3).value();
+  EXPECT_GT(g1p2.throughput, g1p1.throughput);
+  EXPECT_LT(g1p3.throughput - g1p2.throughput, 0.15 * g1p2.throughput);
+  EXPECT_GT(g1p2.latency_ms, 1.5 * g1p1.latency_ms);
+  EXPECT_GT(g1p3.latency_ms, 2.2 * g1p1.latency_ms);
+
+  // (2) g=4,b=8: stacking roughly doubles throughput at near-flat latency.
+  const auto g4p1 = model_.evaluate_mig("inceptionv3", 4, 8, 1).value();
+  const auto g4p2 = model_.evaluate_mig("inceptionv3", 4, 8, 2).value();
+  const auto g4p3 = model_.evaluate_mig("inceptionv3", 4, 8, 3).value();
+  EXPECT_GT(g4p2.throughput, 1.9 * g4p1.throughput);
+  EXPECT_LT(g4p2.latency_ms, g4p1.latency_ms);  // host overhead pipelines away
+  EXPECT_GT(g4p3.throughput, g4p2.throughput);
+  EXPECT_LT(g4p3.latency_ms, 1.5 * g4p1.latency_ms);
+}
+
+TEST_F(AnalyticalModelTest, ThroughputLatencyIdentity) {
+  // T = 1000 * p * b / L must hold by construction.
+  const auto point = model_.evaluate_mig("resnet-50", 2, 16, 2).value();
+  EXPECT_NEAR(point.throughput, 1000.0 * 2 * 16 / point.latency_ms, 1e-9);
+}
+
+TEST_F(AnalyticalModelTest, LatencyDecreasesWithInstanceSize) {
+  double previous = 1e18;
+  for (int g : {1, 2, 3, 4, 7}) {
+    const auto point = model_.evaluate_mig("vgg-16", g, 32, 1).value();
+    EXPECT_LE(point.latency_ms, previous + 1e-9) << "g=" << g;
+    previous = point.latency_ms;
+  }
+}
+
+TEST_F(AnalyticalModelTest, ThroughputIncreasesWithBatch) {
+  double previous = 0.0;
+  for (int b : {1, 2, 4, 8, 16, 32}) {
+    const auto point = model_.evaluate_mig("resnet-101", 2, b, 1).value();
+    EXPECT_GE(point.throughput, previous) << "b=" << b;
+    previous = point.throughput;
+  }
+}
+
+TEST_F(AnalyticalModelTest, OutOfMemoryAtLargeBatchOnSmallInstance) {
+  // 1g.10gb cannot hold 3 processes at batch 128 for most models.
+  const auto result = model_.evaluate_mig("inceptionv3", 1, 128, 3);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kOutOfMemory);
+  // The same point on a 7g.80gb instance fits.
+  EXPECT_TRUE(model_.evaluate_mig("inceptionv3", 7, 128, 3).ok());
+}
+
+TEST_F(AnalyticalModelTest, InvalidInstanceSize) {
+  const auto result = model_.evaluate_mig("resnet-50", 5, 8, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(AnalyticalModelTest, UnknownModel) {
+  const auto result = model_.evaluate_mig("unknown", 1, 1, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(AnalyticalModelTest, PreconditionsThrow) {
+  const auto& traits = ModelCatalog::builtin().at("resnet-50");
+  EXPECT_THROW((void)model_.evaluate_mig(traits, 1, 0, 1), std::logic_error);
+  EXPECT_THROW((void)model_.evaluate_mig(traits, 1, 1, 0), std::logic_error);
+}
+
+TEST_F(AnalyticalModelTest, MpsShareFractionValidation) {
+  const auto& traits = ModelCatalog::builtin().at("resnet-50");
+  EXPECT_FALSE(model_.evaluate_mps_share(traits, 0.0, 8, 1, 0.0).ok());
+  EXPECT_FALSE(model_.evaluate_mps_share(traits, 1.5, 8, 1, 0.0).ok());
+  EXPECT_TRUE(model_.evaluate_mps_share(traits, 1.0, 8, 1, 0.0).ok());
+}
+
+TEST_F(AnalyticalModelTest, InterferenceInflatesLatency) {
+  const auto& traits = ModelCatalog::builtin().at("resnet-50");
+  const auto clean = model_.evaluate_mps_share(traits, 0.5, 16, 1, 0.0).value();
+  const auto inflated = model_.evaluate_mps_share(traits, 0.5, 16, 1, 0.2).value();
+  EXPECT_GT(inflated.latency_ms, clean.latency_ms);
+  EXPECT_LT(inflated.throughput, clean.throughput);
+  // The GPU part stretches by exactly (1 + inflation); host time does not.
+  EXPECT_NEAR((inflated.latency_ms - traits.host_ms) / (clean.latency_ms - traits.host_ms),
+              1.2, 1e-9);
+}
+
+TEST_F(AnalyticalModelTest, FullGpuShareMatchesSevenGpcInstanceCompute) {
+  // A 100% MPS share and a 7-GPC MIG instance expose the same compute; the
+  // memory grants differ only by rounding (80 GiB either way).
+  const auto& traits = ModelCatalog::builtin().at("vgg-19");
+  const auto share = model_.evaluate_mps_share(traits, 1.0, 32, 1, 0.0).value();
+  const auto mig = model_.evaluate_mig(traits, 7, 32, 1).value();
+  EXPECT_NEAR(share.latency_ms, mig.latency_ms, 1e-9);
+}
+
+TEST_F(AnalyticalModelTest, OccupancyWithinBounds) {
+  for (const auto& traits : ModelCatalog::builtin().all()) {
+    for (int g : {1, 4, 7}) {
+      for (int p : {1, 3}) {
+        const auto result = model_.evaluate_mig(traits, g, 16, p);
+        if (!result.ok()) continue;
+        EXPECT_GE(result.value().sm_occupancy, 0.0) << traits.name;
+        EXPECT_LE(result.value().sm_occupancy, 1.0) << traits.name;
+      }
+    }
+  }
+}
+
+TEST_F(AnalyticalModelTest, SampleLatencyJitterBounded) {
+  Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const double sample = AnalyticalPerfModel::sample_latency_ms(100.0, rng);
+    ASSERT_GE(sample, 91.0 - 1e-9);
+    ASSERT_LE(sample, 109.0 + 1e-9);
+  }
+}
+
+TEST_F(AnalyticalModelTest, H100GenerationScalesCompute) {
+  // Same MIG geometry, faster GPCs (paper Section V: Ampere..Blackwell
+  // share the instance layout). Compute-bound points speed up by the
+  // generation factor; host overhead does not.
+  AnalyticalPerfModel h100(ModelCatalog::builtin(), kH100);
+  const auto& traits = ModelCatalog::builtin().at("vgg-16");
+  const auto a100_point = model_.evaluate_mig(traits, 2, 32, 1).value();
+  const auto h100_point = h100.evaluate_mig(traits, 2, 32, 1).value();
+  EXPECT_LT(h100_point.latency_ms, a100_point.latency_ms);
+  EXPECT_GT(h100_point.throughput, 1.5 * a100_point.throughput);
+  // The GPU part scales exactly by the factor; host_ms is unchanged.
+  EXPECT_NEAR((a100_point.latency_ms - traits.host_ms) /
+                  (h100_point.latency_ms - traits.host_ms),
+              kH100.compute_scale, 1e-9);
+  EXPECT_STREQ(h100.generation().name, "H100-80GB");
+}
+
+TEST_F(AnalyticalModelTest, H100DoesNotChangeMemoryFeasibility) {
+  AnalyticalPerfModel h100(ModelCatalog::builtin(), kH100);
+  // OOM boundaries are identical: memory grants are per-profile.
+  EXPECT_FALSE(h100.evaluate_mig("inceptionv3", 1, 128, 3).ok());
+  EXPECT_TRUE(h100.evaluate_mig("inceptionv3", 7, 128, 3).ok());
+}
+
+// Property sweep across the whole grid: results are finite, positive, and
+// memory accounting is exact.
+class GridProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GridProperty, EveryFeasiblePointIsSane) {
+  const auto [g, b, p] = GetParam();
+  AnalyticalPerfModel model(ModelCatalog::builtin());
+  for (const auto& traits : ModelCatalog::builtin().all()) {
+    const auto result = model.evaluate_mig(traits, g, b, p);
+    const double expected_mem =
+        static_cast<double>(p) * AnalyticalPerfModel::process_memory_gib(traits, b);
+    if (expected_mem > gpu::instance_memory_gib(g)) {
+      EXPECT_FALSE(result.ok()) << traits.name;
+      continue;
+    }
+    ASSERT_TRUE(result.ok()) << traits.name;
+    const PerfPoint& point = result.value();
+    EXPECT_GT(point.latency_ms, 0.0);
+    EXPECT_GT(point.throughput, 0.0);
+    EXPECT_NEAR(point.memory_gib, expected_mem, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GridProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 7),
+                       ::testing::Values(1, 8, 32, 128),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace parva::perfmodel

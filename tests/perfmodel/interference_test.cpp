@@ -1,0 +1,82 @@
+#include "perfmodel/interference.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parva::perfmodel {
+namespace {
+
+class InterferenceTest : public ::testing::Test {
+ protected:
+  const ModelCatalog& catalog_ = ModelCatalog::builtin();
+};
+
+TEST_F(InterferenceTest, NoCoRunnersNoInterference) {
+  const auto& victim = catalog_.at("resnet-50");
+  EXPECT_DOUBLE_EQ(true_interference(victim, {}), 0.0);
+  EXPECT_DOUBLE_EQ(gpulet_predicted_interference(victim, {}), 0.0);
+  EXPECT_DOUBLE_EQ(igniter_predicted_interference(victim, {}), 0.0);
+}
+
+TEST_F(InterferenceTest, HomogeneousCoRunnersAreFree) {
+  // Same-model MPS sharing is handled by the MPS law, not the
+  // interference model (ParvaGPU's design premise).
+  const auto& victim = catalog_.at("resnet-50");
+  const CoRunner same{&victim, 0.5};
+  EXPECT_DOUBLE_EQ(true_interference(victim, {&same, 1}), 0.0);
+}
+
+TEST_F(InterferenceTest, TrueInterferenceFormula) {
+  const auto& victim = catalog_.at("resnet-50");
+  const auto& other = catalog_.at("vgg-16");
+  const CoRunner co{&other, 0.5};
+  EXPECT_NEAR(true_interference(victim, {&co, 1}),
+              kTrueContention * other.mem_intensity * 0.5, 1e-12);
+}
+
+TEST_F(InterferenceTest, GpuletIsOptimistic) {
+  const auto& victim = catalog_.at("resnet-50");
+  const auto& other = catalog_.at("bert-large");
+  const CoRunner co{&other, 0.7};
+  EXPECT_LT(gpulet_predicted_interference(victim, {&co, 1}),
+            true_interference(victim, {&co, 1}));
+}
+
+TEST_F(InterferenceTest, IgniterIsNoisyButBounded) {
+  const auto& victim = catalog_.at("densenet-121");
+  const auto& other = catalog_.at("vgg-19");
+  const CoRunner co{&other, 0.6};
+  const double truth = kIgniterContention * other.mem_intensity * 0.6;
+  const double predicted = igniter_predicted_interference(victim, {&co, 1});
+  EXPECT_GE(predicted, truth * (1.0 - kIgniterNoise) - 1e-12);
+  EXPECT_LE(predicted, truth * (1.0 + kIgniterNoise) + 1e-12);
+  // Deterministic: same pair, same prediction.
+  EXPECT_DOUBLE_EQ(predicted, igniter_predicted_interference(victim, {&co, 1}));
+}
+
+TEST_F(InterferenceTest, InterferenceAccumulatesAcrossCoRunners) {
+  const auto& victim = catalog_.at("resnet-50");
+  const auto& a = catalog_.at("vgg-16");
+  const auto& b = catalog_.at("bert-large");
+  const std::vector<CoRunner> both = {{&a, 0.3}, {&b, 0.3}};
+  const std::vector<CoRunner> only_a = {{&a, 0.3}};
+  const std::vector<CoRunner> only_b = {{&b, 0.3}};
+  EXPECT_NEAR(true_interference(victim, both),
+              true_interference(victim, only_a) + true_interference(victim, only_b), 1e-12);
+}
+
+TEST_F(InterferenceTest, ScalesWithCoRunnerFraction) {
+  const auto& victim = catalog_.at("resnet-50");
+  const auto& other = catalog_.at("vgg-16");
+  const CoRunner small{&other, 0.2};
+  const CoRunner large{&other, 0.8};
+  EXPECT_LT(true_interference(victim, {&small, 1}), true_interference(victim, {&large, 1}));
+}
+
+TEST_F(InterferenceTest, NullTraitsRejected) {
+  const auto& victim = catalog_.at("resnet-50");
+  const CoRunner bad{nullptr, 0.5};
+  EXPECT_THROW((void)true_interference(victim, {&bad, 1}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace parva::perfmodel

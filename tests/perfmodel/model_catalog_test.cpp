@@ -1,0 +1,66 @@
+#include "perfmodel/model_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parva::perfmodel {
+namespace {
+
+TEST(ModelCatalogTest, BuiltinHasElevenModels) {
+  const ModelCatalog& catalog = ModelCatalog::builtin();
+  EXPECT_EQ(catalog.size(), 11u);
+}
+
+TEST(ModelCatalogTest, TableIvModelsPresent) {
+  const ModelCatalog& catalog = ModelCatalog::builtin();
+  for (const char* name :
+       {"bert-large", "densenet-121", "densenet-169", "densenet-201", "inceptionv3",
+        "mobilenetv2", "resnet-101", "resnet-152", "resnet-50", "vgg-16", "vgg-19"}) {
+    EXPECT_NE(catalog.find(name), nullptr) << name;
+  }
+}
+
+TEST(ModelCatalogTest, ParameterCountsMatchTableIv) {
+  const ModelCatalog& catalog = ModelCatalog::builtin();
+  EXPECT_DOUBLE_EQ(catalog.at("bert-large").params_millions, 330.0);
+  EXPECT_DOUBLE_EQ(catalog.at("mobilenetv2").params_millions, 3.5);
+  EXPECT_DOUBLE_EQ(catalog.at("vgg-19").params_millions, 143.7);
+  EXPECT_DOUBLE_EQ(catalog.at("resnet-50").params_millions, 25.6);
+}
+
+TEST(ModelCatalogTest, UnknownModel) {
+  const ModelCatalog& catalog = ModelCatalog::builtin();
+  EXPECT_EQ(catalog.find("gpt-5"), nullptr);
+  EXPECT_THROW(catalog.at("gpt-5"), std::logic_error);
+}
+
+TEST(ModelCatalogTest, TraitsArePhysicallySensible) {
+  for (const WorkloadTraits& traits : ModelCatalog::builtin().all()) {
+    EXPECT_GT(traits.w0, 0.0) << traits.name;
+    EXPECT_GT(traits.w1, 0.0) << traits.name;
+    EXPECT_GT(traits.pi0, 0.0) << traits.name;
+    EXPECT_GT(traits.pi1, 0.0) << traits.name;
+    EXPECT_GT(traits.host_ms, 0.0) << traits.name;
+    EXPECT_GT(traits.mem0_gib, 0.0) << traits.name;
+    EXPECT_GT(traits.mem1_gib, 0.0) << traits.name;
+    EXPECT_GE(traits.mem_intensity, 0.0) << traits.name;
+    EXPECT_LE(traits.mem_intensity, 1.0) << traits.name;
+  }
+}
+
+TEST(ModelCatalogTest, BertIsTheHeaviestModel) {
+  const ModelCatalog& catalog = ModelCatalog::builtin();
+  const double bert_w1 = catalog.at("bert-large").w1;
+  for (const WorkloadTraits& traits : catalog.all()) {
+    if (traits.name != "bert-large") EXPECT_LT(traits.w1, bert_w1) << traits.name;
+  }
+}
+
+TEST(ModelCatalogTest, CustomCatalog) {
+  ModelCatalog catalog({WorkloadTraits{"toy", 1.0, 1.0, 1.0, 1.0, 0.1, 0.1, 1.0, 1.0, 0.1, 0.2}});
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_NE(catalog.find("toy"), nullptr);
+  EXPECT_EQ(catalog.names(), std::vector<std::string>{"toy"});
+}
+
+}  // namespace
+}  // namespace parva::perfmodel

@@ -1,0 +1,109 @@
+#include "profiler/measured_profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/parvagpu.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace parva::profiler {
+namespace {
+
+class MeasuredProfilerTest : public ::testing::Test {
+ protected:
+  MeasuredProfilerTest() : nvml_(cluster_), measured_(nvml_, perf_) {}
+
+  perfmodel::AnalyticalPerfModel perf_{perfmodel::ModelCatalog::builtin()};
+  gpu::GpuCluster cluster_{1};
+  gpu::NvmlSim nvml_{cluster_};
+  MeasuredProfiler measured_;
+};
+
+TEST_F(MeasuredProfilerTest, CoversTheFullGrid) {
+  const auto table = measured_.profile("resnet-50");
+  ASSERT_TRUE(table.ok()) << table.error().to_string();
+  EXPECT_EQ(table.value().size(), 5u * 8u * 3u);
+}
+
+TEST_F(MeasuredProfilerTest, CrossValidatesAgainstAnalyticalModel) {
+  // The hardware-path measurement must agree with the analytical grid to
+  // within the simulator's noise (sigma 3%, averaged over 32 batches:
+  // standard error ~0.5%; we allow 3%).
+  const auto measured = measured_.profile("inceptionv3").value();
+  Profiler analytical(perf_);
+  const auto expected = analytical.profile("inceptionv3");
+  for (const ProfilePoint& point : measured.points()) {
+    const ProfilePoint* reference = expected.find(point.gpcs, point.batch, point.procs);
+    ASSERT_NE(reference, nullptr);
+    ASSERT_EQ(point.oom, reference->oom)
+        << "g=" << point.gpcs << " b=" << point.batch << " p=" << point.procs;
+    if (point.oom) continue;
+    EXPECT_NEAR(point.latency_ms, reference->latency_ms, 0.03 * reference->latency_ms);
+    EXPECT_NEAR(point.throughput, reference->throughput, 0.03 * reference->throughput);
+  }
+}
+
+TEST_F(MeasuredProfilerTest, OomSurfacesThroughTheControlPlane) {
+  const auto table = measured_.profile("bert-large").value();
+  // bert-large at batch 128 with 3 processes cannot fit a 1g.10gb instance.
+  const ProfilePoint* point = table.find(1, 128, 3);
+  ASSERT_NE(point, nullptr);
+  EXPECT_TRUE(point->oom);
+  // The control-plane log shows the failed launch.
+  bool saw_oom = false;
+  for (const auto& op : nvml_.operation_log()) {
+    if (op.find("FAILED(out_of_memory") != std::string::npos) saw_oom = true;
+  }
+  EXPECT_TRUE(saw_oom);
+}
+
+TEST_F(MeasuredProfilerTest, LeavesTheDeviceIdle) {
+  ASSERT_TRUE(measured_.profile("mobilenetv2").ok());
+  EXPECT_TRUE(cluster_.gpu(0).empty());
+  EXPECT_EQ(cluster_.total_allocated_gpcs(), 0);
+}
+
+TEST_F(MeasuredProfilerTest, BusyDeviceRejected) {
+  ASSERT_TRUE(cluster_.gpu(0).create_instance(1).ok());
+  const auto table = measured_.profile("resnet-50");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.error().code(), ErrorCode::kInvalidArgument);
+  cluster_.gpu(0).reset();
+}
+
+TEST_F(MeasuredProfilerTest, UnknownModelRejected) {
+  const auto table = measured_.profile("mystery");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.error().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(MeasuredProfilerTest, DeterministicPerSeed) {
+  const auto a = measured_.profile("resnet-50").value();
+  MeasuredProfiler again(nvml_, perf_);
+  const auto b = again.profile("resnet-50").value();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.points()[i].throughput, b.points()[i].throughput);
+  }
+}
+
+TEST_F(MeasuredProfilerTest, SchedulerOnMeasuredProfilesMatchesAnalytical) {
+  // End-to-end: ParvaGPU built on hardware-measured profiles must produce
+  // essentially the same fleets as on analytical profiles.
+  const std::vector<std::string> models = {"resnet-50", "inceptionv3", "mobilenetv2",
+                                           "vgg-19", "bert-large", "densenet-121"};
+  const auto measured_set = measured_.profile_all(models).value();
+  Profiler analytical(perf_);
+  const auto analytical_set = analytical.profile_all(models);
+
+  const auto& s1 = scenarios::scenario("S1");
+  core::ParvaGpuScheduler on_measured(measured_set);
+  core::ParvaGpuScheduler on_analytical(analytical_set);
+  const auto a = on_measured.schedule(s1.services);
+  const auto b = on_analytical.schedule(s1.services);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(a.value().deployment.gpu_count, b.value().deployment.gpu_count, 1.0);
+}
+
+}  // namespace
+}  // namespace parva::profiler

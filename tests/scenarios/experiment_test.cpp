@@ -1,0 +1,92 @@
+#include "scenarios/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parva::scenarios {
+namespace {
+
+const ExperimentContext& context() {
+  static const ExperimentContext ctx = ExperimentContext::create();
+  return ctx;
+}
+
+TEST(ExperimentTest, FrameworkNames) {
+  EXPECT_EQ(framework_name(Framework::kGpulet), "gpulet");
+  EXPECT_EQ(framework_name(Framework::kIgniter), "iGniter");
+  EXPECT_EQ(framework_name(Framework::kMigServing), "MIG-serving");
+  EXPECT_EQ(framework_name(Framework::kParvaGpu), "ParvaGPU");
+  EXPECT_EQ(framework_name(Framework::kParvaGpuSingle), "ParvaGPU-single");
+  EXPECT_EQ(framework_name(Framework::kParvaGpuUnoptimized), "ParvaGPU-unoptimized");
+}
+
+TEST(ExperimentTest, FrameworkLists) {
+  EXPECT_EQ(headline_frameworks().size(), 4u);
+  EXPECT_EQ(all_frameworks().size(), 6u);
+}
+
+TEST(ExperimentTest, ContextProfilesAllModels) {
+  EXPECT_EQ(context().profiles().size(), 11u);
+}
+
+TEST(ExperimentTest, MakeSchedulerProducesDistinctInstances) {
+  auto a = context().make_scheduler(Framework::kParvaGpu);
+  auto b = context().make_scheduler(Framework::kParvaGpu);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->name(), "ParvaGPU");
+}
+
+TEST(ExperimentTest, RunWithoutSimulation) {
+  const auto result = run_experiment(context(), Framework::kParvaGpu, scenario("S1"));
+  ASSERT_TRUE(result.feasible);
+  EXPECT_FALSE(result.ran_simulation);
+  EXPECT_GT(result.gpu_count, 0);
+  EXPECT_GE(result.internal_slack, 0.0);
+  EXPECT_LE(result.internal_slack, 1.0);
+  EXPECT_EQ(result.framework, "ParvaGPU");
+  EXPECT_EQ(result.scenario, "S1");
+}
+
+TEST(ExperimentTest, RunWithSimulation) {
+  ExperimentOptions options;
+  options.run_simulation = true;
+  options.sim.duration_ms = 2'000.0;
+  options.sim.warmup_ms = 200.0;
+  const auto result = run_experiment(context(), Framework::kParvaGpu, scenario("S1"), options);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.ran_simulation);
+  EXPECT_DOUBLE_EQ(result.slo_compliance, 1.0);
+  EXPECT_GE(result.measured_internal_slack, 0.0);
+}
+
+TEST(ExperimentTest, InfeasibleFrameworkReported) {
+  const auto result = run_experiment(context(), Framework::kIgniter, scenario("S5"));
+  EXPECT_FALSE(result.feasible);
+  EXPECT_NE(result.failure.find("capacity_exceeded"), std::string::npos);
+}
+
+TEST(ExperimentTest, ParvaGpuBeatsEveryBaselineOnGpuCount) {
+  for (const auto& sc : all_scenarios()) {
+    const auto parva = run_experiment(context(), Framework::kParvaGpu, sc);
+    ASSERT_TRUE(parva.feasible) << sc.name;
+    for (Framework framework :
+         {Framework::kGpulet, Framework::kIgniter, Framework::kMigServing}) {
+      const auto other = run_experiment(context(), framework, sc);
+      if (!other.feasible) continue;
+      EXPECT_LE(parva.gpu_count, other.gpu_count)
+          << sc.name << " vs " << framework_name(framework);
+    }
+  }
+}
+
+TEST(ExperimentTest, TailExclusiveFragmentationNeverExceedsStrict) {
+  for (Framework framework : all_frameworks()) {
+    const auto result = run_experiment(context(), framework, scenario("S3"));
+    if (!result.feasible) continue;
+    EXPECT_LE(result.fragmentation_excl_tail,
+              result.external_fragmentation + 0.15)
+        << framework_name(framework);
+  }
+}
+
+}  // namespace
+}  // namespace parva::scenarios

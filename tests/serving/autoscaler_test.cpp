@@ -1,0 +1,100 @@
+#include "serving/autoscaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_support.hpp"
+
+namespace parva::serving {
+namespace {
+
+using core::testing::builtin_profiles;
+using core::testing::service;
+
+class AutoscalerTest : public ::testing::Test {
+ protected:
+  std::vector<core::ServiceSpec> base_services() {
+    return {service(0, "resnet-50", 205, 2000), service(1, "inceptionv3", 419, 1500),
+            service(2, "vgg-19", 397, 900)};
+  }
+
+  AutoscalerOptions fast_options() {
+    AutoscalerOptions options;
+    options.epoch_minutes = 60.0;
+    options.verify_duration_ms = 1'000.0;
+    return options;
+  }
+
+  perfmodel::AnalyticalPerfModel perf_{perfmodel::ModelCatalog::builtin()};
+};
+
+TEST_F(AutoscalerTest, DiurnalDaySavesGpuHoursVsStaticPeak) {
+  Autoscaler autoscaler(builtin_profiles(), perf_, fast_options());
+  const auto report = autoscaler.run_day(base_services(), RateTrace::diurnal());
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_EQ(report.value().epochs.size(), 24u);
+  EXPECT_GT(report.value().saving_vs_static(), 0.15);
+  EXPECT_LE(report.value().gpu_hours, report.value().static_gpu_hours);
+  EXPECT_GT(report.value().total_reconfigurations, 0);
+}
+
+TEST_F(AutoscalerTest, EveryEpochStaysCompliant) {
+  Autoscaler autoscaler(builtin_profiles(), perf_, fast_options());
+  const auto report = autoscaler.run_day(base_services(), RateTrace::diurnal());
+  ASSERT_TRUE(report.ok());
+  for (const EpochRecord& epoch : report.value().epochs) {
+    EXPECT_DOUBLE_EQ(epoch.slo_compliance, 1.0) << "t=" << epoch.t_hours;
+    EXPECT_GT(epoch.gpus, 0) << "t=" << epoch.t_hours;
+  }
+}
+
+TEST_F(AutoscalerTest, FlatTraceNeverReconfiguresAfterStart) {
+  Autoscaler autoscaler(builtin_profiles(), perf_, fast_options());
+  const auto report = autoscaler.run_day(base_services(), RateTrace::flat(1.0));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().total_reconfigurations, 0);
+  // Fleet size is constant.
+  for (const EpochRecord& epoch : report.value().epochs) {
+    EXPECT_EQ(epoch.gpus, report.value().epochs.front().gpus);
+  }
+  EXPECT_NEAR(report.value().saving_vs_static(), 0.0, 1e-9);
+}
+
+TEST_F(AutoscalerTest, SurgeGrowsAndShrinksTheFleet) {
+  Autoscaler autoscaler(builtin_profiles(), perf_, fast_options());
+  const auto report =
+      autoscaler.run_day(base_services(), RateTrace::surge(10.0, 13.0, 2.5));
+  ASSERT_TRUE(report.ok());
+  int before = 0;
+  int during = 0;
+  int after = 0;
+  for (const EpochRecord& epoch : report.value().epochs) {
+    if (epoch.t_hours < 9.0) before = std::max(before, epoch.gpus);
+    if (epoch.t_hours >= 10.5 && epoch.t_hours <= 12.5) during = std::max(during, epoch.gpus);
+    if (epoch.t_hours > 15.0) after = std::max(after, epoch.gpus);
+  }
+  EXPECT_GT(during, before);
+  EXPECT_LE(after, before + 1);  // the fleet contracts again after the surge
+}
+
+TEST_F(AutoscalerTest, VerificationCanBeDisabled) {
+  AutoscalerOptions options = fast_options();
+  options.verify_with_simulation = false;
+  Autoscaler autoscaler(builtin_profiles(), perf_, options);
+  const auto report = autoscaler.run_day(base_services(), RateTrace::diurnal());
+  ASSERT_TRUE(report.ok());
+  for (const EpochRecord& epoch : report.value().epochs) {
+    EXPECT_DOUBLE_EQ(epoch.slo_compliance, 1.0);
+    EXPECT_DOUBLE_EQ(epoch.internal_slack, 0.0);
+  }
+}
+
+TEST_F(AutoscalerTest, InvalidOptionsThrow) {
+  AutoscalerOptions bad = fast_options();
+  bad.epoch_minutes = 0.0;
+  Autoscaler autoscaler(builtin_profiles(), perf_, bad);
+  EXPECT_THROW((void)autoscaler.run_day(base_services(), RateTrace::diurnal()),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace parva::serving

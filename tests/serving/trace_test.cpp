@@ -1,0 +1,69 @@
+#include "serving/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parva::serving {
+namespace {
+
+TEST(RateTraceTest, FlatTraceIsConstant) {
+  const RateTrace trace = RateTrace::flat(0.7);
+  for (double t : {0.0, 6.0, 12.5, 23.99, 30.0, -5.0}) {
+    EXPECT_DOUBLE_EQ(trace.multiplier_at(t), 0.7) << t;
+  }
+}
+
+TEST(RateTraceTest, KnotsAreExact) {
+  const RateTrace trace({{2.0, 0.5}, {10.0, 1.5}});
+  EXPECT_DOUBLE_EQ(trace.multiplier_at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(trace.multiplier_at(10.0), 1.5);
+}
+
+TEST(RateTraceTest, LinearInterpolationBetweenKnots) {
+  const RateTrace trace({{0.0, 0.0}, {10.0, 1.0}});
+  EXPECT_NEAR(trace.multiplier_at(5.0), 0.5, 1e-12);
+  EXPECT_NEAR(trace.multiplier_at(2.5), 0.25, 1e-12);
+}
+
+TEST(RateTraceTest, WrapsAcrossMidnight) {
+  const RateTrace trace({{6.0, 1.0}, {18.0, 0.0}});
+  // Between 18:00 and 06:00 (+24) the value climbs back from 0 to 1.
+  EXPECT_NEAR(trace.multiplier_at(0.0), 0.5, 1e-12);  // halfway 18->30
+  EXPECT_NEAR(trace.multiplier_at(21.0), 0.25, 1e-12);
+  EXPECT_NEAR(trace.multiplier_at(3.0), 0.75, 1e-12);
+}
+
+TEST(RateTraceTest, PeriodicBeyondOneDay) {
+  const RateTrace trace = RateTrace::diurnal();
+  EXPECT_DOUBLE_EQ(trace.multiplier_at(3.0), trace.multiplier_at(27.0));
+  EXPECT_DOUBLE_EQ(trace.multiplier_at(21.0), trace.multiplier_at(45.0));
+}
+
+TEST(RateTraceTest, DiurnalShape) {
+  const RateTrace trace = RateTrace::diurnal();
+  // Night is quiet, evening peaks.
+  EXPECT_LT(trace.multiplier_at(4.0), 0.5);
+  EXPECT_GT(trace.multiplier_at(21.0), 1.2);
+  EXPECT_DOUBLE_EQ(trace.peak(), 1.25);
+  // Never negative, never absurd.
+  for (double t = 0.0; t < 24.0; t += 0.25) {
+    EXPECT_GE(trace.multiplier_at(t), 0.0);
+    EXPECT_LE(trace.multiplier_at(t), 1.5);
+  }
+}
+
+TEST(RateTraceTest, SurgeWindow) {
+  const RateTrace trace = RateTrace::surge(10.0, 12.0, 3.0);
+  EXPECT_NEAR(trace.multiplier_at(11.0), 3.0, 1e-12);
+  EXPECT_NEAR(trace.multiplier_at(5.0), 1.0, 1e-12);
+  EXPECT_NEAR(trace.multiplier_at(20.0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(trace.peak(), 3.0);
+}
+
+TEST(RateTraceTest, InvalidKnotsRejected) {
+  EXPECT_THROW(RateTrace({}), std::logic_error);
+  EXPECT_THROW(RateTrace({{25.0, 1.0}}), std::logic_error);
+  EXPECT_THROW(RateTrace({{1.0, -0.5}}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace parva::serving
