@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_migserving_slow.dir/ablation_migserving_slow.cpp.o"
+  "CMakeFiles/ablation_migserving_slow.dir/ablation_migserving_slow.cpp.o.d"
+  "ablation_migserving_slow"
+  "ablation_migserving_slow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_migserving_slow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_opt_threshold.dir/ablation_opt_threshold.cpp.o"
+  "CMakeFiles/ablation_opt_threshold.dir/ablation_opt_threshold.cpp.o.d"
+  "ablation_opt_threshold"
+  "ablation_opt_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_opt_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

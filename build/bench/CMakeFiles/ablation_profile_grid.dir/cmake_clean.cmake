@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_profile_grid.dir/ablation_profile_grid.cpp.o"
+  "CMakeFiles/ablation_profile_grid.dir/ablation_profile_grid.cpp.o.d"
+  "ablation_profile_grid"
+  "ablation_profile_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_profile_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_arrival_process.dir/extra_arrival_process.cpp.o"
+  "CMakeFiles/extra_arrival_process.dir/extra_arrival_process.cpp.o.d"
+  "extra_arrival_process"
+  "extra_arrival_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_arrival_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_autoscaling.dir/extra_autoscaling.cpp.o"
+  "CMakeFiles/extra_autoscaling.dir/extra_autoscaling.cpp.o.d"
+  "extra_autoscaling"
+  "extra_autoscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_autoscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

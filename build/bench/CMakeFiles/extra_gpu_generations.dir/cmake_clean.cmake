@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_gpu_generations.dir/extra_gpu_generations.cpp.o"
+  "CMakeFiles/extra_gpu_generations.dir/extra_gpu_generations.cpp.o.d"
+  "extra_gpu_generations"
+  "extra_gpu_generations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_gpu_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

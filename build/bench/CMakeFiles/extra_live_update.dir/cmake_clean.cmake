@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_live_update.dir/extra_live_update.cpp.o"
+  "CMakeFiles/extra_live_update.dir/extra_live_update.cpp.o.d"
+  "extra_live_update"
+  "extra_live_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_live_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_scalability_gpus.dir/fig10_scalability_gpus.cpp.o"
+  "CMakeFiles/fig10_scalability_gpus.dir/fig10_scalability_gpus.cpp.o.d"
+  "fig10_scalability_gpus"
+  "fig10_scalability_gpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_scalability_gpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_total_gpus.dir/fig5_total_gpus.cpp.o"
+  "CMakeFiles/fig5_total_gpus.dir/fig5_total_gpus.cpp.o.d"
+  "fig5_total_gpus"
+  "fig5_total_gpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_total_gpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_internal_slack.dir/fig6_internal_slack.cpp.o"
+  "CMakeFiles/fig6_internal_slack.dir/fig6_internal_slack.cpp.o.d"
+  "fig6_internal_slack"
+  "fig6_internal_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_internal_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

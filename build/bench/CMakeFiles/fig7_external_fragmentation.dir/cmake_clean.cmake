@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_external_fragmentation.dir/fig7_external_fragmentation.cpp.o"
+  "CMakeFiles/fig7_external_fragmentation.dir/fig7_external_fragmentation.cpp.o.d"
+  "fig7_external_fragmentation"
+  "fig7_external_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_external_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_slo_compliance.dir/fig8_slo_compliance.cpp.o"
+  "CMakeFiles/fig8_slo_compliance.dir/fig8_slo_compliance.cpp.o.d"
+  "fig8_slo_compliance"
+  "fig8_slo_compliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_slo_compliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_scheduling_delay.dir/fig9_scheduling_delay.cpp.o"
+  "CMakeFiles/fig9_scheduling_delay.dir/fig9_scheduling_delay.cpp.o.d"
+  "fig9_scheduling_delay"
+  "fig9_scheduling_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_scheduling_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

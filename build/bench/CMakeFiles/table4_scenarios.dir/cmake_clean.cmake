@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_scenarios.dir/table4_scenarios.cpp.o"
+  "CMakeFiles/table4_scenarios.dir/table4_scenarios.cpp.o.d"
+  "table4_scenarios"
+  "table4_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

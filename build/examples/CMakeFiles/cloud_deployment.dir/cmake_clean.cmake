@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_deployment.dir/cloud_deployment.cpp.o"
+  "CMakeFiles/cloud_deployment.dir/cloud_deployment.cpp.o.d"
+  "cloud_deployment"
+  "cloud_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

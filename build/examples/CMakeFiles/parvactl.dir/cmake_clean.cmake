@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parvactl.dir/parvactl.cpp.o"
+  "CMakeFiles/parvactl.dir/parvactl.cpp.o.d"
+  "parvactl"
+  "parvactl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parvactl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

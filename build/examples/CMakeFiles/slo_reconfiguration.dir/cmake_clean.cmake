@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_reconfiguration.dir/slo_reconfiguration.cpp.o"
+  "CMakeFiles/slo_reconfiguration.dir/slo_reconfiguration.cpp.o.d"
+  "slo_reconfiguration"
+  "slo_reconfiguration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_reconfiguration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/gpulet.cpp" "src/baselines/CMakeFiles/parva_baselines.dir/gpulet.cpp.o" "gcc" "src/baselines/CMakeFiles/parva_baselines.dir/gpulet.cpp.o.d"
+  "/root/repo/src/baselines/gslice.cpp" "src/baselines/CMakeFiles/parva_baselines.dir/gslice.cpp.o" "gcc" "src/baselines/CMakeFiles/parva_baselines.dir/gslice.cpp.o.d"
+  "/root/repo/src/baselines/igniter.cpp" "src/baselines/CMakeFiles/parva_baselines.dir/igniter.cpp.o" "gcc" "src/baselines/CMakeFiles/parva_baselines.dir/igniter.cpp.o.d"
+  "/root/repo/src/baselines/mig_serving.cpp" "src/baselines/CMakeFiles/parva_baselines.dir/mig_serving.cpp.o" "gcc" "src/baselines/CMakeFiles/parva_baselines.dir/mig_serving.cpp.o.d"
+  "/root/repo/src/baselines/mps_partition.cpp" "src/baselines/CMakeFiles/parva_baselines.dir/mps_partition.cpp.o" "gcc" "src/baselines/CMakeFiles/parva_baselines.dir/mps_partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parva_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/parva_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/parva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/parva_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/parva_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

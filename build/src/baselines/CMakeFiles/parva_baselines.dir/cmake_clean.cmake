@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parva_baselines.dir/gpulet.cpp.o"
+  "CMakeFiles/parva_baselines.dir/gpulet.cpp.o.d"
+  "CMakeFiles/parva_baselines.dir/gslice.cpp.o"
+  "CMakeFiles/parva_baselines.dir/gslice.cpp.o.d"
+  "CMakeFiles/parva_baselines.dir/igniter.cpp.o"
+  "CMakeFiles/parva_baselines.dir/igniter.cpp.o.d"
+  "CMakeFiles/parva_baselines.dir/mig_serving.cpp.o"
+  "CMakeFiles/parva_baselines.dir/mig_serving.cpp.o.d"
+  "CMakeFiles/parva_baselines.dir/mps_partition.cpp.o"
+  "CMakeFiles/parva_baselines.dir/mps_partition.cpp.o.d"
+  "libparva_baselines.a"
+  "libparva_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parva_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

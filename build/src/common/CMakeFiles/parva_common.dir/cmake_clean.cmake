@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parva_common.dir/cli.cpp.o"
+  "CMakeFiles/parva_common.dir/cli.cpp.o.d"
+  "CMakeFiles/parva_common.dir/logging.cpp.o"
+  "CMakeFiles/parva_common.dir/logging.cpp.o.d"
+  "CMakeFiles/parva_common.dir/stats.cpp.o"
+  "CMakeFiles/parva_common.dir/stats.cpp.o.d"
+  "CMakeFiles/parva_common.dir/strings.cpp.o"
+  "CMakeFiles/parva_common.dir/strings.cpp.o.d"
+  "CMakeFiles/parva_common.dir/table.cpp.o"
+  "CMakeFiles/parva_common.dir/table.cpp.o.d"
+  "CMakeFiles/parva_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/parva_common.dir/thread_pool.cpp.o.d"
+  "libparva_common.a"
+  "libparva_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parva_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparva_common.a"
+)

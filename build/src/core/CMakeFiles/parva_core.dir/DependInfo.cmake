@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocator.cpp" "src/core/CMakeFiles/parva_core.dir/allocator.cpp.o" "gcc" "src/core/CMakeFiles/parva_core.dir/allocator.cpp.o.d"
+  "/root/repo/src/core/configurator.cpp" "src/core/CMakeFiles/parva_core.dir/configurator.cpp.o" "gcc" "src/core/CMakeFiles/parva_core.dir/configurator.cpp.o.d"
+  "/root/repo/src/core/deployer.cpp" "src/core/CMakeFiles/parva_core.dir/deployer.cpp.o" "gcc" "src/core/CMakeFiles/parva_core.dir/deployer.cpp.o.d"
+  "/root/repo/src/core/deployment.cpp" "src/core/CMakeFiles/parva_core.dir/deployment.cpp.o" "gcc" "src/core/CMakeFiles/parva_core.dir/deployment.cpp.o.d"
+  "/root/repo/src/core/live_update.cpp" "src/core/CMakeFiles/parva_core.dir/live_update.cpp.o" "gcc" "src/core/CMakeFiles/parva_core.dir/live_update.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/parva_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/parva_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/parvagpu.cpp" "src/core/CMakeFiles/parva_core.dir/parvagpu.cpp.o" "gcc" "src/core/CMakeFiles/parva_core.dir/parvagpu.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/core/CMakeFiles/parva_core.dir/plan.cpp.o" "gcc" "src/core/CMakeFiles/parva_core.dir/plan.cpp.o.d"
+  "/root/repo/src/core/reconfigure.cpp" "src/core/CMakeFiles/parva_core.dir/reconfigure.cpp.o" "gcc" "src/core/CMakeFiles/parva_core.dir/reconfigure.cpp.o.d"
+  "/root/repo/src/core/service.cpp" "src/core/CMakeFiles/parva_core.dir/service.cpp.o" "gcc" "src/core/CMakeFiles/parva_core.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parva_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/parva_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/parva_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/parva_profiler.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

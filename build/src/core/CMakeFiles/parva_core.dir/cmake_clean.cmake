@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parva_core.dir/allocator.cpp.o"
+  "CMakeFiles/parva_core.dir/allocator.cpp.o.d"
+  "CMakeFiles/parva_core.dir/configurator.cpp.o"
+  "CMakeFiles/parva_core.dir/configurator.cpp.o.d"
+  "CMakeFiles/parva_core.dir/deployer.cpp.o"
+  "CMakeFiles/parva_core.dir/deployer.cpp.o.d"
+  "CMakeFiles/parva_core.dir/deployment.cpp.o"
+  "CMakeFiles/parva_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/parva_core.dir/live_update.cpp.o"
+  "CMakeFiles/parva_core.dir/live_update.cpp.o.d"
+  "CMakeFiles/parva_core.dir/metrics.cpp.o"
+  "CMakeFiles/parva_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/parva_core.dir/parvagpu.cpp.o"
+  "CMakeFiles/parva_core.dir/parvagpu.cpp.o.d"
+  "CMakeFiles/parva_core.dir/plan.cpp.o"
+  "CMakeFiles/parva_core.dir/plan.cpp.o.d"
+  "CMakeFiles/parva_core.dir/reconfigure.cpp.o"
+  "CMakeFiles/parva_core.dir/reconfigure.cpp.o.d"
+  "CMakeFiles/parva_core.dir/service.cpp.o"
+  "CMakeFiles/parva_core.dir/service.cpp.o.d"
+  "libparva_core.a"
+  "libparva_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parva_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

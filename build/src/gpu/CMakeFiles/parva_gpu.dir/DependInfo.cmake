@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/dcgm_sim.cpp" "src/gpu/CMakeFiles/parva_gpu.dir/dcgm_sim.cpp.o" "gcc" "src/gpu/CMakeFiles/parva_gpu.dir/dcgm_sim.cpp.o.d"
+  "/root/repo/src/gpu/gpu_cluster.cpp" "src/gpu/CMakeFiles/parva_gpu.dir/gpu_cluster.cpp.o" "gcc" "src/gpu/CMakeFiles/parva_gpu.dir/gpu_cluster.cpp.o.d"
+  "/root/repo/src/gpu/mig_geometry.cpp" "src/gpu/CMakeFiles/parva_gpu.dir/mig_geometry.cpp.o" "gcc" "src/gpu/CMakeFiles/parva_gpu.dir/mig_geometry.cpp.o.d"
+  "/root/repo/src/gpu/nvml_sim.cpp" "src/gpu/CMakeFiles/parva_gpu.dir/nvml_sim.cpp.o" "gcc" "src/gpu/CMakeFiles/parva_gpu.dir/nvml_sim.cpp.o.d"
+  "/root/repo/src/gpu/virtual_gpu.cpp" "src/gpu/CMakeFiles/parva_gpu.dir/virtual_gpu.cpp.o" "gcc" "src/gpu/CMakeFiles/parva_gpu.dir/virtual_gpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parva_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parva_gpu.dir/dcgm_sim.cpp.o"
+  "CMakeFiles/parva_gpu.dir/dcgm_sim.cpp.o.d"
+  "CMakeFiles/parva_gpu.dir/gpu_cluster.cpp.o"
+  "CMakeFiles/parva_gpu.dir/gpu_cluster.cpp.o.d"
+  "CMakeFiles/parva_gpu.dir/mig_geometry.cpp.o"
+  "CMakeFiles/parva_gpu.dir/mig_geometry.cpp.o.d"
+  "CMakeFiles/parva_gpu.dir/nvml_sim.cpp.o"
+  "CMakeFiles/parva_gpu.dir/nvml_sim.cpp.o.d"
+  "CMakeFiles/parva_gpu.dir/virtual_gpu.cpp.o"
+  "CMakeFiles/parva_gpu.dir/virtual_gpu.cpp.o.d"
+  "libparva_gpu.a"
+  "libparva_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parva_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/analytical_model.cpp" "src/perfmodel/CMakeFiles/parva_perfmodel.dir/analytical_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/parva_perfmodel.dir/analytical_model.cpp.o.d"
+  "/root/repo/src/perfmodel/interference.cpp" "src/perfmodel/CMakeFiles/parva_perfmodel.dir/interference.cpp.o" "gcc" "src/perfmodel/CMakeFiles/parva_perfmodel.dir/interference.cpp.o.d"
+  "/root/repo/src/perfmodel/model_catalog.cpp" "src/perfmodel/CMakeFiles/parva_perfmodel.dir/model_catalog.cpp.o" "gcc" "src/perfmodel/CMakeFiles/parva_perfmodel.dir/model_catalog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parva_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/parva_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parva_perfmodel.dir/analytical_model.cpp.o"
+  "CMakeFiles/parva_perfmodel.dir/analytical_model.cpp.o.d"
+  "CMakeFiles/parva_perfmodel.dir/interference.cpp.o"
+  "CMakeFiles/parva_perfmodel.dir/interference.cpp.o.d"
+  "CMakeFiles/parva_perfmodel.dir/model_catalog.cpp.o"
+  "CMakeFiles/parva_perfmodel.dir/model_catalog.cpp.o.d"
+  "libparva_perfmodel.a"
+  "libparva_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parva_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiler/measured_profiler.cpp" "src/profiler/CMakeFiles/parva_profiler.dir/measured_profiler.cpp.o" "gcc" "src/profiler/CMakeFiles/parva_profiler.dir/measured_profiler.cpp.o.d"
+  "/root/repo/src/profiler/profile_store.cpp" "src/profiler/CMakeFiles/parva_profiler.dir/profile_store.cpp.o" "gcc" "src/profiler/CMakeFiles/parva_profiler.dir/profile_store.cpp.o.d"
+  "/root/repo/src/profiler/profile_types.cpp" "src/profiler/CMakeFiles/parva_profiler.dir/profile_types.cpp.o" "gcc" "src/profiler/CMakeFiles/parva_profiler.dir/profile_types.cpp.o.d"
+  "/root/repo/src/profiler/profiler.cpp" "src/profiler/CMakeFiles/parva_profiler.dir/profiler.cpp.o" "gcc" "src/profiler/CMakeFiles/parva_profiler.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parva_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/parva_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/parva_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parva_profiler.dir/measured_profiler.cpp.o"
+  "CMakeFiles/parva_profiler.dir/measured_profiler.cpp.o.d"
+  "CMakeFiles/parva_profiler.dir/profile_store.cpp.o"
+  "CMakeFiles/parva_profiler.dir/profile_store.cpp.o.d"
+  "CMakeFiles/parva_profiler.dir/profile_types.cpp.o"
+  "CMakeFiles/parva_profiler.dir/profile_types.cpp.o.d"
+  "CMakeFiles/parva_profiler.dir/profiler.cpp.o"
+  "CMakeFiles/parva_profiler.dir/profiler.cpp.o.d"
+  "libparva_profiler.a"
+  "libparva_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parva_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

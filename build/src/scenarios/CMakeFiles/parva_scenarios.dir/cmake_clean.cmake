@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parva_scenarios.dir/experiment.cpp.o"
+  "CMakeFiles/parva_scenarios.dir/experiment.cpp.o.d"
+  "CMakeFiles/parva_scenarios.dir/scenarios.cpp.o"
+  "CMakeFiles/parva_scenarios.dir/scenarios.cpp.o.d"
+  "libparva_scenarios.a"
+  "libparva_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parva_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

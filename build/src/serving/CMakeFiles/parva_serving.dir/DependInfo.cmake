@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serving/autoscaler.cpp" "src/serving/CMakeFiles/parva_serving.dir/autoscaler.cpp.o" "gcc" "src/serving/CMakeFiles/parva_serving.dir/autoscaler.cpp.o.d"
+  "/root/repo/src/serving/cluster_sim.cpp" "src/serving/CMakeFiles/parva_serving.dir/cluster_sim.cpp.o" "gcc" "src/serving/CMakeFiles/parva_serving.dir/cluster_sim.cpp.o.d"
+  "/root/repo/src/serving/trace.cpp" "src/serving/CMakeFiles/parva_serving.dir/trace.cpp.o" "gcc" "src/serving/CMakeFiles/parva_serving.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parva_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/parva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/parva_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/parva_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/parva_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

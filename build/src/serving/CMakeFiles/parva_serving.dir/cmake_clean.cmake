@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parva_serving.dir/autoscaler.cpp.o"
+  "CMakeFiles/parva_serving.dir/autoscaler.cpp.o.d"
+  "CMakeFiles/parva_serving.dir/cluster_sim.cpp.o"
+  "CMakeFiles/parva_serving.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/parva_serving.dir/trace.cpp.o"
+  "CMakeFiles/parva_serving.dir/trace.cpp.o.d"
+  "libparva_serving.a"
+  "libparva_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parva_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

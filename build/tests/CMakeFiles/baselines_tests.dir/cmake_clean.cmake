@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_tests.dir/baselines/gpulet_test.cpp.o"
+  "CMakeFiles/baselines_tests.dir/baselines/gpulet_test.cpp.o.d"
+  "CMakeFiles/baselines_tests.dir/baselines/gslice_test.cpp.o"
+  "CMakeFiles/baselines_tests.dir/baselines/gslice_test.cpp.o.d"
+  "CMakeFiles/baselines_tests.dir/baselines/igniter_test.cpp.o"
+  "CMakeFiles/baselines_tests.dir/baselines/igniter_test.cpp.o.d"
+  "CMakeFiles/baselines_tests.dir/baselines/mig_serving_test.cpp.o"
+  "CMakeFiles/baselines_tests.dir/baselines/mig_serving_test.cpp.o.d"
+  "CMakeFiles/baselines_tests.dir/baselines/mps_partition_test.cpp.o"
+  "CMakeFiles/baselines_tests.dir/baselines/mps_partition_test.cpp.o.d"
+  "baselines_tests"
+  "baselines_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/allocator_fuzz_test.cpp" "tests/CMakeFiles/core_tests.dir/core/allocator_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/allocator_fuzz_test.cpp.o.d"
+  "/root/repo/tests/core/allocator_test.cpp" "tests/CMakeFiles/core_tests.dir/core/allocator_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/allocator_test.cpp.o.d"
+  "/root/repo/tests/core/configurator_test.cpp" "tests/CMakeFiles/core_tests.dir/core/configurator_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/configurator_test.cpp.o.d"
+  "/root/repo/tests/core/deployer_test.cpp" "tests/CMakeFiles/core_tests.dir/core/deployer_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/deployer_test.cpp.o.d"
+  "/root/repo/tests/core/live_update_test.cpp" "tests/CMakeFiles/core_tests.dir/core/live_update_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/live_update_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/parvagpu_test.cpp" "tests/CMakeFiles/core_tests.dir/core/parvagpu_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/parvagpu_test.cpp.o.d"
+  "/root/repo/tests/core/plan_test.cpp" "tests/CMakeFiles/core_tests.dir/core/plan_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/plan_test.cpp.o.d"
+  "/root/repo/tests/core/reconfigure_test.cpp" "tests/CMakeFiles/core_tests.dir/core/reconfigure_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/reconfigure_test.cpp.o.d"
+  "/root/repo/tests/core/service_test.cpp" "tests/CMakeFiles/core_tests.dir/core/service_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/service_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/parva_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/parva_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/parva_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/parva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/parva_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/parva_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/parva_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/parva_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

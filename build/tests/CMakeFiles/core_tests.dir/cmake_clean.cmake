@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/allocator_fuzz_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/allocator_fuzz_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/allocator_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/allocator_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/configurator_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/configurator_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/deployer_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/deployer_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/live_update_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/live_update_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/metrics_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/parvagpu_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/parvagpu_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/plan_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/plan_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/reconfigure_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/reconfigure_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/service_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/service_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

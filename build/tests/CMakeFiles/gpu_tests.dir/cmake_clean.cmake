@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_tests.dir/gpu/dcgm_sim_test.cpp.o"
+  "CMakeFiles/gpu_tests.dir/gpu/dcgm_sim_test.cpp.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/gpu_cluster_test.cpp.o"
+  "CMakeFiles/gpu_tests.dir/gpu/gpu_cluster_test.cpp.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/mig_geometry_test.cpp.o"
+  "CMakeFiles/gpu_tests.dir/gpu/mig_geometry_test.cpp.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/nvml_sim_test.cpp.o"
+  "CMakeFiles/gpu_tests.dir/gpu/nvml_sim_test.cpp.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/virtual_gpu_test.cpp.o"
+  "CMakeFiles/gpu_tests.dir/gpu/virtual_gpu_test.cpp.o.d"
+  "gpu_tests"
+  "gpu_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

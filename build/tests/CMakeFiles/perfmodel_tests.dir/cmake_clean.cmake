@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfmodel_tests.dir/perfmodel/analytical_model_test.cpp.o"
+  "CMakeFiles/perfmodel_tests.dir/perfmodel/analytical_model_test.cpp.o.d"
+  "CMakeFiles/perfmodel_tests.dir/perfmodel/interference_test.cpp.o"
+  "CMakeFiles/perfmodel_tests.dir/perfmodel/interference_test.cpp.o.d"
+  "CMakeFiles/perfmodel_tests.dir/perfmodel/model_catalog_test.cpp.o"
+  "CMakeFiles/perfmodel_tests.dir/perfmodel/model_catalog_test.cpp.o.d"
+  "perfmodel_tests"
+  "perfmodel_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfmodel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

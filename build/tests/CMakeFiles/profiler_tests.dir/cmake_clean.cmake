@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiler_tests.dir/profiler/measured_profiler_test.cpp.o"
+  "CMakeFiles/profiler_tests.dir/profiler/measured_profiler_test.cpp.o.d"
+  "CMakeFiles/profiler_tests.dir/profiler/profile_store_test.cpp.o"
+  "CMakeFiles/profiler_tests.dir/profiler/profile_store_test.cpp.o.d"
+  "CMakeFiles/profiler_tests.dir/profiler/profiler_test.cpp.o"
+  "CMakeFiles/profiler_tests.dir/profiler/profiler_test.cpp.o.d"
+  "profiler_tests"
+  "profiler_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiler_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenarios_tests.dir/scenarios/experiment_test.cpp.o"
+  "CMakeFiles/scenarios_tests.dir/scenarios/experiment_test.cpp.o.d"
+  "CMakeFiles/scenarios_tests.dir/scenarios/scenarios_test.cpp.o"
+  "CMakeFiles/scenarios_tests.dir/scenarios/scenarios_test.cpp.o.d"
+  "scenarios_tests"
+  "scenarios_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenarios_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

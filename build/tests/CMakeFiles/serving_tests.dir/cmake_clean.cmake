@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_tests.dir/serving/autoscaler_test.cpp.o"
+  "CMakeFiles/serving_tests.dir/serving/autoscaler_test.cpp.o.d"
+  "CMakeFiles/serving_tests.dir/serving/cluster_sim_test.cpp.o"
+  "CMakeFiles/serving_tests.dir/serving/cluster_sim_test.cpp.o.d"
+  "CMakeFiles/serving_tests.dir/serving/trace_test.cpp.o"
+  "CMakeFiles/serving_tests.dir/serving/trace_test.cpp.o.d"
+  "serving_tests"
+  "serving_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
