@@ -259,4 +259,5 @@ bench/CMakeFiles/extra_arrival_process.dir/extra_arrival_process.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/common/stats.hpp
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/common/stats.hpp \
+ /root/repo/src/gpu/fault_plan.hpp

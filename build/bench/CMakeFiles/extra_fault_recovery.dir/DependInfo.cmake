@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/extra_fault_recovery.cpp" "bench/CMakeFiles/extra_fault_recovery.dir/extra_fault_recovery.cpp.o" "gcc" "bench/CMakeFiles/extra_fault_recovery.dir/extra_fault_recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/parva_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/parva_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/parva_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/parva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/parva_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/parva_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/parva_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/parva_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_fault_recovery.dir/extra_fault_recovery.cpp.o"
+  "CMakeFiles/extra_fault_recovery.dir/extra_fault_recovery.cpp.o.d"
+  "extra_fault_recovery"
+  "extra_fault_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_fault_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -260,4 +260,4 @@ bench/CMakeFiles/fig8_slo_compliance.dir/fig8_slo_compliance.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/gpu/fault_plan.hpp

@@ -264,4 +264,5 @@ bench/CMakeFiles/fig9_scheduling_delay.dir/fig9_scheduling_delay.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/common/stats.hpp
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/common/stats.hpp \
+ /root/repo/src/gpu/fault_plan.hpp

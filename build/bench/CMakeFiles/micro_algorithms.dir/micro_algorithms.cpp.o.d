@@ -269,4 +269,5 @@ bench/CMakeFiles/micro_algorithms.dir/micro_algorithms.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/scenarios/scenarios.hpp \
- /root/repo/src/serving/cluster_sim.hpp /root/repo/src/common/stats.hpp
+ /root/repo/src/serving/cluster_sim.hpp /root/repo/src/common/stats.hpp \
+ /root/repo/src/gpu/fault_plan.hpp

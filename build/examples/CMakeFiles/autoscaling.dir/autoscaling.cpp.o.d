@@ -259,4 +259,4 @@ examples/CMakeFiles/autoscaling.dir/autoscaling.cpp.o: \
  /root/repo/src/core/configurator.hpp /root/repo/src/core/deployment.hpp \
  /root/repo/src/core/reconfigure.hpp \
  /root/repo/src/serving/cluster_sim.hpp /root/repo/src/common/stats.hpp \
- /root/repo/src/serving/trace.hpp
+ /root/repo/src/gpu/fault_plan.hpp /root/repo/src/serving/trace.hpp

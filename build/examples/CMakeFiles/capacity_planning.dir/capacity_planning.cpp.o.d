@@ -246,4 +246,5 @@ examples/CMakeFiles/capacity_planning.dir/capacity_planning.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/perfmodel/model_catalog.hpp \
  /root/repo/src/scenarios/scenarios.hpp \
- /root/repo/src/serving/cluster_sim.hpp /root/repo/src/common/stats.hpp
+ /root/repo/src/serving/cluster_sim.hpp /root/repo/src/common/stats.hpp \
+ /root/repo/src/gpu/fault_plan.hpp

@@ -259,4 +259,5 @@ examples/CMakeFiles/slo_reconfiguration.dir/slo_reconfiguration.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/perfmodel/model_catalog.hpp \
  /root/repo/src/scenarios/scenarios.hpp \
- /root/repo/src/serving/cluster_sim.hpp /root/repo/src/common/stats.hpp
+ /root/repo/src/serving/cluster_sim.hpp /root/repo/src/common/stats.hpp \
+ /root/repo/src/gpu/fault_plan.hpp

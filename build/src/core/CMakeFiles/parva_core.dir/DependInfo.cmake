@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/parvagpu.cpp" "src/core/CMakeFiles/parva_core.dir/parvagpu.cpp.o" "gcc" "src/core/CMakeFiles/parva_core.dir/parvagpu.cpp.o.d"
   "/root/repo/src/core/plan.cpp" "src/core/CMakeFiles/parva_core.dir/plan.cpp.o" "gcc" "src/core/CMakeFiles/parva_core.dir/plan.cpp.o.d"
   "/root/repo/src/core/reconfigure.cpp" "src/core/CMakeFiles/parva_core.dir/reconfigure.cpp.o" "gcc" "src/core/CMakeFiles/parva_core.dir/reconfigure.cpp.o.d"
+  "/root/repo/src/core/repair.cpp" "src/core/CMakeFiles/parva_core.dir/repair.cpp.o" "gcc" "src/core/CMakeFiles/parva_core.dir/repair.cpp.o.d"
   "/root/repo/src/core/service.cpp" "src/core/CMakeFiles/parva_core.dir/service.cpp.o" "gcc" "src/core/CMakeFiles/parva_core.dir/service.cpp.o.d"
   )
 

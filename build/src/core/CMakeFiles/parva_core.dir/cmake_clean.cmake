@@ -17,6 +17,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/parva_core.dir/plan.cpp.o.d"
   "CMakeFiles/parva_core.dir/reconfigure.cpp.o"
   "CMakeFiles/parva_core.dir/reconfigure.cpp.o.d"
+  "CMakeFiles/parva_core.dir/repair.cpp.o"
+  "CMakeFiles/parva_core.dir/repair.cpp.o.d"
   "CMakeFiles/parva_core.dir/service.cpp.o"
   "CMakeFiles/parva_core.dir/service.cpp.o.d"
   "libparva_core.a"

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/gpu/dcgm_sim.cpp" "src/gpu/CMakeFiles/parva_gpu.dir/dcgm_sim.cpp.o" "gcc" "src/gpu/CMakeFiles/parva_gpu.dir/dcgm_sim.cpp.o.d"
+  "/root/repo/src/gpu/fault_plan.cpp" "src/gpu/CMakeFiles/parva_gpu.dir/fault_plan.cpp.o" "gcc" "src/gpu/CMakeFiles/parva_gpu.dir/fault_plan.cpp.o.d"
   "/root/repo/src/gpu/gpu_cluster.cpp" "src/gpu/CMakeFiles/parva_gpu.dir/gpu_cluster.cpp.o" "gcc" "src/gpu/CMakeFiles/parva_gpu.dir/gpu_cluster.cpp.o.d"
   "/root/repo/src/gpu/mig_geometry.cpp" "src/gpu/CMakeFiles/parva_gpu.dir/mig_geometry.cpp.o" "gcc" "src/gpu/CMakeFiles/parva_gpu.dir/mig_geometry.cpp.o.d"
   "/root/repo/src/gpu/nvml_sim.cpp" "src/gpu/CMakeFiles/parva_gpu.dir/nvml_sim.cpp.o" "gcc" "src/gpu/CMakeFiles/parva_gpu.dir/nvml_sim.cpp.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/parva_gpu.dir/dcgm_sim.cpp.o"
   "CMakeFiles/parva_gpu.dir/dcgm_sim.cpp.o.d"
+  "CMakeFiles/parva_gpu.dir/fault_plan.cpp.o"
+  "CMakeFiles/parva_gpu.dir/fault_plan.cpp.o.d"
   "CMakeFiles/parva_gpu.dir/gpu_cluster.cpp.o"
   "CMakeFiles/parva_gpu.dir/gpu_cluster.cpp.o.d"
   "CMakeFiles/parva_gpu.dir/mig_geometry.cpp.o"

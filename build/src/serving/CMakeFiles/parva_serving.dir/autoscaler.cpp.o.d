@@ -179,7 +179,7 @@ src/serving/CMakeFiles/parva_serving.dir/autoscaler.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/common/stats.hpp \
+ /root/repo/src/common/stats.hpp /root/repo/src/gpu/fault_plan.hpp \
  /root/repo/src/perfmodel/analytical_model.hpp \
  /root/repo/src/perfmodel/model_catalog.hpp \
  /root/repo/src/serving/trace.hpp /usr/include/c++/12/algorithm \

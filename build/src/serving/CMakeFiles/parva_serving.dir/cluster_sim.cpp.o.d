@@ -171,6 +171,7 @@ src/serving/CMakeFiles/parva_serving.dir/cluster_sim.cpp.o: \
  /usr/include/c++/12/stdexcept /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/gpu/arch.hpp \
+ /root/repo/src/gpu/fault_plan.hpp \
  /root/repo/src/perfmodel/analytical_model.hpp \
  /root/repo/src/perfmodel/model_catalog.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
@@ -183,4 +184,5 @@ src/serving/CMakeFiles/parva_serving.dir/cluster_sim.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/core/metrics.hpp
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/core/metrics.hpp

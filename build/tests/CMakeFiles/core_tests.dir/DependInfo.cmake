@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/parvagpu_test.cpp" "tests/CMakeFiles/core_tests.dir/core/parvagpu_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/parvagpu_test.cpp.o.d"
   "/root/repo/tests/core/plan_test.cpp" "tests/CMakeFiles/core_tests.dir/core/plan_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/plan_test.cpp.o.d"
   "/root/repo/tests/core/reconfigure_test.cpp" "tests/CMakeFiles/core_tests.dir/core/reconfigure_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/reconfigure_test.cpp.o.d"
+  "/root/repo/tests/core/repair_test.cpp" "tests/CMakeFiles/core_tests.dir/core/repair_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/repair_test.cpp.o.d"
   "/root/repo/tests/core/service_test.cpp" "tests/CMakeFiles/core_tests.dir/core/service_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/service_test.cpp.o.d"
   )
 

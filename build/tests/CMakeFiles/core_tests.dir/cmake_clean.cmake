@@ -17,6 +17,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/core_tests.dir/core/plan_test.cpp.o.d"
   "CMakeFiles/core_tests.dir/core/reconfigure_test.cpp.o"
   "CMakeFiles/core_tests.dir/core/reconfigure_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/repair_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/repair_test.cpp.o.d"
   "CMakeFiles/core_tests.dir/core/service_test.cpp.o"
   "CMakeFiles/core_tests.dir/core/service_test.cpp.o.d"
   "core_tests"

@@ -9,7 +9,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/gpu/dcgm_sim_test.cpp" "tests/CMakeFiles/gpu_tests.dir/gpu/dcgm_sim_test.cpp.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/dcgm_sim_test.cpp.o.d"
+  "/root/repo/tests/gpu/fault_plan_test.cpp" "tests/CMakeFiles/gpu_tests.dir/gpu/fault_plan_test.cpp.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/fault_plan_test.cpp.o.d"
   "/root/repo/tests/gpu/gpu_cluster_test.cpp" "tests/CMakeFiles/gpu_tests.dir/gpu/gpu_cluster_test.cpp.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/gpu_cluster_test.cpp.o.d"
+  "/root/repo/tests/gpu/mig_geometry_property_test.cpp" "tests/CMakeFiles/gpu_tests.dir/gpu/mig_geometry_property_test.cpp.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/mig_geometry_property_test.cpp.o.d"
   "/root/repo/tests/gpu/mig_geometry_test.cpp" "tests/CMakeFiles/gpu_tests.dir/gpu/mig_geometry_test.cpp.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/mig_geometry_test.cpp.o.d"
   "/root/repo/tests/gpu/nvml_sim_test.cpp" "tests/CMakeFiles/gpu_tests.dir/gpu/nvml_sim_test.cpp.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/nvml_sim_test.cpp.o.d"
   "/root/repo/tests/gpu/virtual_gpu_test.cpp" "tests/CMakeFiles/gpu_tests.dir/gpu/virtual_gpu_test.cpp.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/virtual_gpu_test.cpp.o.d"

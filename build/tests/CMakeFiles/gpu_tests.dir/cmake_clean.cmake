@@ -1,8 +1,12 @@
 file(REMOVE_RECURSE
   "CMakeFiles/gpu_tests.dir/gpu/dcgm_sim_test.cpp.o"
   "CMakeFiles/gpu_tests.dir/gpu/dcgm_sim_test.cpp.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/fault_plan_test.cpp.o"
+  "CMakeFiles/gpu_tests.dir/gpu/fault_plan_test.cpp.o.d"
   "CMakeFiles/gpu_tests.dir/gpu/gpu_cluster_test.cpp.o"
   "CMakeFiles/gpu_tests.dir/gpu/gpu_cluster_test.cpp.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/mig_geometry_property_test.cpp.o"
+  "CMakeFiles/gpu_tests.dir/gpu/mig_geometry_property_test.cpp.o.d"
   "CMakeFiles/gpu_tests.dir/gpu/mig_geometry_test.cpp.o"
   "CMakeFiles/gpu_tests.dir/gpu/mig_geometry_test.cpp.o.d"
   "CMakeFiles/gpu_tests.dir/gpu/nvml_sim_test.cpp.o"

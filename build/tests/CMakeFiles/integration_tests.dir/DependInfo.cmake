@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o.d"
   "/root/repo/tests/integration/plan_driver_differential_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/plan_driver_differential_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/plan_driver_differential_test.cpp.o.d"
+  "/root/repo/tests/integration/sim_vs_model_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/sim_vs_model_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/sim_vs_model_test.cpp.o.d"
   )
 
 # Targets to which this target links.

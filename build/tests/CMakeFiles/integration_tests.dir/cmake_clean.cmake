@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o.d"
   "CMakeFiles/integration_tests.dir/integration/plan_driver_differential_test.cpp.o"
   "CMakeFiles/integration_tests.dir/integration/plan_driver_differential_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/sim_vs_model_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/sim_vs_model_test.cpp.o.d"
   "integration_tests"
   "integration_tests.pdb"
 )

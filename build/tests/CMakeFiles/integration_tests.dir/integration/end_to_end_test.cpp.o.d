@@ -299,10 +299,8 @@ tests/CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o: \
  /root/repo/src/profiler/profile_types.hpp \
  /root/repo/src/gpu/mig_geometry.hpp /root/repo/src/common/error.hpp \
  /root/repo/src/gpu/arch.hpp /root/repo/src/gpu/nvml_sim.hpp \
- /root/repo/src/gpu/gpu_cluster.hpp /root/repo/src/gpu/virtual_gpu.hpp \
- /root/repo/src/perfmodel/analytical_model.hpp \
- /root/repo/src/common/rng.hpp /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/gpu/fault_plan.hpp /root/repo/src/common/rng.hpp \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -329,6 +327,8 @@ tests/CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/gpu/gpu_cluster.hpp /root/repo/src/gpu/virtual_gpu.hpp \
+ /root/repo/src/perfmodel/analytical_model.hpp \
  /root/repo/src/perfmodel/model_catalog.hpp \
  /root/repo/src/core/metrics.hpp /root/repo/src/core/parvagpu.hpp \
  /root/repo/src/core/allocator.hpp /usr/include/c++/12/deque \

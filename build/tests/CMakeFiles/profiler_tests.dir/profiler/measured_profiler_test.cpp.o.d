@@ -153,9 +153,10 @@ tests/CMakeFiles/profiler_tests.dir/profiler/measured_profiler_test.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/gpu/nvml_sim.hpp /root/repo/src/gpu/gpu_cluster.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /root/repo/src/gpu/nvml_sim.hpp /root/repo/src/gpu/fault_plan.hpp \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef /root/repo/src/gpu/gpu_cluster.hpp \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -239,8 +240,8 @@ tests/CMakeFiles/profiler_tests.dir/profiler/measured_profiler_test.cpp.o: \
  /root/repo/src/common/error.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/gpu/arch.hpp \
- /usr/include/c++/12/array /root/repo/src/gpu/mig_geometry.hpp \
- /usr/include/c++/12/span /root/repo/src/perfmodel/analytical_model.hpp \
+ /root/repo/src/gpu/mig_geometry.hpp \
+ /root/repo/src/perfmodel/analytical_model.hpp \
  /root/repo/src/perfmodel/model_catalog.hpp \
  /root/repo/src/profiler/profile_types.hpp \
  /root/repo/src/profiler/profiler.hpp \

@@ -246,7 +246,7 @@ tests/CMakeFiles/scenarios_tests.dir/scenarios/experiment_test.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/common/stats.hpp \
- /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/gpu/fault_plan.hpp /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

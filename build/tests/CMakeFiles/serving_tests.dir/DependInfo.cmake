@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/serving/autoscaler_test.cpp" "tests/CMakeFiles/serving_tests.dir/serving/autoscaler_test.cpp.o" "gcc" "tests/CMakeFiles/serving_tests.dir/serving/autoscaler_test.cpp.o.d"
   "/root/repo/tests/serving/cluster_sim_test.cpp" "tests/CMakeFiles/serving_tests.dir/serving/cluster_sim_test.cpp.o" "gcc" "tests/CMakeFiles/serving_tests.dir/serving/cluster_sim_test.cpp.o.d"
+  "/root/repo/tests/serving/fault_sim_test.cpp" "tests/CMakeFiles/serving_tests.dir/serving/fault_sim_test.cpp.o" "gcc" "tests/CMakeFiles/serving_tests.dir/serving/fault_sim_test.cpp.o.d"
   "/root/repo/tests/serving/trace_test.cpp" "tests/CMakeFiles/serving_tests.dir/serving/trace_test.cpp.o" "gcc" "tests/CMakeFiles/serving_tests.dir/serving/trace_test.cpp.o.d"
   )
 

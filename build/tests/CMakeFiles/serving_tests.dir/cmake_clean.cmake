@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/serving_tests.dir/serving/autoscaler_test.cpp.o.d"
   "CMakeFiles/serving_tests.dir/serving/cluster_sim_test.cpp.o"
   "CMakeFiles/serving_tests.dir/serving/cluster_sim_test.cpp.o.d"
+  "CMakeFiles/serving_tests.dir/serving/fault_sim_test.cpp.o"
+  "CMakeFiles/serving_tests.dir/serving/fault_sim_test.cpp.o.d"
   "CMakeFiles/serving_tests.dir/serving/trace_test.cpp.o"
   "CMakeFiles/serving_tests.dir/serving/trace_test.cpp.o.d"
   "serving_tests"

@@ -171,6 +171,7 @@ tests/CMakeFiles/serving_tests.dir/serving/cluster_sim_test.cpp.o: \
  /usr/include/c++/12/stdexcept /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/gpu/arch.hpp \
+ /root/repo/src/gpu/fault_plan.hpp \
  /root/repo/src/perfmodel/analytical_model.hpp \
  /root/repo/src/perfmodel/model_catalog.hpp \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/memory \

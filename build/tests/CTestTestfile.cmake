@@ -9,16 +9,16 @@ set_tests_properties(common_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tes
 add_test(gpu_tests "/root/repo/build/tests/gpu_tests")
 set_tests_properties(gpu_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;parva_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(perfmodel_tests "/root/repo/build/tests/perfmodel_tests")
-set_tests_properties(perfmodel_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;25;parva_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(perfmodel_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;27;parva_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(profiler_tests "/root/repo/build/tests/profiler_tests")
-set_tests_properties(profiler_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;30;parva_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(profiler_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;32;parva_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(core_tests "/root/repo/build/tests/core_tests")
-set_tests_properties(core_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;35;parva_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(core_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;37;parva_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(baselines_tests "/root/repo/build/tests/baselines_tests")
-set_tests_properties(baselines_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;47;parva_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(baselines_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;50;parva_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(serving_tests "/root/repo/build/tests/serving_tests")
-set_tests_properties(serving_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;54;parva_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(serving_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;57;parva_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(scenarios_tests "/root/repo/build/tests/scenarios_tests")
-set_tests_properties(scenarios_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;59;parva_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(scenarios_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;63;parva_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(integration_tests "/root/repo/build/tests/integration_tests")
-set_tests_properties(integration_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;63;parva_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(integration_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;67;parva_test;/root/repo/tests/CMakeLists.txt;0;")

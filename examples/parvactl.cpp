@@ -9,10 +9,19 @@
 //       a header and rows: id,model,slo_latency_ms,request_rate.
 //   scenarios
 //       List the built-in Table IV scenarios.
+//   simulate --scenario S2 | --services services.csv
+//            [--inject-fault gpu=0@t=10000] [--transient-p 0.15]
+//            [--seed 7] [--duration-ms 28000]
+//       Schedule, then replay the deployment in the discrete-event
+//       simulator. With --inject-fault the named GPU drops out XID-style at
+//       the given simulated time; the self-healing repair path re-places
+//       the displaced segments and the report shows compliance through the
+//       failure (pre / degraded / recovered) plus recovery metrics.
 //
 // Examples:
 //   $ parvactl profile --models resnet-50,vgg-19 --out /tmp/profiles.csv
 //   $ parvactl schedule --services my_services.csv
+//   $ parvactl simulate --scenario S2 --inject-fault gpu=0@t=10000
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -22,21 +31,51 @@
 #include "common/table.hpp"
 #include "core/metrics.hpp"
 #include "core/parvagpu.hpp"
+#include "core/repair.hpp"
+#include "gpu/dcgm_sim.hpp"
 #include "profiler/profile_store.hpp"
 #include "profiler/profiler.hpp"
 #include "scenarios/scenarios.hpp"
+#include "serving/cluster_sim.hpp"
 
 namespace {
 
 using namespace parva;
 
 int usage() {
-  std::cerr << "usage: parvactl <profile|schedule|scenarios> [flags]\n"
+  std::cerr << "usage: parvactl <profile|schedule|scenarios|simulate> [flags]\n"
                "  profile   --models a,b,c [--out profiles.csv]\n"
                "  schedule  --services services.csv | --scenario S2\n"
                "            [--profiles profiles.csv] [--framework ParvaGPU]\n"
-               "  scenarios\n";
+               "  scenarios\n"
+               "  simulate  --services services.csv | --scenario S2\n"
+               "            [--inject-fault gpu=0@t=10000] [--transient-p 0.15]\n"
+               "            [--seed 7] [--duration-ms 28000]\n";
   return 2;
+}
+
+/// Parses the --inject-fault spec "gpu=K@t=MS" (t in simulated ms).
+bool parse_fault_spec(const std::string& spec, gpu::GpuFailureEvent* out) {
+  int gpu_index = -1;
+  double at_ms = -1.0;
+  for (const auto& part : split(spec, '@')) {
+    const auto kv = split(trim(part), '=');
+    if (kv.size() != 2) return false;
+    const auto key = trim(kv[0]);
+    double value = 0.0;
+    if (!parse_double(trim(kv[1]), value)) return false;
+    if (key == "gpu") {
+      gpu_index = static_cast<int>(value);
+    } else if (key == "t") {
+      at_ms = value;
+    } else {
+      return false;
+    }
+  }
+  if (gpu_index < 0 || at_ms < 0.0) return false;
+  out->gpu_index = gpu_index;
+  out->at_ms = at_ms;
+  return true;
 }
 
 Result<std::vector<core::ServiceSpec>> load_services(const std::string& path) {
@@ -178,6 +217,145 @@ int cmd_schedule(const CliArgs& args) {
   return 0;
 }
 
+int cmd_simulate(const CliArgs& args) {
+  std::vector<core::ServiceSpec> services;
+  if (args.has("services")) {
+    auto loaded = load_services(args.get("services", ""));
+    if (!loaded.ok()) {
+      std::cerr << loaded.error().to_string() << "\n";
+      return 1;
+    }
+    services = std::move(loaded).value();
+  } else if (args.has("scenario")) {
+    services = scenarios::scenario(args.get("scenario", "S2")).services;
+  } else {
+    return usage();
+  }
+
+  perfmodel::AnalyticalPerfModel perf(perfmodel::ModelCatalog::builtin());
+  profiler::Profiler profiler(perf);
+  const auto profiles = profiler.profile_all(perfmodel::ModelCatalog::builtin().names());
+  core::ParvaGpuScheduler scheduler(profiles);
+  const auto scheduled = scheduler.schedule(services);
+  if (!scheduled.ok()) {
+    std::cerr << "scheduling failed: " << scheduled.error().to_string() << "\n";
+    return 1;
+  }
+  core::Deployment deployment = scheduled.value().deployment;
+  for (auto& unit : deployment.units) {
+    for (const auto& spec : services) {
+      if (spec.id == unit.service_id) unit.model = spec.model;
+    }
+  }
+
+  double value = 0.0;
+  gpu::FaultPlan fault_plan;
+  if (args.has("seed") && parse_double(args.get("seed", ""), value)) {
+    fault_plan.seed = static_cast<std::uint64_t>(value);
+  }
+  if (args.has("transient-p")) {
+    if (!parse_double(args.get("transient-p", ""), value) || value < 0.0 || value > 1.0) {
+      std::cerr << "bad --transient-p (want a probability)\n";
+      return 1;
+    }
+    fault_plan.transient_create_failure_prob = value;
+  }
+  gpu::GpuFailureEvent failure;
+  if (args.has("inject-fault")) {
+    if (!parse_fault_spec(args.get("inject-fault", ""), &failure)) {
+      std::cerr << "bad --inject-fault (want gpu=K@t=MS)\n";
+      return 1;
+    }
+    if (failure.gpu_index >= deployment.gpu_count) {
+      std::cerr << "--inject-fault gpu out of range (fleet has " << deployment.gpu_count
+                << " GPUs)\n";
+      return 1;
+    }
+    fault_plan.gpu_failures.push_back(failure);
+  }
+
+  serving::SimulationOptions options;
+  options.seed = fault_plan.seed;
+  if (args.has("duration-ms") && parse_double(args.get("duration-ms", ""), value)) {
+    options.duration_ms = value;
+  } else {
+    options.duration_ms = 28'000.0;
+  }
+  options.warmup_ms = 2'000.0;
+  options.timeline_bucket_ms = 2'000.0;
+
+  // Materialise the fleet on the (possibly faulty) control plane; on a
+  // scheduled loss, run the repair path and feed its replacements into the
+  // simulation as mid-run activations.
+  gpu::GpuCluster cluster(static_cast<std::size_t>(deployment.gpu_count));
+  gpu::NvmlSim nvml(cluster);
+  gpu::DcgmSim dcgm;
+  gpu::FaultInjector injector(fault_plan);
+  nvml.set_fault_injector(&injector);
+  nvml.attach_health_monitor(&dcgm);
+  core::Deployer deployer(nvml, perf);
+  auto state = deployer.deploy(deployment);
+  if (!state.ok()) {
+    std::cerr << "deploy failed: " << state.error().to_string() << "\n";
+    return 1;
+  }
+
+  core::Deployment sim_deployment = deployment;
+  if (!fault_plan.gpu_failures.empty()) {
+    nvml.set_time_ms(failure.at_ms);
+    (void)nvml.fail_device(static_cast<unsigned>(failure.gpu_index), failure.xid);
+    core::LiveUpdater updater(deployer);
+    core::RepairCoordinator repairer(deployer, updater);
+    auto repaired =
+        repairer.handle_gpu_loss(deployment, state.value(), failure.gpu_index);
+    if (!repaired.ok()) {
+      std::cerr << "repair failed: " << repaired.error().to_string() << "\n";
+      return 1;
+    }
+    const auto& repair = repaired.value();
+    const double recovered_at = failure.at_ms + repair.recovery_ms;
+    options.fault_plan = &fault_plan;
+    options.recovered_at_ms = recovered_at;
+    for (const auto& unit : repair.replacements) {
+      options.activations.push_back({sim_deployment.units.size(), recovered_at});
+      sim_deployment.units.push_back(unit);
+    }
+    sim_deployment.gpu_count = repair.deployment.gpu_count;
+    std::cout << "fault: GPU " << failure.gpu_index << " lost at t="
+              << format_double(failure.at_ms, 0) << " ms (XID " << failure.xid << "), "
+              << repair.lost_units << " unit(s) displaced, repaired in "
+              << format_double(repair.recovery_ms, 0) << " ms ("
+              << repair.replaced_units << " replacement(s))\n\n";
+  }
+
+  serving::ClusterSimulation sim(sim_deployment, services, perf);
+  const auto result = sim.run(options);
+
+  TextTable table({"t (s)", "batches", "compliance", "shed"});
+  for (const auto& bucket : result.timeline) {
+    table.add_row({format_double((options.warmup_ms + bucket.t_ms) / 1000.0, 0),
+                   std::to_string(bucket.batches), format_double(bucket.compliance(), 4),
+                   std::to_string(bucket.shed_requests)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\noverall compliance: " << format_double(result.overall_compliance(), 4);
+  if (result.failure_at_ms >= 0.0) {
+    std::cout << "  pre-failure: " << format_double(result.pre_failure.compliance(), 4)
+              << "  degraded: " << format_double(result.degraded.compliance(), 4)
+              << "  recovered: " << format_double(result.post_recovery.compliance(), 4)
+              << "\nrequests shed: " << result.requests_shed;
+  }
+  const auto& stats = deployer.total_stats();
+  if (stats.transient_retries > 0) {
+    std::cout << "\ntransient retries: " << stats.transient_retries
+              << "  backoff: " << format_double(stats.backoff_ms, 0) << " ms"
+              << "  fallback placements: " << stats.fallback_placements;
+  }
+  std::cout << "\n";
+  return 0;
+}
+
 int cmd_scenarios() {
   TextTable table({"scenario", "services", "total req/s", "tightest SLO (ms)"});
   for (const auto& sc : scenarios::all_scenarios()) {
@@ -204,6 +382,7 @@ int main(int argc, char** argv) {
     if (command == "profile") return cmd_profile(args);
     if (command == "schedule") return cmd_schedule(args);
     if (command == "scenarios") return cmd_scenarios();
+    if (command == "simulate") return cmd_simulate(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full verification: plain build + tests, then the same suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer (the asan-ubsan preset).
+# Run from the repository root:  ./scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== configure + build (default preset) =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$(nproc)"
+
+echo "== ctest (default preset) =="
+ctest --preset default
+
+echo "== configure + build (asan-ubsan preset) =="
+cmake --preset asan-ubsan >/dev/null
+cmake --build --preset asan-ubsan -j "$(nproc)"
+
+echo "== ctest (asan-ubsan preset) =="
+ctest --preset asan-ubsan
+
+echo "verify: OK"

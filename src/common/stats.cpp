@@ -75,7 +75,10 @@ void Samples::ensure_sorted() const {
 
 double Samples::percentile(double p) const {
   PARVA_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of range");
-  PARVA_REQUIRE(!values_.empty(), "percentile on empty sample set");
+  // Empty sets report 0.0 like mean(): callers aggregate outcomes where a
+  // service can legitimately complete zero requests (e.g. every unit lost
+  // mid-run), and that must not abort the whole report.
+  if (values_.empty()) return 0.0;
   ensure_sorted();
   if (values_.size() == 1) return values_[0];
   const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);

@@ -55,7 +55,17 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
       }
     }));
   }
-  for (auto& future : futures) future.get();  // propagates first exception
+  // Wait for every worker before rethrowing: an early rethrow would unwind
+  // the caller's frame (and `fn`) while the other workers still call it.
+  std::exception_ptr first;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace parva

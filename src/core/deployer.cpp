@@ -1,6 +1,47 @@
 #include "core/deployer.hpp"
 
+#include <algorithm>
+
 namespace parva::core {
+
+gpu::NvmlReturn Deployer::create_instance_with_retry(const DeployedUnit& unit,
+                                                     gpu::GlobalInstanceId* out,
+                                                     DeployStats& stats) {
+  const auto device = static_cast<unsigned>(unit.gpu_index);
+  const int gpcs = unit.placement->gpcs;
+
+  auto attempt_slot = [&](int start_slot) {
+    double backoff = retry_.initial_backoff_ms;
+    gpu::NvmlReturn ret = gpu::NvmlReturn::kErrorInUse;
+    for (int attempt = 0; attempt < std::max(1, retry_.max_attempts); ++attempt) {
+      ret = nvml_->create_gpu_instance_with_placement(device, gpcs, start_slot, out);
+      if (!gpu::nvml_is_transient(ret)) return ret;
+      // Transient: back off (simulated — the accounting is what matters)
+      // and retry the same placement.
+      ++stats.transient_retries;
+      stats.backoff_ms += backoff;
+      backoff = std::min(backoff * retry_.backoff_multiplier, retry_.max_backoff_ms);
+    }
+    return ret;
+  };
+
+  gpu::NvmlReturn ret = attempt_slot(unit.placement->start_slot);
+  if (ret == gpu::NvmlReturn::kSuccess || !retry_.allow_fallback_placement) return ret;
+  if (ret == gpu::NvmlReturn::kErrorGpuIsLost) return ret;  // nothing to fall back to
+
+  // The planned slot stayed blocked: try the other legal start slots on the
+  // same device, in the paper's preference order.
+  for (int slot : gpu::preferred_start_slots(gpcs)) {
+    if (slot == unit.placement->start_slot) continue;
+    const gpu::NvmlReturn fallback = attempt_slot(slot);
+    if (fallback == gpu::NvmlReturn::kSuccess) {
+      ++stats.fallback_placements;
+      return fallback;
+    }
+    if (fallback == gpu::NvmlReturn::kErrorGpuIsLost) return fallback;
+  }
+  return ret;  // report the original failure
+}
 
 Result<DeployedState> Deployer::deploy(const Deployment& deployment) {
   if (!deployment.uses_mig) {
@@ -10,6 +51,7 @@ Result<DeployedState> Deployer::deploy(const Deployment& deployment) {
   }
   DeployedState state;
   state.unit_instances.reserve(deployment.units.size());
+  DeployStats stats;
 
   // Grow the cluster up front so placements land on the intended devices.
   while (nvml_->cluster().size() < static_cast<std::size_t>(deployment.gpu_count)) {
@@ -20,10 +62,10 @@ Result<DeployedState> Deployer::deploy(const Deployment& deployment) {
   for (const DeployedUnit& unit : deployment.units) {
     PARVA_REQUIRE(unit.placement.has_value(), "MIG unit requires a placement");
     gpu::GlobalInstanceId id;
-    auto ret = nvml_->create_gpu_instance_with_placement(
-        static_cast<unsigned>(unit.gpu_index), unit.placement->gpcs, unit.placement->start_slot,
-        &id);
+    auto ret = create_instance_with_retry(unit, &id, stats);
     if (ret != gpu::NvmlReturn::kSuccess) {
+      last_stats_ = stats;
+      total_stats_.merge(stats);
       return Error(ErrorCode::kInternal, std::string("create_gpu_instance failed: ") +
                                              gpu::nvml_error_string(ret));
     }
@@ -53,11 +95,16 @@ Result<DeployedState> Deployer::deploy(const Deployment& deployment) {
     }
     state.unit_instances.push_back(id);
   }
+  last_stats_ = stats;
+  total_stats_.merge(stats);
   return state;
 }
 
 Status Deployer::teardown(const DeployedState& state) {
   for (const auto& id : state.unit_instances) {
+    if (id.gpu >= 0 && nvml_->device_lost(static_cast<unsigned>(id.gpu))) {
+      continue;  // the device reset already destroyed the instance
+    }
     nvml_->kill_processes(id);
     const auto ret = nvml_->destroy_gpu_instance(id);
     if (ret != gpu::NvmlReturn::kSuccess) {

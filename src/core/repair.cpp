@@ -1,0 +1,130 @@
+#include "core/repair.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace parva::core {
+
+std::vector<std::size_t> RepairCoordinator::detect_lost_units(
+    const Deployment& deployment) const {
+  std::vector<std::size_t> lost;
+  for (std::size_t i = 0; i < deployment.units.size(); ++i) {
+    const int gpu = deployment.units[i].gpu_index;
+    if (gpu >= 0 && deployer_->nvml().device_lost(static_cast<unsigned>(gpu))) {
+      lost.push_back(i);
+    }
+  }
+  return lost;
+}
+
+Result<RepairReport> RepairCoordinator::handle_gpu_loss(Deployment& current,
+                                                        DeployedState& state, int lost_gpu) {
+  if (state.unit_instances.size() != current.units.size()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "DeployedState does not match the current deployment");
+  }
+  if (!current.uses_mig) {
+    return Error(ErrorCode::kUnsupported, "repair operates on MIG-backed deployments");
+  }
+
+  RepairReport report;
+  report.lost_gpu = lost_gpu;
+
+  // Partition the deployment into survivors and the units the failure took
+  // down. The lost instances no longer exist on the hardware (the device
+  // reset destroyed them), so the survivor state simply drops their ids.
+  Deployment survivors = current;
+  survivors.units.clear();
+  DeployedState survivor_state;
+  std::vector<DeployedUnit> lost_units;
+  for (std::size_t i = 0; i < current.units.size(); ++i) {
+    if (current.units[i].gpu_index == lost_gpu) {
+      lost_units.push_back(current.units[i]);
+    } else {
+      survivors.units.push_back(current.units[i]);
+      survivor_state.unit_instances.push_back(state.unit_instances[i]);
+    }
+  }
+  report.lost_units = static_cast<int>(lost_units.size());
+  if (lost_units.empty()) {
+    report.deployment = current;
+    return report;  // nothing hosted there; no recovery needed
+  }
+
+  std::set<int> affected;
+  for (const DeployedUnit& unit : lost_units) {
+    affected.insert(unit.service_id);
+    report.displaced_rate += unit.actual_throughput;
+  }
+  report.affected_services.assign(affected.begin(), affected.end());
+
+  // Free-slot geometry of the surviving fleet.
+  std::map<int, std::uint8_t> occupied;
+  int max_gpu = lost_gpu;
+  for (const DeployedUnit& unit : survivors.units) {
+    PARVA_REQUIRE(unit.placement.has_value(), "MIG unit requires a placement");
+    occupied[unit.gpu_index] |= unit.placement->slot_mask();
+    max_gpu = std::max(max_gpu, unit.gpu_index);
+  }
+
+  // Re-place the displaced units, largest first so big profiles grab the
+  // remaining contiguous gaps before 1-GPC segments fragment them. Each
+  // replacement keeps its triplet (size/batch/procs), so the restored
+  // capacity equals the displaced capacity exactly; only the placement
+  // moves. When no surviving GPU has room, a standby device (index beyond
+  // the current fleet — the cloud's replacement node) takes the segment.
+  std::vector<DeployedUnit> displaced = lost_units;
+  std::stable_sort(displaced.begin(), displaced.end(),
+                   [](const DeployedUnit& a, const DeployedUnit& b) {
+                     return a.placement->gpcs > b.placement->gpcs;
+                   });
+  for (DeployedUnit unit : displaced) {
+    const int gpcs = unit.placement->gpcs;
+    bool placed = false;
+    for (int g = 0; g <= max_gpu && !placed; ++g) {
+      if (g == lost_gpu) continue;
+      const auto slot = gpu::find_start_slot(occupied[g], gpcs);
+      if (!slot.has_value()) continue;
+      unit.gpu_index = g;
+      unit.placement = gpu::Placement{gpcs, *slot};
+      occupied[g] |= unit.placement->slot_mask();
+      placed = true;
+    }
+    if (!placed) {
+      ++max_gpu;  // standby device; an empty GPU fits any single profile
+      unit.gpu_index = max_gpu;
+      unit.placement = gpu::Placement{gpcs, gpu::preferred_start_slots(gpcs).front()};
+      occupied[max_gpu] |= unit.placement->slot_mask();
+    }
+    report.replacements.push_back(std::move(unit));
+  }
+  report.replaced_units = static_cast<int>(report.replacements.size());
+
+  Deployment target = survivors;
+  target.units.insert(target.units.end(), report.replacements.begin(),
+                      report.replacements.end());
+  target.gpu_count = std::max(current.gpu_count, max_gpu + 1);
+
+  // Drive the transition through the live updater: survivors stay
+  // untouched, only the replacements are created.
+  const DeployStats before = deployer_->total_stats();
+  auto update = updater_->apply(survivors, survivor_state, target, options_.strategy);
+  if (!update.ok()) return update.error();
+  const DeployStats after = deployer_->total_stats();
+  report.deploy_stats.transient_retries = after.transient_retries - before.transient_retries;
+  report.deploy_stats.backoff_ms = after.backoff_ms - before.backoff_ms;
+  report.deploy_stats.fallback_placements =
+      after.fallback_placements - before.fallback_placements;
+
+  report.update = std::move(update).value();
+  report.recovery_ms = options_.detection_latency_ms + report.update.makespan_ms +
+                       report.deploy_stats.backoff_ms;
+  report.deployment = target;
+
+  current = std::move(target);
+  state = std::move(survivor_state);
+  return report;
+}
+
+}  // namespace parva::core

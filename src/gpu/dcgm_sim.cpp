@@ -2,6 +2,15 @@
 
 namespace parva::gpu {
 
+const char* to_string(HealthEventKind kind) {
+  switch (kind) {
+    case HealthEventKind::kDeviceLost: return "device_lost";
+    case HealthEventKind::kTransientCreateFailure: return "transient_create_failure";
+    case HealthEventKind::kSlowReconfig: return "slow_reconfig";
+  }
+  return "unknown";
+}
+
 void DcgmSim::watch(GlobalInstanceId id, int sms) {
   ActivityRecord& record = records_[id];
   record.sms = sms;
@@ -29,6 +38,26 @@ std::vector<GlobalInstanceId> DcgmSim::watched() const {
   return ids;
 }
 
-void DcgmSim::clear() { records_.clear(); }
+void DcgmSim::record_health_event(HealthEvent event) {
+  health_events_.push_back(std::move(event));
+}
+
+std::vector<HealthEvent> DcgmSim::drain_health_events() {
+  std::vector<HealthEvent> drained = std::move(health_events_);
+  health_events_.clear();
+  return drained;
+}
+
+bool DcgmSim::device_unhealthy(int gpu) const {
+  for (const HealthEvent& event : health_events_) {
+    if (event.gpu == gpu && event.kind == HealthEventKind::kDeviceLost) return true;
+  }
+  return false;
+}
+
+void DcgmSim::clear() {
+  records_.clear();
+  health_events_.clear();
+}
 
 }  // namespace parva::gpu

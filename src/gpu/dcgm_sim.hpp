@@ -33,6 +33,26 @@ struct GlobalInstanceIdLess {
   }
 };
 
+/// Health-watch event categories (DCGM_HEALTH_WATCH_* analogues).
+enum class HealthEventKind {
+  kDeviceLost,             ///< XID-style whole-GPU loss (fatal)
+  kTransientCreateFailure, ///< NVML_ERROR_IN_USE on instance creation
+  kSlowReconfig,           ///< control-plane latency above the nominal cost
+};
+
+const char* to_string(HealthEventKind kind);
+
+/// One health event surfaced by the simulated health watches. The repair
+/// path (core/repair.hpp) consumes kDeviceLost events exactly as a
+/// production control loop consumes DCGM's fatal XID notifications.
+struct HealthEvent {
+  double time_ms = 0.0;
+  int gpu = -1;
+  int xid = 0;  ///< nonzero for device-loss events
+  HealthEventKind kind = HealthEventKind::kDeviceLost;
+  std::string detail;
+};
+
 class DcgmSim {
  public:
   /// Registers an instance for monitoring with its SM grant.
@@ -50,10 +70,23 @@ class DcgmSim {
   /// All watched instances.
   std::vector<GlobalInstanceId> watched() const;
 
+  /// Appends a health event to the watch stream.
+  void record_health_event(HealthEvent event);
+
+  /// Events recorded so far, in arrival order.
+  const std::vector<HealthEvent>& health_events() const { return health_events_; }
+
+  /// Returns and removes all pending events (a control loop's poll).
+  std::vector<HealthEvent> drain_health_events();
+
+  /// True when any fatal (device-loss) event is pending for `gpu`.
+  bool device_unhealthy(int gpu) const;
+
   void clear();
 
  private:
   std::map<GlobalInstanceId, ActivityRecord, GlobalInstanceIdLess> records_;
+  std::vector<HealthEvent> health_events_;
 };
 
 }  // namespace parva::gpu

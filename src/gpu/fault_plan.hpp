@@ -1,0 +1,115 @@
+// Deterministic fault injection for the simulated control plane.
+//
+// Cloud fleets lose devices: ECC/XID events drop whole A100s mid-epoch and
+// nvmlDeviceCreateGpuInstance intermittently fails with NVML_ERROR_IN_USE
+// while the driver finishes tearing down a previous instance. The paper's
+// evaluation assumes a healthy fleet; this module makes failure a
+// first-class, *reproducible* input so every recovery path can be driven in
+// CI. A FaultPlan is pure data (schedule + probabilities + seed); the
+// FaultInjector interprets it with its own RNG stream, so two runs with the
+// same plan inject byte-identical fault sequences.
+//
+// Real-hardware mapping (see DESIGN.md "Failure model"):
+//   * GpuFailureEvent        <-> XID 79 "GPU has fallen off the bus" /
+//                                XID 48 double-bit ECC; surfaced by DCGM
+//                                health watches as a fatal device event.
+//   * transient create fault <-> NVML_ERROR_IN_USE from
+//                                nvmlDeviceCreateGpuInstance /
+//                                nvmlGpuInstanceCreateComputeInstance.
+//   * slow-reconfig latency  <-> the "milliseconds to a few seconds"
+//                                reconfiguration tail of Section III-F.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace parva::gpu {
+
+/// Scheduled whole-device loss at a simulated time (XID-style).
+struct GpuFailureEvent {
+  double at_ms = 0.0;  ///< simulated time of the failure
+  int gpu_index = -1;  ///< device that drops out
+  int xid = 79;        ///< NVIDIA XID code (79 = GPU fell off the bus)
+
+  bool operator==(const GpuFailureEvent&) const = default;
+};
+
+/// Declarative fault schedule. Deterministic: all randomness derives from
+/// `seed`, so a plan replays identically across runs and platforms.
+struct FaultPlan {
+  std::uint64_t seed = 1234;
+
+  /// Whole-GPU losses, executed by whoever owns the clock (the cluster
+  /// simulator mid-run, or a test/bench calling NvmlSim::fail_device).
+  std::vector<GpuFailureEvent> gpu_failures;
+
+  /// Probability in [0,1] that one create_gpu_instance /
+  /// create_compute_instance call fails transiently (NVML_ERROR_IN_USE).
+  double transient_create_failure_prob = 0.0;
+
+  /// Upper bound on back-to-back transient failures of the same retry loop,
+  /// mirroring the real driver (IN_USE clears once teardown completes).
+  /// Keeping this below the Deployer's max_attempts guarantees retries
+  /// always converge, making transient faults invisible in the final
+  /// deployment (they only show in retry metrics).
+  int max_consecutive_transient_failures = 4;
+
+  /// Additive control-plane latency injected into each successful instance
+  /// creation (slow-reconfig tail), in milliseconds.
+  double extra_create_latency_ms = 0.0;
+
+  /// Multiplier on control-plane operation latencies (1.0 = nominal).
+  double slow_reconfig_factor = 1.0;
+
+  bool has_faults() const {
+    return !gpu_failures.empty() || transient_create_failure_prob > 0.0 ||
+           extra_create_latency_ms > 0.0 || slow_reconfig_factor != 1.0;
+  }
+
+  /// Failures sorted by time (the plan itself may list them in any order).
+  std::vector<GpuFailureEvent> sorted_gpu_failures() const;
+
+  /// Earliest scheduled device loss, or a negative time when none.
+  double first_failure_ms() const;
+};
+
+/// Runtime interpreter of a FaultPlan. Owns the derived RNG stream and the
+/// injection counters; one injector instance should drive one control
+/// plane so the fault sequence is a pure function of the plan.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Decides whether the next instance-creation call fails transiently.
+  /// Deterministic given the plan seed and call sequence; never returns
+  /// true more than `max_consecutive_transient_failures` times in a row.
+  bool next_create_fails();
+
+  /// Call after a create succeeds (or was not attempted) to close a retry
+  /// run; resets the consecutive-failure bound.
+  void note_create_succeeded() { consecutive_failures_ = 0; }
+
+  /// Latency to add to one successful create op under the plan's
+  /// slow-reconfig injection, given the nominal cost of the op.
+  double create_latency_ms(double nominal_ms) const {
+    return nominal_ms * (plan_.slow_reconfig_factor - 1.0) + plan_.extra_create_latency_ms;
+  }
+
+  int transient_failures_injected() const { return transient_failures_injected_; }
+
+  /// Restarts the injector from the plan seed (for replay tests).
+  void reset();
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  int consecutive_failures_ = 0;
+  int transient_failures_injected_ = 0;
+};
+
+}  // namespace parva::gpu

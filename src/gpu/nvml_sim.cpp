@@ -1,6 +1,7 @@
 #include "gpu/nvml_sim.hpp"
 
 #include "common/strings.hpp"
+#include "gpu/dcgm_sim.hpp"
 
 namespace parva::gpu {
 
@@ -12,9 +13,13 @@ const char* nvml_error_string(NvmlReturn ret) {
     case NvmlReturn::kErrorInsufficientResources: return "insufficient resources";
     case NvmlReturn::kErrorInsufficientMemory: return "insufficient memory";
     case NvmlReturn::kErrorNotSupported: return "not supported";
+    case NvmlReturn::kErrorInUse: return "in use";
+    case NvmlReturn::kErrorGpuIsLost: return "gpu is lost";
   }
   return "unknown";
 }
+
+bool nvml_is_transient(NvmlReturn ret) { return ret == NvmlReturn::kErrorInUse; }
 
 std::vector<GpuInstanceProfileInfo> NvmlSim::supported_profiles() {
   std::vector<GpuInstanceProfileInfo> profiles;
@@ -41,6 +46,7 @@ std::vector<GpuInstancePlacementInfo> NvmlSim::profile_placements(int gpc_count)
 
 NvmlReturn NvmlSim::set_mig_mode(unsigned device, bool enabled) {
   if (device >= cluster_->size()) return NvmlReturn::kErrorNotFound;
+  if (device_lost(device)) return NvmlReturn::kErrorGpuIsLost;
   if (mig_enabled_.size() < cluster_->size()) mig_enabled_.resize(cluster_->size(), true);
   mig_enabled_[device] = enabled;
   cluster_->gpu(device).reset();
@@ -52,6 +58,42 @@ NvmlReturn NvmlSim::set_mig_mode(unsigned device, bool enabled) {
 bool NvmlSim::mig_mode(unsigned device) const {
   if (device < mig_enabled_.size()) return mig_enabled_[device];
   return true;  // simulated devices boot with MIG enabled
+}
+
+NvmlReturn NvmlSim::fail_device(unsigned device, int xid) {
+  if (device >= cluster_->size()) return NvmlReturn::kErrorNotFound;
+  if (lost_.size() < cluster_->size()) lost_.resize(cluster_->size(), false);
+  lost_[device] = true;
+  // The device resets: every instance (and its processes) is gone.
+  cluster_->gpu(device).reset();
+  operations_.push_back("fail_device gpu=" + std::to_string(device) +
+                        " xid=" + std::to_string(xid));
+  if (dcgm_ != nullptr) {
+    dcgm_->record_health_event(HealthEvent{time_ms_, static_cast<int>(device), xid,
+                                           HealthEventKind::kDeviceLost,
+                                           "XID " + std::to_string(xid) + ": device lost"});
+  }
+  return NvmlReturn::kSuccess;
+}
+
+NvmlReturn NvmlSim::restore_device(unsigned device) {
+  if (device >= cluster_->size()) return NvmlReturn::kErrorNotFound;
+  if (device < lost_.size()) lost_[device] = false;
+  cluster_->gpu(device).reset();
+  operations_.push_back("restore_device gpu=" + std::to_string(device));
+  return NvmlReturn::kSuccess;
+}
+
+bool NvmlSim::device_lost(unsigned device) const {
+  return device < lost_.size() && lost_[device];
+}
+
+std::vector<int> NvmlSim::lost_devices() const {
+  std::vector<int> lost;
+  for (std::size_t i = 0; i < lost_.size(); ++i) {
+    if (lost_[i]) lost.push_back(static_cast<int>(i));
+  }
+  return lost;
 }
 
 NvmlReturn NvmlSim::translate(const Status& status, const std::string& op) {
@@ -68,35 +110,59 @@ NvmlReturn NvmlSim::translate(const Status& status, const std::string& op) {
   return NvmlReturn::kErrorNotSupported;
 }
 
-NvmlReturn NvmlSim::create_gpu_instance(unsigned device, int gpc_count, GlobalInstanceId* out) {
-  auto result = cluster_->create_instance(device, gpc_count);
-  if (!result.ok()) {
-    return translate(Status(result.error()), "create_gi gpu=" + std::to_string(device) +
-                                                 " gpcs=" + std::to_string(gpc_count));
+NvmlReturn NvmlSim::check_create(unsigned device, const std::string& op) {
+  if (device_lost(device)) {
+    operations_.push_back(op + " FAILED(gpu is lost)");
+    return NvmlReturn::kErrorGpuIsLost;
   }
+  if (injector_ != nullptr && injector_->next_create_fails()) {
+    operations_.push_back(op + " FAULT(in use)");
+    if (dcgm_ != nullptr) {
+      dcgm_->record_health_event(HealthEvent{time_ms_, static_cast<int>(device), 0,
+                                             HealthEventKind::kTransientCreateFailure,
+                                             "NVML_ERROR_IN_USE injected"});
+    }
+    return NvmlReturn::kErrorInUse;
+  }
+  return NvmlReturn::kSuccess;
+}
+
+NvmlReturn NvmlSim::create_gpu_instance(unsigned device, int gpc_count, GlobalInstanceId* out) {
+  const std::string op =
+      "create_gi gpu=" + std::to_string(device) + " gpcs=" + std::to_string(gpc_count);
+  if (const NvmlReturn vetoed = check_create(device, op); vetoed != NvmlReturn::kSuccess) {
+    return vetoed;
+  }
+  auto result = cluster_->create_instance(device, gpc_count);
+  if (!result.ok()) return translate(Status(result.error()), op);
+  if (injector_ != nullptr) injector_->note_create_succeeded();
   if (out != nullptr) *out = result.value();
-  operations_.push_back("create_gi gpu=" + std::to_string(device) +
-                        " gpcs=" + std::to_string(gpc_count) +
-                        " handle=" + std::to_string(result.value().handle));
+  operations_.push_back(op + " handle=" + std::to_string(result.value().handle));
   return NvmlReturn::kSuccess;
 }
 
 NvmlReturn NvmlSim::create_gpu_instance_with_placement(unsigned device, int gpc_count,
                                                        int start_slot, GlobalInstanceId* out) {
   if (device >= cluster_->size()) return NvmlReturn::kErrorNotFound;
-  auto result = cluster_->gpu(device).create_instance_at(gpc_count, start_slot);
-  if (!result.ok()) {
-    return translate(Status(result.error()),
-                     "create_gi_placed gpu=" + std::to_string(device) +
-                         " gpcs=" + std::to_string(gpc_count) + "@" + std::to_string(start_slot));
+  const std::string op = "create_gi_placed gpu=" + std::to_string(device) +
+                         " gpcs=" + std::to_string(gpc_count) + "@" + std::to_string(start_slot);
+  if (const NvmlReturn vetoed = check_create(device, op); vetoed != NvmlReturn::kSuccess) {
+    return vetoed;
   }
+  auto result = cluster_->gpu(device).create_instance_at(gpc_count, start_slot);
+  if (!result.ok()) return translate(Status(result.error()), op);
+  if (injector_ != nullptr) injector_->note_create_succeeded();
   if (out != nullptr) *out = GlobalInstanceId{static_cast<int>(device), result.value()};
-  operations_.push_back("create_gi_placed gpu=" + std::to_string(device) +
-                        " gpcs=" + std::to_string(gpc_count) + "@" + std::to_string(start_slot));
+  operations_.push_back(op);
   return NvmlReturn::kSuccess;
 }
 
 NvmlReturn NvmlSim::destroy_gpu_instance(GlobalInstanceId id) {
+  if (id.gpu >= 0 && device_lost(static_cast<unsigned>(id.gpu))) {
+    operations_.push_back("destroy_gi gpu=" + std::to_string(id.gpu) +
+                          " handle=" + std::to_string(id.handle) + " FAILED(gpu is lost)");
+    return NvmlReturn::kErrorGpuIsLost;
+  }
   return translate(cluster_->destroy_instance(id),
                    "destroy_gi gpu=" + std::to_string(id.gpu) +
                        " handle=" + std::to_string(id.handle));
@@ -106,6 +172,7 @@ NvmlReturn NvmlSim::start_mps_daemon(GlobalInstanceId id) {
   if (id.gpu < 0 || static_cast<std::size_t>(id.gpu) >= cluster_->size()) {
     return NvmlReturn::kErrorNotFound;
   }
+  if (device_lost(static_cast<unsigned>(id.gpu))) return NvmlReturn::kErrorGpuIsLost;
   return translate(cluster_->gpu(static_cast<std::size_t>(id.gpu)).enable_mps(id.handle),
                    "start_mps gpu=" + std::to_string(id.gpu) +
                        " handle=" + std::to_string(id.handle));
@@ -115,6 +182,7 @@ NvmlReturn NvmlSim::launch_process(GlobalInstanceId id, const MpsProcess& proces
   if (id.gpu < 0 || static_cast<std::size_t>(id.gpu) >= cluster_->size()) {
     return NvmlReturn::kErrorNotFound;
   }
+  if (device_lost(static_cast<unsigned>(id.gpu))) return NvmlReturn::kErrorGpuIsLost;
   return translate(cluster_->gpu(static_cast<std::size_t>(id.gpu)).attach_process(id.handle, process),
                    "launch gpu=" + std::to_string(id.gpu) + " handle=" +
                        std::to_string(id.handle) + " model=" + process.model +
@@ -125,6 +193,7 @@ NvmlReturn NvmlSim::kill_processes(GlobalInstanceId id) {
   if (id.gpu < 0 || static_cast<std::size_t>(id.gpu) >= cluster_->size()) {
     return NvmlReturn::kErrorNotFound;
   }
+  if (device_lost(static_cast<unsigned>(id.gpu))) return NvmlReturn::kErrorGpuIsLost;
   return translate(
       cluster_->gpu(static_cast<std::size_t>(id.gpu)).detach_all_processes(id.handle),
       "kill gpu=" + std::to_string(id.gpu) + " handle=" + std::to_string(id.handle));

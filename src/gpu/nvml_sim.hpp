@@ -4,15 +4,25 @@
 // real MIG hardware the same call shapes map 1:1 onto
 // nvmlDeviceCreateGpuInstance / nvmlGpuInstanceCreateComputeInstance /
 // MPS control commands, making the substitution a link-time swap.
+//
+// Fault injection: an attached FaultInjector (fault_plan.hpp) can make
+// instance-creation calls fail transiently (NVML_ERROR_IN_USE) and
+// fail_device() drops a whole GPU (NVML_ERROR_GPU_IS_LOST, XID-style).
+// An attached DcgmSim receives the corresponding health events, so a
+// control loop polling the health watches observes faults exactly as a
+// production DCGM consumer would.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "gpu/fault_plan.hpp"
 #include "gpu/gpu_cluster.hpp"
 
 namespace parva::gpu {
+
+class DcgmSim;
 
 /// NVML-style return codes (subset).
 enum class NvmlReturn {
@@ -22,9 +32,15 @@ enum class NvmlReturn {
   kErrorInsufficientResources,
   kErrorInsufficientMemory,
   kErrorNotSupported,
+  kErrorInUse,     ///< NVML_ERROR_IN_USE: transient, retry-able
+  kErrorGpuIsLost, ///< NVML_ERROR_GPU_IS_LOST: device dropped (XID)
 };
 
 const char* nvml_error_string(NvmlReturn ret);
+
+/// True for errors a caller should retry with backoff (the driver clears
+/// them on its own); device loss and geometry errors are not retryable.
+bool nvml_is_transient(NvmlReturn ret);
 
 /// GPU-instance profile descriptors (mirrors nvmlGpuInstanceProfileInfo_t).
 struct GpuInstanceProfileInfo {
@@ -78,6 +94,34 @@ class NvmlSim {
   /// Tears down all processes in an instance.
   NvmlReturn kill_processes(GlobalInstanceId id);
 
+  // --- Fault injection ------------------------------------------------
+
+  /// Attaches a fault injector (non-owning; nullptr detaches). Subsequent
+  /// instance-creation calls consult it for transient failures.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() { return injector_; }
+
+  /// Attaches a health monitor (non-owning); device losses and injected
+  /// faults are surfaced there as HealthEvents.
+  void attach_health_monitor(DcgmSim* dcgm) { dcgm_ = dcgm; }
+
+  /// Advances the control plane's notion of simulated time; used only to
+  /// stamp health events.
+  void set_time_ms(double time_ms) { time_ms_ = time_ms; }
+  double time_ms() const { return time_ms_; }
+
+  /// Drops a whole device (XID-style): all its instances are destroyed and
+  /// every subsequent operation on it returns kErrorGpuIsLost until
+  /// restore_device() (device replacement) is called.
+  NvmlReturn fail_device(unsigned device, int xid = 79);
+
+  /// Returns a lost device to service with a clean (instance-free) state,
+  /// modelling a hardware replacement or node reboot.
+  NvmlReturn restore_device(unsigned device);
+
+  bool device_lost(unsigned device) const;
+  std::vector<int> lost_devices() const;
+
   /// Number of control-plane operations performed (reconfiguration cost
   /// accounting for the Deployer tests).
   std::size_t operation_count() const { return operations_.size(); }
@@ -89,9 +133,16 @@ class NvmlSim {
 
  private:
   NvmlReturn translate(const Status& status, const std::string& op);
+  /// Shared precondition for instance creation: device exists, not lost,
+  /// and the fault injector does not veto the call.
+  NvmlReturn check_create(unsigned device, const std::string& op);
 
   GpuCluster* cluster_;
+  FaultInjector* injector_ = nullptr;
+  DcgmSim* dcgm_ = nullptr;
+  double time_ms_ = 0.0;
   std::vector<bool> mig_enabled_;
+  std::vector<bool> lost_;
   std::vector<std::string> operations_;
 };
 

@@ -37,12 +37,33 @@ Result<AutoscaleReport> Autoscaler::run_day(std::span<const core::ServiceSpec> b
   const double epoch_hours = options_.epoch_minutes / 60.0;
   Rng seed_stream(options_.seed);
 
+  // Pending device losses, by wall time from 0 h.
+  std::vector<gpu::GpuFailureEvent> failures;
+  if (options_.fault_plan != nullptr) failures = options_.fault_plan->sorted_gpu_failures();
+  std::size_t next_failure = 0;
+
   for (double t = 0.0; t < 24.0 - 1e-9; t += epoch_hours) {
     const double multiplier = trace.multiplier_at(t);
 
     EpochRecord record;
     record.t_hours = t;
     record.multiplier = multiplier;
+
+    // Execute device losses whose time falls inside this epoch: the failed
+    // GPU's segments vanish, so the band check below sees the displaced
+    // services as under-provisioned — lost capacity is a surge.
+    const double epoch_end_ms = (t + epoch_hours) * 3'600'000.0;
+    for (; next_failure < failures.size() && failures[next_failure].at_ms < epoch_end_ms;
+         ++next_failure) {
+      if (plan.gpus_in_use() == 0) break;
+      // Map the physical index onto the (compacted) plan fleet.
+      const auto victim = static_cast<std::size_t>(failures[next_failure].gpu_index) %
+                          plan.gpu_count();
+      core::GpuPlan& lost = plan.gpu(victim);
+      while (!lost.empty()) (void)lost.remove_segment(0);
+      ++record.gpus_lost;
+      ++report.total_gpu_failures;
+    }
 
     // Update offered rates; reconfigure services out of the capacity band.
     for (std::size_t i = 0; i < current.size(); ++i) {

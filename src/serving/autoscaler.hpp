@@ -29,6 +29,13 @@ struct AutoscalerOptions {
   bool verify_with_simulation = true;
   double verify_duration_ms = 2'000.0;
   std::uint64_t seed = 7;
+
+  /// Scheduled device losses over the day (nullptr = healthy fleet). Each
+  /// GpuFailureEvent's at_ms is wall time from 0 h (hours x 3.6e6); at the
+  /// epoch containing it the failed GPU's segments vanish from the plan, so
+  /// the capacity-band check sees the deficit exactly like a demand surge
+  /// and re-places the displaced services on the remaining fleet.
+  const gpu::FaultPlan* fault_plan = nullptr;
 };
 
 struct EpochRecord {
@@ -39,6 +46,7 @@ struct EpochRecord {
   double offered_total = 0.0;  ///< sum of offered rates, req/s
   double slo_compliance = 1.0; ///< 1.0 when verification is off
   double internal_slack = 0.0;
+  int gpus_lost = 0;           ///< device losses executed this epoch
 };
 
 struct AutoscaleReport {
@@ -47,6 +55,7 @@ struct AutoscaleReport {
   double peak_gpus = 0.0;
   double static_gpu_hours = 0.0; ///< 24 h x the static peak-provisioned fleet
   int total_reconfigurations = 0;
+  int total_gpu_failures = 0;    ///< device losses executed over the day
 
   double saving_vs_static() const {
     return static_gpu_hours <= 0.0 ? 0.0 : 1.0 - gpu_hours / static_gpu_hours;

@@ -1,8 +1,10 @@
 #include "serving/cluster_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <queue>
+#include <set>
 
 #include "core/metrics.hpp"
 #include "gpu/arch.hpp"
@@ -16,13 +18,13 @@ struct Request {
 };
 
 /// Event kinds, ordered by time in the priority queue.
-enum class EventKind { kArrival, kBatchComplete };
+enum class EventKind { kArrival, kBatchComplete, kGpuFailure, kUnitActivate };
 
 struct Event {
   double time_ms = 0.0;
   EventKind kind = EventKind::kArrival;
   int service_index = -1;        ///< for arrivals
-  int unit_index = -1;           ///< for completions
+  int unit_index = -1;           ///< completions/activations: unit; failures: gpu
   std::uint64_t batch_id = 0;    ///< for completions
 };
 
@@ -36,8 +38,8 @@ struct UnitState {
   const perfmodel::WorkloadTraits* traits = nullptr;
   std::deque<Request> queue;
   int idle_processes = 0;
+  bool up = true;                ///< serving (false: dormant or failed)
   double busy_sm_ms = 0.0;       ///< accumulated within the measurement window
-  std::vector<Request> in_flight_scratch;
 };
 
 struct InFlightBatch {
@@ -91,9 +93,13 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
 
   // Service index lookup and per-service unit lists.
   std::vector<std::vector<std::size_t>> service_units(services_.size());
+  std::vector<int> unit_service(units.size(), -1);
   for (std::size_t s = 0; s < services_.size(); ++s) {
     for (std::size_t u = 0; u < units.size(); ++u) {
-      if (units[u].unit->service_id == services_[s].id) service_units[s].push_back(u);
+      if (units[u].unit->service_id == services_[s].id) {
+        service_units[s].push_back(u);
+        unit_service[u] = static_cast<int>(s);
+      }
     }
   }
 
@@ -103,10 +109,32 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
     outcomes[s].offered_rate = services_[s].request_rate;
   }
 
+  SimulationResult result;
+
+  // Timeline buckets cover the measurement window [warmup, horizon).
+  std::vector<TimelineBucket> timeline;
+  if (options.timeline_bucket_ms > 0.0) {
+    const auto buckets = static_cast<std::size_t>(
+        std::ceil(options.duration_ms / options.timeline_bucket_ms));
+    timeline.resize(buckets);
+    for (std::size_t b = 0; b < buckets; ++b) {
+      timeline[b].t_ms = static_cast<double>(b) * options.timeline_bucket_ms;
+    }
+  }
+  auto bucket_of = [&](double t) -> TimelineBucket* {
+    if (timeline.empty() || t < options.warmup_ms) return nullptr;
+    const auto idx = static_cast<std::size_t>((t - options.warmup_ms) /
+                                              options.timeline_bucket_ms);
+    return idx < timeline.size() ? &timeline[idx] : nullptr;
+  };
+
   std::priority_queue<Event, std::vector<Event>, EventLater> events;
   // Batches in flight, keyed by a cluster-wide id: service-time jitter can
   // complete a later-issued batch first, so completions carry their id.
   std::vector<std::map<std::uint64_t, InFlightBatch>> in_flight(units.size());
+  // Batches erased by a device loss; their already-queued completion events
+  // are skipped when they surface.
+  std::set<std::uint64_t> dropped_batches;
   std::uint64_t next_batch_id = 0;
 
   // Seed the first arrival of every service (random phase).
@@ -116,9 +144,51 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
     events.push(Event{phase, EventKind::kArrival, static_cast<int>(s), -1, 0});
   }
 
+  // Schedule the fault plan's device losses and the repair activations.
+  if (options.fault_plan != nullptr) {
+    for (const gpu::GpuFailureEvent& failure : options.fault_plan->sorted_gpu_failures()) {
+      if (failure.at_ms > horizon_ms) continue;
+      events.push(Event{failure.at_ms, EventKind::kGpuFailure, -1,
+                        static_cast<int>(failure.gpu_index), 0});
+    }
+  }
+  for (const UnitActivation& activation : options.activations) {
+    PARVA_REQUIRE(activation.unit_index < units.size(), "activation index out of range");
+    units[activation.unit_index].up = false;  // dormant until its time comes
+    if (activation.at_ms <= horizon_ms) {
+      events.push(Event{activation.at_ms, EventKind::kUnitActivate, -1,
+                        static_cast<int>(activation.unit_index), 0});
+    }
+  }
+  double recovered_at = options.recovered_at_ms;
+  if (recovered_at <= 0.0) {
+    for (const UnitActivation& activation : options.activations) {
+      recovered_at = std::max(recovered_at, activation.at_ms);
+    }
+  }
+
+  auto phase_of = [&](double t) -> PhaseStats* {
+    if (result.failure_at_ms < 0.0 || t < result.failure_at_ms) return &result.pre_failure;
+    return (recovered_at > 0.0 && t >= recovered_at) ? &result.post_recovery
+                                                     : &result.degraded;
+  };
+
+  auto shed_requests = [&](const std::vector<Request>& requests, double now) {
+    for (const Request& request : requests) {
+      if (request.arrival_ms < options.warmup_ms) continue;
+      for (std::size_t s = 0; s < services_.size(); ++s) {
+        if (services_[s].id != request.service_id) continue;
+        ++outcomes[s].shed_requests;
+        break;
+      }
+      ++phase_of(now)->shed_requests;
+      if (TimelineBucket* bucket = bucket_of(now)) ++bucket->shed_requests;
+    }
+  };
+
   auto start_batch_if_possible = [&](std::size_t ui, double now) {
     UnitState& state = units[ui];
-    while (state.idle_processes > 0 && !state.queue.empty()) {
+    while (state.up && state.idle_processes > 0 && !state.queue.empty()) {
       const int take = std::min<std::size_t>(static_cast<std::size_t>(state.unit->batch),
                                              state.queue.size());
       InFlightBatch batch;
@@ -162,36 +232,74 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
 
     if (event.kind == EventKind::kArrival) {
       const auto s = static_cast<std::size_t>(event.service_index);
-      // Dispatch to the unit with the smallest expected delay: backlog
-      // (queued + in service) over ground-truth capacity.
+      // Dispatch to the live unit with the smallest expected delay: backlog
+      // (queued + in service) over ground-truth capacity. A service whose
+      // every unit is down (mid-failure, pre-repair) sheds the request —
+      // the front end has nowhere to send it.
       const auto& candidates = service_units[s];
-      std::size_t chosen = candidates.front();
+      bool any_live = false;
+      std::size_t chosen = 0;
       double best_score = 0.0;
       for (std::size_t idx = 0; idx < candidates.size(); ++idx) {
         const UnitState& state = units[candidates[idx]];
+        if (!state.up) continue;
         double backlog = static_cast<double>(state.queue.size());
         for (const auto& [id, pending] : in_flight[candidates[idx]]) {
           backlog += static_cast<double>(pending.requests.size());
         }
         const double capacity = std::max(1e-9, state.unit->actual_throughput);
         const double score = backlog / capacity;
-        if (idx == 0 || score < best_score) {
+        if (!any_live || score < best_score) {
+          any_live = true;
           best_score = score;
           chosen = candidates[idx];
         }
       }
       (void)dispatch_rng;
-      units[chosen].queue.push_back(Request{services_[s].id, now});
-      start_batch_if_possible(chosen, now);
+      if (!any_live) {
+        shed_requests({Request{services_[s].id, now}}, now);
+      } else {
+        units[chosen].queue.push_back(Request{services_[s].id, now});
+        start_batch_if_possible(chosen, now);
+      }
 
       // Schedule the next arrival of this service.
       const double next = now + next_gap_ms(services_[s].request_rate);
       if (next <= horizon_ms) {
         events.push(Event{next, EventKind::kArrival, event.service_index, -1, 0});
       }
+    } else if (event.kind == EventKind::kGpuFailure) {
+      // XID-style device loss: every unit on the GPU stops serving; its
+      // queue and in-flight batches are shed (the device reset destroys
+      // the processes mid-request).
+      const int gpu = event.unit_index;
+      if (result.failure_at_ms < 0.0) result.failure_at_ms = now;
+      for (std::size_t ui = 0; ui < units.size(); ++ui) {
+        UnitState& state = units[ui];
+        if (state.unit->gpu_index != gpu || !state.up) continue;
+        state.up = false;
+        shed_requests({state.queue.begin(), state.queue.end()}, now);
+        state.queue.clear();
+        for (auto& [id, batch] : in_flight[ui]) {
+          shed_requests(batch.requests, now);
+          dropped_batches.insert(id);
+        }
+        in_flight[ui].clear();
+        state.idle_processes = 0;
+      }
+    } else if (event.kind == EventKind::kUnitActivate) {
+      // A repair replacement comes online with a full complement of idle
+      // processes and an empty queue; the dispatcher starts routing to it
+      // on the next arrival.
+      const auto ui = static_cast<std::size_t>(event.unit_index);
+      UnitState& state = units[ui];
+      state.up = true;
+      state.idle_processes = std::max(1, state.unit->procs);
+      start_batch_if_possible(ui, now);
     } else {
       const auto ui = static_cast<std::size_t>(event.unit_index);
       UnitState& state = units[ui];
+      if (dropped_batches.erase(event.batch_id) > 0) continue;  // died with its GPU
       const auto it = in_flight[ui].find(event.batch_id);
       PARVA_CHECK(it != in_flight[ui].end(), "completion without in-flight batch");
       InFlightBatch batch = std::move(it->second);
@@ -200,32 +308,47 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
 
       // Account the batch against its service (skip warm-up).
       if (!batch.requests.empty() && batch.requests.front().arrival_ms >= options.warmup_ms) {
-        // Locate the service outcome.
-        for (std::size_t s = 0; s < services_.size(); ++s) {
-          if (services_[s].id != batch.requests.front().service_id) continue;
-          ServiceOutcome& outcome = outcomes[s];
-          ++outcome.batches;
-          bool violated = false;
-          for (const Request& request : batch.requests) {
-            const double latency = now - request.arrival_ms;
-            outcome.request_latency_ms.add(latency);
-            ++outcome.requests;
-            if (latency > services_[s].slo_latency_ms) violated = true;
+        const int s_idx = unit_service[ui];
+        PARVA_CHECK(s_idx >= 0, "unit without a service");
+        const auto s = static_cast<std::size_t>(s_idx);
+        ServiceOutcome& outcome = outcomes[s];
+        PhaseStats* phase = phase_of(now);  // by completion time
+        ++outcome.batches;
+        bool violated = false;
+        for (const Request& request : batch.requests) {
+          const double latency = now - request.arrival_ms;
+          outcome.request_latency_ms.add(latency);
+          ++outcome.requests;
+          ++phase->requests;
+          if (latency > services_[s].slo_latency_ms) {
+            violated = true;
+            ++phase->violated_requests;
           }
-          if (violated) ++outcome.violated_batches;
-          break;
+        }
+        if (violated) ++outcome.violated_batches;
+
+        // Phase + timeline accounting, by completion time.
+        ++phase->batches;
+        if (violated) ++phase->violated_batches;
+        if (TimelineBucket* bucket = bucket_of(now)) {
+          ++bucket->batches;
+          if (violated) ++bucket->violated_batches;
         }
       }
       start_batch_if_possible(ui, now);
     }
   }
 
-  SimulationResult result;
   for (std::size_t s = 0; s < services_.size(); ++s) {
     outcomes[s].measured_rate =
         static_cast<double>(outcomes[s].requests) / (options.duration_ms / 1000.0);
+    result.requests_shed += outcomes[s].shed_requests;
   }
   result.services = std::move(outcomes);
+  if (result.failure_at_ms >= 0.0 && recovered_at > 0.0) {
+    result.recovered_at_ms = recovered_at;
+  }
+  result.timeline = std::move(timeline);
 
   result.unit_activity.reserve(units.size());
   for (const UnitState& state : units) {

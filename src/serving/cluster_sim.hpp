@@ -17,6 +17,15 @@
 // SLO accounting follows Section IV-C1: a batch violates when any request
 // it contains exceeds the service's (full) SLO latency from arrival to
 // completion; the compliance rate is 1 - violating/total batches.
+//
+// Fault execution: a FaultPlan's scheduled GPU losses run mid-simulation —
+// every unit on the failed device stops serving, its queued and in-flight
+// requests are shed, and requests arriving for a service with no live unit
+// are shed on arrival. Replacement units produced by the repair path
+// (core/repair.hpp) enter the deployment dormant and activate at their
+// scheduled time, so SLO compliance is measured *through* the failure:
+// the result splits into pre-failure / degraded / post-recovery phases and
+// an optional bucketed compliance timeline.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +35,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "core/deployment.hpp"
+#include "gpu/fault_plan.hpp"
 #include "perfmodel/analytical_model.hpp"
 
 namespace parva::serving {
@@ -35,11 +45,33 @@ namespace parva::serving {
 /// models; kPoisson adds open-loop burstiness for robustness studies.
 enum class ArrivalProcess { kDeterministic, kPoisson };
 
+/// A unit that starts dormant and comes up mid-run (a repair replacement).
+struct UnitActivation {
+  std::size_t unit_index = 0;  ///< index into deployment.units
+  double at_ms = 0.0;          ///< activation time
+};
+
 struct SimulationOptions {
   double duration_ms = 20'000.0;  ///< simulated time after warm-up
   double warmup_ms = 2'000.0;     ///< discarded start-up transient
   std::uint64_t seed = 42;
   ArrivalProcess arrivals = ArrivalProcess::kDeterministic;
+
+  /// Scheduled faults executed mid-run (nullptr = healthy fleet). Only the
+  /// plan's gpu_failures are interpreted here; transient create faults act
+  /// on the control plane, not on serving.
+  const gpu::FaultPlan* fault_plan = nullptr;
+
+  /// Units that are dormant at t=0 and activate mid-run (repair
+  /// replacements). Indices refer to the simulated deployment's units.
+  std::vector<UnitActivation> activations;
+
+  /// Boundary between the degraded and recovered phases. When 0 it is
+  /// derived from the latest activation (or never reached without one).
+  double recovered_at_ms = 0.0;
+
+  /// Bucket width for the compliance timeline; 0 disables the timeline.
+  double timeline_bucket_ms = 0.0;
 };
 
 /// Per-service outcome.
@@ -48,9 +80,46 @@ struct ServiceOutcome {
   std::size_t requests = 0;
   std::size_t batches = 0;
   std::size_t violated_batches = 0;
+  /// Requests dropped by failures: queued/in-flight on a dying unit, or
+  /// arriving while the service had no live unit.
+  std::size_t shed_requests = 0;
   Samples request_latency_ms;
   double offered_rate = 0.0;
   double measured_rate = 0.0;  ///< completed requests / duration
+
+  double compliance() const {
+    return batches == 0 ? 1.0
+                        : 1.0 - static_cast<double>(violated_batches) /
+                                    static_cast<double>(batches);
+  }
+};
+
+/// Request-level compliance of one failure phase of the run. Unlike the
+/// batch-level service metric, shed requests count against the phase — a
+/// request dropped by a device loss is an SLO miss, so degraded-mode
+/// compliance genuinely dips even when the surviving units keep every
+/// batch they serve within its deadline.
+struct PhaseStats {
+  std::size_t batches = 0;
+  std::size_t violated_batches = 0;
+  std::size_t requests = 0;           ///< requests completed in the phase
+  std::size_t violated_requests = 0;  ///< completed past the SLO
+  std::size_t shed_requests = 0;      ///< dropped by failures in the phase
+
+  double compliance() const {
+    const std::size_t offered = requests + shed_requests;
+    return offered == 0 ? 1.0
+                        : 1.0 - static_cast<double>(violated_requests + shed_requests) /
+                                    static_cast<double>(offered);
+  }
+};
+
+/// One bucket of the compliance-vs-time series.
+struct TimelineBucket {
+  double t_ms = 0.0;  ///< bucket start (relative to warm-up end)
+  std::size_t batches = 0;
+  std::size_t violated_batches = 0;
+  std::size_t shed_requests = 0;
 
   double compliance() const {
     return batches == 0 ? 1.0
@@ -65,6 +134,20 @@ struct SimulationResult {
   std::vector<double> unit_activity;
   /// Eq. 3 internal slack measured from the activities.
   double internal_slack = 0.0;
+
+  /// Failure bookkeeping (negative when the run saw no device loss).
+  double failure_at_ms = -1.0;
+  double recovered_at_ms = -1.0;
+  std::size_t requests_shed = 0;
+  /// Compliance split by phase: before the first device loss, between loss
+  /// and recovery (degraded mode), and after recovery.
+  PhaseStats pre_failure;
+  PhaseStats degraded;
+  PhaseStats post_recovery;
+
+  /// Compliance-vs-time series (empty unless timeline_bucket_ms > 0).
+  std::vector<TimelineBucket> timeline;
+
   /// Batch-weighted SLO compliance across all services (Fig. 8 metric).
   double overall_compliance() const;
   /// Lowest per-service compliance.

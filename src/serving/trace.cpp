@@ -45,18 +45,31 @@ double RateTrace::multiplier_at(double t_hours) const {
   if (t < 0.0) t += 24.0;
   if (knots_.size() == 1) return knots_.front().multiplier;
 
-  // Find the surrounding knots (wrapping across midnight).
-  const TraceKnot* before = &knots_.back();
-  const TraceKnot* after = &knots_.front();
-  double before_t = before->t_hours - 24.0;  // wrapped copy
-  double after_t = after->t_hours;
-  for (std::size_t i = 0; i < knots_.size(); ++i) {
-    if (knots_[i].t_hours <= t) {
-      before = &knots_[i];
-      before_t = knots_[i].t_hours;
-      after = i + 1 < knots_.size() ? &knots_[i + 1] : &knots_.front();
-      after_t = i + 1 < knots_.size() ? knots_[i + 1].t_hours : knots_.front().t_hours + 24.0;
-    }
+  // Find the surrounding knots (wrapping across midnight). Knots are kept
+  // sorted by the constructor, so the first knot after `t` is a binary
+  // search, not a scan — multiplier_at sits in the autoscaler's inner loop.
+  const auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), t,
+      [](double value, const TraceKnot& knot) { return value < knot.t_hours; });
+  const TraceKnot* before = nullptr;
+  const TraceKnot* after = nullptr;
+  double before_t = 0.0;
+  double after_t = 0.0;
+  if (it == knots_.begin()) {
+    before = &knots_.back();  // wrapped copy from yesterday
+    before_t = before->t_hours - 24.0;
+    after = &knots_.front();
+    after_t = after->t_hours;
+  } else if (it == knots_.end()) {
+    before = &knots_.back();
+    before_t = before->t_hours;
+    after = &knots_.front();  // wrapped copy into tomorrow
+    after_t = after->t_hours + 24.0;
+  } else {
+    before = &*(it - 1);
+    before_t = before->t_hours;
+    after = &*it;
+    after_t = after->t_hours;
   }
   const double span = after_t - before_t;
   const double frac = span <= 0.0 ? 0.0 : (t - before_t) / span;

@@ -71,11 +71,6 @@ TEST(SamplesTest, SingleValue) {
   EXPECT_DOUBLE_EQ(samples.p99(), 42.0);
 }
 
-TEST(SamplesTest, PercentileOnEmptyThrows) {
-  const Samples samples;
-  EXPECT_THROW(samples.percentile(50.0), std::logic_error);
-}
-
 TEST(SamplesTest, FractionAbove) {
   Samples samples;
   for (int i = 1; i <= 10; ++i) samples.add(static_cast<double>(i));
@@ -102,6 +97,19 @@ TEST(SamplesTest, Merge) {
   a.merge(b);
   EXPECT_EQ(a.count(), 2u);
   EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(SamplesTest, EmptySetReportsZeroInsteadOfThrowing) {
+  const Samples empty;
+  // Failure-phase outcomes can legitimately complete zero requests; the
+  // aggregate accessors must degrade like mean() instead of aborting.
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(99.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.fraction_above(10.0), 0.0);
+  // Out-of-range percentiles still throw, empty or not.
+  EXPECT_THROW((void)empty.percentile(-1.0), std::logic_error);
+  EXPECT_THROW((void)empty.percentile(101.0), std::logic_error);
 }
 
 TEST(HistogramTest, BinningAndClamping) {

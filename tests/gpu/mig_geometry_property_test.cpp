@@ -1,0 +1,188 @@
+// Property/fuzz tests for the MIG geometry against an independent oracle.
+//
+// The oracle models the A100's slot rules from first principles (Fig. 1):
+// an instance of size g may start only at its hardware-legal slots, blocks
+// `span` consecutive slots (4 for a 3-GPC instance at slot 0), and two
+// instances may not overlap. Random placement sequences driven through
+// VirtualGpu must agree with the oracle decision-for-decision, and
+// create -> destroy -> create round trips must restore the exact free-slot
+// mask. Seeds are fixed: every run replays the same sequences.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "gpu/arch.hpp"
+#include "gpu/mig_geometry.hpp"
+#include "gpu/virtual_gpu.hpp"
+
+namespace parva::gpu {
+namespace {
+
+/// Independent re-statement of the Fig. 1 rules (kept deliberately naive —
+/// no sharing with the production tables beyond the published constants).
+bool oracle_legal_start(int gpcs, int slot) {
+  switch (gpcs) {
+    case 1: return slot >= 0 && slot <= 6;
+    case 2: return slot == 0 || slot == 2 || slot == 4;
+    case 3: return slot == 0 || slot == 4;
+    case 4: return slot == 0;
+    case 7: return slot == 0;
+    default: return false;
+  }
+}
+
+int oracle_span(int gpcs, int slot) { return (gpcs == 3 && slot == 0) ? 4 : gpcs; }
+
+std::uint8_t oracle_mask(int gpcs, int slot) {
+  return static_cast<std::uint8_t>(((1u << oracle_span(gpcs, slot)) - 1u) << slot);
+}
+
+bool oracle_fits(std::uint8_t occupied, int gpcs, int slot) {
+  return oracle_legal_start(gpcs, slot) && (occupied & oracle_mask(gpcs, slot)) == 0;
+}
+
+TEST(MigGeometryPropertyTest, PlacementPrimitivesMatchOracle) {
+  for (int gpcs = 0; gpcs <= 8; ++gpcs) {
+    const bool valid_size =
+        std::find(kInstanceSizes.begin(), kInstanceSizes.end(), gpcs) != kInstanceSizes.end();
+    const auto legal = legal_start_slots(gpcs);
+    for (int slot = 0; slot < kGpcSlots; ++slot) {
+      const bool listed = std::find(legal.begin(), legal.end(), slot) != legal.end();
+      EXPECT_EQ(listed, valid_size && oracle_legal_start(gpcs, slot))
+          << "gpcs=" << gpcs << " slot=" << slot;
+      if (listed) {
+        const Placement placement{gpcs, slot};
+        EXPECT_TRUE(is_legal_placement(placement));
+        EXPECT_EQ(placement.span(), oracle_span(gpcs, slot));
+        EXPECT_EQ(placement.slot_mask(), oracle_mask(gpcs, slot));
+      }
+    }
+    // Preferred slots are a non-empty subset of the legal slots (size 3
+    // deliberately skips slot 0, where it would span — and waste — 4 slots).
+    const auto preferred = preferred_start_slots(gpcs);
+    EXPECT_EQ(preferred.empty(), legal.empty()) << gpcs;
+    for (int slot : preferred) {
+      EXPECT_TRUE(std::find(legal.begin(), legal.end(), slot) != legal.end())
+          << "gpcs=" << gpcs << " slot=" << slot;
+    }
+    if (gpcs == 3) {
+      EXPECT_TRUE(std::find(preferred.begin(), preferred.end(), 0) == preferred.end());
+    }
+  }
+}
+
+TEST(MigGeometryPropertyTest, RandomSequencesAgreeWithOracle) {
+  Rng rng(0xFEEDFACEu);
+  for (int trial = 0; trial < 300; ++trial) {
+    VirtualGpu gpu(0);
+    std::uint8_t oracle_occupied = 0;
+    // Oracle-side live placements, keyed by the production handle.
+    std::map<InstanceHandle, Placement> live;
+
+    for (int step = 0; step < 40; ++step) {
+      const bool try_destroy = !live.empty() && rng.next_double() < 0.35;
+      if (try_destroy) {
+        auto it = live.begin();
+        std::advance(it, static_cast<long>(rng.uniform_int(0, live.size() - 1)));
+        ASSERT_TRUE(gpu.destroy_instance(it->first).ok());
+        oracle_occupied = static_cast<std::uint8_t>(oracle_occupied & ~it->second.slot_mask());
+        live.erase(it);
+      } else {
+        // Any size, any slot — including illegal ones on purpose.
+        const int gpcs = static_cast<int>(rng.uniform_int(0, 8));
+        const int slot = static_cast<int>(rng.uniform_int(0, kGpcSlots - 1));
+        const auto created = gpu.create_instance_at(gpcs, slot);
+        const bool oracle_ok = oracle_fits(oracle_occupied, gpcs, slot);
+        ASSERT_EQ(created.ok(), oracle_ok)
+            << "trial=" << trial << " step=" << step << " gpcs=" << gpcs << " slot=" << slot
+            << " occupied=" << static_cast<int>(oracle_occupied);
+        if (oracle_ok) {
+          oracle_occupied = static_cast<std::uint8_t>(oracle_occupied | oracle_mask(gpcs, slot));
+          live.emplace(created.value(), Placement{gpcs, slot});
+        }
+      }
+      ASSERT_EQ(gpu.occupied_mask(), oracle_occupied);
+    }
+  }
+}
+
+TEST(MigGeometryPropertyTest, CreateDestroyRoundTripsRestoreFreeSlots) {
+  Rng rng(0xC0FFEEu);
+  for (int trial = 0; trial < 200; ++trial) {
+    VirtualGpu gpu(0);
+    // Base load: a few random legal placements.
+    std::vector<InstanceHandle> base;
+    for (int i = 0; i < 3; ++i) {
+      const int gpcs = kInstanceSizes[rng.uniform_int(0, kInstanceSizes.size() - 1)];
+      const auto slot = find_start_slot(gpu.occupied_mask(), gpcs);
+      if (!slot.has_value()) continue;
+      base.push_back(gpu.create_instance_at(gpcs, *slot).value());
+    }
+    const std::uint8_t before = gpu.occupied_mask();
+
+    // Round trip: create whatever still fits, then destroy it again.
+    std::vector<InstanceHandle> extra;
+    for (int gpcs : kInstanceSizes) {
+      const auto slot = find_start_slot(gpu.occupied_mask(), gpcs);
+      if (slot.has_value()) extra.push_back(gpu.create_instance_at(gpcs, *slot).value());
+    }
+    for (auto it = extra.rbegin(); it != extra.rend(); ++it) {
+      ASSERT_TRUE(gpu.destroy_instance(*it).ok());
+    }
+    EXPECT_EQ(gpu.occupied_mask(), before);
+
+    // And a full re-create of the same extra set lands identically.
+    std::vector<InstanceHandle> again;
+    for (int gpcs : kInstanceSizes) {
+      const auto slot = find_start_slot(gpu.occupied_mask(), gpcs);
+      if (slot.has_value()) again.push_back(gpu.create_instance_at(gpcs, *slot).value());
+    }
+    EXPECT_EQ(again.size(), extra.size());
+    gpu.reset();
+    EXPECT_EQ(gpu.occupied_mask(), 0);
+  }
+}
+
+TEST(MigGeometryPropertyTest, MaximalConfigEnumerationMatchesFigure1) {
+  const auto configs = enumerate_maximal_configs();
+  EXPECT_EQ(configs.size(), 19u);  // Fig. 1: exactly 19 maximal configurations
+
+  std::set<std::vector<Placement>> unique;
+  for (const GpuConfig& config : configs) {
+    EXPECT_TRUE(config.valid());
+    EXPECT_TRUE(config.maximal());
+    // Every placement obeys the oracle and none overlap.
+    std::uint8_t occupied = 0;
+    for (const Placement& placement : config.placements) {
+      ASSERT_TRUE(oracle_fits(occupied, placement.gpcs, placement.start_slot))
+          << config.to_string();
+      occupied = static_cast<std::uint8_t>(occupied | placement.slot_mask());
+    }
+    // Maximality against the oracle: no size fits anywhere.
+    for (int gpcs : kInstanceSizes) {
+      for (int slot = 0; slot < kGpcSlots; ++slot) {
+        EXPECT_FALSE(oracle_fits(occupied, gpcs, slot)) << config.to_string();
+      }
+    }
+    auto sorted = config.placements;
+    std::sort(sorted.begin(), sorted.end());
+    unique.insert(sorted);
+  }
+  EXPECT_EQ(unique.size(), configs.size());  // no duplicates
+
+  // Every maximal config is realisable on the virtual GPU.
+  for (const GpuConfig& config : configs) {
+    VirtualGpu gpu(0);
+    for (const Placement& placement : config.placements) {
+      ASSERT_TRUE(gpu.create_instance_at(placement.gpcs, placement.start_slot).ok())
+          << config.to_string();
+    }
+    EXPECT_EQ(gpu.occupied_mask(), config.slot_mask());
+  }
+}
+
+}  // namespace
+}  // namespace parva::gpu

@@ -51,6 +51,22 @@ TEST(RateTraceTest, DiurnalShape) {
   }
 }
 
+TEST(RateTraceTest, InterpolatesAcrossMidnightWrap) {
+  const RateTrace trace = RateTrace::diurnal();
+  // Between the last knot (23 h, 0.70) and the first of the next day
+  // (24 h, 0.40): halfway through the wrap segment.
+  EXPECT_NEAR(trace.multiplier_at(23.5), 0.55, 1e-12);
+  // Endpoints of the wrap segment stay exact.
+  EXPECT_NEAR(trace.multiplier_at(23.0), 0.70, 1e-12);
+  EXPECT_NEAR(trace.multiplier_at(0.0), 0.40, 1e-12);
+  // And an explicitly two-knot trace wraps on both sides of midnight: the
+  // 18 h -> 6 h(+24) segment interpolates 3.0 down to 1.0 over 12 hours.
+  const RateTrace pair({{6.0, 1.0}, {18.0, 3.0}});
+  EXPECT_NEAR(pair.multiplier_at(0.0), 2.0, 1e-12);  // halfway through
+  EXPECT_NEAR(pair.multiplier_at(23.0), 3.0 - 5.0 / 12.0 * 2.0, 1e-12);
+  EXPECT_NEAR(pair.multiplier_at(1.0), 3.0 - 7.0 / 12.0 * 2.0, 1e-12);
+}
+
 TEST(RateTraceTest, SurgeWindow) {
   const RateTrace trace = RateTrace::surge(10.0, 12.0, 3.0);
   EXPECT_NEAR(trace.multiplier_at(11.0), 3.0, 1e-12);
