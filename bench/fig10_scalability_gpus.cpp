@@ -6,6 +6,7 @@
 // Paper: ParvaGPU uses on average 45.2% / 30% / 7.4% fewer GPUs than
 // gpulet / MIG-serving / ParvaGPU-single across the folds.
 #include <iostream>
+#include <map>
 
 #include "bench/bench_util.hpp"
 #include "common/strings.hpp"

@@ -3,6 +3,7 @@
 // (46.5% vs gpulet, 34.6% vs iGniter, 41.0% vs MIG-serving; 12.5/7.1/11.1%
 // vs ParvaGPU-single in S4/S5/S6).
 #include <iostream>
+#include <map>
 
 #include "bench/bench_util.hpp"
 #include "common/strings.hpp"

@@ -37,14 +37,38 @@ void BM_ProfileOneModel(benchmark::State& state) {
 }
 BENCHMARK(BM_ProfileOneModel);
 
+// The production path: Optimal Triplet Decision against the indexed
+// surfaces (one prefix-argmax lookup per instance size).
 void BM_SegmentConfigurator(benchmark::State& state) {
+  const auto& services = scenario("S6").services;
+  core::SegmentConfigurator configurator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(configurator.configure(services, context().surfaces()));
+  }
+}
+BENCHMARK(BM_SegmentConfigurator);
+
+// The reference path the surfaces replaced: full profile-table scans.
+// Kept as the before/after yardstick for the fast-path speedup.
+void BM_SegmentConfiguratorScan(benchmark::State& state) {
   const auto& services = scenario("S6").services;
   core::SegmentConfigurator configurator;
   for (auto _ : state) {
     benchmark::DoNotOptimize(configurator.configure(services, context().profiles()));
   }
 }
-BENCHMARK(BM_SegmentConfigurator);
+BENCHMARK(BM_SegmentConfiguratorScan);
+
+// Parallel per-service configuration on the shared pool (same output).
+void BM_SegmentConfiguratorParallel(benchmark::State& state) {
+  const auto& services = scenario("S6").services;
+  core::SegmentConfigurator configurator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        configurator.configure(services, context().surfaces(), context().pool()));
+  }
+}
+BENCHMARK(BM_SegmentConfiguratorParallel);
 
 void BM_SegmentAllocator(benchmark::State& state) {
   const auto& services = scenario("S6").services;
@@ -76,10 +100,15 @@ void BM_ClusterSimulationS2(benchmark::State& state) {
   serving::SimulationOptions options;
   options.duration_ms = 1'000.0;
   options.warmup_ms = 100.0;
+  std::size_t events = 0;
   for (auto _ : state) {
     serving::ClusterSimulation sim(schedule.deployment, sc.services, context().perf());
-    benchmark::DoNotOptimize(sim.run(options));
+    const serving::SimulationResult result = sim.run(options);
+    events += result.events_processed;
+    benchmark::DoNotOptimize(result);
   }
+  state.counters["events/s"] = benchmark::Counter(static_cast<double>(events),
+                                                  benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ClusterSimulationS2)->Unit(benchmark::kMillisecond);
 

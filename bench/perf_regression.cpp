@@ -1,0 +1,180 @@
+// Perf-regression harness: times the hot paths this codebase optimises —
+// scheduler wall-clock per scenario, Segment Configurator fast path vs the
+// reference scan, DES event throughput, and the end-to-end Fig. 8 sweep —
+// and emits a machine-readable JSON report (BENCH_perf.json via
+// scripts/bench_perf.sh). Medians over repetitions so one noisy run on a
+// shared box does not fail the gate.
+//
+// Usage: perf_regression [--smoke] [--out <path>]
+//   --smoke  one repetition, short simulations: a seconds-long sanity pass
+//            for scripts/verify.sh, not a measurement.
+//   --out    write the JSON report to <path> (default: stdout only).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/configurator.hpp"
+#include "scenarios/experiment.hpp"
+#include "serving/cluster_sim.hpp"
+
+namespace {
+
+using namespace parva;
+using namespace parva::scenarios;
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+double median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Minimal JSON object writer (flat string/number fields, insertion order).
+class JsonReport {
+ public:
+  void add(const std::string& key, double value) {
+    std::ostringstream out;
+    out.precision(6);
+    out << value;
+    fields_.push_back("  \"" + key + "\": " + out.str());
+  }
+  void add(const std::string& key, const std::string& value) {
+    fields_.push_back("  \"" + key + "\": \"" + value + "\"");
+  }
+  std::string str() const {
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out += fields_[i];
+      out += i + 1 < fields_.size() ? ",\n" : "\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+ private:
+  std::vector<std::string> fields_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: perf_regression [--smoke] [--out <path>]\n";
+      return 2;
+    }
+  }
+
+  const int reps = smoke ? 1 : 9;
+  const ExperimentContext context = ExperimentContext::create();
+  JsonReport report;
+  report.add("mode", smoke ? "smoke" : "full");
+
+  // 1. Scheduler wall-clock per scenario: the full ParvaGPU pipeline
+  //    (configure + allocate + optimise), the paper's scheduling delay.
+  for (const Scenario& sc : all_scenarios()) {
+    std::vector<double> samples;
+    for (int r = 0; r < reps; ++r) {
+      auto scheduler = context.make_scheduler(Framework::kParvaGpu);
+      const auto start = Clock::now();
+      auto outcome = scheduler->schedule(sc.services);
+      samples.push_back(elapsed_ms(start));
+      if (!outcome.ok()) {
+        std::cerr << "scheduling failed on " << sc.name << "\n";
+        return 1;
+      }
+    }
+    report.add("scheduler_ms_" + sc.name, median(samples));
+  }
+
+  // 2. Segment Configurator on S6: indexed-surface fast path vs the
+  //    reference table scan it replaced (both produce identical output).
+  {
+    const auto& services = scenario("S6").services;
+    const core::SegmentConfigurator configurator;
+    const int inner = smoke ? 10 : 200;
+    std::vector<double> fast;
+    std::vector<double> scan;
+    for (int r = 0; r < reps; ++r) {
+      auto start = Clock::now();
+      for (int i = 0; i < inner; ++i) {
+        auto result = configurator.configure(services, context.surfaces());
+        if (!result.ok()) return 1;
+      }
+      fast.push_back(elapsed_ms(start) * 1000.0 / inner);
+      start = Clock::now();
+      for (int i = 0; i < inner; ++i) {
+        auto result = configurator.configure(services, context.profiles());
+        if (!result.ok()) return 1;
+      }
+      scan.push_back(elapsed_ms(start) * 1000.0 / inner);
+    }
+    report.add("configurator_surface_us_S6", median(fast));
+    report.add("configurator_scan_us_S6", median(scan));
+    report.add("configurator_speedup_S6", median(scan) / median(fast));
+  }
+
+  // 3. DES throughput: the S2 deployment simulated for 1 s of virtual
+  //    time, reported as events per wall-clock second.
+  {
+    const Scenario& sc = scenario("S2");
+    auto scheduler = context.make_scheduler(Framework::kParvaGpu);
+    const auto schedule = scheduler->schedule(sc.services).value();
+    serving::SimulationOptions options;
+    options.duration_ms = smoke ? 200.0 : 1'000.0;
+    options.warmup_ms = smoke ? 20.0 : 100.0;
+    std::vector<double> rates;
+    for (int r = 0; r < reps; ++r) {
+      serving::ClusterSimulation sim(schedule.deployment, sc.services, context.perf());
+      const auto start = Clock::now();
+      const serving::SimulationResult result = sim.run(options);
+      const double ms = elapsed_ms(start);
+      rates.push_back(static_cast<double>(result.events_processed) / (ms / 1000.0));
+    }
+    report.add("des_events_per_sec_S2", median(rates));
+  }
+
+  // 4. End-to-end Fig. 8 sweep: every framework x scenario, three seeds
+  //    each, parallel seed simulations — the full experiment workload.
+  {
+    const std::uint64_t seeds[] = {11ULL, 23ULL, 47ULL};
+    ExperimentOptions options;
+    options.run_simulation = true;
+    options.sim.duration_ms = smoke ? 500.0 : 15'000.0;
+    const auto start = Clock::now();
+    for (Framework framework : all_frameworks()) {
+      for (const Scenario& sc : all_scenarios()) {
+        const auto results = run_experiment_seeds(context, framework, sc, options, seeds);
+        if (results.empty()) return 1;
+      }
+    }
+    report.add("fig8_end_to_end_ms", elapsed_ms(start));
+  }
+
+  const std::string json = report.str();
+  std::cout << json;
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << json;
+  }
+  return 0;
+}

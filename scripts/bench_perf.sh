@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Perf-regression report: builds the release preset (-O3) and runs the
+# bench/perf_regression harness, writing BENCH_perf.json at the repo root.
+# The committed BENCH_perf.json is the reference point for "did this PR
+# make the hot paths slower" — regenerate it when a change is supposed to
+# shift performance, and diff the numbers when it is not.
+#
+# Usage: ./scripts/bench_perf.sh [--smoke]
+#   --smoke  seconds-long sanity pass (used by verify.sh); does NOT
+#            overwrite BENCH_perf.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-}"
+
+echo "== configure + build (release preset) =="
+cmake --preset release >/dev/null
+cmake --build --preset release -j "$(nproc)" --target perf_regression
+
+if [[ "$mode" == "--smoke" ]]; then
+  echo "== perf smoke =="
+  ./build-release/bench/perf_regression --smoke
+else
+  echo "== perf regression (full, medians of 9 reps) =="
+  ./build-release/bench/perf_regression --out BENCH_perf.json
+  echo "[json: BENCH_perf.json]"
+fi

@@ -19,4 +19,7 @@ cmake --build --preset asan-ubsan -j "$(nproc)"
 echo "== ctest (asan-ubsan preset) =="
 ctest --preset asan-ubsan
 
+echo "== perf smoke (release preset) =="
+./scripts/bench_perf.sh --smoke
+
 echo "verify: OK"

@@ -22,6 +22,9 @@ struct TunedPartition {
 Result<core::ScheduleResult> GsliceScheduler::schedule(
     std::span<const core::ServiceSpec> services) {
   const auto start = std::chrono::steady_clock::now();
+  // Per-run memo: the fraction/batch sweeps below revisit the same
+  // operating points across services sharing a model.
+  const perfmodel::CachedPerfModel cache(*perf_);
   if (services.empty()) {
     core::ScheduleResult empty;
     empty.deployment.framework = name();
@@ -58,7 +61,7 @@ Result<core::ScheduleResult> GsliceScheduler::schedule(
     const double inflation = perfmodel::true_interference(*partitions[index].traits, others);
     const double cap =
         partitions[index].spec->slo_latency_ms * options_.internal_latency_factor;
-    return best_partition_point(*perf_, *partitions[index].traits,
+    return best_partition_point(cache, *partitions[index].traits,
                                 partitions[index].fraction, cap, inflation);
   };
 

@@ -27,6 +27,9 @@ struct IgniterGpu {
 Result<core::ScheduleResult> IgniterScheduler::schedule(
     std::span<const core::ServiceSpec> services) {
   const auto start = std::chrono::steady_clock::now();
+  // Per-run memo: the fraction/batch sweeps below revisit the same
+  // operating points across services sharing a model.
+  const perfmodel::CachedPerfModel cache(*perf_);
 
   // Phase 1: per-service sizing with iGniter's (noisy) predictor + padding.
   std::vector<SizedService> sized;
@@ -43,7 +46,7 @@ Result<core::ScheduleResult> IgniterScheduler::schedule(
     const double predicted_inflation =
         perfmodel::igniter_predicted_interference(*traits, {&nominal, 1});
 
-    auto required = smallest_fraction_for_rate(*perf_, *traits, spec.request_rate, latency_cap,
+    auto required = smallest_fraction_for_rate(cache, *traits, spec.request_rate, latency_cap,
                                                options_.fraction_quantum, predicted_inflation);
     if (!required.has_value()) {
       // The published system cannot split a service across partitions; at
@@ -60,7 +63,7 @@ Result<core::ScheduleResult> IgniterScheduler::schedule(
     padded = std::ceil(padded / options_.fraction_quantum - 1e-9) * options_.fraction_quantum;
 
     auto padded_point =
-        best_partition_point(*perf_, *traits, padded, latency_cap, predicted_inflation);
+        best_partition_point(cache, *traits, padded, latency_cap, predicted_inflation);
     if (!padded_point.has_value()) padded_point = required;
     sized.push_back(SizedService{&spec, traits, padded, *padded_point});
   }
@@ -90,7 +93,7 @@ Result<core::ScheduleResult> IgniterScheduler::schedule(
             perfmodel::igniter_predicted_interference(*member.traits, others);
         const double cap = member.spec->slo_latency_ms * options_.internal_latency_factor;
         auto point =
-            best_partition_point(*perf_, *member.traits, member.padded_fraction, cap, inflation);
+            best_partition_point(cache, *member.traits, member.padded_fraction, cap, inflation);
         return point.has_value() && point->throughput >= member.spec->request_rate;
       };
       std::vector<SizedService> cohort = gpu.partitions;
@@ -134,7 +137,7 @@ Result<core::ScheduleResult> IgniterScheduler::schedule(
         others.push_back({gpu.partitions[qi].traits, gpu.partitions[qi].padded_fraction});
       }
       const double true_inflation = perfmodel::true_interference(*member.traits, others);
-      auto actual = perf_->evaluate_mps_share(*member.traits, member.padded_fraction,
+      auto actual = cache.evaluate_mps_share(*member.traits, member.padded_fraction,
                                               member.point.batch, 1, true_inflation);
 
       core::DeployedUnit unit;

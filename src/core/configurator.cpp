@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 namespace parva::core {
 
@@ -31,6 +32,38 @@ Result<ConfiguredService> SegmentConfigurator::triplet_decision(
 
   const bool any = std::any_of(configured.opt_tri_array.begin(), configured.opt_tri_array.end(),
                                [](const auto& t) { return t.has_value(); });
+  if (!any) {
+    return Error(ErrorCode::kCapacityExceeded,
+                 "service " + std::to_string(spec.id) + " (" + spec.model +
+                     "): no instance size meets the internal latency bound of " +
+                     std::to_string(latency_bound) + " ms");
+  }
+  return configured;
+}
+
+Result<ConfiguredService> SegmentConfigurator::triplet_decision(
+    const ServiceSpec& spec, const profiler::ProfileSurface& surface) const {
+  PARVA_REQUIRE(spec.slo_latency_ms > 0.0, "service SLO latency must be positive");
+  PARVA_REQUIRE(spec.request_rate >= 0.0, "service request rate must be non-negative");
+
+  const double latency_bound = spec.slo_latency_ms * options_.internal_latency_factor;
+
+  ConfiguredService configured;
+  configured.spec = spec;
+
+  // UPDATEMAXTRIPLETS on the surface: per instance size, the prefix-argmax
+  // shelf answers "max throughput with latency strictly below the bound"
+  // directly; the winner (including tie order) equals the table scan's.
+  bool any = false;
+  for (int index = 0; index < kInstanceSizeCount; ++index) {
+    const int gpcs = instance_size_from_index(index);
+    const profiler::ProfilePoint* best =
+        surface.best_below(gpcs, options_.max_processes, latency_bound);
+    if (best == nullptr) continue;
+    configured.opt_tri_array[static_cast<std::size_t>(index)] = to_triplet(*best);
+    any = true;
+  }
+
   if (!any) {
     return Error(ErrorCode::kCapacityExceeded,
                  "service " + std::to_string(spec.id) + " (" + spec.model +
@@ -108,6 +141,52 @@ Result<std::vector<ConfiguredService>> SegmentConfigurator::configure(
     const Status matched = demand_matching(service);
     if (!matched.ok()) return matched.error();
     configured.push_back(std::move(service));
+  }
+  return configured;
+}
+
+Result<ConfiguredService> SegmentConfigurator::configure_one(
+    const ServiceSpec& spec, const profiler::ProfileSurfaceSet& surfaces) const {
+  const profiler::ProfileSurface* surface = surfaces.find(spec.model);
+  if (surface == nullptr) {
+    return Error(ErrorCode::kNotFound, "no profile for model " + spec.model);
+  }
+  auto result = triplet_decision(spec, *surface);
+  if (!result.ok()) return result.error();
+  ConfiguredService service = std::move(result).value();
+  const Status matched = demand_matching(service);
+  if (!matched.ok()) return matched.error();
+  return service;
+}
+
+Result<std::vector<ConfiguredService>> SegmentConfigurator::configure(
+    std::span<const ServiceSpec> services, const profiler::ProfileSurfaceSet& surfaces) const {
+  std::vector<ConfiguredService> configured;
+  configured.reserve(services.size());
+  for (const ServiceSpec& spec : services) {
+    auto result = configure_one(spec, surfaces);
+    if (!result.ok()) return result.error();
+    configured.push_back(std::move(result).value());
+  }
+  return configured;
+}
+
+Result<std::vector<ConfiguredService>> SegmentConfigurator::configure(
+    std::span<const ServiceSpec> services, const profiler::ProfileSurfaceSet& surfaces,
+    ThreadPool& pool) const {
+  // Each task writes only its own slot; the merge below walks the slots in
+  // service order, so the returned vector — and the returned error, when
+  // any service fails — match the serial loop exactly.
+  std::vector<std::optional<Result<ConfiguredService>>> slots(services.size());
+  pool.parallel_for(services.size(),
+                    [&](std::size_t i) { slots[i] = configure_one(services[i], surfaces); });
+
+  std::vector<ConfiguredService> configured;
+  configured.reserve(services.size());
+  for (auto& slot : slots) {
+    PARVA_CHECK(slot.has_value(), "parallel configure left a slot unfilled");
+    if (!slot->ok()) return slot->error();
+    configured.push_back(std::move(*slot).value());
   }
   return configured;
 }

@@ -24,13 +24,19 @@ struct ParvaGpuOptions {
   bool optimize_allocation = true;
   double internal_latency_factor = 0.5;
   int optimization_threshold_gpcs = 4;
+  /// When set, per-service configuration fans out across this pool once the
+  /// service count reaches `parallel_threshold` (small sets stay serial —
+  /// the dispatch overhead would dominate). Output is identical either way.
+  ThreadPool* pool = nullptr;
+  std::size_t parallel_threshold = 64;
 };
 
 class ParvaGpuScheduler final : public Scheduler {
  public:
   /// `profiles` must contain a table for every model that will be
   /// scheduled; profiling is the one-time cost of Section III-C and is
-  /// deliberately outside the scheduling-delay measurement.
+  /// deliberately outside the scheduling-delay measurement. The profile
+  /// surfaces are indexed here, in the same one-time registration phase.
   ParvaGpuScheduler(const profiler::ProfileSet& profiles, ParvaGpuOptions options = {});
 
   std::string name() const override;
@@ -45,9 +51,12 @@ class ParvaGpuScheduler final : public Scheduler {
   static Deployment to_deployment(const DeploymentPlan& plan, std::string framework_name);
 
   const ParvaGpuOptions& parva_options() const { return options_; }
+  /// The indexed profile surfaces the scheduler plans against.
+  const profiler::ProfileSurfaceSet& surfaces() const { return surfaces_; }
 
  private:
   const profiler::ProfileSet* profiles_;
+  profiler::ProfileSurfaceSet surfaces_;
   ParvaGpuOptions options_;
   SegmentConfigurator configurator_;
   SegmentAllocator allocator_;

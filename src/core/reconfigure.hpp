@@ -34,7 +34,20 @@ class Reconfigurer {
                                           const ServiceSpec& updated_spec,
                                           const profiler::ProfileSet& profiles) const;
 
+  /// Fast-path variant over indexed surfaces: repeated SLO/rate updates hit
+  /// the surface's memoized grid instead of re-scanning the profile table.
+  /// Produces the same plan as the ProfileSet overload.
+  Result<ReconfigureStats> update_service(DeploymentPlan& plan,
+                                          std::vector<ConfiguredService>& configured,
+                                          const ServiceSpec& updated_spec,
+                                          const profiler::ProfileSurfaceSet& surfaces) const;
+
  private:
+  Result<ReconfigureStats> apply_update(DeploymentPlan& plan,
+                                        std::vector<ConfiguredService>& configured,
+                                        const ServiceSpec& updated_spec,
+                                        ConfiguredService service) const;
+
   SegmentConfigurator configurator_;
   SegmentAllocator allocator_;
 };

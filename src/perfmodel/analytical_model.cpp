@@ -89,11 +89,4 @@ Result<PerfPoint> AnalyticalPerfModel::evaluate_mps_share(const WorkloadTraits& 
   return evaluate(traits, effective_gpcs, memory, batch, processes, interference_inflation);
 }
 
-double AnalyticalPerfModel::sample_latency_ms(double mean_latency_ms, Rng& rng) {
-  // Multiplicative jitter, truncated to +-3 sigma, sigma = 3%.
-  double factor = rng.normal(1.0, 0.03);
-  factor = std::clamp(factor, 0.91, 1.09);
-  return mean_latency_ms * factor;
-}
-
 }  // namespace parva::perfmodel

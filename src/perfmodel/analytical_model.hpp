@@ -23,6 +23,8 @@
 // instance's memory grant (the holes in the paper's Figure 3).
 #pragma once
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "gpu/arch.hpp"
@@ -84,8 +86,14 @@ class AnalyticalPerfModel {
                                        double interference_inflation) const;
 
   /// Samples a noisy execution latency for the discrete-event simulator:
-  /// multiplicative jitter around the analytical value (sigma ~3%).
-  static double sample_latency_ms(double mean_latency_ms, Rng& rng);
+  /// multiplicative jitter around the analytical value (sigma ~3%),
+  /// truncated to +-3 sigma. Inline: the simulator calls this once per
+  /// batch on its hottest path.
+  static double sample_latency_ms(double mean_latency_ms, Rng& rng) {
+    double factor = rng.normal(1.0, 0.03);
+    factor = std::clamp(factor, 0.91, 1.09);
+    return mean_latency_ms * factor;
+  }
 
  private:
   Result<PerfPoint> evaluate(const WorkloadTraits& traits, double effective_gpcs,

@@ -1,0 +1,47 @@
+#include "perfmodel/perf_cache.hpp"
+
+namespace parva::perfmodel {
+
+const Result<PerfPoint>& CachedPerfModel::lookup(const Key& key) const {
+  const auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  Result<PerfPoint> value =
+      key.mig ? model_->evaluate_mig(*key.traits, static_cast<int>(key.grant_bits),
+                                     key.batch, key.processes)
+              : model_->evaluate_mps_share(*key.traits,
+                                           std::bit_cast<double>(key.grant_bits), key.batch,
+                                           key.processes,
+                                           std::bit_cast<double>(key.inflation_bits));
+  return memo_.emplace(key, std::move(value)).first->second;
+}
+
+Result<PerfPoint> CachedPerfModel::evaluate_mig(const WorkloadTraits& traits, int gpcs,
+                                                int batch, int processes) const {
+  Key key;
+  key.traits = &traits;
+  key.grant_bits = static_cast<std::uint64_t>(static_cast<std::uint32_t>(gpcs));
+  key.batch = batch;
+  key.processes = processes;
+  key.mig = true;
+  return lookup(key);
+}
+
+Result<PerfPoint> CachedPerfModel::evaluate_mps_share(const WorkloadTraits& traits,
+                                                      double gpu_fraction, int batch,
+                                                      int processes,
+                                                      double interference_inflation) const {
+  Key key;
+  key.traits = &traits;
+  key.grant_bits = std::bit_cast<std::uint64_t>(gpu_fraction);
+  key.inflation_bits = std::bit_cast<std::uint64_t>(interference_inflation);
+  key.batch = batch;
+  key.processes = processes;
+  key.mig = false;
+  return lookup(key);
+}
+
+}  // namespace parva::perfmodel

@@ -1,6 +1,8 @@
 #include "scenarios/experiment.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "baselines/gpulet.hpp"
 #include "baselines/igniter.hpp"
@@ -9,6 +11,7 @@
 #include "core/parvagpu.hpp"
 #include "gpu/arch.hpp"
 #include "profiler/profiler.hpp"
+#include "serving/sim_runner.hpp"
 
 namespace parva::scenarios {
 
@@ -40,6 +43,8 @@ ExperimentContext ExperimentContext::create() {
       perfmodel::ModelCatalog::builtin());
   profiler::Profiler profiler(*context.perf_);
   context.profiles_ = profiler.profile_all(perfmodel::ModelCatalog::builtin().names());
+  context.surfaces_ = profiler::ProfileSurfaceSet(context.profiles_);
+  context.pool_ = std::make_unique<ThreadPool>();
   return context;
 }
 
@@ -51,16 +56,21 @@ std::unique_ptr<core::Scheduler> ExperimentContext::make_scheduler(Framework fra
       return std::make_unique<baselines::IgniterScheduler>(*perf_);
     case Framework::kMigServing:
       return std::make_unique<baselines::MigServingScheduler>(profiles_);
-    case Framework::kParvaGpu:
-      return std::make_unique<core::ParvaGpuScheduler>(profiles_);
+    case Framework::kParvaGpu: {
+      core::ParvaGpuOptions options;
+      options.pool = pool_.get();
+      return std::make_unique<core::ParvaGpuScheduler>(profiles_, options);
+    }
     case Framework::kParvaGpuSingle: {
       core::ParvaGpuOptions options;
       options.use_mps = false;
+      options.pool = pool_.get();
       return std::make_unique<core::ParvaGpuScheduler>(profiles_, options);
     }
     case Framework::kParvaGpuUnoptimized: {
       core::ParvaGpuOptions options;
       options.optimize_allocation = false;
+      options.pool = pool_.get();
       return std::make_unique<core::ParvaGpuScheduler>(profiles_, options);
     }
   }
@@ -91,23 +101,42 @@ double fragmentation_excluding_tail(const core::Deployment& deployment) {
   return capacity <= 0.0 ? 0.0 : std::max(0.0, 1.0 - total / capacity);
 }
 
-}  // namespace
+/// Folds one simulation outcome into an ExperimentResult (shared between
+/// the serial path and the seed sweep).
+void apply_simulation(ExperimentResult& result, const serving::SimulationResult& sim_result,
+                      std::span<const core::ServiceSpec> services) {
+  result.ran_simulation = true;
+  result.slo_compliance = sim_result.overall_compliance();
+  result.worst_service_compliance = sim_result.worst_compliance();
+  result.measured_internal_slack = sim_result.internal_slack;
+  for (const serving::ServiceOutcome& outcome : sim_result.services) {
+    if (outcome.request_latency_ms.empty()) continue;
+    for (const core::ServiceSpec& spec : services) {
+      if (spec.id != outcome.service_id || spec.slo_latency_ms <= 0.0) continue;
+      result.worst_p99_over_slo = std::max(
+          result.worst_p99_over_slo,
+          outcome.request_latency_ms.p99() / spec.slo_latency_ms);
+    }
+  }
+}
 
-ExperimentResult run_experiment(const ExperimentContext& context, Framework framework,
-                                const Scenario& scenario, const ExperimentOptions& options) {
-  ExperimentResult result;
+/// Schedules and fills the planning-side metrics; returns the schedule (or
+/// nullopt after recording the failure).
+std::optional<core::ScheduleResult> schedule_and_measure(const ExperimentContext& context,
+                                                         Framework framework,
+                                                         const Scenario& scenario,
+                                                         ExperimentResult& result) {
   result.framework = framework_name(framework);
   result.scenario = scenario.name;
-
   auto scheduler = context.make_scheduler(framework);
   auto outcome = scheduler->schedule(scenario.services);
   if (!outcome.ok()) {
     result.feasible = false;
     result.failure = outcome.error().to_string();
-    return result;
+    return std::nullopt;
   }
   result.feasible = true;
-  const core::ScheduleResult& schedule = outcome.value();
+  core::ScheduleResult& schedule = outcome.value();
   result.scheduling_delay_ms = schedule.scheduling_delay_ms;
 
   const core::UtilizationMetrics metrics =
@@ -116,25 +145,46 @@ ExperimentResult run_experiment(const ExperimentContext& context, Framework fram
   result.internal_slack = metrics.internal_slack;
   result.external_fragmentation = metrics.external_fragmentation;
   result.fragmentation_excl_tail = fragmentation_excluding_tail(schedule.deployment);
+  return std::optional<core::ScheduleResult>(std::move(schedule));
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentContext& context, Framework framework,
+                                const Scenario& scenario, const ExperimentOptions& options) {
+  ExperimentResult result;
+  auto schedule = schedule_and_measure(context, framework, scenario, result);
+  if (!schedule.has_value()) return result;
 
   if (options.run_simulation) {
-    serving::ClusterSimulation sim(schedule.deployment, scenario.services, context.perf());
-    const serving::SimulationResult sim_result = sim.run(options.sim);
-    result.ran_simulation = true;
-    result.slo_compliance = sim_result.overall_compliance();
-    result.worst_service_compliance = sim_result.worst_compliance();
-    result.measured_internal_slack = sim_result.internal_slack;
-    for (const serving::ServiceOutcome& outcome : sim_result.services) {
-      if (outcome.request_latency_ms.empty()) continue;
-      for (const core::ServiceSpec& spec : scenario.services) {
-        if (spec.id != outcome.service_id || spec.slo_latency_ms <= 0.0) continue;
-        result.worst_p99_over_slo = std::max(
-            result.worst_p99_over_slo,
-            outcome.request_latency_ms.p99() / spec.slo_latency_ms);
-      }
-    }
+    serving::ClusterSimulation sim(schedule->deployment, scenario.services, context.perf());
+    apply_simulation(result, sim.run(options.sim), scenario.services);
   }
   return result;
+}
+
+std::vector<ExperimentResult> run_experiment_seeds(const ExperimentContext& context,
+                                                   Framework framework,
+                                                   const Scenario& scenario,
+                                                   const ExperimentOptions& base,
+                                                   std::span<const std::uint64_t> seeds) {
+  ExperimentResult scheduled;
+  auto schedule = schedule_and_measure(context, framework, scenario, scheduled);
+  if (!schedule.has_value() || seeds.empty() || !base.run_simulation) {
+    return {scheduled};
+  }
+
+  const std::vector<serving::SimulationResult> sims = serving::run_seeds(
+      schedule->deployment, scenario.services, context.perf(), base.sim, seeds,
+      context.pool());
+  std::vector<ExperimentResult> results;
+  results.reserve(sims.size());
+  for (const serving::SimulationResult& sim_result : sims) {
+    ExperimentResult result = scheduled;  // planning metrics are seed-independent
+    apply_simulation(result, sim_result, scenario.services);
+    results.push_back(std::move(result));
+  }
+  return results;
 }
 
 }  // namespace parva::scenarios

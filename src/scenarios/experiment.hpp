@@ -4,12 +4,16 @@
 // figure) is a thin wrapper over this module.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/deployment.hpp"
 #include "perfmodel/analytical_model.hpp"
+#include "profiler/profile_surface.hpp"
 #include "profiler/profile_types.hpp"
 #include "scenarios/scenarios.hpp"
 #include "serving/cluster_sim.hpp"
@@ -32,7 +36,10 @@ std::vector<Framework> headline_frameworks();
 /// Including the ParvaGPU ablation variants.
 std::vector<Framework> all_frameworks();
 
-/// Heavy shared state: the performance model and the one-time profile grid.
+/// Heavy shared state: the performance model, the one-time profile grid,
+/// its indexed query surface, and a thread pool shared by every component
+/// that fans out (parallel per-service configuration, seed-sweep
+/// simulations).
 class ExperimentContext {
  public:
   /// Builds the context for the built-in 11-model catalog.
@@ -40,14 +47,20 @@ class ExperimentContext {
 
   const perfmodel::AnalyticalPerfModel& perf() const { return *perf_; }
   const profiler::ProfileSet& profiles() const { return profiles_; }
+  /// Indexed surfaces over `profiles()` (built once at create()).
+  const profiler::ProfileSurfaceSet& surfaces() const { return surfaces_; }
+  ThreadPool& pool() const { return *pool_; }
 
-  /// Fresh scheduler instance for a framework.
+  /// Fresh scheduler instance for a framework. ParvaGPU variants share the
+  /// context's thread pool for parallel configuration.
   std::unique_ptr<core::Scheduler> make_scheduler(Framework framework) const;
 
  private:
   ExperimentContext() = default;
   std::unique_ptr<perfmodel::AnalyticalPerfModel> perf_;
   profiler::ProfileSet profiles_;
+  profiler::ProfileSurfaceSet surfaces_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 struct ExperimentResult {
@@ -78,5 +91,16 @@ struct ExperimentOptions {
 
 ExperimentResult run_experiment(const ExperimentContext& context, Framework framework,
                                 const Scenario& scenario, const ExperimentOptions& options = {});
+
+/// Seed sweep: schedules ONCE, then runs one simulation per seed
+/// concurrently on the context's pool. Results are in seed order and each
+/// is identical to a serial run_experiment with that seed (the simulator
+/// is a pure function of (deployment, options)). If scheduling fails, the
+/// single returned entry carries the failure.
+std::vector<ExperimentResult> run_experiment_seeds(const ExperimentContext& context,
+                                                   Framework framework,
+                                                   const Scenario& scenario,
+                                                   const ExperimentOptions& base,
+                                                   std::span<const std::uint64_t> seeds);
 
 }  // namespace parva::scenarios

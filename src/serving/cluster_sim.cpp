@@ -2,12 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
-#include <queue>
-#include <set>
+#include <limits>
 
 #include "core/metrics.hpp"
 #include "gpu/arch.hpp"
+#include "serving/event_engine.hpp"
 
 namespace parva::serving {
 namespace {
@@ -17,34 +16,70 @@ struct Request {
   double arrival_ms = 0.0;
 };
 
-/// Event kinds, ordered by time in the priority queue.
-enum class EventKind { kArrival, kBatchComplete, kGpuFailure, kUnitActivate };
+/// FIFO of waiting requests: a flat vector with a head cursor. pop is a
+/// cursor bump, and draining into a batch is one contiguous copy; storage
+/// compacts whenever the queue empties (which underloaded units do
+/// constantly), so the backing vector stops reallocating at steady state.
+class RequestQueue {
+ public:
+  bool empty() const { return head_ == store_.size(); }
+  std::size_t size() const { return store_.size() - head_; }
 
-struct Event {
-  double time_ms = 0.0;
-  EventKind kind = EventKind::kArrival;
-  int service_index = -1;        ///< for arrivals
-  int unit_index = -1;           ///< completions/activations: unit; failures: gpu
-  std::uint64_t batch_id = 0;    ///< for completions
-};
+  void push_back(const Request& request) { store_.push_back(request); }
 
-struct EventLater {
-  bool operator()(const Event& a, const Event& b) const { return a.time_ms > b.time_ms; }
+  /// Moves the first `take` requests into `out` (appended) in one copy.
+  void drain_into(std::vector<Request>& out, std::size_t take) {
+    out.insert(out.end(), store_.begin() + static_cast<std::ptrdiff_t>(head_),
+               store_.begin() + static_cast<std::ptrdiff_t>(head_ + take));
+    head_ += take;
+    compact_if_empty();
+  }
+
+  const Request* begin() const { return store_.data() + head_; }
+  const Request* end() const { return store_.data() + store_.size(); }
+
+  void clear() {
+    store_.clear();
+    head_ = 0;
+  }
+
+ private:
+  void compact_if_empty() {
+    if (head_ == store_.size()) {
+      store_.clear();
+      head_ = 0;
+    }
+  }
+
+  std::vector<Request> store_;
+  std::size_t head_ = 0;
 };
 
 /// Runtime state of one deployed unit.
 struct UnitState {
   const core::DeployedUnit* unit = nullptr;
   const perfmodel::WorkloadTraits* traits = nullptr;
-  std::deque<Request> queue;
+  RequestQueue queue;
   int idle_processes = 0;
   bool up = true;                ///< serving (false: dormant or failed)
   double busy_sm_ms = 0.0;       ///< accumulated within the measurement window
+  /// Ground-truth capacity, clamped away from zero for the delay score.
+  double capacity = 1e-9;
+  /// Batch-pool slots currently serving on this unit (at most `procs`).
+  std::vector<std::uint32_t> in_flight_slots;
+  /// Requests inside those slots: the in-service half of the dispatch
+  /// backlog, maintained incrementally instead of summed per arrival.
+  std::size_t in_flight_requests = 0;
+  /// fill_scale[take]: actual_latency_ms multiplier for a partially filled
+  /// batch — the same partial/full work ratio the model computes, evaluated
+  /// once per fill level instead of per batch.
+  std::vector<double> fill_scale;
+  /// sm_work[take]: SM-time charged for a batch of `take` requests
+  /// (batch_work_ms * kSmsPerGpc), precomputed per fill level.
+  std::vector<double> sm_work;
 };
 
-struct InFlightBatch {
-  std::vector<Request> requests;
-};
+using BatchPool = SlotPool<std::vector<Request>>;
 
 }  // namespace
 
@@ -72,36 +107,67 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
   Rng master(options.seed);
   Rng arrival_rng = master.split();
   // Inter-arrival sampler: paced generator (with a phase offset per
-  // service so services do not arrive in lock-step) or Poisson.
-  auto next_gap_ms = [&](double rate_per_s) {
-    const double rate_per_ms = rate_per_s / 1000.0;
-    if (options.arrivals == ArrivalProcess::kPoisson) {
-      return arrival_rng.exponential(rate_per_ms);
+  // service so services do not arrive in lock-step) or Poisson. The paced
+  // gap of a service never changes, so it is computed once up front.
+  std::vector<double> paced_gap_ms(services_.size(), 0.0);
+  for (std::size_t s = 0; s < services_.size(); ++s) {
+    if (services_[s].request_rate > 0.0) {
+      paced_gap_ms[s] = 1.0 / (services_[s].request_rate / 1000.0);
     }
-    return 1.0 / rate_per_ms;
+  }
+  auto next_gap_ms = [&](std::size_t s) {
+    if (options.arrivals == ArrivalProcess::kPoisson) {
+      return arrival_rng.exponential(services_[s].request_rate / 1000.0);
+    }
+    return paced_gap_ms[s];
   };
   Rng service_time_rng = master.split();
   Rng dispatch_rng = master.split();
 
-  // Per-unit runtime state.
+  // Per-unit runtime state. The per-fill-level latency scale and SM-work
+  // tables hoist the work-model evaluations out of the batch hot path.
   std::vector<UnitState> units(deployment_->units.size());
   for (std::size_t i = 0; i < units.size(); ++i) {
     units[i].unit = &deployment_->units[i];
     units[i].traits = perf_->catalog().find(deployment_->units[i].model);
     units[i].idle_processes = std::max(1, deployment_->units[i].procs);
+    units[i].capacity = std::max(1e-9, deployment_->units[i].actual_throughput);
+    const int batch = units[i].unit->batch;
+    units[i].fill_scale.assign(static_cast<std::size_t>(batch) + 1, 1.0);
+    units[i].sm_work.assign(static_cast<std::size_t>(batch) + 1, 0.0);
+    if (units[i].traits != nullptr) {
+      const double full =
+          perfmodel::AnalyticalPerfModel::batch_work_ms(*units[i].traits, batch);
+      for (int take = 1; take <= batch; ++take) {
+        const double partial =
+            perfmodel::AnalyticalPerfModel::batch_work_ms(*units[i].traits, take);
+        if (take < batch) units[i].fill_scale[static_cast<std::size_t>(take)] = partial / full;
+        units[i].sm_work[static_cast<std::size_t>(take)] = partial * gpu::kSmsPerGpc;
+      }
+    }
   }
 
-  // Service index lookup and per-service unit lists.
-  std::vector<std::vector<std::size_t>> service_units(services_.size());
+  // Service index lookup and per-service unit lists, flattened into one
+  // contiguous array with offsets (the dispatch path walks them on every
+  // arrival), plus cached copies of the per-service scalars it touches.
+  std::vector<std::uint32_t> svc_unit_off(services_.size() + 1, 0);
+  std::vector<std::uint32_t> svc_unit_flat;
+  svc_unit_flat.reserve(units.size());
   std::vector<int> unit_service(units.size(), -1);
+  std::vector<int> svc_id(services_.size(), -1);
+  std::vector<double> svc_slo_ms(services_.size(), 0.0);
   for (std::size_t s = 0; s < services_.size(); ++s) {
+    svc_unit_off[s] = static_cast<std::uint32_t>(svc_unit_flat.size());
+    svc_id[s] = services_[s].id;
+    svc_slo_ms[s] = services_[s].slo_latency_ms;
     for (std::size_t u = 0; u < units.size(); ++u) {
       if (units[u].unit->service_id == services_[s].id) {
-        service_units[s].push_back(u);
+        svc_unit_flat.push_back(static_cast<std::uint32_t>(u));
         unit_service[u] = static_cast<int>(s);
       }
     }
   }
+  svc_unit_off[services_.size()] = static_cast<std::uint32_t>(svc_unit_flat.size());
 
   std::vector<ServiceOutcome> outcomes(services_.size());
   for (std::size_t s = 0; s < services_.size(); ++s) {
@@ -128,36 +194,71 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
     return idx < timeline.size() ? &timeline[idx] : nullptr;
   };
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> events;
-  // Batches in flight, keyed by a cluster-wide id: service-time jitter can
-  // complete a later-issued batch first, so completions carry their id.
-  std::vector<std::map<std::uint64_t, InFlightBatch>> in_flight(units.size());
-  // Batches erased by a device loss; their already-queued completion events
-  // are skipped when they surface.
-  std::set<std::uint64_t> dropped_batches;
-  std::uint64_t next_batch_id = 0;
+  // Event engine: flat pooled heap with (time, seq) ordering, and recycled
+  // slot storage for in-flight batches (see event_engine.hpp).
+  EventQueue events;
+  BatchPool batches;
+
+  auto make_event = [](double time_ms, EventKind kind, int unit_index,
+                       std::uint32_t slot = 0, std::uint32_t generation = 0) {
+    SimEvent event;
+    event.time_ms = time_ms;
+    event.kind = kind;
+    event.unit_index = unit_index;
+    event.slot = slot;
+    event.generation = generation;
+    return event;
+  };
+
+  // Per-service arrival streams, kept OUT of the heap: each service has at
+  // most one pending arrival at a time, so a flat (time, seq) slot per
+  // service replaces ~half the heap traffic with an O(#services) argmin
+  // over a contiguous array of doubles. Streams draw seq numbers from the
+  // heap's counter at exactly the moment a push would have happened, so
+  // the merged order — ties included — is identical to keeping arrivals in
+  // the heap. (Two streams tie only at exactly equal times, where the seq
+  // pass picks the earlier-scheduled one, matching heap semantics.)
+  constexpr double kNever = std::numeric_limits<double>::infinity();
+  const std::size_t service_count = services_.size();
+  std::vector<double> arrival_time(service_count, kNever);
+  std::vector<std::uint64_t> arrival_seq(service_count, 0);
+  auto earliest_arrival = [&]() {
+    std::size_t best = service_count;
+    double best_time = kNever;
+    for (std::size_t s = 0; s < service_count; ++s) {
+      if (arrival_time[s] < best_time) {
+        best_time = arrival_time[s];
+        best = s;
+      }
+    }
+    if (best == service_count) return best;
+    for (std::size_t s = best + 1; s < service_count; ++s) {
+      if (arrival_time[s] == best_time && arrival_seq[s] < arrival_seq[best]) best = s;
+    }
+    return best;
+  };
 
   // Seed the first arrival of every service (random phase).
-  for (std::size_t s = 0; s < services_.size(); ++s) {
-    if (services_[s].request_rate <= 0.0 || service_units[s].empty()) continue;
-    const double phase = arrival_rng.next_double() * next_gap_ms(services_[s].request_rate);
-    events.push(Event{phase, EventKind::kArrival, static_cast<int>(s), -1, 0});
+  for (std::size_t s = 0; s < service_count; ++s) {
+    if (services_[s].request_rate <= 0.0 || svc_unit_off[s + 1] == svc_unit_off[s]) continue;
+    arrival_time[s] = arrival_rng.next_double() * next_gap_ms(s);
+    arrival_seq[s] = events.issue_seq();
   }
 
   // Schedule the fault plan's device losses and the repair activations.
   if (options.fault_plan != nullptr) {
     for (const gpu::GpuFailureEvent& failure : options.fault_plan->sorted_gpu_failures()) {
       if (failure.at_ms > horizon_ms) continue;
-      events.push(Event{failure.at_ms, EventKind::kGpuFailure, -1,
-                        static_cast<int>(failure.gpu_index), 0});
+      events.push(make_event(failure.at_ms, EventKind::kGpuFailure,
+                             static_cast<int>(failure.gpu_index)));
     }
   }
   for (const UnitActivation& activation : options.activations) {
     PARVA_REQUIRE(activation.unit_index < units.size(), "activation index out of range");
     units[activation.unit_index].up = false;  // dormant until its time comes
     if (activation.at_ms <= horizon_ms) {
-      events.push(Event{activation.at_ms, EventKind::kUnitActivate, -1,
-                        static_cast<int>(activation.unit_index), 0});
+      events.push(make_event(activation.at_ms, EventKind::kUnitActivate,
+                             static_cast<int>(activation.unit_index)));
     }
   }
   double recovered_at = options.recovered_at_ms;
@@ -173,11 +274,11 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
                                                      : &result.degraded;
   };
 
-  auto shed_requests = [&](const std::vector<Request>& requests, double now) {
-    for (const Request& request : requests) {
-      if (request.arrival_ms < options.warmup_ms) continue;
+  auto shed_requests = [&](const Request* first, const Request* last, double now) {
+    for (const Request* request = first; request != last; ++request) {
+      if (request->arrival_ms < options.warmup_ms) continue;
       for (std::size_t s = 0; s < services_.size(); ++s) {
-        if (services_[s].id != request.service_id) continue;
+        if (services_[s].id != request->service_id) continue;
         ++outcomes[s].shed_requests;
         break;
       }
@@ -189,102 +290,119 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
   auto start_batch_if_possible = [&](std::size_t ui, double now) {
     UnitState& state = units[ui];
     while (state.up && state.idle_processes > 0 && !state.queue.empty()) {
-      const int take = std::min<std::size_t>(static_cast<std::size_t>(state.unit->batch),
-                                             state.queue.size());
-      InFlightBatch batch;
-      batch.requests.reserve(static_cast<std::size_t>(take));
-      for (int i = 0; i < take; ++i) {
-        batch.requests.push_back(state.queue.front());
-        state.queue.pop_front();
-      }
+      const auto take = std::min<std::size_t>(static_cast<std::size_t>(state.unit->batch),
+                                              state.queue.size());
+      const std::uint32_t slot = batches.acquire();
+      state.queue.drain_into(batches[slot].payload, take);
       // Service time: ground-truth full-batch latency scaled to the fill
-      // level through the work model (partial batches finish faster), with
-      // multiplicative jitter.
-      double service_ms = state.unit->actual_latency_ms;
-      if (state.traits != nullptr && take < state.unit->batch) {
-        const double full = perfmodel::AnalyticalPerfModel::batch_work_ms(
-            *state.traits, state.unit->batch);
-        const double partial =
-            perfmodel::AnalyticalPerfModel::batch_work_ms(*state.traits, take);
-        service_ms *= partial / full;
-      }
+      // level through the work model (partial batches finish faster, via
+      // the precomputed fill_scale table), with multiplicative jitter.
+      double service_ms = state.unit->actual_latency_ms * state.fill_scale[take];
       service_ms = perfmodel::AnalyticalPerfModel::sample_latency_ms(service_ms,
                                                                      service_time_rng);
       // Charge SM-time (Eq. 3 numerator) within the measurement window.
       if (state.traits != nullptr && now >= options.warmup_ms) {
-        state.busy_sm_ms += perfmodel::AnalyticalPerfModel::batch_work_ms(*state.traits, take) *
-                            gpu::kSmsPerGpc;
+        state.busy_sm_ms += state.sm_work[take];
       }
       --state.idle_processes;
-      const std::uint64_t id = next_batch_id++;
-      in_flight[ui].emplace(id, std::move(batch));
-      events.push(Event{now + service_ms, EventKind::kBatchComplete, -1,
-                        static_cast<int>(ui), id});
+      state.in_flight_slots.push_back(slot);
+      state.in_flight_requests += take;
+      events.push(make_event(now + service_ms, EventKind::kBatchComplete,
+                             static_cast<int>(ui), slot, batches[slot].generation));
     }
   };
 
   double now = 0.0;
-  while (!events.empty()) {
-    const Event event = events.top();
-    events.pop();
-    now = event.time_ms;
-    if (now > horizon_ms && event.kind == EventKind::kArrival) continue;
+  std::size_t events_processed = 0;
+  std::size_t arrival_s = earliest_arrival();
+  while (arrival_s != service_count || !events.empty()) {
+    // Merge the arrival streams with the heap on (time, seq): an arrival
+    // fires when it precedes the heap top in the global event order.
+    const bool take_arrival =
+        arrival_s != service_count &&
+        (events.empty() || arrival_time[arrival_s] < events.top().time_ms ||
+         (arrival_time[arrival_s] == events.top().time_ms &&
+          arrival_seq[arrival_s] < events.top().seq));
 
-    if (event.kind == EventKind::kArrival) {
-      const auto s = static_cast<std::size_t>(event.service_index);
+    if (take_arrival) {
+      const std::size_t s = arrival_s;
+      now = arrival_time[s];
+      ++events_processed;
+      arrival_time[s] = kNever;
+      if (now > horizon_ms) {
+        arrival_s = earliest_arrival();
+        continue;
+      }
       // Dispatch to the live unit with the smallest expected delay: backlog
       // (queued + in service) over ground-truth capacity. A service whose
       // every unit is down (mid-failure, pre-repair) sheds the request —
       // the front end has nowhere to send it.
-      const auto& candidates = service_units[s];
+      const std::uint32_t cand_begin = svc_unit_off[s];
+      const std::uint32_t cand_end = svc_unit_off[s + 1];
       bool any_live = false;
       std::size_t chosen = 0;
-      double best_score = 0.0;
-      for (std::size_t idx = 0; idx < candidates.size(); ++idx) {
-        const UnitState& state = units[candidates[idx]];
-        if (!state.up) continue;
-        double backlog = static_cast<double>(state.queue.size());
-        for (const auto& [id, pending] : in_flight[candidates[idx]]) {
-          backlog += static_cast<double>(pending.requests.size());
-        }
-        const double capacity = std::max(1e-9, state.unit->actual_throughput);
-        const double score = backlog / capacity;
-        if (!any_live || score < best_score) {
-          any_live = true;
-          best_score = score;
-          chosen = candidates[idx];
+      if (cand_end - cand_begin == 1) {
+        // Single-unit service (the common case): the choice is forced, so
+        // the delay score is never compared against anything.
+        chosen = svc_unit_flat[cand_begin];
+        any_live = units[chosen].up;
+      } else {
+        double best_score = 0.0;
+        for (std::uint32_t idx = cand_begin; idx < cand_end; ++idx) {
+          const UnitState& state = units[svc_unit_flat[idx]];
+          if (!state.up) continue;
+          const double backlog =
+              static_cast<double>(state.queue.size() + state.in_flight_requests);
+          const double score = backlog / state.capacity;
+          if (!any_live || score < best_score) {
+            any_live = true;
+            best_score = score;
+            chosen = svc_unit_flat[idx];
+          }
         }
       }
       (void)dispatch_rng;
       if (!any_live) {
-        shed_requests({Request{services_[s].id, now}}, now);
+        const Request lost{svc_id[s], now};
+        shed_requests(&lost, &lost + 1, now);
       } else {
-        units[chosen].queue.push_back(Request{services_[s].id, now});
+        units[chosen].queue.push_back(Request{svc_id[s], now});
         start_batch_if_possible(chosen, now);
       }
 
       // Schedule the next arrival of this service.
-      const double next = now + next_gap_ms(services_[s].request_rate);
+      const double next = now + next_gap_ms(s);
       if (next <= horizon_ms) {
-        events.push(Event{next, EventKind::kArrival, event.service_index, -1, 0});
+        arrival_time[s] = next;
+        arrival_seq[s] = events.issue_seq();
       }
-    } else if (event.kind == EventKind::kGpuFailure) {
+      arrival_s = earliest_arrival();
+      continue;
+    }
+
+    const SimEvent event = events.pop();
+    now = event.time_ms;
+    ++events_processed;
+    if (event.kind == EventKind::kGpuFailure) {
       // XID-style device loss: every unit on the GPU stops serving; its
       // queue and in-flight batches are shed (the device reset destroys
-      // the processes mid-request).
+      // the processes mid-request). Releasing the slots bumps their
+      // generations, so the already-queued completions go stale.
       const int gpu = event.unit_index;
       if (result.failure_at_ms < 0.0) result.failure_at_ms = now;
       for (std::size_t ui = 0; ui < units.size(); ++ui) {
         UnitState& state = units[ui];
         if (state.unit->gpu_index != gpu || !state.up) continue;
         state.up = false;
-        shed_requests({state.queue.begin(), state.queue.end()}, now);
+        shed_requests(state.queue.begin(), state.queue.end(), now);
         state.queue.clear();
-        for (auto& [id, batch] : in_flight[ui]) {
-          shed_requests(batch.requests, now);
-          dropped_batches.insert(id);
+        for (std::uint32_t slot : state.in_flight_slots) {
+          const std::vector<Request>& payload = batches[slot].payload;
+          shed_requests(payload.data(), payload.data() + payload.size(), now);
+          batches.release(slot);
         }
-        in_flight[ui].clear();
+        state.in_flight_slots.clear();
+        state.in_flight_requests = 0;
         state.idle_processes = 0;
       }
     } else if (event.kind == EventKind::kUnitActivate) {
@@ -299,15 +417,19 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
     } else {
       const auto ui = static_cast<std::size_t>(event.unit_index);
       UnitState& state = units[ui];
-      if (dropped_batches.erase(event.batch_id) > 0) continue;  // died with its GPU
-      const auto it = in_flight[ui].find(event.batch_id);
-      PARVA_CHECK(it != in_flight[ui].end(), "completion without in-flight batch");
-      InFlightBatch batch = std::move(it->second);
-      in_flight[ui].erase(it);
+      if (!batches.current(event.slot, event.generation)) continue;  // died with its GPU
+      const std::vector<Request>& requests = batches[event.slot].payload;
       ++state.idle_processes;
+      const auto slot_it =
+          std::find(state.in_flight_slots.begin(), state.in_flight_slots.end(), event.slot);
+      PARVA_CHECK(slot_it != state.in_flight_slots.end(),
+                  "completion without in-flight batch");
+      *slot_it = state.in_flight_slots.back();
+      state.in_flight_slots.pop_back();
+      state.in_flight_requests -= requests.size();
 
       // Account the batch against its service (skip warm-up).
-      if (!batch.requests.empty() && batch.requests.front().arrival_ms >= options.warmup_ms) {
+      if (!requests.empty() && requests.front().arrival_ms >= options.warmup_ms) {
         const int s_idx = unit_service[ui];
         PARVA_CHECK(s_idx >= 0, "unit without a service");
         const auto s = static_cast<std::size_t>(s_idx);
@@ -315,12 +437,12 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
         PhaseStats* phase = phase_of(now);  // by completion time
         ++outcome.batches;
         bool violated = false;
-        for (const Request& request : batch.requests) {
+        for (const Request& request : requests) {
           const double latency = now - request.arrival_ms;
           outcome.request_latency_ms.add(latency);
           ++outcome.requests;
           ++phase->requests;
-          if (latency > services_[s].slo_latency_ms) {
+          if (latency > svc_slo_ms[s]) {
             violated = true;
             ++phase->violated_requests;
           }
@@ -335,9 +457,11 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
           if (violated) ++bucket->violated_batches;
         }
       }
+      batches.release(event.slot);
       start_batch_if_possible(ui, now);
     }
   }
+  result.events_processed = events_processed;
 
   for (std::size_t s = 0; s < services_.size(); ++s) {
     outcomes[s].measured_rate =

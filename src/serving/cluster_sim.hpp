@@ -29,7 +29,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -130,6 +129,9 @@ struct TimelineBucket {
 
 struct SimulationResult {
   std::vector<ServiceOutcome> services;
+  /// Discrete events the engine processed (arrivals, completions, faults,
+  /// activations) — the numerator of the events/sec engine metric.
+  std::size_t events_processed = 0;
   /// DCGM-style SM activity per deployed unit (parallel to deployment.units).
   std::vector<double> unit_activity;
   /// Eq. 3 internal slack measured from the activities.

@@ -1,0 +1,32 @@
+#include "serving/sim_runner.hpp"
+
+namespace parva::serving {
+
+std::vector<SimulationResult> run_simulations(std::span<const SimulationJob> jobs,
+                                              ThreadPool& pool) {
+  std::vector<SimulationResult> results(jobs.size());
+  pool.parallel_for(jobs.size(), [&](std::size_t i) {
+    const SimulationJob& job = jobs[i];
+    PARVA_REQUIRE(job.deployment != nullptr && job.perf != nullptr,
+                  "simulation job missing deployment or perf model");
+    ClusterSimulation sim(*job.deployment, job.services, *job.perf);
+    results[i] = sim.run(job.options);
+  });
+  return results;
+}
+
+std::vector<SimulationResult> run_seeds(const core::Deployment& deployment,
+                                        std::span<const core::ServiceSpec> services,
+                                        const perfmodel::AnalyticalPerfModel& perf,
+                                        const SimulationOptions& base,
+                                        std::span<const std::uint64_t> seeds,
+                                        ThreadPool& pool) {
+  std::vector<SimulationJob> jobs(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    jobs[i] = SimulationJob{&deployment, services, &perf, base};
+    jobs[i].options.seed = seeds[i];
+  }
+  return run_simulations(jobs, pool);
+}
+
+}  // namespace parva::serving

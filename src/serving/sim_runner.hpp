@@ -1,0 +1,41 @@
+// Concurrent simulation driver: runs independent ClusterSimulation jobs
+// (seed sweeps, scenario sweeps) across the shared thread pool.
+//
+// ClusterSimulation::run is a pure function of (deployment, services,
+// options) — every random stream derives from options.seed — so jobs
+// parallelize with no shared mutable state: each task owns its engine and
+// writes one pre-sized result slot, merged at the join. Results are in job
+// order and bit-identical to a serial loop (tests/serving/sim_runner_test).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "serving/cluster_sim.hpp"
+
+namespace parva::serving {
+
+/// One independent simulation to run.
+struct SimulationJob {
+  const core::Deployment* deployment = nullptr;
+  std::span<const core::ServiceSpec> services;
+  const perfmodel::AnalyticalPerfModel* perf = nullptr;
+  SimulationOptions options;
+};
+
+/// Runs every job concurrently on `pool`; results land in job order.
+std::vector<SimulationResult> run_simulations(std::span<const SimulationJob> jobs,
+                                              ThreadPool& pool);
+
+/// Seed sweep of one simulation: `base` with each seed substituted, run
+/// concurrently; results in seed order.
+std::vector<SimulationResult> run_seeds(const core::Deployment& deployment,
+                                        std::span<const core::ServiceSpec> services,
+                                        const perfmodel::AnalyticalPerfModel& perf,
+                                        const SimulationOptions& base,
+                                        std::span<const std::uint64_t> seeds,
+                                        ThreadPool& pool);
+
+}  // namespace parva::serving

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "scenarios/scenarios.hpp"
 #include "tests/core/test_support.hpp"
 
 namespace parva::core {
@@ -210,6 +211,102 @@ INSTANTIATE_TEST_SUITE_P(AllModels, ConfiguratorProperty,
                                            "densenet-201", "inceptionv3", "mobilenetv2",
                                            "resnet-101", "resnet-152", "resnet-50", "vgg-16",
                                            "vgg-19"));
+
+// ---------------------------------------------------------------------------
+// Differential coverage of the fast paths: the indexed-surface overloads and
+// the parallel configure must be bit-identical to the reference table scan.
+// ---------------------------------------------------------------------------
+
+const profiler::ProfileSurfaceSet& builtin_surfaces() {
+  static const profiler::ProfileSurfaceSet surfaces{builtin_profiles()};
+  return surfaces;
+}
+
+void expect_same_triplet(const Triplet& got, const Triplet& want) {
+  EXPECT_EQ(got.gpcs, want.gpcs);
+  EXPECT_EQ(got.batch, want.batch);
+  EXPECT_EQ(got.procs, want.procs);
+  // Exact double equality: the surface returns copies of the same profiled
+  // points the scan finds, never re-derived values.
+  EXPECT_EQ(got.throughput, want.throughput);
+  EXPECT_EQ(got.latency_ms, want.latency_ms);
+  EXPECT_EQ(got.sm_occupancy, want.sm_occupancy);
+  EXPECT_EQ(got.memory_gib, want.memory_gib);
+}
+
+void expect_same_triplet(const std::optional<Triplet>& got,
+                         const std::optional<Triplet>& want) {
+  ASSERT_EQ(got.has_value(), want.has_value());
+  if (got.has_value()) expect_same_triplet(*got, *want);
+}
+
+void expect_same_configured(const ConfiguredService& got, const ConfiguredService& want) {
+  EXPECT_EQ(got.spec.id, want.spec.id);
+  for (std::size_t i = 0; i < got.opt_tri_array.size(); ++i) {
+    expect_same_triplet(got.opt_tri_array[i], want.opt_tri_array[i]);
+  }
+  expect_same_triplet(got.opt_seg, want.opt_seg);
+  EXPECT_EQ(got.num_opt_seg, want.num_opt_seg);
+  expect_same_triplet(got.last_seg, want.last_seg);
+}
+
+TEST_F(ConfiguratorTest, SurfaceTripletDecisionMatchesTableScan) {
+  for (const auto& table : builtin_profiles().tables()) {
+    const profiler::ProfileSurface* surface = builtin_surfaces().find(table.model());
+    ASSERT_NE(surface, nullptr);
+    for (double slo : {20.0, 69.0, 100.0, 205.0, 419.0, 1000.0}) {
+      for (double rate : {1.0, 50.0, 829.0, 5722.0, 20000.0}) {
+        const auto spec = service(0, table.model(), slo, rate);
+        const auto scan = configurator_.triplet_decision(spec, table);
+        const auto fast = configurator_.triplet_decision(spec, *surface);
+        ASSERT_EQ(scan.ok(), fast.ok()) << table.model() << " slo=" << slo;
+        if (!scan.ok()) {
+          EXPECT_EQ(scan.error().code(), fast.error().code());
+          continue;
+        }
+        expect_same_configured(fast.value(), scan.value());
+      }
+    }
+  }
+}
+
+TEST_F(ConfiguratorTest, SurfaceConfigureMatchesScanOnEveryScenario) {
+  ThreadPool pool(4);
+  for (const auto& sc : scenarios::all_scenarios()) {
+    const auto scan = configurator_.configure(sc.services, builtin_profiles());
+    const auto fast = configurator_.configure(sc.services, builtin_surfaces());
+    const auto parallel = configurator_.configure(sc.services, builtin_surfaces(), pool);
+    ASSERT_TRUE(scan.ok()) << sc.name;
+    ASSERT_TRUE(fast.ok()) << sc.name;
+    ASSERT_TRUE(parallel.ok()) << sc.name;
+    ASSERT_EQ(fast.value().size(), scan.value().size());
+    ASSERT_EQ(parallel.value().size(), scan.value().size());
+    for (std::size_t i = 0; i < scan.value().size(); ++i) {
+      expect_same_configured(fast.value()[i], scan.value()[i]);
+      expect_same_configured(parallel.value()[i], scan.value()[i]);
+    }
+  }
+}
+
+TEST_F(ConfiguratorTest, ParallelReportsFirstInOrderError) {
+  // Two failing services: the infeasible SLO at index 1 must win over the
+  // unknown model at index 3, exactly as the serial loop's early return
+  // picks it — regardless of which task finishes first.
+  const std::vector<ServiceSpec> services = {
+      service(0, "resnet-50", 205, 829),
+      service(1, "vgg-19", 1.0, 10),       // SLO infeasible
+      service(2, "mobilenetv2", 167, 50),
+      service(3, "not-a-model", 100, 10),  // unknown model
+  };
+  ThreadPool pool(4);
+  const auto serial = configurator_.configure(services, builtin_surfaces());
+  const auto parallel = configurator_.configure(services, builtin_surfaces(), pool);
+  ASSERT_FALSE(serial.ok());
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_EQ(serial.error().code(), ErrorCode::kCapacityExceeded);
+  EXPECT_EQ(parallel.error().code(), serial.error().code());
+  EXPECT_EQ(parallel.error().to_string(), serial.error().to_string());
+}
 
 }  // namespace
 }  // namespace parva::core

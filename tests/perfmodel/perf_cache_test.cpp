@@ -1,0 +1,96 @@
+// CachedPerfModel must be a transparent memo: identical results (bit-level)
+// to the wrapped model for every query, hits on repeats, and correct
+// caching of failed evaluations.
+#include "perfmodel/perf_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parva::perfmodel {
+namespace {
+
+class PerfCacheTest : public ::testing::Test {
+ protected:
+  AnalyticalPerfModel model_{ModelCatalog::builtin()};
+  CachedPerfModel cache_{model_};
+};
+
+void expect_same(const Result<PerfPoint>& got, const Result<PerfPoint>& want) {
+  ASSERT_EQ(got.ok(), want.ok());
+  if (!got.ok()) {
+    EXPECT_EQ(got.error().code(), want.error().code());
+    return;
+  }
+  EXPECT_EQ(got.value().throughput, want.value().throughput);
+  EXPECT_EQ(got.value().latency_ms, want.value().latency_ms);
+  EXPECT_EQ(got.value().sm_occupancy, want.value().sm_occupancy);
+  EXPECT_EQ(got.value().memory_gib, want.value().memory_gib);
+}
+
+TEST_F(PerfCacheTest, MigResultsIdenticalToModel) {
+  const WorkloadTraits* traits = model_.catalog().find("resnet-50");
+  ASSERT_NE(traits, nullptr);
+  for (int gpcs : {1, 2, 3, 4, 7}) {
+    for (int batch : {1, 8, 128}) {
+      for (int procs : {1, 3}) {
+        expect_same(cache_.evaluate_mig(*traits, gpcs, batch, procs),
+                    model_.evaluate_mig(*traits, gpcs, batch, procs));
+      }
+    }
+  }
+}
+
+TEST_F(PerfCacheTest, MpsResultsIdenticalToModel) {
+  const WorkloadTraits* traits = model_.catalog().find("vgg-16");
+  ASSERT_NE(traits, nullptr);
+  for (double fraction : {0.1, 0.5, 1.0}) {
+    for (int batch : {1, 16, 128}) {
+      for (double inflation : {1.0, 1.3}) {
+        expect_same(cache_.evaluate_mps_share(*traits, fraction, batch, 1, inflation),
+                    model_.evaluate_mps_share(*traits, fraction, batch, 1, inflation));
+      }
+    }
+  }
+}
+
+TEST_F(PerfCacheTest, RepeatsHitTheMemo) {
+  const WorkloadTraits* traits = model_.catalog().find("resnet-50");
+  ASSERT_NE(traits, nullptr);
+  (void)cache_.evaluate_mig(*traits, 2, 16, 1);
+  EXPECT_EQ(cache_.hits(), 0u);
+  EXPECT_EQ(cache_.misses(), 1u);
+  for (int i = 0; i < 5; ++i) {
+    expect_same(cache_.evaluate_mig(*traits, 2, 16, 1),
+                model_.evaluate_mig(*traits, 2, 16, 1));
+  }
+  EXPECT_EQ(cache_.hits(), 5u);
+  EXPECT_EQ(cache_.misses(), 1u);
+}
+
+TEST_F(PerfCacheTest, FailuresAreCachedToo) {
+  // bert-large at batch 128 on one GPC exceeds the memory grant: the model
+  // fails, and the cached failure must replay without re-evaluating.
+  const WorkloadTraits* traits = model_.catalog().find("bert-large");
+  ASSERT_NE(traits, nullptr);
+  const auto direct = model_.evaluate_mig(*traits, 1, 128, 3);
+  ASSERT_FALSE(direct.ok());
+  expect_same(cache_.evaluate_mig(*traits, 1, 128, 3), direct);
+  expect_same(cache_.evaluate_mig(*traits, 1, 128, 3), direct);
+  EXPECT_EQ(cache_.hits(), 1u);
+  EXPECT_EQ(cache_.misses(), 1u);
+}
+
+TEST_F(PerfCacheTest, DistinguishesMigFromMpsAndKeysOnAllArguments) {
+  const WorkloadTraits* traits = model_.catalog().find("mobilenetv2");
+  ASSERT_NE(traits, nullptr);
+  // gpcs=1 (mig) and fraction with the same bit pattern must not collide.
+  expect_same(cache_.evaluate_mig(*traits, 1, 8, 1), model_.evaluate_mig(*traits, 1, 8, 1));
+  expect_same(cache_.evaluate_mps_share(*traits, 1.0, 8, 1, 1.0),
+              model_.evaluate_mps_share(*traits, 1.0, 8, 1, 1.0));
+  // Same point, different inflation: distinct entries.
+  expect_same(cache_.evaluate_mps_share(*traits, 1.0, 8, 1, 1.2),
+              model_.evaluate_mps_share(*traits, 1.0, 8, 1, 1.2));
+  EXPECT_EQ(cache_.misses(), 3u);
+}
+
+}  // namespace
+}  // namespace parva::perfmodel

@@ -88,5 +88,37 @@ TEST(ExperimentTest, TailExclusiveFragmentationNeverExceedsStrict) {
   }
 }
 
+TEST(ExperimentTest, SeedSweepMatchesSerialRuns) {
+  const std::uint64_t seeds[] = {11ULL, 23ULL, 47ULL};
+  ExperimentOptions options;
+  options.run_simulation = true;
+  options.sim.duration_ms = 2'000.0;
+  options.sim.warmup_ms = 200.0;
+  const auto sweep =
+      run_experiment_seeds(context(), Framework::kParvaGpu, scenario("S1"), options, seeds);
+  ASSERT_EQ(sweep.size(), 3u);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    options.sim.seed = seeds[i];
+    const auto serial = run_experiment(context(), Framework::kParvaGpu, scenario("S1"), options);
+    ASSERT_TRUE(sweep[i].feasible);
+    EXPECT_EQ(sweep[i].gpu_count, serial.gpu_count);
+    EXPECT_EQ(sweep[i].slo_compliance, serial.slo_compliance);
+    EXPECT_EQ(sweep[i].worst_service_compliance, serial.worst_service_compliance);
+    EXPECT_EQ(sweep[i].measured_internal_slack, serial.measured_internal_slack);
+    EXPECT_EQ(sweep[i].worst_p99_over_slo, serial.worst_p99_over_slo);
+  }
+}
+
+TEST(ExperimentTest, SeedSweepCarriesSchedulingFailure) {
+  const std::uint64_t seeds[] = {11ULL};
+  ExperimentOptions options;
+  options.run_simulation = true;
+  const auto sweep =
+      run_experiment_seeds(context(), Framework::kIgniter, scenario("S5"), options, seeds);
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_FALSE(sweep[0].feasible);
+  EXPECT_FALSE(sweep[0].failure.empty());
+}
+
 }  // namespace
 }  // namespace parva::scenarios

@@ -1,0 +1,114 @@
+// Event-ordering determinism: the engine orders its heap by (time,
+// sequence), so (a) identical runs are byte-identical down to each latency
+// sample's bit pattern, and (b) equal-timestamp events that commute
+// (failures of different devices, activations of different units) produce
+// identical output no matter which order they were enqueued in.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/parvagpu.hpp"
+#include "gpu/fault_plan.hpp"
+#include "serving/cluster_sim.hpp"
+#include "tests/core/test_support.hpp"
+
+namespace parva::serving {
+namespace {
+
+using core::testing::builtin_profiles;
+using core::testing::service;
+
+/// Flattens a run into the exact bits it produced: every counter and every
+/// latency sample in arrival order. Two runs are behaviorally identical
+/// iff their fingerprints are equal.
+std::vector<std::uint64_t> fingerprint(const SimulationResult& result) {
+  std::vector<std::uint64_t> print = {result.events_processed, result.requests_shed,
+                                      std::bit_cast<std::uint64_t>(result.internal_slack)};
+  for (double activity : result.unit_activity) {
+    print.push_back(std::bit_cast<std::uint64_t>(activity));
+  }
+  for (const ServiceOutcome& outcome : result.services) {
+    print.push_back(outcome.requests);
+    print.push_back(outcome.batches);
+    print.push_back(outcome.violated_batches);
+    print.push_back(outcome.shed_requests);
+    for (double sample : outcome.request_latency_ms.values()) {
+      print.push_back(std::bit_cast<std::uint64_t>(sample));
+    }
+  }
+  return print;
+}
+
+class EventDeterminismTest : public ::testing::Test {
+ protected:
+  core::Deployment schedule(const std::vector<core::ServiceSpec>& services) {
+    core::ParvaGpuScheduler scheduler(builtin_profiles());
+    return scheduler.schedule(services).value().deployment;
+  }
+
+  SimulationOptions options(std::uint64_t seed = 42) {
+    SimulationOptions opts;
+    opts.duration_ms = 3'000.0;
+    opts.warmup_ms = 300.0;
+    opts.seed = seed;
+    return opts;
+  }
+
+  std::vector<core::ServiceSpec> services_ = {service(0, "resnet-50", 205, 829),
+                                              service(1, "vgg-19", 397, 354),
+                                              service(2, "mobilenetv2", 167, 2000)};
+  perfmodel::AnalyticalPerfModel perf_{perfmodel::ModelCatalog::builtin()};
+};
+
+TEST_F(EventDeterminismTest, IdenticalRunsAreByteIdentical) {
+  const core::Deployment deployment = schedule(services_);
+  ClusterSimulation sim(deployment, services_, perf_);
+  for (const ArrivalProcess arrivals : {ArrivalProcess::kDeterministic,
+                                        ArrivalProcess::kPoisson}) {
+    SimulationOptions opts = options(7);
+    opts.arrivals = arrivals;
+    EXPECT_EQ(fingerprint(sim.run(opts)), fingerprint(sim.run(opts)));
+  }
+}
+
+TEST_F(EventDeterminismTest, EqualTimestampFailuresCommute) {
+  // Rates high enough that the deployment spans several GPUs.
+  const std::vector<core::ServiceSpec> services = {service(0, "resnet-50", 205, 4000),
+                                                   service(1, "vgg-19", 397, 1500),
+                                                   service(2, "mobilenetv2", 167, 8000)};
+  const core::Deployment deployment = schedule(services);
+  ASSERT_GE(deployment.gpu_count, 2);
+  // Two devices die at the same instant; the fault plan lists them in
+  // opposite orders. Shedding different devices' units commutes, so the
+  // runs must be byte-identical despite the different enqueue order.
+  gpu::FaultPlan forward;
+  forward.gpu_failures = {{1'000.0, 0, 79}, {1'000.0, 1, 79}};
+  gpu::FaultPlan reversed;
+  reversed.gpu_failures = {{1'000.0, 1, 79}, {1'000.0, 0, 79}};
+
+  ClusterSimulation sim(deployment, services, perf_);
+  SimulationOptions opts_forward = options(11);
+  opts_forward.fault_plan = &forward;
+  SimulationOptions opts_reversed = options(11);
+  opts_reversed.fault_plan = &reversed;
+  EXPECT_EQ(fingerprint(sim.run(opts_forward)), fingerprint(sim.run(opts_reversed)));
+}
+
+TEST_F(EventDeterminismTest, EqualTimestampActivationsCommute) {
+  const core::Deployment deployment = schedule(services_);
+  ASSERT_GE(deployment.units.size(), 2u);
+  // Two dormant units wake at the same instant, listed in opposite orders.
+  const UnitActivation a{0, 1'500.0};
+  const UnitActivation b{1, 1'500.0};
+  ClusterSimulation sim(deployment, services_, perf_);
+  SimulationOptions opts_forward = options(13);
+  opts_forward.activations = {a, b};
+  SimulationOptions opts_reversed = options(13);
+  opts_reversed.activations = {b, a};
+  EXPECT_EQ(fingerprint(sim.run(opts_forward)), fingerprint(sim.run(opts_reversed)));
+}
+
+}  // namespace
+}  // namespace parva::serving
