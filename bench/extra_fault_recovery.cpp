@@ -15,6 +15,8 @@
 #include "profiler/profiler.hpp"
 #include "scenarios/scenarios.hpp"
 #include "serving/cluster_sim.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/telemetry.hpp"
 
 int main() {
   using namespace parva;
@@ -54,20 +56,29 @@ int main() {
   fault_plan.transient_create_failure_prob = 0.15;
 
   // Materialise the fleet on the faulty control plane and execute the loss.
+  // One telemetry sink across the control plane, the repair, and the
+  // simulation — the audit trail of the whole failure drill.
+  telemetry::Telemetry telemetry;
+
   gpu::GpuCluster cluster(static_cast<std::size_t>(deployment.gpu_count));
   gpu::NvmlSim nvml(cluster);
   gpu::DcgmSim dcgm;
   gpu::FaultInjector injector(fault_plan);
   nvml.set_fault_injector(&injector);
   nvml.attach_health_monitor(&dcgm);
+  nvml.set_telemetry(&telemetry);
+  dcgm.set_telemetry(&telemetry);
   core::Deployer deployer(nvml, perf);
+  deployer.set_telemetry(&telemetry);
   core::LiveUpdater updater(deployer);
   auto state = deployer.deploy(deployment).value();
 
   nvml.set_time_ms(kFailAtMs);
   (void)nvml.fail_device(static_cast<unsigned>(victim));
 
-  core::RepairCoordinator repairer(deployer, updater);
+  core::RepairOptions repair_options;
+  repair_options.telemetry = &telemetry;
+  core::RepairCoordinator repairer(deployer, updater, repair_options);
   const auto repair = repairer.handle_gpu_loss(deployment, state, victim).value();
   const double recovered_at = kFailAtMs + repair.recovery_ms;
 
@@ -87,6 +98,7 @@ int main() {
   }
   sim_deployment.gpu_count = repair.deployment.gpu_count;
 
+  options.telemetry = &telemetry;
   serving::ClusterSimulation sim(sim_deployment, scenario.services, perf);
   const auto result = sim.run(options);
 
@@ -115,6 +127,19 @@ int main() {
       {"fallback placements", std::to_string(deployer.total_stats().fallback_placements)});
   summary.add_row({"health events", std::to_string(dcgm.health_events().size())});
   bench::emit(summary, "extra_fault_recovery_summary");
+
+  const Status prom = telemetry::write_text_file(
+      "results/extra_fault_recovery_telemetry.prom",
+      telemetry::to_prometheus(telemetry.metrics()));
+  const Status jsonl = telemetry::write_text_file(
+      "results/extra_fault_recovery_events.jsonl",
+      telemetry::to_json_lines(telemetry.events()));
+  if (prom.ok() && jsonl.ok()) {
+    std::cout << "[telemetry: results/extra_fault_recovery_telemetry.prom ("
+              << telemetry.metrics().series_count() << " series), "
+              << "results/extra_fault_recovery_events.jsonl ("
+              << telemetry.events().size() << " events)]\n\n";
+  }
 
   std::cout << "One device loss degrades compliance only between the XID and the\n"
                "repair's activation; the displaced segments land on surviving GPUs\n"

@@ -9,6 +9,8 @@
 #include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "scenarios/experiment.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/telemetry.hpp"
 
 int main() {
   using namespace parva;
@@ -17,6 +19,11 @@ int main() {
   bench::banner("Figure 8", "SLO compliance rate of each baseline and ParvaGPU");
 
   const ExperimentContext context = ExperimentContext::create();
+
+  // One shared sink across every (framework, scenario, seed) simulation;
+  // the sharded registry merges the concurrent seed runs. The exposition
+  // snapshot lands next to the figure CSVs.
+  telemetry::Telemetry telemetry;
 
   std::vector<std::string> header = {"compliance"};
   for (const Scenario& sc : all_scenarios()) header.push_back(sc.name);
@@ -39,6 +46,7 @@ int main() {
       ExperimentOptions options;
       options.run_simulation = true;
       options.sim.duration_ms = 15'000.0;
+      options.sim.telemetry = &telemetry;
       for (const ExperimentResult& r :
            run_experiment_seeds(context, framework, sc, options, seeds)) {
         if (!r.feasible) {
@@ -57,6 +65,13 @@ int main() {
   bench::emit(table, "fig8_slo_compliance");
   std::cout << "Tail headroom (worst per-service p99 latency over SLO; < 1 = headroom):\n";
   bench::emit(tail_table, "fig8_tail_headroom");
+
+  const Status snapshot = telemetry::write_text_file(
+      "results/fig8_telemetry.prom", telemetry::to_prometheus(telemetry.metrics()));
+  if (snapshot.ok()) {
+    std::cout << "[telemetry: results/fig8_telemetry.prom ("
+              << telemetry.metrics().series_count() << " series)]\n\n";
+  }
 
   std::cout << "Paper: all frameworks compliant except gpulet (3.5% violations in one\n"
                "       scenario, attributed to interference misprediction); iGniter\n"

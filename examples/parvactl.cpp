@@ -11,12 +11,17 @@
 //       List the built-in Table IV scenarios.
 //   simulate --scenario S2 | --services services.csv
 //            [--inject-fault gpu=0@t=10000] [--transient-p 0.15]
-//            [--seed 7] [--duration-ms 28000]
+//            [--seed 7] [--duration-ms 28000] [--telemetry-out PREFIX]
 //       Schedule, then replay the deployment in the discrete-event
 //       simulator. With --inject-fault the named GPU drops out XID-style at
 //       the given simulated time; the self-healing repair path re-places
 //       the displaced segments and the report shows compliance through the
 //       failure (pre / degraded / recovered) plus recovery metrics.
+//       --telemetry-out records metrics and a structured event log across
+//       the control plane and the simulation, writing PREFIX.prom
+//       (Prometheus text exposition), PREFIX.jsonl (event log), and
+//       PREFIX.csv (metric summary). The printed report is byte-identical
+//       with or without it.
 //
 // Examples:
 //   $ parvactl profile --models resnet-50,vgg-19 --out /tmp/profiles.csv
@@ -24,6 +29,7 @@
 //   $ parvactl simulate --scenario S2 --inject-fault gpu=0@t=10000
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "common/cli.hpp"
@@ -37,6 +43,8 @@
 #include "profiler/profiler.hpp"
 #include "scenarios/scenarios.hpp"
 #include "serving/cluster_sim.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -50,7 +58,7 @@ int usage() {
                "  scenarios\n"
                "  simulate  --services services.csv | --scenario S2\n"
                "            [--inject-fault gpu=0@t=10000] [--transient-p 0.15]\n"
-               "            [--seed 7] [--duration-ms 28000]\n";
+               "            [--seed 7] [--duration-ms 28000] [--telemetry-out PREFIX]\n";
   return 2;
 }
 
@@ -287,13 +295,22 @@ int cmd_simulate(const CliArgs& args) {
   // Materialise the fleet on the (possibly faulty) control plane; on a
   // scheduled loss, run the repair path and feed its replacements into the
   // simulation as mid-run activations.
+  // Optional telemetry: one sink shared by the control plane and the
+  // simulation, exported to PREFIX.{prom,jsonl,csv} at the end.
+  std::unique_ptr<telemetry::Telemetry> telemetry;
+  const std::string telemetry_prefix = args.get("telemetry-out", "");
+  if (!telemetry_prefix.empty()) telemetry = std::make_unique<telemetry::Telemetry>();
+
   gpu::GpuCluster cluster(static_cast<std::size_t>(deployment.gpu_count));
   gpu::NvmlSim nvml(cluster);
   gpu::DcgmSim dcgm;
   gpu::FaultInjector injector(fault_plan);
   nvml.set_fault_injector(&injector);
   nvml.attach_health_monitor(&dcgm);
+  nvml.set_telemetry(telemetry.get());
+  dcgm.set_telemetry(telemetry.get());
   core::Deployer deployer(nvml, perf);
+  deployer.set_telemetry(telemetry.get());
   auto state = deployer.deploy(deployment);
   if (!state.ok()) {
     std::cerr << "deploy failed: " << state.error().to_string() << "\n";
@@ -305,7 +322,9 @@ int cmd_simulate(const CliArgs& args) {
     nvml.set_time_ms(failure.at_ms);
     (void)nvml.fail_device(static_cast<unsigned>(failure.gpu_index), failure.xid);
     core::LiveUpdater updater(deployer);
-    core::RepairCoordinator repairer(deployer, updater);
+    core::RepairOptions repair_options;
+    repair_options.telemetry = telemetry.get();
+    core::RepairCoordinator repairer(deployer, updater, repair_options);
     auto repaired =
         repairer.handle_gpu_loss(deployment, state.value(), failure.gpu_index);
     if (!repaired.ok()) {
@@ -329,6 +348,7 @@ int cmd_simulate(const CliArgs& args) {
   }
 
   serving::ClusterSimulation sim(sim_deployment, services, perf);
+  options.telemetry = telemetry.get();
   const auto result = sim.run(options);
 
   TextTable table({"t (s)", "batches", "compliance", "shed"});
@@ -353,6 +373,29 @@ int cmd_simulate(const CliArgs& args) {
               << "  fallback placements: " << stats.fallback_placements;
   }
   std::cout << "\n";
+
+  if (telemetry != nullptr) {
+    struct Export {
+      const char* suffix;
+      std::string content;
+    };
+    const Export exports[] = {
+        {".prom", telemetry::to_prometheus(telemetry->metrics())},
+        {".jsonl", telemetry::to_json_lines(telemetry->events())},
+        {".csv", telemetry::to_csv_summary(telemetry->metrics())},
+    };
+    for (const auto& e : exports) {
+      const std::string path = telemetry_prefix + e.suffix;
+      const Status written = telemetry::write_text_file(path, e.content);
+      if (!written.ok()) {
+        std::cerr << "telemetry export failed: " << written.to_string() << "\n";
+        return 1;
+      }
+    }
+    std::cerr << "telemetry: " << telemetry->metrics().series_count() << " series, "
+              << telemetry->events().size() << " events -> " << telemetry_prefix
+              << ".{prom,jsonl,csv}\n";
+  }
   return 0;
 }
 

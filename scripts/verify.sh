@@ -12,6 +12,25 @@ cmake --build --preset default -j "$(nproc)"
 echo "== ctest (default preset) =="
 ctest --preset default
 
+echo "== telemetry: exporter goldens + output byte-identity =="
+ctest --preset default -L telemetry
+# With telemetry enabled the simulator must produce byte-identical output:
+# instrumentation only reads state, it never perturbs the RNG or schedule.
+TELEMETRY_TMP="$(mktemp -d)"
+trap 'rm -rf "${TELEMETRY_TMP}"' EXIT
+./build/examples/parvactl simulate --scenario S2 --seed 7 \
+  > "${TELEMETRY_TMP}/plain.txt"
+./build/examples/parvactl simulate --scenario S2 --seed 7 \
+  --telemetry-out "${TELEMETRY_TMP}/tel" 2>/dev/null \
+  > "${TELEMETRY_TMP}/instrumented.txt"
+diff "${TELEMETRY_TMP}/plain.txt" "${TELEMETRY_TMP}/instrumented.txt"
+for ext in prom jsonl csv; do
+  test -s "${TELEMETRY_TMP}/tel.${ext}" || {
+    echo "missing telemetry export: tel.${ext}" >&2
+    exit 1
+  }
+done
+
 echo "== configure + build (asan-ubsan preset) =="
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$(nproc)"

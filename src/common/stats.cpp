@@ -15,6 +15,7 @@ void OnlineStats::add(double x) {
     max_ = std::max(max_, x);
   }
   ++count_;
+  sum_ += x;
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
@@ -32,6 +33,7 @@ void OnlineStats::merge(const OnlineStats& other) {
   const double total = n1 + n2;
   mean_ += delta * n2 / total;
   m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  sum_ += other.sum_;
   count_ += other.count_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);

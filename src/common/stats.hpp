@@ -20,12 +20,17 @@ class OnlineStats {
   double stddev() const;
   double min() const { return count_ == 0 ? 0.0 : min_; }
   double max() const { return count_ == 0 ? 0.0 : max_; }
-  double sum() const { return mean_ * static_cast<double>(count_); }
+  /// Exact running sum. Not reconstructed as mean * count: the Welford mean
+  /// carries a rounding error that `* count` amplifies across long merge
+  /// chains, while adding each sample (and each merged partial sum) once
+  /// keeps sum() within one ulp-per-term of the true total.
+  double sum() const { return sum_; }
 
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
+  double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
 };

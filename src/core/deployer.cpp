@@ -20,6 +20,10 @@ gpu::NvmlReturn Deployer::create_instance_with_retry(const DeployedUnit& unit,
       // and retry the same placement.
       ++stats.transient_retries;
       stats.backoff_ms += backoff;
+      if (telemetry_ != nullptr) {
+        telemetry_->events().record(telemetry::EventKind::kCreateRetry, nvml_->time_ms(),
+                                    unit.gpu_index, unit.service_id, backoff);
+      }
       backoff = std::min(backoff * retry_.backoff_multiplier, retry_.max_backoff_ms);
     }
     return ret;
@@ -36,6 +40,11 @@ gpu::NvmlReturn Deployer::create_instance_with_retry(const DeployedUnit& unit,
     const gpu::NvmlReturn fallback = attempt_slot(slot);
     if (fallback == gpu::NvmlReturn::kSuccess) {
       ++stats.fallback_placements;
+      if (telemetry_ != nullptr) {
+        telemetry_->events().record(telemetry::EventKind::kFallbackPlacement,
+                                    nvml_->time_ms(), unit.gpu_index, unit.service_id,
+                                    static_cast<double>(slot));
+      }
       return fallback;
     }
     if (fallback == gpu::NvmlReturn::kErrorGpuIsLost) return fallback;
@@ -94,9 +103,27 @@ Result<DeployedState> Deployer::deploy(const Deployment& deployment) {
       }
     }
     state.unit_instances.push_back(id);
+    if (telemetry_ != nullptr) {
+      telemetry_->events().record(telemetry::EventKind::kInstanceCreated, nvml_->time_ms(),
+                                  id.gpu, unit.service_id,
+                                  static_cast<double>(unit.placement->gpcs));
+    }
   }
   last_stats_ = stats;
   total_stats_.merge(stats);
+  if (telemetry_ != nullptr) {
+    telemetry::MetricsRegistry& m = telemetry_->metrics();
+    m.counter("parva_deploy_instances_total", "GPU instances created by the Deployer")
+        .inc(static_cast<double>(state.unit_instances.size()));
+    m.counter("parva_deploy_transient_retries_total",
+              "Instance creates repeated after a transient NVML failure")
+        .inc(static_cast<double>(stats.transient_retries));
+    m.counter("parva_deploy_backoff_ms_total", "Simulated wall-clock spent backing off")
+        .inc(stats.backoff_ms);
+    m.counter("parva_deploy_fallback_placements_total",
+              "Units placed at a non-planned slot after retry exhaustion")
+        .inc(static_cast<double>(stats.fallback_placements));
+  }
   return state;
 }
 
@@ -110,6 +137,10 @@ Status Deployer::teardown(const DeployedState& state) {
     if (ret != gpu::NvmlReturn::kSuccess) {
       return Status(ErrorCode::kInternal,
                     std::string("destroy_gpu_instance failed: ") + gpu::nvml_error_string(ret));
+    }
+    if (telemetry_ != nullptr) {
+      telemetry_->events().record(telemetry::EventKind::kInstanceDestroyed,
+                                  nvml_->time_ms(), id.gpu);
     }
   }
   return Status::Ok();

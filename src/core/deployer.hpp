@@ -19,6 +19,7 @@
 #include "core/deployment.hpp"
 #include "gpu/nvml_sim.hpp"
 #include "perfmodel/analytical_model.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace parva::core {
 
@@ -70,6 +71,11 @@ class Deployer {
 
   const RetryPolicy& retry_policy() const { return retry_; }
 
+  /// Observability sink (nullptr = disabled). Instance create/destroy,
+  /// retry, backoff and fallback decisions are mirrored into it; the
+  /// produced deployments are identical either way.
+  void set_telemetry(telemetry::Telemetry* telemetry) { telemetry_ = telemetry; }
+
   gpu::NvmlSim& nvml() { return *nvml_; }
 
  private:
@@ -81,6 +87,7 @@ class Deployer {
 
   gpu::NvmlSim* nvml_;
   const perfmodel::AnalyticalPerfModel* perf_;
+  telemetry::Telemetry* telemetry_ = nullptr;
   RetryPolicy retry_;
   DeployStats last_stats_;
   DeployStats total_stats_;

@@ -23,6 +23,11 @@ struct UtilizationMetrics {
   double internal_slack = 0.0;          ///< [0,1]
   double external_fragmentation = 0.0;  ///< [0,1]
   double total_granted_gpcs = 0.0;
+  /// Deployed units whose service_id had no ServiceSpec. Such units count
+  /// as fully idle, which inflates internal_slack — nonzero here means the
+  /// slack figure is measuring a mismatch, not over-provisioning (a
+  /// warn-once log fires the first time it happens in a process).
+  int units_without_spec = 0;
 };
 
 /// Computes the metrics analytically from the deployment and the offered

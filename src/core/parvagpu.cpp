@@ -1,6 +1,7 @@
 #include "core/parvagpu.hpp"
 
 #include <chrono>
+#include <string>
 
 namespace parva::core {
 namespace {
@@ -88,6 +89,20 @@ Result<ScheduleResult> ParvaGpuScheduler::schedule(std::span<const ServiceSpec> 
   }
   result.scheduling_delay_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
+
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->events().record(
+        telemetry::EventKind::kScheduleCompleted, /*t_ms=*/0.0, /*gpu=*/-1,
+        /*service_id=*/-1, result.scheduling_delay_ms,
+        "services=" + std::to_string(services.size()) +
+            " gpus=" + std::to_string(result.deployment.gpu_count));
+    telemetry::MetricsRegistry& m = options_.telemetry->metrics();
+    m.counter("parva_schedule_runs_total", "Full scheduling runs completed").inc();
+    m.counter("parva_schedule_services_total", "Services configured across runs")
+        .inc(static_cast<double>(services.size()));
+    m.gauge("parva_schedule_fleet_gpus", "GPUs required by the latest plan")
+        .set(static_cast<double>(result.deployment.gpu_count));
+  }
   return result;
 }
 

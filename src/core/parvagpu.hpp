@@ -14,6 +14,7 @@
 #include "core/configurator.hpp"
 #include "core/deployment.hpp"
 #include "profiler/profile_types.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace parva::core {
 
@@ -29,6 +30,9 @@ struct ParvaGpuOptions {
   /// the dispatch overhead would dominate). Output is identical either way.
   ThreadPool* pool = nullptr;
   std::size_t parallel_threshold = 64;
+  /// Observability sink (nullptr = disabled, the default). schedule() emits
+  /// a completion event plus run counters; plans are identical either way.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 class ParvaGpuScheduler final : public Scheduler {

@@ -1,6 +1,7 @@
 #include "core/reconfigure.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace parva::core {
 
@@ -79,6 +80,23 @@ Result<ReconfigureStats> Reconfigurer::apply_update(DeploymentPlan& plan,
   }
   plan = allocator_.allocation_optimization(std::move(plan), configured);
   plan.compact();
+
+  if (telemetry_ != nullptr) {
+    telemetry_->events().record(
+        telemetry::EventKind::kPlanDiff, /*t_ms=*/0.0, /*gpu=*/-1, updated_spec.id,
+        static_cast<double>(stats.segments_added),
+        "removed=" + std::to_string(stats.segments_removed) +
+            " added=" + std::to_string(stats.segments_added) +
+            " untouched=" + std::to_string(stats.segments_untouched));
+    telemetry::MetricsRegistry& m = telemetry_->metrics();
+    m.counter("parva_reconfigure_updates_total", "Single-service plan updates applied").inc();
+    m.counter("parva_reconfigure_segments_removed_total",
+              "Segments stripped from updated services")
+        .inc(static_cast<double>(stats.segments_removed));
+    m.counter("parva_reconfigure_segments_added_total",
+              "Segments placed for updated services")
+        .inc(static_cast<double>(stats.segments_added));
+  }
   return stats;
 }
 

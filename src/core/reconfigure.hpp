@@ -11,6 +11,7 @@
 #include "core/configurator.hpp"
 #include "core/plan.hpp"
 #include "profiler/profile_types.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace parva::core {
 
@@ -22,8 +23,12 @@ struct ReconfigureStats {
 
 class Reconfigurer {
  public:
-  Reconfigurer(SegmentConfigurator configurator, SegmentAllocator allocator)
-      : configurator_(std::move(configurator)), allocator_(std::move(allocator)) {}
+  /// `telemetry` (nullptr = disabled) receives a plan-diff event per update;
+  /// the produced plans are identical either way.
+  Reconfigurer(SegmentConfigurator configurator, SegmentAllocator allocator,
+               telemetry::Telemetry* telemetry = nullptr)
+      : configurator_(std::move(configurator)), allocator_(std::move(allocator)),
+        telemetry_(telemetry) {}
 
   /// Applies an updated spec for one service: re-runs the Segment
   /// Configurator for it alone, strips its old segments from the map,
@@ -50,6 +55,7 @@ class Reconfigurer {
 
   SegmentConfigurator configurator_;
   SegmentAllocator allocator_;
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace parva::core

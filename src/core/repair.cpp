@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <string>
 
 namespace parva::core {
 
@@ -58,6 +59,17 @@ Result<RepairReport> RepairCoordinator::handle_gpu_loss(Deployment& current,
     report.displaced_rate += unit.actual_throughput;
   }
   report.affected_services.assign(affected.begin(), affected.end());
+
+  if (options_.telemetry != nullptr) {
+    const double now = deployer_->nvml().time_ms();
+    for (const int service : report.affected_services) {
+      options_.telemetry->events().record(telemetry::EventKind::kDisplacement, now,
+                                          lost_gpu, service, report.displaced_rate);
+    }
+    options_.telemetry->metrics()
+        .counter("parva_repair_displaced_units_total", "Units displaced by device losses")
+        .inc(static_cast<double>(report.lost_units));
+  }
 
   // Free-slot geometry of the surviving fleet.
   std::map<int, std::uint8_t> occupied;
@@ -121,6 +133,21 @@ Result<RepairReport> RepairCoordinator::handle_gpu_loss(Deployment& current,
   report.recovery_ms = options_.detection_latency_ms + report.update.makespan_ms +
                        report.deploy_stats.backoff_ms;
   report.deployment = target;
+
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->events().record(
+        telemetry::EventKind::kRepairCompleted, deployer_->nvml().time_ms(), lost_gpu,
+        /*service_id=*/-1, report.recovery_ms,
+        "replaced=" + std::to_string(report.replaced_units) +
+            " retries=" + std::to_string(report.deploy_stats.transient_retries));
+    telemetry::MetricsRegistry& m = options_.telemetry->metrics();
+    m.counter("parva_repair_repairs_total", "Completed device-loss repairs").inc();
+    m.counter("parva_repair_replaced_units_total", "Replacement units brought up")
+        .inc(static_cast<double>(report.replaced_units));
+    m.histogram("parva_repair_recovery_ms", {100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0},
+                "End-to-end recovery time per repair")
+        .observe(report.recovery_ms);
+  }
 
   current = std::move(target);
   state = std::move(survivor_state);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/live_update.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace parva::core {
 
@@ -29,6 +30,10 @@ struct RepairOptions {
   /// How the replacement units come up. kInPlace is the default: the lost
   /// units are already dark, shadowing buys nothing for them.
   UpdateStrategy strategy = UpdateStrategy::kInPlace;
+
+  /// Observability sink (nullptr = disabled). Displacement and repair
+  /// completion are mirrored into it; reports are identical either way.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// Outcome of one repair pass.

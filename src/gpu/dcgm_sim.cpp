@@ -39,6 +39,15 @@ std::vector<GlobalInstanceId> DcgmSim::watched() const {
 }
 
 void DcgmSim::record_health_event(HealthEvent event) {
+  if (telemetry_ != nullptr) {
+    telemetry_->events().record(telemetry::EventKind::kHealthEvent, event.time_ms,
+                                event.gpu, /*service_id=*/-1,
+                                static_cast<double>(event.xid), event.detail);
+    telemetry_->metrics()
+        .counter("parva_dcgm_health_events_total", "Health-watch events surfaced",
+                 std::string("kind=\"") + to_string(event.kind) + "\"")
+        .inc();
+  }
   health_events_.push_back(std::move(event));
 }
 

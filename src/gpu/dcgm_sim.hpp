@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "gpu/gpu_cluster.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace parva::gpu {
 
@@ -73,6 +74,11 @@ class DcgmSim {
   /// Appends a health event to the watch stream.
   void record_health_event(HealthEvent event);
 
+  /// Observability sink (nullptr = disabled). Health events are mirrored
+  /// into it (a kHealthEvent per record plus per-kind counters); the watch
+  /// stream itself is identical either way.
+  void set_telemetry(telemetry::Telemetry* telemetry) { telemetry_ = telemetry; }
+
   /// Events recorded so far, in arrival order.
   const std::vector<HealthEvent>& health_events() const { return health_events_; }
 
@@ -87,6 +93,7 @@ class DcgmSim {
  private:
   std::map<GlobalInstanceId, ActivityRecord, GlobalInstanceIdLess> records_;
   std::vector<HealthEvent> health_events_;
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace parva::gpu

@@ -21,6 +21,15 @@ const char* nvml_error_string(NvmlReturn ret) {
 
 bool nvml_is_transient(NvmlReturn ret) { return ret == NvmlReturn::kErrorInUse; }
 
+void NvmlSim::log_op(std::string op) {
+  operations_.push_back(std::move(op));
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics()
+        .counter("parva_nvml_operations_total", "Control-plane operations performed")
+        .inc();
+  }
+}
+
 std::vector<GpuInstanceProfileInfo> NvmlSim::supported_profiles() {
   std::vector<GpuInstanceProfileInfo> profiles;
   int id = 0;
@@ -50,7 +59,7 @@ NvmlReturn NvmlSim::set_mig_mode(unsigned device, bool enabled) {
   if (mig_enabled_.size() < cluster_->size()) mig_enabled_.resize(cluster_->size(), true);
   mig_enabled_[device] = enabled;
   cluster_->gpu(device).reset();
-  operations_.push_back("set_mig_mode gpu=" + std::to_string(device) +
+  log_op("set_mig_mode gpu=" + std::to_string(device) +
                         " enabled=" + (enabled ? "1" : "0"));
   return NvmlReturn::kSuccess;
 }
@@ -66,8 +75,13 @@ NvmlReturn NvmlSim::fail_device(unsigned device, int xid) {
   lost_[device] = true;
   // The device resets: every instance (and its processes) is gone.
   cluster_->gpu(device).reset();
-  operations_.push_back("fail_device gpu=" + std::to_string(device) +
+  log_op("fail_device gpu=" + std::to_string(device) +
                         " xid=" + std::to_string(xid));
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics()
+        .counter("parva_nvml_device_losses_total", "Whole-device (XID) losses executed")
+        .inc();
+  }
   if (dcgm_ != nullptr) {
     dcgm_->record_health_event(HealthEvent{time_ms_, static_cast<int>(device), xid,
                                            HealthEventKind::kDeviceLost,
@@ -80,7 +94,7 @@ NvmlReturn NvmlSim::restore_device(unsigned device) {
   if (device >= cluster_->size()) return NvmlReturn::kErrorNotFound;
   if (device < lost_.size()) lost_[device] = false;
   cluster_->gpu(device).reset();
-  operations_.push_back("restore_device gpu=" + std::to_string(device));
+  log_op("restore_device gpu=" + std::to_string(device));
   return NvmlReturn::kSuccess;
 }
 
@@ -97,7 +111,7 @@ std::vector<int> NvmlSim::lost_devices() const {
 }
 
 NvmlReturn NvmlSim::translate(const Status& status, const std::string& op) {
-  operations_.push_back(op + (status.ok() ? "" : " FAILED(" + status.to_string() + ")"));
+  log_op(op + (status.ok() ? "" : " FAILED(" + status.to_string() + ")"));
   if (status.ok()) return NvmlReturn::kSuccess;
   switch (status.error().code()) {
     case ErrorCode::kInvalidArgument: return NvmlReturn::kErrorInvalidArgument;
@@ -112,11 +126,17 @@ NvmlReturn NvmlSim::translate(const Status& status, const std::string& op) {
 
 NvmlReturn NvmlSim::check_create(unsigned device, const std::string& op) {
   if (device_lost(device)) {
-    operations_.push_back(op + " FAILED(gpu is lost)");
+    log_op(op + " FAILED(gpu is lost)");
     return NvmlReturn::kErrorGpuIsLost;
   }
   if (injector_ != nullptr && injector_->next_create_fails()) {
-    operations_.push_back(op + " FAULT(in use)");
+    log_op(op + " FAULT(in use)");
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics()
+          .counter("parva_nvml_transient_faults_total",
+                   "Injected transient create failures (NVML_ERROR_IN_USE)")
+          .inc();
+    }
     if (dcgm_ != nullptr) {
       dcgm_->record_health_event(HealthEvent{time_ms_, static_cast<int>(device), 0,
                                              HealthEventKind::kTransientCreateFailure,
@@ -137,7 +157,7 @@ NvmlReturn NvmlSim::create_gpu_instance(unsigned device, int gpc_count, GlobalIn
   if (!result.ok()) return translate(Status(result.error()), op);
   if (injector_ != nullptr) injector_->note_create_succeeded();
   if (out != nullptr) *out = result.value();
-  operations_.push_back(op + " handle=" + std::to_string(result.value().handle));
+  log_op(op + " handle=" + std::to_string(result.value().handle));
   return NvmlReturn::kSuccess;
 }
 
@@ -153,13 +173,13 @@ NvmlReturn NvmlSim::create_gpu_instance_with_placement(unsigned device, int gpc_
   if (!result.ok()) return translate(Status(result.error()), op);
   if (injector_ != nullptr) injector_->note_create_succeeded();
   if (out != nullptr) *out = GlobalInstanceId{static_cast<int>(device), result.value()};
-  operations_.push_back(op);
+  log_op(op);
   return NvmlReturn::kSuccess;
 }
 
 NvmlReturn NvmlSim::destroy_gpu_instance(GlobalInstanceId id) {
   if (id.gpu >= 0 && device_lost(static_cast<unsigned>(id.gpu))) {
-    operations_.push_back("destroy_gi gpu=" + std::to_string(id.gpu) +
+    log_op("destroy_gi gpu=" + std::to_string(id.gpu) +
                           " handle=" + std::to_string(id.handle) + " FAILED(gpu is lost)");
     return NvmlReturn::kErrorGpuIsLost;
   }

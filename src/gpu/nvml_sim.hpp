@@ -19,6 +19,7 @@
 
 #include "gpu/fault_plan.hpp"
 #include "gpu/gpu_cluster.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace parva::gpu {
 
@@ -105,6 +106,11 @@ class NvmlSim {
   /// faults are surfaced there as HealthEvents.
   void attach_health_monitor(DcgmSim* dcgm) { dcgm_ = dcgm; }
 
+  /// Observability sink (nullptr = disabled). Control-plane operations,
+  /// injected faults, and device losses are counted; the operation log and
+  /// return codes are identical either way.
+  void set_telemetry(telemetry::Telemetry* telemetry) { telemetry_ = telemetry; }
+
   /// Advances the control plane's notion of simulated time; used only to
   /// stamp health events.
   void set_time_ms(double time_ms) { time_ms_ = time_ms; }
@@ -136,10 +142,13 @@ class NvmlSim {
   /// Shared precondition for instance creation: device exists, not lost,
   /// and the fault injector does not veto the call.
   NvmlReturn check_create(unsigned device, const std::string& op);
+  /// Appends to the operation log and mirrors the count into telemetry.
+  void log_op(std::string op);
 
   GpuCluster* cluster_;
   FaultInjector* injector_ = nullptr;
   DcgmSim* dcgm_ = nullptr;
+  telemetry::Telemetry* telemetry_ = nullptr;
   double time_ms_ = 0.0;
   std::vector<bool> mig_enabled_;
   std::vector<bool> lost_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 namespace parva::serving {
 
@@ -21,7 +22,7 @@ Result<AutoscaleReport> Autoscaler::run_day(std::span<const core::ServiceSpec> b
   core::DeploymentPlan plan = scheduler.last_plan();
   std::vector<core::ConfiguredService> configured = scheduler.last_configured();
   const core::Reconfigurer reconfigurer{
-      core::SegmentConfigurator(), core::SegmentAllocator()};
+      core::SegmentConfigurator(), core::SegmentAllocator(), options_.telemetry};
 
   // Static baseline: one-shot provisioning for the trace peak.
   AutoscaleReport report;
@@ -100,9 +101,24 @@ Result<AutoscaleReport> Autoscaler::run_day(std::span<const core::ServiceSpec> b
       sim_options.duration_ms = options_.verify_duration_ms;
       sim_options.warmup_ms = options_.verify_duration_ms * 0.1;
       sim_options.seed = seed_stream.next_u64();
+      sim_options.telemetry = options_.telemetry;
       const SimulationResult result = sim.run(sim_options);
       record.slo_compliance = result.overall_compliance();
       record.internal_slack = result.internal_slack;
+    }
+    if (options_.telemetry != nullptr) {
+      telemetry::MetricsRegistry& m = options_.telemetry->metrics();
+      m.counter("parva_autoscaler_epochs_total", "Autoscaler epochs evaluated").inc();
+      m.counter("parva_autoscaler_reconfigurations_total",
+                "Services re-placed after drifting out of the capacity band")
+          .inc(static_cast<double>(record.services_reconfigured));
+      m.gauge("parva_autoscaler_fleet_gpus", "GPUs in use at the latest epoch")
+          .set(static_cast<double>(record.gpus));
+      options_.telemetry->events().record(
+          telemetry::EventKind::kEpochDecision, t * 3'600'000.0, /*gpu=*/-1,
+          /*service_id=*/-1, static_cast<double>(record.gpus),
+          "reconfigured=" + std::to_string(record.services_reconfigured) +
+              " lost=" + std::to_string(record.gpus_lost));
     }
     report.epochs.push_back(record);
   }

@@ -36,6 +36,11 @@ struct AutoscalerOptions {
   /// the capacity-band check sees the deficit exactly like a demand surge
   /// and re-places the displaced services on the remaining fleet.
   const gpu::FaultPlan* fault_plan = nullptr;
+
+  /// Observability sink (nullptr = disabled). Each epoch emits a decision
+  /// event plus fleet-size/reconfiguration counters; reports are identical
+  /// either way.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 struct EpochRecord {

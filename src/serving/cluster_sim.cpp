@@ -177,6 +177,37 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
 
   SimulationResult result;
 
+  // Telemetry handles (no-op sinks when options.telemetry is null, so the
+  // hot path below pays one null test per recording site). Per-service
+  // series are labeled by service id; seed sweeps sharing one Telemetry
+  // aggregate across runs.
+  telemetry::Telemetry* tel = options.telemetry;
+  const bool tel_request_events = tel != nullptr && tel->options().request_events;
+  std::vector<telemetry::Counter> tel_svc_requests(services_.size());
+  std::vector<telemetry::Counter> tel_svc_shed(services_.size());
+  telemetry::Counter tel_batches;
+  telemetry::Counter tel_violated_batches;
+  telemetry::Counter tel_events_processed;
+  telemetry::HistogramMetric tel_latency;
+  if (tel != nullptr) {
+    telemetry::MetricsRegistry& m = tel->metrics();
+    tel_batches = m.counter("parva_sim_batches_total", "Batches served after warm-up");
+    tel_violated_batches =
+        m.counter("parva_sim_violated_batches_total", "Served batches that missed their SLO");
+    tel_events_processed =
+        m.counter("parva_sim_events_total", "Discrete events the engine processed");
+    tel_latency = m.histogram("parva_sim_request_latency_ms",
+                              telemetry::MetricsRegistry::default_latency_buckets_ms(),
+                              "End-to-end request latency");
+    for (std::size_t s = 0; s < services_.size(); ++s) {
+      const std::string labels = "service=\"" + std::to_string(svc_id[s]) + "\"";
+      tel_svc_requests[s] = m.counter("parva_sim_requests_total",
+                                      "Requests completed after warm-up", labels);
+      tel_svc_shed[s] =
+          m.counter("parva_sim_shed_requests_total", "Requests dropped by failures", labels);
+    }
+  }
+
   // Timeline buckets cover the measurement window [warmup, horizon).
   std::vector<TimelineBucket> timeline;
   if (options.timeline_bucket_ms > 0.0) {
@@ -280,10 +311,15 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
       for (std::size_t s = 0; s < services_.size(); ++s) {
         if (services_[s].id != request->service_id) continue;
         ++outcomes[s].shed_requests;
+        tel_svc_shed[s].inc();
         break;
       }
       ++phase_of(now)->shed_requests;
       if (TimelineBucket* bucket = bucket_of(now)) ++bucket->shed_requests;
+      if (tel != nullptr) {
+        tel->events().record(telemetry::EventKind::kRequestShed, now, /*gpu=*/-1,
+                             request->service_id);
+      }
     }
   };
 
@@ -390,6 +426,9 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
       // generations, so the already-queued completions go stale.
       const int gpu = event.unit_index;
       if (result.failure_at_ms < 0.0) result.failure_at_ms = now;
+      if (tel != nullptr) {
+        tel->events().record(telemetry::EventKind::kGpuFailure, now, gpu);
+      }
       for (std::size_t ui = 0; ui < units.size(); ++ui) {
         UnitState& state = units[ui];
         if (state.unit->gpu_index != gpu || !state.up) continue;
@@ -413,6 +452,10 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
       UnitState& state = units[ui];
       state.up = true;
       state.idle_processes = std::max(1, state.unit->procs);
+      if (tel != nullptr) {
+        tel->events().record(telemetry::EventKind::kUnitActivated, now,
+                             state.unit->gpu_index, state.unit->service_id);
+      }
       start_batch_if_possible(ui, now);
     } else {
       const auto ui = static_cast<std::size_t>(event.unit_index);
@@ -436,18 +479,29 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
         ServiceOutcome& outcome = outcomes[s];
         PhaseStats* phase = phase_of(now);  // by completion time
         ++outcome.batches;
+        tel_batches.inc();
         bool violated = false;
         for (const Request& request : requests) {
           const double latency = now - request.arrival_ms;
           outcome.request_latency_ms.add(latency);
           ++outcome.requests;
           ++phase->requests;
+          tel_latency.observe(latency);
+          tel_svc_requests[s].inc();
           if (latency > svc_slo_ms[s]) {
             violated = true;
             ++phase->violated_requests;
           }
         }
-        if (violated) ++outcome.violated_batches;
+        if (violated) {
+          ++outcome.violated_batches;
+          tel_violated_batches.inc();
+        }
+        if (tel_request_events) {
+          tel->events().record(telemetry::EventKind::kBatchCompleted, now,
+                               state.unit->gpu_index, svc_id[s],
+                               static_cast<double>(requests.size()));
+        }
 
         // Phase + timeline accounting, by completion time.
         ++phase->batches;
@@ -462,6 +516,7 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
     }
   }
   result.events_processed = events_processed;
+  tel_events_processed.inc(static_cast<double>(events_processed));
 
   for (std::size_t s = 0; s < services_.size(); ++s) {
     outcomes[s].measured_rate =

@@ -36,6 +36,7 @@
 #include "core/deployment.hpp"
 #include "gpu/fault_plan.hpp"
 #include "perfmodel/analytical_model.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace parva::serving {
 
@@ -71,6 +72,12 @@ struct SimulationOptions {
 
   /// Bucket width for the compliance timeline; 0 disables the timeline.
   double timeline_bucket_ms = 0.0;
+
+  /// Observability sink (nullptr = disabled, the default). The simulator
+  /// only *writes* counters/histograms/events derived from its existing
+  /// accounting; results are byte-identical with telemetry on or off.
+  /// Safe to share across concurrent simulations (seed sweeps aggregate).
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// Per-service outcome.

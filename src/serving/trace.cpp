@@ -7,8 +7,23 @@ namespace parva::serving {
 
 RateTrace::RateTrace(std::vector<TraceKnot> knots) : knots_(std::move(knots)) {
   PARVA_REQUIRE(!knots_.empty(), "trace needs at least one knot");
-  std::sort(knots_.begin(), knots_.end(),
-            [](const TraceKnot& a, const TraceKnot& b) { return a.t_hours < b.t_hours; });
+  // Stable sort + coalesce: knots sharing a t_hours collapse to the
+  // last-specified one. A non-stable sort here once made multiplier_at
+  // order-dependent when knot times collided (e.g. surge(0, ...) emits the
+  // base knot and the surge knot both at t=0); stable ordering plus
+  // deduplication makes the trace a function of its knot list, not of the
+  // sort's tie-breaking.
+  std::stable_sort(knots_.begin(), knots_.end(),
+                   [](const TraceKnot& a, const TraceKnot& b) { return a.t_hours < b.t_hours; });
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < knots_.size(); ++i) {
+    if (kept > 0 && knots_[i].t_hours == knots_[kept - 1].t_hours) {
+      knots_[kept - 1] = knots_[i];  // later-specified knot wins
+    } else {
+      knots_[kept++] = knots_[i];
+    }
+  }
+  knots_.resize(kept);
   for (const TraceKnot& knot : knots_) {
     PARVA_REQUIRE(knot.t_hours >= 0.0 && knot.t_hours < 24.0, "knots live in [0, 24)");
     PARVA_REQUIRE(knot.multiplier >= 0.0, "multiplier must be non-negative");

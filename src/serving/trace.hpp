@@ -19,6 +19,9 @@ struct TraceKnot {
 
 class RateTrace {
  public:
+  /// Knots are sorted by time; knots sharing the same `t_hours` coalesce to
+  /// the last-specified one, so a trace is a well-defined function of its
+  /// knot list regardless of input order.
   explicit RateTrace(std::vector<TraceKnot> knots);
 
   /// A classic diurnal curve: quiet night (0.3x), morning ramp, midday

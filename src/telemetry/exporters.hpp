@@ -1,0 +1,39 @@
+// Exporters over a scraped MetricsRegistry / EventLog snapshot:
+//
+//   * Prometheus text exposition (version 0.0.4): `# HELP` / `# TYPE`
+//     preambles, `_bucket{le=...}` / `_sum` / `_count` histogram series.
+//     No timestamps are emitted, so identical runs export identical text
+//     (golden-testable).
+//   * JSON lines: one event object per line, in sequence order.
+//   * CSV summary: `metric,labels,value` rows through the same TextTable
+//     CSV writer the bench results use, so telemetry summaries drop into
+//     `results/` next to the figure CSVs.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "telemetry/event_log.hpp"
+#include "telemetry/metrics_registry.hpp"
+
+namespace parva::telemetry {
+
+/// Prometheus text exposition of every registered series.
+std::string to_prometheus(const MetricsRegistry& registry);
+
+/// JSON-lines dump of the event log (one object per line, seq order).
+std::string to_json_lines(const EventLog& log);
+
+/// CSV summary (header `metric,labels,value`; histograms flatten to
+/// `<name>_sum` / `<name>_count` / `<name>_mean` rows). Row order follows
+/// the scrape's (name, labels) sort.
+std::string to_csv_summary(const MetricsRegistry& registry);
+
+/// Deterministic value formatting shared by the exporters: integers print
+/// bare, everything else with up to six significant decimals.
+std::string format_metric_value(double value);
+
+/// Writes `content` to `path`, truncating; parent directories must exist.
+Status write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace parva::telemetry

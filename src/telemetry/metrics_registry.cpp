@@ -1,0 +1,259 @@
+#include "telemetry/metrics_registry.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace parva::telemetry {
+namespace {
+
+/// Per-thread cache of (registry id -> shard slot array). Registry ids are
+/// process-unique and never reused, so a stale cache entry for a destroyed
+/// registry can never alias a live one.
+struct ThreadShardCache {
+  struct Entry {
+    std::uint64_t registry_id = 0;
+    std::atomic<double>* slots = nullptr;
+    std::size_t capacity = 0;
+  };
+  std::vector<Entry> entries;
+
+  Entry* find(std::uint64_t registry_id) {
+    for (Entry& entry : entries) {
+      if (entry.registry_id == registry_id) return &entry;
+    }
+    return nullptr;
+  }
+};
+
+thread_local ThreadShardCache t_shard_cache;
+
+std::uint64_t next_registry_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Single-writer add: only the owning thread writes a sharded slot, so a
+/// relaxed load+store is a race-free increment (scrapers only read).
+inline void shard_add(std::atomic<double>* slot, double v) {
+  slot->store(slot->load(std::memory_order_relaxed) + v, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+void Counter::inc(double v) {
+  if (registry_ == nullptr) return;
+  shard_add(registry_->shard_slot(slot_), v);
+}
+
+void Gauge::set(double v) {
+  if (cell_ == nullptr) return;
+  cell_->store(v, std::memory_order_relaxed);
+}
+
+void HistogramMetric::observe(double v) {
+  if (registry_ == nullptr) return;
+  // Bounds are ascending; the first bound >= v names the bucket, the +Inf
+  // bucket at bucket_count_ catches the rest. Bucket lists are short
+  // (~a dozen), so a linear scan is cache-friendly and branch-predictable.
+  std::uint32_t bucket = bucket_count_;
+  for (std::uint32_t i = 0; i < bucket_count_; ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  shard_add(registry_->shard_slot(base_slot_ + bucket), 1.0);
+  shard_add(registry_->shard_slot(base_slot_ + bucket_count_ + 1), v);    // sum
+  shard_add(registry_->shard_slot(base_slot_ + bucket_count_ + 2), 1.0);  // count
+}
+
+MetricsRegistry::MetricsRegistry() : id_(next_registry_id()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Series* MetricsRegistry::find_series(const std::string& name,
+                                                      const std::string& labels) {
+  for (Series& series : series_) {
+    if (series.name == name && series.labels == labels) return &series;
+  }
+  return nullptr;
+}
+
+Counter MetricsRegistry::counter(const std::string& name, const std::string& help,
+                                 const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Series* existing = find_series(name, labels)) {
+    PARVA_REQUIRE(existing->kind == MetricKind::kCounter,
+                  "metric re-registered with a different kind: " + name);
+    return Counter(this, existing->slot);
+  }
+  Series series;
+  series.name = name;
+  series.help = help;
+  series.labels = labels;
+  series.kind = MetricKind::kCounter;
+  series.slot = static_cast<std::uint32_t>(slot_count_);
+  slot_count_ += 1;
+  series_.push_back(std::move(series));
+  return Counter(this, series_.back().slot);
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                             const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Series* existing = find_series(name, labels)) {
+    PARVA_REQUIRE(existing->kind == MetricKind::kGauge,
+                  "metric re-registered with a different kind: " + name);
+    return Gauge(&gauges_[existing->slot]);
+  }
+  Series series;
+  series.name = name;
+  series.help = help;
+  series.labels = labels;
+  series.kind = MetricKind::kGauge;
+  series.slot = static_cast<std::uint32_t>(gauges_.size());
+  gauges_.emplace_back(0.0);
+  series_.push_back(std::move(series));
+  return Gauge(&gauges_.back());
+}
+
+HistogramMetric MetricsRegistry::histogram(const std::string& name,
+                                           std::vector<double> bounds,
+                                           const std::string& help,
+                                           const std::string& labels) {
+  PARVA_REQUIRE(!bounds.empty(), "histogram needs at least one bucket bound");
+  PARVA_REQUIRE(std::is_sorted(bounds.begin(), bounds.end()),
+                "histogram bounds must be ascending");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Series* existing = find_series(name, labels)) {
+    PARVA_REQUIRE(existing->kind == MetricKind::kHistogram,
+                  "metric re-registered with a different kind: " + name);
+    PARVA_REQUIRE(existing->bounds == bounds,
+                  "histogram re-registered with different bounds: " + name);
+    return HistogramMetric(this, existing->slot, existing->bounds.data(),
+                           static_cast<std::uint32_t>(existing->bounds.size()));
+  }
+  Series series;
+  series.name = name;
+  series.help = help;
+  series.labels = labels;
+  series.kind = MetricKind::kHistogram;
+  series.slot = static_cast<std::uint32_t>(slot_count_);
+  series.bounds = std::move(bounds);
+  // Slots: one per finite bound, one +Inf bucket, sum, count.
+  slot_count_ += series.bounds.size() + 3;
+  series_.push_back(std::move(series));
+  const Series& stored = series_.back();
+  return HistogramMetric(this, stored.slot, stored.bounds.data(),
+                         static_cast<std::uint32_t>(stored.bounds.size()));
+}
+
+std::vector<double> MetricsRegistry::default_latency_buckets_ms() {
+  return {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0};
+}
+
+std::atomic<double>* MetricsRegistry::shard_slot(std::uint32_t slot) {
+  ThreadShardCache::Entry* entry = t_shard_cache.find(id_);
+  if (entry != nullptr && slot < entry->capacity) return entry->slots + slot;
+  return shard_slot_slow(slot);
+}
+
+std::atomic<double>* MetricsRegistry::shard_slot_slow(std::uint32_t slot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PARVA_REQUIRE(slot < slot_count_, "metric slot out of range");
+  // Allocate (or grow) this thread's shard to the registry's current slot
+  // count, carrying existing values forward. The retired (smaller) array is
+  // removed from the merge set under the same mutex scrape() takes, so the
+  // carried values are summed exactly once.
+  ThreadShardCache::Entry* entry = t_shard_cache.find(id_);
+  const std::size_t capacity = std::max<std::size_t>(slot_count_, 64);
+  auto shard = std::make_unique<Shard>();
+  shard->slots = std::make_unique<std::atomic<double>[]>(capacity);
+  shard->capacity = capacity;
+  for (std::size_t i = 0; i < capacity; ++i) {
+    shard->slots[i].store(0.0, std::memory_order_relaxed);
+  }
+  if (entry != nullptr && entry->slots != nullptr) {
+    for (std::size_t i = 0; i < entry->capacity; ++i) {
+      shard->slots[i].store(entry->slots[i].load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    shards_.erase(std::remove_if(shards_.begin(), shards_.end(),
+                                 [&](const std::unique_ptr<Shard>& s) {
+                                   return s->slots.get() == entry->slots;
+                                 }),
+                  shards_.end());
+  }
+  std::atomic<double>* slots = shard->slots.get();
+  shards_.push_back(std::move(shard));
+  if (entry == nullptr) {
+    t_shard_cache.entries.push_back({id_, slots, capacity});
+  } else {
+    entry->slots = slots;
+    entry->capacity = capacity;
+  }
+  return slots + slot;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::scrape() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Merge shards into one flat slot array.
+  std::vector<double> merged(slot_count_, 0.0);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::size_t n = std::min(shard->capacity, slot_count_);
+    for (std::size_t i = 0; i < n; ++i) {
+      merged[i] += shard->slots[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  std::vector<MetricSnapshot> out;
+  out.reserve(series_.size());
+  for (const Series& series : series_) {
+    MetricSnapshot snapshot;
+    snapshot.name = series.name;
+    snapshot.help = series.help;
+    snapshot.labels = series.labels;
+    snapshot.kind = series.kind;
+    switch (series.kind) {
+      case MetricKind::kCounter:
+        snapshot.value = merged[series.slot];
+        break;
+      case MetricKind::kGauge:
+        snapshot.value = gauges_[series.slot].load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kHistogram: {
+        const std::size_t buckets = series.bounds.size();
+        snapshot.bounds = series.bounds;
+        snapshot.bucket_counts.resize(buckets + 1);
+        for (std::size_t b = 0; b <= buckets; ++b) {
+          snapshot.bucket_counts[b] = merged[series.slot + b];
+        }
+        snapshot.sum = merged[series.slot + buckets + 1];
+        snapshot.count = merged[series.slot + buckets + 2];
+        break;
+      }
+    }
+    out.push_back(std::move(snapshot));
+  }
+  std::sort(out.begin(), out.end(), [](const MetricSnapshot& a, const MetricSnapshot& b) {
+    return a.name != b.name ? a.name < b.name : a.labels < b.labels;
+  });
+  return out;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_.size();
+}
+
+}  // namespace parva::telemetry

@@ -1,0 +1,153 @@
+// Metrics registry: counters, gauges, and fixed-bucket histograms with a
+// lock-free fast path.
+//
+// Counters and histograms write through per-thread shards (each registered
+// thread owns a slot array of relaxed atomics; only the owner writes, so an
+// update is one relaxed load+store — no CAS, no lock) that scrape() merges.
+// Gauges are "set to X" semantics, which cannot be merged across shards, so
+// each gauge is a single shared atomic slot (a set is still one relaxed
+// store). Registration and scraping take a mutex; both happen at setup /
+// export time, never in the serving or simulation hot path.
+//
+// Handles (Counter/Gauge/HistogramMetric) are cheap values that remain
+// valid as long as the registry lives. A default-constructed handle is a
+// no-op sink, so call sites can hold handles unconditionally and pay a
+// predictable branch when telemetry is disabled.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace parva::telemetry {
+
+class MetricsRegistry;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricKind kind);
+
+/// Monotonically increasing value (merged across shards by summation).
+class Counter {
+ public:
+  Counter() = default;
+  void inc(double v = 1.0);
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* registry, std::uint32_t slot)
+      : registry_(registry), slot_(slot) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t slot_ = 0;
+};
+
+/// Last-written value (single shared slot; no shard merging).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v);
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::atomic<double>* cell) : cell_(cell) {}
+  std::atomic<double>* cell_ = nullptr;
+};
+
+/// Fixed-bucket histogram: per-bound bucket counts plus sum and count,
+/// Prometheus-style (an implicit +Inf bucket catches overflow).
+class HistogramMetric {
+ public:
+  HistogramMetric() = default;
+  void observe(double v);
+
+ private:
+  friend class MetricsRegistry;
+  HistogramMetric(MetricsRegistry* registry, std::uint32_t base_slot,
+                  const double* bounds, std::uint32_t bucket_count)
+      : registry_(registry), base_slot_(base_slot), bounds_(bounds),
+        bucket_count_(bucket_count) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t base_slot_ = 0;     ///< first bucket slot; then +Inf, sum, count
+  const double* bounds_ = nullptr;  ///< finite upper bounds (registry-owned)
+  std::uint32_t bucket_count_ = 0;  ///< finite bounds (excludes +Inf)
+};
+
+/// Point-in-time view of one metric series, produced by scrape().
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  std::string labels;  ///< Prometheus label body, e.g. `service="3"` (may be empty)
+  MetricKind kind = MetricKind::kCounter;
+
+  double value = 0.0;  ///< counters and gauges
+
+  // Histogram payload (empty for scalar metrics).
+  std::vector<double> bounds;         ///< finite upper bounds, ascending
+  std::vector<double> bucket_counts;  ///< per-bound counts + trailing +Inf bucket
+  double sum = 0.0;
+  double count = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create by (name, labels). Kind and (for histograms) bounds must
+  /// match on reuse; mismatches throw.
+  Counter counter(const std::string& name, const std::string& help = "",
+                  const std::string& labels = "");
+  Gauge gauge(const std::string& name, const std::string& help = "",
+              const std::string& labels = "");
+  HistogramMetric histogram(const std::string& name, std::vector<double> bounds,
+                            const std::string& help = "", const std::string& labels = "");
+
+  /// Latency buckets (ms) shared by the serving-path histograms.
+  static std::vector<double> default_latency_buckets_ms();
+
+  /// Merged view of every registered series, sorted by (name, labels) so
+  /// exporter output is stable run-to-run.
+  std::vector<MetricSnapshot> scrape() const;
+
+  std::size_t series_count() const;
+
+ private:
+  friend class Counter;
+  friend class HistogramMetric;
+
+  struct Shard {
+    std::unique_ptr<std::atomic<double>[]> slots;
+    std::size_t capacity = 0;
+  };
+
+  struct Series {
+    std::string name;
+    std::string help;
+    std::string labels;
+    MetricKind kind = MetricKind::kCounter;
+    std::uint32_t slot = 0;      ///< sharded base slot, or gauge index
+    std::vector<double> bounds;  ///< histograms only
+  };
+
+  /// The calling thread's slot pointer for a sharded metric; registers the
+  /// thread's shard (and grows it) on first touch of a new slot.
+  std::atomic<double>* shard_slot(std::uint32_t slot);
+  std::atomic<double>* shard_slot_slow(std::uint32_t slot);
+
+  Series* find_series(const std::string& name, const std::string& labels);
+
+  mutable std::mutex mutex_;
+  std::deque<Series> series_;  ///< deque: bounds stay address-stable for handles
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::deque<std::atomic<double>> gauges_;
+  std::size_t slot_count_ = 0;  ///< sharded slots allocated so far
+  std::uint64_t id_ = 0;        ///< process-unique, guards thread-local caches
+};
+
+}  // namespace parva::telemetry

@@ -44,6 +44,42 @@ TEST(OnlineStatsTest, MergeMatchesSequential) {
   EXPECT_DOUBLE_EQ(a.max(), whole.max());
 }
 
+TEST(OnlineStatsTest, SumIsExactThroughHeavyMerging) {
+  // sum() used to be reconstructed as mean * count; the Welford mean's
+  // rounding error, amplified by the multiplication, drifted visibly over
+  // long merge chains. The carried running sum must instead match a plain
+  // accumulator bit-for-bit, because both perform the identical sequence
+  // of additions.
+  double plain = 0.0;
+  OnlineStats merged;
+  Rng rng(13);
+  for (int chunk = 0; chunk < 64; ++chunk) {
+    OnlineStats part;
+    for (int i = 0; i < 512; ++i) {
+      // Large offset + tiny increments: worst case for mean * count.
+      const double x = 1.0e9 + rng.uniform(0.0, 1.0e-3);
+      part.add(x);
+    }
+    merged.merge(part);
+    plain += part.sum();
+  }
+  EXPECT_EQ(merged.count(), 64u * 512u);
+  EXPECT_DOUBLE_EQ(merged.sum(), plain);
+  // The old reconstruction is measurably off on this input.
+  EXPECT_NE(merged.mean() * static_cast<double>(merged.count()), 0.0);
+}
+
+TEST(OnlineStatsTest, SumMatchesAdditionOrder) {
+  OnlineStats stats;
+  double plain = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = 0.1 * static_cast<double>(i % 7);
+    stats.add(x);
+    plain += x;
+  }
+  EXPECT_DOUBLE_EQ(stats.sum(), plain);
+}
+
 TEST(OnlineStatsTest, MergeWithEmpty) {
   OnlineStats a;
   a.add(1.0);

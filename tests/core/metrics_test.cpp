@@ -88,6 +88,30 @@ TEST(MetricsTest, UnknownServiceCountsAsIdle) {
   const std::vector<ServiceSpec> services = {};  // nobody offers load
   const auto metrics = compute_metrics(deployment, services);
   EXPECT_NEAR(metrics.internal_slack, 1.0, 1e-12);
+  EXPECT_EQ(metrics.units_without_spec, 1);
+}
+
+TEST(MetricsTest, ShedServiceSkewsSlackButIsCounted) {
+  // A unit whose spec was shed (e.g. by a fault) contributes granted SMs
+  // but no busy SMs. The slack figure then mixes real over-provisioning
+  // with the mismatch; units_without_spec exposes the skew.
+  Deployment deployment;
+  deployment.gpu_count = 1;
+  deployment.units.push_back(unit(0, 0, 4.0, 1000.0, 1.0));  // fully loaded
+  deployment.units.push_back(unit(9, 0, 3.0, 500.0, 1.0));   // spec missing
+  const std::vector<ServiceSpec> services = {service(0, "m", 100, 1000.0)};
+  const auto metrics = compute_metrics(deployment, services);
+  EXPECT_EQ(metrics.units_without_spec, 1);
+  // Only the matched unit's 4 GPCs are busy out of 7 granted.
+  EXPECT_NEAR(metrics.internal_slack, 3.0 / 7.0, 1e-12);
+}
+
+TEST(MetricsTest, AllSpecsMatchedReportsZeroUnmatched) {
+  Deployment deployment;
+  deployment.gpu_count = 1;
+  deployment.units.push_back(unit(0, 0, 7.0, 1000.0, 1.0));
+  const std::vector<ServiceSpec> services = {service(0, "m", 100, 1000.0)};
+  EXPECT_EQ(compute_metrics(deployment, services).units_without_spec, 0);
 }
 
 TEST(MetricsTest, EmptyDeployment) {

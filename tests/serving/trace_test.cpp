@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 namespace parva::serving {
 namespace {
 
@@ -73,6 +76,42 @@ TEST(RateTraceTest, SurgeWindow) {
   EXPECT_NEAR(trace.multiplier_at(5.0), 1.0, 1e-12);
   EXPECT_NEAR(trace.multiplier_at(20.0), 1.0, 1e-12);
   EXPECT_DOUBLE_EQ(trace.peak(), 3.0);
+}
+
+TEST(RateTraceTest, DuplicateKnotsCoalesceToLastSpecified) {
+  const RateTrace trace({{5.0, 1.0}, {0.0, 0.5}, {5.0, 2.0}});
+  ASSERT_EQ(trace.knots().size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.multiplier_at(5.0), 2.0);
+  EXPECT_DOUBLE_EQ(trace.multiplier_at(0.0), 0.5);
+}
+
+TEST(RateTraceTest, SurgeAtHourZeroKeepsTheSurgeKnot) {
+  // surge(0, ...) emits the base knot and the surge knot both at t=0; the
+  // surge factor (specified later) must win, and it must win regardless of
+  // how the sort breaks the tie — this was order-dependent with a
+  // non-stable sort and no deduplication.
+  const RateTrace trace = RateTrace::surge(0.0, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(trace.multiplier_at(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(trace.multiplier_at(1.0), 3.0);
+  // Back at base level right after the ramp-down knot (the tail of the day
+  // then climbs toward the wrapped t=0 surge, which is correct wrapping).
+  EXPECT_NEAR(trace.multiplier_at(2.25), 1.0, 1e-12);
+  for (const auto& knot : trace.knots()) {
+    // No duplicate times survive construction.
+    EXPECT_EQ(std::count_if(trace.knots().begin(), trace.knots().end(),
+                            [&](const TraceKnot& k) { return k.t_hours == knot.t_hours; }),
+              1);
+  }
+}
+
+TEST(RateTraceTest, FunctionIndependentOfKnotOrder) {
+  const std::vector<TraceKnot> forward = {{2.0, 0.5}, {8.0, 1.5}, {20.0, 0.8}};
+  std::vector<TraceKnot> reversed(forward.rbegin(), forward.rend());
+  const RateTrace a(forward);
+  const RateTrace b(std::move(reversed));
+  for (double t = 0.0; t < 24.0; t += 0.5) {
+    EXPECT_DOUBLE_EQ(a.multiplier_at(t), b.multiplier_at(t)) << t;
+  }
 }
 
 TEST(RateTraceTest, InvalidKnotsRejected) {

@@ -1,0 +1,162 @@
+#include "telemetry/metrics_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace parva::telemetry {
+namespace {
+
+double scalar(const MetricsRegistry& registry, const std::string& name,
+              const std::string& labels = "") {
+  for (const MetricSnapshot& s : registry.scrape()) {
+    if (s.name == name && s.labels == labels) return s.value;
+  }
+  ADD_FAILURE() << "series not found: " << name << "{" << labels << "}";
+  return 0.0;
+}
+
+TEST(MetricsRegistryTest, CounterAccumulates) {
+  MetricsRegistry registry;
+  Counter c = registry.counter("requests_total", "Requests");
+  c.inc();
+  c.inc(2.5);
+  EXPECT_DOUBLE_EQ(scalar(registry, "requests_total"), 3.5);
+}
+
+TEST(MetricsRegistryTest, GetOrCreateSharesOneSeries) {
+  MetricsRegistry registry;
+  registry.counter("hits_total").inc();
+  registry.counter("hits_total").inc();
+  EXPECT_EQ(registry.series_count(), 1u);
+  EXPECT_DOUBLE_EQ(scalar(registry, "hits_total"), 2.0);
+}
+
+TEST(MetricsRegistryTest, LabelsCreateDistinctSeries) {
+  MetricsRegistry registry;
+  registry.counter("shed_total", "", "service=\"0\"").inc(3.0);
+  registry.counter("shed_total", "", "service=\"1\"").inc(7.0);
+  EXPECT_EQ(registry.series_count(), 2u);
+  EXPECT_DOUBLE_EQ(scalar(registry, "shed_total", "service=\"0\""), 3.0);
+  EXPECT_DOUBLE_EQ(scalar(registry, "shed_total", "service=\"1\""), 7.0);
+}
+
+TEST(MetricsRegistryTest, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_THROW((void)registry.gauge("x"), std::logic_error);
+  EXPECT_THROW((void)registry.histogram("x", {1.0}), std::logic_error);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundsMismatchThrows) {
+  MetricsRegistry registry;
+  (void)registry.histogram("latency_ms", {1.0, 5.0});
+  EXPECT_NO_THROW((void)registry.histogram("latency_ms", {1.0, 5.0}));
+  EXPECT_THROW((void)registry.histogram("latency_ms", {1.0, 10.0}), std::logic_error);
+}
+
+TEST(MetricsRegistryTest, GaugeKeepsLastValue) {
+  MetricsRegistry registry;
+  Gauge g = registry.gauge("fleet_gpus");
+  g.set(12.0);
+  g.set(9.0);
+  EXPECT_DOUBLE_EQ(scalar(registry, "fleet_gpus"), 9.0);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsSumAndCount) {
+  MetricsRegistry registry;
+  HistogramMetric h = registry.histogram("latency_ms", {1.0, 5.0, 25.0});
+  for (double v : {0.5, 3.0, 4.0, 30.0, 100.0}) h.observe(v);
+  const auto snapshots = registry.scrape();
+  ASSERT_EQ(snapshots.size(), 1u);
+  const MetricSnapshot& s = snapshots.front();
+  EXPECT_EQ(s.kind, MetricKind::kHistogram);
+  ASSERT_EQ(s.bounds.size(), 3u);
+  ASSERT_EQ(s.bucket_counts.size(), 4u);  // three finite bounds + (+Inf)
+  EXPECT_DOUBLE_EQ(s.bucket_counts[0], 1.0);  // <= 1
+  EXPECT_DOUBLE_EQ(s.bucket_counts[1], 2.0);  // (1, 5]
+  EXPECT_DOUBLE_EQ(s.bucket_counts[2], 0.0);  // (5, 25]
+  EXPECT_DOUBLE_EQ(s.bucket_counts[3], 2.0);  // > 25
+  EXPECT_DOUBLE_EQ(s.sum, 137.5);
+  EXPECT_DOUBLE_EQ(s.count, 5.0);
+}
+
+TEST(MetricsRegistryTest, DefaultHandlesAreNoOps) {
+  Counter c;
+  Gauge g;
+  HistogramMetric h;
+  c.inc();
+  g.set(1.0);
+  h.observe(1.0);  // must not crash; nothing is registered anywhere
+}
+
+TEST(MetricsRegistryTest, ScrapeSortsByNameThenLabels) {
+  MetricsRegistry registry;
+  registry.counter("b_total", "", "k=\"2\"").inc();
+  registry.counter("b_total", "", "k=\"1\"").inc();
+  registry.counter("a_total").inc();
+  const auto snapshots = registry.scrape();
+  ASSERT_EQ(snapshots.size(), 3u);
+  EXPECT_EQ(snapshots[0].name, "a_total");
+  EXPECT_EQ(snapshots[1].labels, "k=\"1\"");
+  EXPECT_EQ(snapshots[2].labels, "k=\"2\"");
+}
+
+TEST(MetricsRegistryTest, ShardGrowthKeepsEarlierValues) {
+  // Interleave registration and writes so each new series forces the
+  // caller's shard to grow after earlier slots already hold counts.
+  MetricsRegistry registry;
+  constexpr int kSeries = 200;
+  for (int i = 0; i < kSeries; ++i) {
+    registry.counter("series_" + std::to_string(i) + "_total").inc(static_cast<double>(i + 1));
+  }
+  const auto snapshots = registry.scrape();
+  ASSERT_EQ(snapshots.size(), static_cast<std::size_t>(kSeries));
+  for (int i = 0; i < kSeries; ++i) {
+    EXPECT_DOUBLE_EQ(scalar(registry, "series_" + std::to_string(i) + "_total"),
+                     static_cast<double>(i + 1));
+  }
+}
+
+TEST(MetricsRegistryTest, ConcurrentWritersMergeExactly) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter c = registry.counter("concurrent_total");
+      HistogramMetric h = registry.histogram("concurrent_ms", {10.0, 100.0});
+      for (int i = 0; i < kIncrements; ++i) {
+        c.inc();
+        h.observe(static_cast<double>(i % 200));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(scalar(registry, "concurrent_total"),
+                   static_cast<double>(kThreads) * kIncrements);
+  for (const MetricSnapshot& s : registry.scrape()) {
+    if (s.name != "concurrent_ms") continue;
+    EXPECT_DOUBLE_EQ(s.count, static_cast<double>(kThreads) * kIncrements);
+  }
+}
+
+TEST(MetricsRegistryTest, FreshRegistryReusesThreadCacheSafely) {
+  // The thread-local shard cache is keyed by a process-unique registry id;
+  // a new registry on the same thread must not see the old one's slots.
+  {
+    MetricsRegistry first;
+    first.counter("v_total").inc(5.0);
+  }
+  MetricsRegistry second;
+  second.counter("v_total").inc(1.0);
+  EXPECT_DOUBLE_EQ(scalar(second, "v_total"), 1.0);
+}
+
+}  // namespace
+}  // namespace parva::telemetry

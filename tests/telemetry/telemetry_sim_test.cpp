@@ -1,0 +1,111 @@
+// Integration contract of the telemetry wiring: with a sink attached, the
+// simulator's results are identical to a run without one (telemetry only
+// reads state), and the recorded counters agree with the result struct.
+#include <gtest/gtest.h>
+
+#include "core/parvagpu.hpp"
+#include "serving/cluster_sim.hpp"
+#include "telemetry/telemetry.hpp"
+#include "tests/core/test_support.hpp"
+
+namespace parva::serving {
+namespace {
+
+using core::testing::builtin_profiles;
+using core::testing::service;
+
+class TelemetrySimTest : public ::testing::Test {
+ protected:
+  core::Deployment schedule(const std::vector<core::ServiceSpec>& services) {
+    core::ParvaGpuScheduler scheduler(builtin_profiles());
+    return scheduler.schedule(services).value().deployment;
+  }
+
+  SimulationOptions fast_options(std::uint64_t seed = 42) {
+    SimulationOptions options;
+    options.duration_ms = 3'000.0;
+    options.warmup_ms = 500.0;
+    options.seed = seed;
+    return options;
+  }
+
+  perfmodel::AnalyticalPerfModel perf_{perfmodel::ModelCatalog::builtin()};
+};
+
+TEST_F(TelemetrySimTest, ResultsIdenticalWithAndWithoutTelemetry) {
+  const std::vector<core::ServiceSpec> services = {service(0, "resnet-50", 205, 829),
+                                                   service(1, "vgg-19", 397, 354)};
+  const core::Deployment deployment = schedule(services);
+  ClusterSimulation sim(deployment, services, perf_);
+
+  const SimulationResult plain = sim.run(fast_options(7));
+
+  telemetry::Telemetry telemetry;
+  SimulationOptions instrumented = fast_options(7);
+  instrumented.telemetry = &telemetry;
+  const SimulationResult observed = sim.run(instrumented);
+
+  ASSERT_EQ(plain.services.size(), observed.services.size());
+  for (std::size_t s = 0; s < plain.services.size(); ++s) {
+    EXPECT_EQ(plain.services[s].requests, observed.services[s].requests);
+    EXPECT_EQ(plain.services[s].batches, observed.services[s].batches);
+    EXPECT_EQ(plain.services[s].violated_batches, observed.services[s].violated_batches);
+    EXPECT_EQ(plain.services[s].shed_requests, observed.services[s].shed_requests);
+    EXPECT_DOUBLE_EQ(plain.services[s].request_latency_ms.mean(),
+                     observed.services[s].request_latency_ms.mean());
+  }
+  EXPECT_EQ(plain.events_processed, observed.events_processed);
+  EXPECT_DOUBLE_EQ(plain.internal_slack, observed.internal_slack);
+}
+
+TEST_F(TelemetrySimTest, CountersAgreeWithResult) {
+  const std::vector<core::ServiceSpec> services = {service(0, "resnet-50", 205, 829)};
+  const core::Deployment deployment = schedule(services);
+  ClusterSimulation sim(deployment, services, perf_);
+
+  telemetry::Telemetry telemetry;
+  SimulationOptions options = fast_options();
+  options.telemetry = &telemetry;
+  const SimulationResult result = sim.run(options);
+
+  double batches = -1.0;
+  double requests = -1.0;
+  double events = -1.0;
+  double latency_count = -1.0;
+  for (const auto& s : telemetry.metrics().scrape()) {
+    if (s.name == "parva_sim_batches_total") batches = s.value;
+    if (s.name == "parva_sim_requests_total" && s.labels == "service=\"0\"") {
+      requests = s.value;
+    }
+    if (s.name == "parva_sim_events_total") events = s.value;
+    if (s.name == "parva_sim_request_latency_ms") latency_count = s.count;
+  }
+  ASSERT_EQ(result.services.size(), 1u);
+  EXPECT_DOUBLE_EQ(batches, static_cast<double>(result.services[0].batches));
+  EXPECT_DOUBLE_EQ(requests, static_cast<double>(result.services[0].requests));
+  EXPECT_DOUBLE_EQ(latency_count, static_cast<double>(result.services[0].requests));
+  EXPECT_DOUBLE_EQ(events, static_cast<double>(result.events_processed));
+}
+
+TEST_F(TelemetrySimTest, SchedulerEmitsCompletionEvent) {
+  telemetry::Telemetry telemetry;
+  core::ParvaGpuOptions options;
+  options.telemetry = &telemetry;
+  core::ParvaGpuScheduler scheduler(builtin_profiles(), options);
+  const std::vector<core::ServiceSpec> services = {service(0, "resnet-50", 205, 829)};
+  ASSERT_TRUE(scheduler.schedule(services).ok());
+
+  bool saw_schedule = false;
+  for (const auto& event : telemetry.events().snapshot()) {
+    if (event.kind == telemetry::EventKind::kScheduleCompleted) saw_schedule = true;
+  }
+  EXPECT_TRUE(saw_schedule);
+  double runs = 0.0;
+  for (const auto& s : telemetry.metrics().scrape()) {
+    if (s.name == "parva_schedule_runs_total") runs = s.value;
+  }
+  EXPECT_DOUBLE_EQ(runs, 1.0);
+}
+
+}  // namespace
+}  // namespace parva::serving
