@@ -2,8 +2,21 @@
 # Full verification: plain build + tests, then the same suite under
 # AddressSanitizer + UndefinedBehaviorSanitizer (the asan-ubsan preset).
 # Run from the repository root:  ./scripts/verify.sh
+#   --lint   also run the static-analysis gate (scripts/lint.sh) and the
+#            parva_audit golden-fixture suite before the sanitizer stages.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+RUN_LINT=0
+for arg in "$@"; do
+  case "${arg}" in
+    --lint) RUN_LINT=1 ;;
+    *)
+      echo "usage: $0 [--lint]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 echo "== configure + build (default preset) =="
 cmake --preset default >/dev/null
@@ -11,6 +24,12 @@ cmake --build --preset default -j "$(nproc)"
 
 echo "== ctest (default preset) =="
 ctest --preset default
+
+if [[ "${RUN_LINT}" == 1 ]]; then
+  echo "== lint: parva_audit contracts + golden fixtures =="
+  ./scripts/lint.sh
+  ctest --preset default -L lint
+fi
 
 echo "== telemetry: exporter goldens + output byte-identity =="
 ctest --preset default -L telemetry

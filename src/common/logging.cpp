@@ -8,8 +8,11 @@
 namespace parva {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_emit_mutex;
+// Process-wide logging state is the sanctioned exception to the no-globals
+// rule (R3): the level is a lone atomic with no invariant beyond its own
+// value, and the emit mutex exists precisely to serialize stderr writes.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};  // parva-audit: allow(R3)
+std::mutex g_emit_mutex;                         // parva-audit: allow(R3)
 
 LogLevel initial_level() {
   const char* env = std::getenv("PARVA_LOG_LEVEL");
@@ -36,7 +39,9 @@ const char* level_tag(LogLevel level) {
 
 struct LevelInit {
   LevelInit() { g_level.store(initial_level()); }
-} g_level_init;
+  // Reads PARVA_LOG_LEVEL exactly once, before main(); mutable only in the
+  // sense that static init runs its constructor.
+} g_level_init;  // parva-audit: allow(R3)
 
 }  // namespace
 

@@ -46,6 +46,8 @@ UtilizationMetrics compute_metrics(const Deployment& deployment,
   }
   if (metrics.units_without_spec > 0) {
     static std::atomic<bool> warned{false};
+    // relaxed: warn-once gate; the exchange is atomic and no other state
+    // is published under the flag.
     if (!warned.exchange(true, std::memory_order_relaxed)) {
       PARVA_LOG_WARN << "compute_metrics: " << metrics.units_without_spec
                      << " deployed unit(s) have no matching ServiceSpec; they count as "

@@ -55,9 +55,12 @@ std::string GpuPlan::to_string() const {
   std::string out = "GPU" + std::to_string(id_) + "{";
   for (std::size_t i = 0; i < segments_.size(); ++i) {
     if (i != 0) out += ' ';
-    out += "s" + std::to_string(segments_[i].service_id) + ":" +
-           std::to_string(segments_[i].triplet.gpcs) + "@" +
-           std::to_string(segments_[i].placement.start_slot);
+    out += 's';
+    out += std::to_string(segments_[i].service_id);
+    out += ':';
+    out += std::to_string(segments_[i].triplet.gpcs);
+    out += '@';
+    out += std::to_string(segments_[i].placement.start_slot);
   }
   out += "}";
   return out;

@@ -1,6 +1,8 @@
 #include "telemetry/metrics_registry.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 
 #include "common/error.hpp"
 
@@ -26,17 +28,26 @@ struct ThreadShardCache {
   }
 };
 
-thread_local ThreadShardCache t_shard_cache;
+// Deliberate thread-local state: each thread owns its cache entries
+// outright, so there is nothing shared to race on, and registry ids are
+// never reused, so a stale entry cannot alias a live registry.
+thread_local ThreadShardCache t_shard_cache;  // parva-audit: allow(R3)
 
 std::uint64_t next_registry_id() {
+  // relaxed: id allocation needs atomicity only; nothing is published
+  // under the counter value.
   static std::atomic<std::uint64_t> counter{1};
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
-/// Single-writer add: only the owning thread writes a sharded slot, so a
-/// relaxed load+store is a race-free increment (scrapers only read).
+/// Single-writer add: only the owning thread writes a sharded slot, so the
+/// relaxed read-back of its own previous store is exact (scrapers only
+/// read). The release store pairs with the acquire loads in scrape(): a
+/// scrape that observes this write also observes every update the writer
+/// completed before it, bounding cross-metric skew during a live scrape to
+/// the single in-flight update per thread.
 inline void shard_add(std::atomic<double>* slot, double v) {
-  slot->store(slot->load(std::memory_order_relaxed) + v, std::memory_order_relaxed);
+  slot->store(slot->load(std::memory_order_relaxed) + v, std::memory_order_release);
 }
 
 }  // namespace
@@ -57,6 +68,9 @@ void Counter::inc(double v) {
 
 void Gauge::set(double v) {
   if (cell_ == nullptr) return;
+  // relaxed: gauges are last-writer-wins snapshots with no cross-slot
+  // invariant; the store itself is atomic and scrape() tolerates any
+  // interleaving.
   cell_->store(v, std::memory_order_relaxed);
 }
 
@@ -181,10 +195,15 @@ std::atomic<double>* MetricsRegistry::shard_slot_slow(std::uint32_t slot) {
   shard->slots = std::make_unique<std::atomic<double>[]>(capacity);
   shard->capacity = capacity;
   for (std::size_t i = 0; i < capacity; ++i) {
+    // relaxed: the shard is only published to scrape() via shards_ under
+    // mutex_ below; no other thread can observe these initializing stores.
     shard->slots[i].store(0.0, std::memory_order_relaxed);
   }
   if (entry != nullptr && entry->slots != nullptr) {
     for (std::size_t i = 0; i < entry->capacity; ++i) {
+      // relaxed: carries this thread's own single-writer values into the
+      // grown shard (same-thread reads are exact); publication of the new
+      // shard happens under mutex_.
       shard->slots[i].store(entry->slots[i].load(std::memory_order_relaxed),
                             std::memory_order_relaxed);
     }
@@ -207,13 +226,27 @@ std::atomic<double>* MetricsRegistry::shard_slot_slow(std::uint32_t slot) {
 
 std::vector<MetricSnapshot> MetricsRegistry::scrape() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  // Merge shards into one flat slot array.
+  // Merge shards into one flat slot array. shards_ is ordered by thread
+  // arrival, i.e. by scheduling, and double addition is not associative --
+  // summing in registration order would let two identical runs scrape
+  // values differing in the last ulp and break byte-identical .prom/.csv
+  // exports. Sorting each slot's contributions by bit pattern first makes
+  // the merged value a pure function of the contribution multiset.
   std::vector<double> merged(slot_count_, 0.0);
-  for (const std::unique_ptr<Shard>& shard : shards_) {
-    const std::size_t n = std::min(shard->capacity, slot_count_);
-    for (std::size_t i = 0; i < n; ++i) {
-      merged[i] += shard->slots[i].load(std::memory_order_relaxed);
+  std::vector<std::uint64_t> contributions;
+  contributions.reserve(shards_.size());
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    contributions.clear();
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      if (i >= shard->capacity) continue;
+      // acquire: pairs with the release store in shard_add(); see there.
+      contributions.push_back(
+          std::bit_cast<std::uint64_t>(shard->slots[i].load(std::memory_order_acquire)));
     }
+    std::sort(contributions.begin(), contributions.end());
+    double sum = 0.0;
+    for (const std::uint64_t bits : contributions) sum += std::bit_cast<double>(bits);
+    merged[i] = sum;
   }
 
   std::vector<MetricSnapshot> out;
@@ -229,6 +262,7 @@ std::vector<MetricSnapshot> MetricsRegistry::scrape() const {
         snapshot.value = merged[series.slot];
         break;
       case MetricKind::kGauge:
+        // relaxed: last-writer-wins snapshot; see Gauge::set().
         snapshot.value = gauges_[series.slot].load(std::memory_order_relaxed);
         break;
       case MetricKind::kHistogram: {

@@ -51,7 +51,9 @@ TEST(ModelCatalogTest, BertIsTheHeaviestModel) {
   const ModelCatalog& catalog = ModelCatalog::builtin();
   const double bert_w1 = catalog.at("bert-large").w1;
   for (const WorkloadTraits& traits : catalog.all()) {
-    if (traits.name != "bert-large") EXPECT_LT(traits.w1, bert_w1) << traits.name;
+    if (traits.name != "bert-large") {
+      EXPECT_LT(traits.w1, bert_w1) << traits.name;
+    }
   }
 }
 

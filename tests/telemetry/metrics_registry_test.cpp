@@ -146,6 +146,32 @@ TEST(MetricsRegistryTest, ConcurrentWritersMergeExactly) {
   }
 }
 
+// Regression: scrape() must be a pure function of the contribution
+// multiset, not of shard registration (thread-arrival) order. Double
+// addition is not associative, so the pre-fix registration-order merge let
+// two runs whose threads first touched the registry in a different order
+// scrape values differing in the last ulp -- breaking byte-identical
+// .prom/.csv exports. 1e16 absorbs 1.0 (the ulp at 1e16 is 2.0), turning
+// any order-dependent merge into a full 1.0 difference.
+TEST(MetricsRegistryTest, ScrapeMergeIsIndependentOfShardRegistrationOrder) {
+  const std::vector<double> values = {1e16, 1.0, -1e16};
+  auto scrape_with_order = [&](const std::vector<std::size_t>& order) {
+    MetricsRegistry registry;
+    Counter c = registry.counter("merge_total");
+    for (std::size_t idx : order) {
+      // Sequential start+join pins shard registration order to `order`.
+      std::thread t([&] { c.inc(values[idx]); });
+      t.join();
+    }
+    return scalar(registry, "merge_total");
+  };
+  const double sum_012 = scrape_with_order({0, 1, 2});
+  const double sum_021 = scrape_with_order({0, 2, 1});
+  const double sum_210 = scrape_with_order({2, 1, 0});
+  EXPECT_EQ(sum_012, sum_021);
+  EXPECT_EQ(sum_021, sum_210);
+}
+
 TEST(MetricsRegistryTest, FreshRegistryReusesThreadCacheSafely) {
   // The thread-local shard cache is keyed by a process-unique registry id;
   // a new registry on the same thread must not see the old one's slots.

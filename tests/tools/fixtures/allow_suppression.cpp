@@ -1,0 +1,17 @@
+// Golden fixture: the allow() escape hatch. Every violation below carries
+// a suppression on the offending line or the line directly above, so the
+// audit must report nothing for this file.
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+int g_suppressed_global = 0;  // parva-audit: allow(R3)
+
+// parva-audit: allow(R1)
+inline int suppressed_rand() { return static_cast<int>(rand()); }
+
+// parva-audit: allow(all)
+inline int suppressed_time() { return static_cast<int>(time(nullptr)); }
+
+}  // namespace fixture

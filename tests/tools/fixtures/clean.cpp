@@ -1,0 +1,35 @@
+// Golden fixture: a file that satisfies every rule; the audit must report
+// nothing. Exercises the constructs closest to each rule's trigger:
+// sanctioned randomness, ordered iteration, constants, justified relaxed.
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+constexpr int kMaxGpus = 8;
+const char* const kName = "clean";
+
+inline std::string emit_sorted(const std::map<int, double>& rows) {
+  std::string out;
+  for (const auto& [id, value] : rows) {
+    out += std::to_string(id) + "," + std::to_string(value) + "\n";
+  }
+  return out;
+}
+
+inline std::uint64_t seeded_stream(std::uint64_t seed) {
+  // SplitMix64 step -- deterministic, explicit-seed randomness.
+  seed += 0x9e3779b97f4a7c15ULL;
+  seed = (seed ^ (seed >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return seed ^ (seed >> 27);
+}
+
+inline int justified_relaxed(std::atomic<int>& counter) {
+  // relaxed: monotonic counter; no state is published under it.
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace fixture

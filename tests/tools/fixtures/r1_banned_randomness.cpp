@@ -1,0 +1,28 @@
+// Golden fixture: rule R1 -- banned nondeterminism sources. Every
+// violation line below is pinned in tests/tools/audit_test.cpp.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+inline int seed_from_wall_clock() {
+  return static_cast<int>(time(nullptr));
+}
+
+inline int raw_rand() {
+  return static_cast<int>(rand());
+}
+
+inline void reseed_libc() {
+  srand(42);
+}
+
+inline unsigned hardware_entropy() {
+  std::random_device device;
+  return device();
+}
+
+inline long long wall_clock_ticks() {
+  const auto now = std::chrono::system_clock::now();
+  return now.time_since_epoch().count();
+}

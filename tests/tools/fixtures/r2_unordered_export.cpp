@@ -1,0 +1,27 @@
+// Golden fixture: rule R2 -- unordered-container iteration on an export
+// path. This file is tagged by the manifest's "export" path heuristic (its
+// name contains "export"), exactly as it would be if dropped into
+// src/telemetry/. Violation lines are pinned in audit_test.cpp.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+inline std::string emit_rows(const std::unordered_map<int, double>& rows) {
+  std::string out;
+  for (const auto& [id, value] : rows) {
+    out += std::to_string(id) + "," + std::to_string(value) + "\n";
+  }
+  return out;
+}
+
+inline double checksum(const std::unordered_set<int>& ids) {
+  double sum = 0.0;
+  for (auto it = ids.begin(); it != ids.end(); ++it) {
+    sum += static_cast<double>(*it) * 1.000001;
+  }
+  return sum;
+}
+
+inline std::size_t lookups_are_fine(const std::unordered_map<int, double>& rows) {
+  return rows.count(42);
+}

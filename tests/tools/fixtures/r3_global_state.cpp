@@ -1,0 +1,25 @@
+// Golden fixture: rule R3 -- mutable namespace-scope state in library
+// code. Violation lines are pinned in audit_test.cpp.
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+int g_call_count = 0;
+static std::vector<std::string> g_history;
+std::atomic<bool> g_ready{false};
+thread_local int t_scratch = 0;
+
+const int kLimit = 8;
+constexpr double kScale = 1.5;
+inline int add(int a, int b) { return a + b; }
+int free_function_declaration(int value);
+struct Config {
+  int value = 0;
+};
+struct Tracker {
+  int hits = 0;
+} g_tracker;
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Golden fixture: rule R4 -- header hygiene. Intentionally missing the
+// pragma-once guard (one finding on line 1) and leaking a namespace into
+// every includer. Violation lines are pinned in audit_test.cpp.
+#include <vector>
+
+using namespace std;
+
+inline int fixture_sum(const std::vector<int>& values) {
+  int total = 0;
+  for (int value : values) total += value;
+  return total;
+}

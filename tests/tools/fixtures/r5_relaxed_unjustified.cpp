@@ -1,0 +1,19 @@
+// Golden fixture: rule R5 -- memory_order_relaxed without a nearby
+// justification comment. Violation lines are pinned in audit_test.cpp;
+// the lines around them must stay comment-free or the rule is satisfied.
+#include <atomic>
+
+inline int unjustified_load(std::atomic<int>& counter) {
+
+  return counter.load(std::memory_order_relaxed);
+}
+
+inline void unjustified_store(std::atomic<int>& counter, int value) {
+
+  counter.store(value, std::memory_order_relaxed);
+}
+
+inline int justified_load(std::atomic<int>& counter) {
+  // relaxed: monotonic counter; readers tolerate staleness.
+  return counter.load(std::memory_order_relaxed);
+}

@@ -1,0 +1,70 @@
+// parva_audit: project-specific static analysis enforcing the two contracts
+// every result in this reproduction rests on (DESIGN.md §4.3):
+//
+//   * determinism  -- simulation output must be byte-identical run-to-run,
+//   * concurrency  -- shared state must be race-free under the ThreadPool.
+//
+// Rules:
+//   R1  no banned nondeterminism sources (rand(), std::random_device,
+//       time(nullptr), std::chrono::system_clock) outside src/common/rng.hpp
+//   R2  no iteration over unordered_{map,set} in exporter/CSV/fingerprint
+//       translation units (tagged by a path manifest)
+//   R3  no mutable namespace-scope state in library code
+//   R4  header hygiene: #pragma once present, no `using namespace` in headers
+//   R5  every memory_order_relaxed carries a nearby justification comment
+//
+// Suppression: `// parva-audit: allow(R3)` on the offending line or the line
+// directly above; `allow(all)` silences every rule for that line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parva::audit {
+
+struct Finding {
+  std::string file;  ///< Path as given on the command line / to audit_file().
+  int line = 0;
+  std::string rule;  ///< "R1".."R5".
+  std::string message;
+
+  bool operator<(const Finding& other) const {
+    if (file != other.file) return file < other.file;
+    if (line != other.line) return line < other.line;
+    return rule < other.rule;
+  }
+  bool operator==(const Finding& other) const {
+    return file == other.file && line == other.line && rule == other.rule;
+  }
+};
+
+struct AuditConfig {
+  /// R2 applies to files whose normalized path contains one of these
+  /// entries. Defaults to default_export_manifest().
+  std::vector<std::string> export_manifest;
+  /// Rules to run; empty means all.
+  std::vector<std::string> rules;
+};
+
+/// The built-in R2 manifest: translation units on the exporter / CSV /
+/// determinism-fingerprint paths, where container iteration order reaches
+/// persisted output byte-for-byte.
+std::vector<std::string> default_export_manifest();
+
+/// Audits one in-memory file. `path` is used for reporting, extension
+/// dispatch (R4 runs on headers) and manifest matching (R2).
+std::vector<Finding> audit_file(const std::string& path, const std::string& content,
+                                const AuditConfig& config);
+
+/// Audits files and directories (recursing into known C++ extensions).
+/// Findings come back sorted by (file, line, rule) regardless of argument or
+/// directory enumeration order -- the audit obeys the determinism contract
+/// it enforces. Unreadable paths are reported via `errors`.
+std::vector<Finding> audit_paths(const std::vector<std::string>& paths,
+                                 const AuditConfig& config,
+                                 std::vector<std::string>& errors);
+
+/// `file:line: [R#] message` -- one line per finding.
+std::string format_findings(const std::vector<Finding>& findings);
+
+}  // namespace parva::audit

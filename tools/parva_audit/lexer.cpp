@@ -1,0 +1,168 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace parva::audit {
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Parses `parva-audit: allow(R1,R3)` out of a comment body and records the
+/// named rules for `line`.
+void record_allows(LexedFile& out, int line, const std::string& comment) {
+  const std::string tag = "parva-audit:";
+  std::size_t at = comment.find(tag);
+  if (at == std::string::npos) return;
+  at = comment.find("allow(", at + tag.size());
+  if (at == std::string::npos) return;
+  at += 6;
+  const std::size_t close = comment.find(')', at);
+  if (close == std::string::npos) return;
+  std::string id;
+  for (std::size_t i = at; i <= close; ++i) {
+    const char c = comment[i];
+    if (c == ',' || c == ')') {
+      if (!id.empty()) out.allows[line].insert(id);
+      id.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      id += c;
+    }
+  }
+}
+
+void mark_comment(LexedFile& out, int first_line, int last_line) {
+  if (static_cast<int>(out.line_has_comment.size()) <= last_line) {
+    out.line_has_comment.resize(last_line + 1, false);
+  }
+  for (int l = first_line; l <= last_line; ++l) out.line_has_comment[l] = true;
+}
+
+}  // namespace
+
+LexedFile lex(const std::string& content) {
+  LexedFile out;
+  const std::size_t n = content.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (content[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Preprocessor directive: swallow the whole (possibly continued) line.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (content[i] == '\\' && i + 1 < n && content[i + 1] == '\n') {
+          advance(2);
+          continue;
+        }
+        if (content[i] == '\n') break;
+        advance(1);
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Line comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const int start_line = line;
+      std::string body;
+      while (i < n && content[i] != '\n') {
+        body += content[i];
+        advance(1);
+      }
+      mark_comment(out, start_line, start_line);
+      record_allows(out, start_line, body);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const int start_line = line;
+      std::string body;
+      advance(2);
+      while (i < n && !(content[i] == '*' && i + 1 < n && content[i + 1] == '/')) {
+        body += content[i];
+        advance(1);
+      }
+      advance(2);
+      mark_comment(out, start_line, line);
+      record_allows(out, start_line, body);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && content[j] != '(') delim += content[j++];
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = content.find(closer, j);
+      const int tok_line = line;
+      advance((end == std::string::npos ? n : end + closer.size()) - i);
+      out.tokens.push_back({Token::Kind::kString, "<raw-string>", tok_line});
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int tok_line = line;
+      advance(1);
+      while (i < n && content[i] != quote) {
+        advance(content[i] == '\\' ? 2 : 1);
+      }
+      advance(1);
+      out.tokens.push_back({quote == '"' ? Token::Kind::kString : Token::Kind::kChar,
+                            quote == '"' ? "<string>" : "<char>", tok_line});
+      continue;
+    }
+    if (ident_start(c)) {
+      std::string text;
+      const int tok_line = line;
+      while (i < n && ident_char(content[i])) {
+        text += content[i];
+        advance(1);
+      }
+      out.tokens.push_back({Token::Kind::kIdent, text, tok_line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string text;
+      const int tok_line = line;
+      while (i < n && (ident_char(content[i]) || content[i] == '.' || content[i] == '\'')) {
+        text += content[i];
+        advance(1);
+      }
+      out.tokens.push_back({Token::Kind::kNumber, text, tok_line});
+      continue;
+    }
+    out.tokens.push_back({Token::Kind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+  out.line_count = line;
+  if (static_cast<int>(out.line_has_comment.size()) <= line) {
+    out.line_has_comment.resize(line + 1, false);
+  }
+  return out;
+}
+
+bool is_allowed(const LexedFile& file, int line, const std::string& rule) {
+  for (int l = line - 1; l <= line; ++l) {
+    auto it = file.allows.find(l);
+    if (it == file.allows.end()) continue;
+    if (it->second.count(rule) != 0 || it->second.count("all") != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace parva::audit

@@ -1,0 +1,52 @@
+// Lightweight C++ lexer for parva_audit. Produces a token stream with
+// comments and strings stripped (so rule scans never match inside either),
+// while recording which lines carry comments (rule R5 wants a justification
+// comment near every memory_order_relaxed) and any
+// `// parva-audit: allow(R1,R3)` suppression directives.
+//
+// This is deliberately NOT a full C++ front end: no preprocessing, no name
+// lookup, no template instantiation. The rules it feeds are lexical
+// contracts (banned identifiers, declaration shapes, comment adjacency)
+// chosen to be checkable at this level; DESIGN.md §4.3 documents the
+// residual blind spots.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace parva::audit {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kString, kChar };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  /// line_has_comment[n] is true when 1-based line n contains (part of) a
+  /// comment. Index 0 is unused.
+  std::vector<bool> line_has_comment;
+  /// Suppression directives: line -> rule ids named in a
+  /// `parva-audit: allow(...)` comment on that line. The id "all" matches
+  /// every rule.
+  std::map<int, std::set<std::string>> allows;
+  int line_count = 0;
+};
+
+/// Tokenizes `content`. Comments, string literals (including raw strings)
+/// and character literals never produce identifier/punct tokens; string and
+/// char literals are kept as single placeholder tokens so statement shapes
+/// survive. Preprocessor directive lines (leading `#`, with backslash
+/// continuations) are swallowed whole -- macro bodies with unbalanced braces
+/// must not corrupt the scope tracking in rule R3.
+LexedFile lex(const std::string& content);
+
+/// True when a finding for `rule` on `line` is suppressed by an allow()
+/// directive on the same line or the line directly above.
+bool is_allowed(const LexedFile& file, int line, const std::string& rule);
+
+}  // namespace parva::audit

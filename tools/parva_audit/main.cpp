@@ -1,0 +1,128 @@
+// parva_audit CLI. Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//
+//   parva_audit src/                      # full scan with built-in manifest
+//   parva_audit --rules R1,R4 src/ tests/ # subset of rules
+//   parva_audit --manifest paths.txt src/ # replace the R2 manifest
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "audit.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: parva_audit [options] <path>...
+
+Project-specific static analysis for the ParvaGPU determinism and
+concurrency contracts (DESIGN.md 4.3). Scans C++ sources/headers under the
+given files or directories.
+
+options:
+  --rules R1,R2,...    run only the named rules (default: all)
+  --manifest FILE      replace the built-in R2 export-path manifest with the
+                       newline-separated path substrings in FILE ('#' comments)
+  --list-rules         print the rule catalog and exit
+  -h, --help           this message
+
+suppression: '// parva-audit: allow(R3)' on the offending line or the line
+directly above; allow(all) silences every rule for that line.
+)";
+
+constexpr const char* kRuleCatalog =
+    "R1  banned nondeterminism sources (rand, srand, std::random_device,\n"
+    "    time(nullptr), std::chrono::system_clock) outside src/common/rng.hpp\n"
+    "R2  no unordered_{map,set} iteration in exporter/CSV/fingerprint TUs\n"
+    "    (path manifest; see --manifest)\n"
+    "R3  no mutable namespace-scope state in library code\n"
+    "R4  header hygiene: #pragma once, no `using namespace` in headers\n"
+    "R5  every memory_order_relaxed carries a nearby justification comment\n";
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::string item;
+  for (char c : text) {
+    if (c == ',') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+    } else {
+      item += c;
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  parva::audit::AuditConfig config;
+  config.export_manifest = parva::audit::default_export_manifest();
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      std::cout << kRuleCatalog;
+      return 0;
+    }
+    if (arg == "--rules") {
+      if (++i >= argc) {
+        std::cerr << "parva_audit: --rules needs an argument\n";
+        return 2;
+      }
+      config.rules = split_csv(argv[i]);
+      continue;
+    }
+    if (arg == "--manifest") {
+      if (++i >= argc) {
+        std::cerr << "parva_audit: --manifest needs an argument\n";
+        return 2;
+      }
+      std::ifstream in(argv[i]);
+      if (!in) {
+        std::cerr << "parva_audit: cannot open manifest " << argv[i] << "\n";
+        return 2;
+      }
+      config.export_manifest.clear();
+      std::string line;
+      while (std::getline(in, line)) {
+        const std::size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos || line[start] == '#') continue;
+        const std::size_t end = line.find_last_not_of(" \t\r");
+        config.export_manifest.push_back(line.substr(start, end - start + 1));
+      }
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "parva_audit: unknown option " << arg << "\n" << kUsage;
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  std::vector<std::string> errors;
+  const std::vector<parva::audit::Finding> findings =
+      parva::audit::audit_paths(paths, config, errors);
+  for (const std::string& error : errors) {
+    std::cerr << "parva_audit: " << error << "\n";
+  }
+  std::cout << parva::audit::format_findings(findings);
+  if (!findings.empty()) {
+    std::cout << "parva_audit: " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << "\n";
+    return 1;
+  }
+  if (!errors.empty()) return 2;
+  std::cout << "parva_audit: clean\n";
+  return 0;
+}

@@ -1,0 +1,450 @@
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "audit.hpp"
+#include "lexer.hpp"
+
+namespace parva::audit {
+namespace {
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kIdent && t.text == text;
+}
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
+}
+
+std::string normalize(const std::string& path) {
+  std::string out = path;
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), std::string::npos, suffix) == 0;
+}
+
+bool is_header(const std::string& path) {
+  const std::string p = normalize(path);
+  for (const char* ext : {".hpp", ".h", ".hh", ".hxx"}) {
+    if (ends_with(p, ext)) return true;
+  }
+  return false;
+}
+
+bool path_matches(const std::string& path, const std::vector<std::string>& manifest) {
+  const std::string p = normalize(path);
+  for (const std::string& entry : manifest) {
+    if (!entry.empty() && p.find(entry) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void add_finding(std::vector<Finding>& findings, const LexedFile& lexed,
+                 const std::string& path, int line, const char* rule,
+                 std::string message) {
+  if (is_allowed(lexed, line, rule)) return;
+  findings.push_back({path, line, rule, std::move(message)});
+}
+
+// R1 -- banned nondeterminism sources. The simulator's only sanctioned
+// randomness is parva::Rng (seeded, stable across platforms); wall-clock
+// reads are banned because any value derived from one diverges run-to-run.
+void check_r1(const LexedFile& lexed, const std::string& path,
+              std::vector<Finding>& findings) {
+  if (ends_with(normalize(path), "common/rng.hpp")) {
+    return;  // the one sanctioned randomness implementation
+  }
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent) continue;
+    const bool member_access =
+        i > 0 && (is_punct(toks[i - 1], ".") ||
+                  (i > 1 && is_punct(toks[i - 1], ">") && is_punct(toks[i - 2], "-")));
+    if ((t.text == "rand" || t.text == "srand") && !member_access &&
+        i + 1 < toks.size() && is_punct(toks[i + 1], "(")) {
+      add_finding(findings, lexed, path, t.line, "R1",
+                  t.text + "() is banned: seed-stable randomness must come from "
+                  "parva::Rng (src/common/rng.hpp)");
+    } else if (t.text == "random_device") {
+      add_finding(findings, lexed, path, t.line, "R1",
+                  "std::random_device is banned: it is nondeterministic by design; "
+                  "derive streams from parva::Rng::split()");
+    } else if (t.text == "system_clock") {
+      add_finding(findings, lexed, path, t.line, "R1",
+                  "std::chrono::system_clock is banned in simulation code: wall-clock "
+                  "values diverge run-to-run (steady_clock durations for measured "
+                  "scheduling time are exempt)");
+    } else if (t.text == "time" && !member_access && i + 3 < toks.size() &&
+               is_punct(toks[i + 1], "(") &&
+               (is_ident(toks[i + 2], "nullptr") || is_ident(toks[i + 2], "NULL") ||
+                (toks[i + 2].kind == Token::Kind::kNumber && toks[i + 2].text == "0")) &&
+               is_punct(toks[i + 3], ")")) {
+      add_finding(findings, lexed, path, t.line, "R1",
+                  "time(" + toks[i + 2].text + ") is banned: wall-clock seeds break "
+                  "byte-identical replay; thread an explicit seed instead");
+    }
+  }
+}
+
+// R2 -- unordered-container iteration on export paths. Iteration order of
+// unordered_{map,set} is implementation- and insertion-history-dependent;
+// on a translation unit that feeds a CSV, Prometheus exposition, or
+// determinism fingerprint it silently breaks byte-identity. Lookups are
+// fine; iteration (range-for or begin()/cbegin()/rbegin()) is not.
+void check_r2(const LexedFile& lexed, const std::string& path,
+              const AuditConfig& config, std::vector<Finding>& findings) {
+  if (!path_matches(path, config.export_manifest)) return;
+  const auto& toks = lexed.tokens;
+
+  // Pass 1: names declared with an unordered container type.
+  std::set<std::string> unordered_names;
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || kUnordered.count(toks[i].text) == 0) continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && is_punct(toks[j], "<")) {
+      int depth = 1;
+      for (++j; j < toks.size() && depth > 0; ++j) {
+        if (is_punct(toks[j], "<")) ++depth;
+        if (is_punct(toks[j], ">")) --depth;
+      }
+    }
+    while (j < toks.size() &&
+           (is_punct(toks[j], "&") || is_punct(toks[j], "*") || is_ident(toks[j], "const"))) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == Token::Kind::kIdent) {
+      unordered_names.insert(toks[j].text);
+    }
+  }
+  if (unordered_names.empty()) return;
+
+  // Pass 2a: range-for over a tracked name.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "for") || !is_punct(toks[i + 1], "(")) continue;
+    int depth = 1;
+    std::size_t colon = 0;
+    std::size_t j = i + 2;
+    for (; j < toks.size() && depth > 0; ++j) {
+      if (is_punct(toks[j], "(")) ++depth;
+      if (is_punct(toks[j], ")")) --depth;
+      // A single ':' at paren depth 1 (not part of '::') is the range-for colon.
+      if (depth == 1 && colon == 0 && is_punct(toks[j], ":") &&
+          !is_punct(toks[j - 1], ":") &&
+          (j + 1 >= toks.size() || !is_punct(toks[j + 1], ":"))) {
+        colon = j;
+      }
+    }
+    if (colon == 0) continue;
+    for (std::size_t k = colon + 1; k < j - 1; ++k) {
+      if (toks[k].kind == Token::Kind::kIdent && unordered_names.count(toks[k].text) != 0) {
+        add_finding(findings, lexed, path, toks[k].line, "R2",
+                    "iteration over unordered container '" + toks[k].text +
+                    "' on an export path: iteration order is not deterministic; "
+                    "copy to a sorted vector (or use std::map) before emitting");
+        break;
+      }
+    }
+  }
+
+  // Pass 2b: explicit iterator walks / algorithm calls: name.begin() etc.
+  static const std::set<std::string> kBegin = {"begin", "cbegin", "rbegin", "crbegin"};
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind == Token::Kind::kIdent && unordered_names.count(toks[i].text) != 0 &&
+        is_punct(toks[i + 1], ".") && toks[i + 2].kind == Token::Kind::kIdent &&
+        kBegin.count(toks[i + 2].text) != 0) {
+      add_finding(findings, lexed, path, toks[i].line, "R2",
+                  "iterator over unordered container '" + toks[i].text +
+                  "' on an export path: iteration order is not deterministic; "
+                  "copy to a sorted vector (or use std::map) before emitting");
+    }
+  }
+}
+
+// R3 -- mutable namespace-scope state. A mutable global is (a) shared state
+// the ThreadPool can race on and (b) cross-run state that can leak between
+// simulations; both break the contracts. Constants are fine; deliberate
+// exceptions (the logging sink, per-thread shard caches) carry an
+// allow(R3) with their safety argument.
+//
+// Implementation: a brace-matching scope machine over the token stream.
+// Statements are accumulated between ';'/'{'/'}' and evaluated only when
+// the enclosing scope is a namespace (or the file top level).
+void check_r3(const LexedFile& lexed, const std::string& path,
+              std::vector<Finding>& findings) {
+  enum class ScopeKind { kNamespace, kClass, kFunction, kOther };
+  struct Scope {
+    ScopeKind kind;
+    std::vector<Token> saved_stmt;
+    bool continues_stmt;
+  };
+  const Token kBodyMarker{Token::Kind::kPunct, "@body", 0};
+
+  auto contains_ident = [](const std::vector<Token>& stmt,
+                           std::initializer_list<const char*> names) {
+    for (const Token& t : stmt) {
+      if (t.kind != Token::Kind::kIdent) continue;
+      for (const char* name : names) {
+        if (t.text == name) return true;
+      }
+    }
+    return false;
+  };
+
+  auto evaluate = [&](const std::vector<Token>& stmt) {
+    if (stmt.size() < 2) return;  // lone macro invocations / stray tokens
+    if (contains_ident(stmt, {"using", "typedef", "friend", "static_assert", "template",
+                              "concept", "requires", "operator"})) {
+      return;
+    }
+    if (contains_ident(stmt, {"const", "constexpr", "constinit"})) return;
+    std::size_t paren = stmt.size();
+    std::size_t assign = stmt.size();
+    bool has_body = false;
+    for (std::size_t i = 0; i < stmt.size(); ++i) {
+      if (paren == stmt.size() && is_punct(stmt[i], "(")) paren = i;
+      if (assign == stmt.size() && is_punct(stmt[i], "=")) assign = i;
+      if (stmt[i].text == "@body") has_body = true;
+    }
+    if (contains_ident(stmt, {"extern"}) && assign == stmt.size() && !has_body) {
+      return;  // pure declaration; the defining TU gets the finding
+    }
+    const Token* declarator = nullptr;
+    if (contains_ident(stmt, {"class", "struct", "union", "enum"})) {
+      // Type definitions are fine; `struct X {...} instance;` is not.
+      if (!has_body) return;
+      for (auto it = stmt.rbegin(); it != stmt.rend() && it->text != "@body"; ++it) {
+        if (it->kind == Token::Kind::kIdent) {
+          declarator = &*it;
+          break;
+        }
+      }
+    } else if (paren == stmt.size() || assign < paren) {
+      // No parens at all, or an initializer before the first paren: a
+      // variable. (A paren with no preceding '=' is a function signature.)
+      for (auto it = stmt.rbegin(); it != stmt.rend(); ++it) {
+        if (it->kind == Token::Kind::kIdent &&
+            (assign == stmt.size() || &*it <= &stmt[assign])) {
+          declarator = &*it;
+          break;
+        }
+      }
+    }
+    if (declarator == nullptr) return;
+    add_finding(findings, lexed, path, declarator->line, "R3",
+                "mutable namespace-scope state '" + declarator->text +
+                "': shared globals race under the ThreadPool and leak state "
+                "across runs; pass state explicitly or justify with allow(R3)");
+  };
+
+  std::vector<Scope> stack;
+  std::vector<Token> stmt;
+  auto scope_kind = [&] {
+    return stack.empty() ? ScopeKind::kNamespace : stack.back().kind;
+  };
+
+  for (const Token& t : lexed.tokens) {
+    if (is_punct(t, "{")) {
+      ScopeKind kind = ScopeKind::kOther;
+      bool continues = false;
+      int paren_depth = 0;
+      std::size_t depth0_assign = stmt.size();
+      bool has_parens = false;
+      for (std::size_t i = 0; i < stmt.size(); ++i) {
+        if (is_punct(stmt[i], "(")) {
+          ++paren_depth;
+          has_parens = true;
+        } else if (is_punct(stmt[i], ")")) {
+          --paren_depth;
+        } else if (paren_depth == 0 && depth0_assign == stmt.size() &&
+                   is_punct(stmt[i], "=")) {
+          depth0_assign = i;
+        }
+      }
+      if (contains_ident(stmt, {"namespace"})) {
+        kind = ScopeKind::kNamespace;
+      } else if (contains_ident(stmt, {"class", "struct", "union", "enum"})) {
+        kind = ScopeKind::kClass;
+        continues = true;
+      } else if (stmt.empty()) {
+        kind = ScopeKind::kOther;
+      } else if (depth0_assign != stmt.size()) {
+        kind = ScopeKind::kOther;  // brace initializer after '='
+        continues = true;
+      } else if (has_parens || is_punct(stmt.back(), ")")) {
+        kind = ScopeKind::kFunction;
+      } else if (stmt.back().kind == Token::Kind::kIdent || is_punct(stmt.back(), ">") ||
+                 is_punct(stmt.back(), "]")) {
+        kind = ScopeKind::kOther;  // direct brace init: Type name{...}
+        continues = true;
+      }
+      stack.push_back({kind, continues ? stmt : std::vector<Token>{}, continues});
+      stmt.clear();
+    } else if (is_punct(t, "}")) {
+      if (!stack.empty()) {
+        Scope top = std::move(stack.back());
+        stack.pop_back();
+        stmt.clear();
+        if (top.continues_stmt) {
+          stmt = std::move(top.saved_stmt);
+          stmt.push_back(kBodyMarker);
+        }
+      }
+    } else if (is_punct(t, ";")) {
+      if (scope_kind() == ScopeKind::kNamespace) evaluate(stmt);
+      stmt.clear();
+    } else {
+      stmt.push_back(t);
+    }
+  }
+}
+
+// R4 -- header hygiene: every header starts with #pragma once (double
+// inclusion otherwise produces ODR violations the linker may or may not
+// catch) and never opens a namespace into every includer's scope.
+void check_r4(const LexedFile& lexed, const std::string& path,
+              const std::string& content, std::vector<Finding>& findings) {
+  if (!is_header(path)) return;
+  if (content.find("#pragma once") == std::string::npos) {
+    add_finding(findings, lexed, path, 1, "R4",
+                "header is missing #pragma once");
+  }
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (is_ident(toks[i], "using") && is_ident(toks[i + 1], "namespace")) {
+      add_finding(findings, lexed, path, toks[i].line, "R4",
+                  "`using namespace` in a header leaks into every includer; "
+                  "qualify names instead");
+    }
+  }
+}
+
+// R5 -- memory_order_relaxed must carry its safety argument. Relaxed
+// atomics are correct only under a side condition the type system cannot
+// see (single writer, monotonic flag, id allocation, ...); requiring the
+// argument next to the code keeps the concurrency contract reviewable.
+void check_r5(const LexedFile& lexed, const std::string& path,
+              std::vector<Finding>& findings) {
+  std::set<int> flagged_lines;
+  for (const Token& t : lexed.tokens) {
+    if (t.kind != Token::Kind::kIdent || t.text != "memory_order_relaxed") continue;
+    if (flagged_lines.count(t.line) != 0) continue;
+    bool justified = false;
+    for (int l = t.line; l >= t.line - 3 && l >= 1; --l) {
+      if (l < static_cast<int>(lexed.line_has_comment.size()) && lexed.line_has_comment[l]) {
+        justified = true;
+        break;
+      }
+    }
+    if (!justified) {
+      flagged_lines.insert(t.line);
+      add_finding(findings, lexed, path, t.line, "R5",
+                  "memory_order_relaxed without a nearby justification comment "
+                  "(same line or the three lines above): state why relaxed "
+                  "ordering is sufficient here");
+    }
+  }
+}
+
+bool rule_enabled(const AuditConfig& config, const char* rule) {
+  if (config.rules.empty()) return true;
+  return std::find(config.rules.begin(), config.rules.end(), rule) != config.rules.end();
+}
+
+}  // namespace
+
+std::vector<std::string> default_export_manifest() {
+  // Translation units where container order reaches persisted bytes:
+  // Prometheus/JSON/CSV exporters, the CSV table renderer, the
+  // discrete-event simulator (CSV rows + determinism fingerprints), the
+  // experiment harness (results/*.csv), and the metrics used in summaries.
+  return {
+      "src/telemetry/exporters.cpp",
+      "src/telemetry/metrics_registry.cpp",
+      "src/telemetry/event_log.cpp",
+      "src/common/table.cpp",
+      "src/serving/cluster_sim.cpp",
+      "src/serving/sim_runner.cpp",
+      "src/scenarios/experiment.cpp",
+      "src/core/metrics.cpp",
+      // Name-based tags: any file announcing itself as an export or
+      // fingerprint path is held to R2 without a manifest edit.
+      "export",
+      "fingerprint",
+  };
+}
+
+std::vector<Finding> audit_file(const std::string& path, const std::string& content,
+                                const AuditConfig& config) {
+  const LexedFile lexed = lex(content);
+  std::vector<Finding> findings;
+  if (rule_enabled(config, "R1")) check_r1(lexed, path, findings);
+  if (rule_enabled(config, "R2")) check_r2(lexed, path, config, findings);
+  if (rule_enabled(config, "R3")) check_r3(lexed, path, findings);
+  if (rule_enabled(config, "R4")) check_r4(lexed, path, content, findings);
+  if (rule_enabled(config, "R5")) check_r5(lexed, path, findings);
+  std::sort(findings.begin(), findings.end());
+  return findings;
+}
+
+std::vector<Finding> audit_paths(const std::vector<std::string>& paths,
+                                 const AuditConfig& config,
+                                 std::vector<std::string>& errors) {
+  namespace fs = std::filesystem;
+  static const std::set<std::string> kExtensions = {".cpp", ".cc", ".cxx", ".hpp",
+                                                    ".h",   ".hh", ".hxx", ".ipp"};
+  // Collect first, then sort: directory enumeration order is OS-dependent
+  // and the audit's own output must be deterministic.
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end; !ec && it != end;
+           it.increment(ec)) {
+        if (it->is_regular_file() && kExtensions.count(it->path().extension().string()) != 0) {
+          files.push_back(normalize(it->path().string()));
+        }
+      }
+      if (ec) errors.push_back(path + ": " + ec.message());
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(normalize(path));
+    } else {
+      errors.push_back(path + ": not a file or directory");
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      errors.push_back(file + ": cannot open");
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::vector<Finding> file_findings = audit_file(file, buffer.str(), config);
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+  }
+  std::sort(findings.begin(), findings.end());
+  return findings;
+}
+
+std::string format_findings(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " + f.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace parva::audit
