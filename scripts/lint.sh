@@ -3,38 +3,102 @@
 # concurrency contract checker) plus clang-tidy when available.
 #
 # Usage:
-#   ./scripts/lint.sh            # audit src/ + tools/ and run clang-tidy
-#   ./scripts/lint.sh --audit-only   # skip clang-tidy even if installed
-#   ./scripts/lint.sh --diff     # clang-tidy only on files changed vs HEAD
+#   ./scripts/lint.sh                 # audit src/ + tools/ and run clang-tidy
+#   ./scripts/lint.sh --audit-only    # skip clang-tidy even if installed
+#   ./scripts/lint.sh --diff          # clang-tidy only on files changed vs HEAD
+#   ./scripts/lint.sh --format sarif  # audit output format (text|json|sarif)
+#   ./scripts/lint.sh --baseline F    # suppress findings accepted in F
 #
-# parva_audit is always required (it builds from this repo); clang-tidy is
+# parva_audit is always required (it builds from this repo, or set
+# PARVA_AUDIT_BIN to an existing binary to skip the build); clang-tidy is
 # optional because the default container does not ship clang. When it is
 # absent the stage is reported as skipped, not passed.
+#
+# Exit codes: 0 clean, 1 findings (or canary failure), 2 usage error.
+# parva_audit's own exit codes are distinguished: 1 (findings) and >= 2
+# (usage/IO error) both fail this script -- a crashed checker must never
+# read as a clean pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 AUDIT_ONLY=0
 DIFF_ONLY=0
-for arg in "$@"; do
-  case "${arg}" in
+FORMAT=text
+BASELINE=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
     --audit-only) AUDIT_ONLY=1 ;;
     --diff) DIFF_ONLY=1 ;;
+    --format)
+      shift
+      [[ $# -gt 0 ]] || { echo "usage: --format text|json|sarif" >&2; exit 2; }
+      FORMAT="$1"
+      ;;
+    --baseline)
+      shift
+      [[ $# -gt 0 ]] || { echo "usage: --baseline FILE" >&2; exit 2; }
+      BASELINE="$1"
+      ;;
     *)
-      echo "usage: $0 [--audit-only] [--diff]" >&2
+      echo "usage: $0 [--audit-only] [--diff] [--format text|json|sarif] [--baseline FILE]" >&2
       exit 2
       ;;
   esac
+  shift
 done
 
-echo "== build parva_audit =="
-cmake --preset default >/dev/null
-cmake --build --preset default --target parva_audit -j "$(nproc)"
+if [[ -n "${PARVA_AUDIT_BIN:-}" ]]; then
+  AUDIT="${PARVA_AUDIT_BIN}"
+  [[ -x "${AUDIT}" ]] || { echo "lint: PARVA_AUDIT_BIN=${AUDIT} is not executable" >&2; exit 2; }
+else
+  echo "== build parva_audit =="
+  cmake --preset default >/dev/null
+  cmake --build --preset default --target parva_audit -j "$(nproc)"
+  AUDIT=./build/tools/parva_audit
+fi
 
-echo "== parva_audit: determinism/concurrency contracts (R1-R5) =="
-./build/tools/parva_audit src/
+AUDIT_ARGS=(--format "${FORMAT}")
+[[ -n "${BASELINE}" ]] && AUDIT_ARGS+=(--baseline "${BASELINE}")
+
+# Runs the audit and maps its exit codes: 0 passes through, 1 (findings)
+# and >= 2 (usage/IO error) are reported distinctly and fail the script.
+run_audit() {
+  local rc=0
+  "${AUDIT}" "${AUDIT_ARGS[@]}" "$@" || rc=$?
+  if [[ "${rc}" -ge 2 ]]; then
+    echo "lint: parva_audit failed to run (exit ${rc}) -- not a clean pass" >&2
+    exit "${rc}"
+  elif [[ "${rc}" -ne 0 ]]; then
+    echo "lint: parva_audit found violations (exit ${rc})" >&2
+    exit 1
+  fi
+}
+
+echo "== parva_audit: determinism/concurrency contracts (R1-R8) =="
+run_audit --rules R1-R8 src/
 
 echo "== parva_audit: self-check (the checker obeys its own rules) =="
-./build/tools/parva_audit tools/parva_audit/
+run_audit tools/parva_audit/
+
+echo "== parva_audit: canary (planted R6/R7/R8 violations must be caught) =="
+CANARY_DIR="$(mktemp -d)"
+trap 'rm -rf "${CANARY_DIR}"' EXIT
+cat > "${CANARY_DIR}/canary.cpp" <<'EOF'
+#include <mutex>
+namespace canary {
+enum class NvmlReturn { kSuccess };
+NvmlReturn destroy_instance(int gpu);
+inline void teardown() { destroy_instance(0); }
+class Q { std::mutex m_; int unguarded_ = 0; };
+constexpr int kCanaryStartSlots[] = {0, 2, 4};
+}  // namespace canary
+EOF
+CANARY_RC=0
+"${AUDIT}" --rules R6,R7,R8 "${CANARY_DIR}" >/dev/null 2>&1 || CANARY_RC=$?
+if [[ "${CANARY_RC}" -ne 1 ]]; then
+  echo "lint: canary failed -- expected exit 1 on planted R6/R7/R8 violations, got ${CANARY_RC}" >&2
+  exit 1
+fi
 
 if [[ "${AUDIT_ONLY}" == 1 ]]; then
   echo "lint: OK (clang-tidy skipped: --audit-only)"

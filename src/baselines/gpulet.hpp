@@ -30,7 +30,7 @@ class GpuletScheduler final : public core::Scheduler {
       : perf_(&perf), options_(options) {}
 
   std::string name() const override { return "gpulet"; }
-  Result<core::ScheduleResult> schedule(std::span<const core::ServiceSpec> services) override;
+  [[nodiscard]] Result<core::ScheduleResult> schedule(std::span<const core::ServiceSpec> services) override;
 
  private:
   const perfmodel::AnalyticalPerfModel* perf_;

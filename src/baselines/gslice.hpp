@@ -27,7 +27,7 @@ class GsliceScheduler final : public core::Scheduler {
       : perf_(&perf), options_(options) {}
 
   std::string name() const override { return "GSLICE"; }
-  Result<core::ScheduleResult> schedule(std::span<const core::ServiceSpec> services) override;
+  [[nodiscard]] Result<core::ScheduleResult> schedule(std::span<const core::ServiceSpec> services) override;
 
  private:
   const perfmodel::AnalyticalPerfModel* perf_;

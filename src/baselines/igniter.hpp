@@ -34,7 +34,7 @@ class IgniterScheduler final : public core::Scheduler {
       : perf_(&perf), options_(options) {}
 
   std::string name() const override { return "iGniter"; }
-  Result<core::ScheduleResult> schedule(std::span<const core::ServiceSpec> services) override;
+  [[nodiscard]] Result<core::ScheduleResult> schedule(std::span<const core::ServiceSpec> services) override;
 
  private:
   const perfmodel::AnalyticalPerfModel* perf_;

@@ -49,7 +49,7 @@ class MigServingScheduler final : public core::Scheduler {
   std::string name() const override {
     return options_.mode == MigServingMode::kSlow ? "MIG-serving-slow" : "MIG-serving";
   }
-  Result<core::ScheduleResult> schedule(std::span<const core::ServiceSpec> services) override;
+  [[nodiscard]] Result<core::ScheduleResult> schedule(std::span<const core::ServiceSpec> services) override;
 
  private:
   const profiler::ProfileSet* profiles_;

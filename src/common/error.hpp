@@ -37,12 +37,12 @@ constexpr const char* to_string(ErrorCode code) {
 }
 
 /// A recoverable error: code plus context message.
-class Error {
+class [[nodiscard]] Error {
  public:
   Error(ErrorCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  ErrorCode code() const { return code_; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   std::string to_string() const {
@@ -56,7 +56,7 @@ class Error {
 
 /// Minimal expected-like container (std::expected is C++23; we target C++20).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : storage_(std::move(value)) {}          // NOLINT(implicit)
   Result(Error error) : storage_(std::move(error)) {}      // NOLINT(implicit)
@@ -91,7 +91,7 @@ class Result {
 };
 
 /// Result specialisation for operations with no payload.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() = default;                                     // success
   Status(Error error) : error_(std::move(error)) {}       // NOLINT(implicit)
@@ -105,7 +105,7 @@ class Status {
   }
   std::string to_string() const { return ok() ? "ok" : error_->to_string(); }
 
-  static Status Ok() { return Status(); }
+  [[nodiscard]] static Status Ok() { return Status(); }
 
  private:
   std::optional<Error> error_;

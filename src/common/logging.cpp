@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "common/thread_annotations.hpp"
 
 namespace parva {
 namespace {
@@ -12,7 +13,7 @@ namespace {
 // rule (R3): the level is a lone atomic with no invariant beyond its own
 // value, and the emit mutex exists precisely to serialize stderr writes.
 std::atomic<LogLevel> g_level{LogLevel::kWarn};  // parva-audit: allow(R3)
-std::mutex g_emit_mutex;                         // parva-audit: allow(R3)
+Mutex g_emit_mutex;                              // parva-audit: allow(R3)
 
 LogLevel initial_level() {
   const char* env = std::getenv("PARVA_LOG_LEVEL");
@@ -50,7 +51,7 @@ LogLevel log_level() { return g_level.load(); }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   std::cerr << "[parva:" << level_tag(level) << "] " << message << '\n';
 }
 }  // namespace detail

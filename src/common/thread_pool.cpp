@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -28,8 +28,12 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Explicit predicate loop (not the wait(lock, pred) overload): the
+      // thread-safety analysis treats a predicate lambda as a separate
+      // function that touches guarded members without visibly holding the
+      // capability.
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(lock);
       if (stopping_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -9,9 +9,10 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace parva {
 
@@ -33,7 +34,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.emplace_back([task]() { (*task)(); });
     }
     cv_.notify_one();
@@ -47,11 +48,14 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  // Written only by the constructor (before any worker can observe it) and
+  // joined by the destructor; size() reads it lock-free on that basis.
+  std::vector<std::thread> workers_;  // parva-audit: allow(R7)
+  std::deque<std::function<void()>> queue_ PARVA_GUARDED_BY(mutex_);
+  Mutex mutex_;
+  // condition_variable_any: waits on MutexLock (the annotated scoped guard).
+  std::condition_variable_any cv_;
+  bool stopping_ PARVA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace parva

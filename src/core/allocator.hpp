@@ -42,10 +42,10 @@ class SegmentAllocator {
   const AllocatorOptions& options() const { return options_; }
 
   /// Full Algorithm 2: relocation followed by optimization.
-  Result<DeploymentPlan> allocate(std::span<const ConfiguredService> services) const;
+  [[nodiscard]] Result<DeploymentPlan> allocate(std::span<const ConfiguredService> services) const;
 
   /// Stage 1 only (exposed for tests and the unoptimized variant).
-  Result<DeploymentPlan> segment_relocation(std::span<const ConfiguredService> services) const;
+  [[nodiscard]] Result<DeploymentPlan> segment_relocation(std::span<const ConfiguredService> services) const;
 
   /// Stage 2 only, applied to an existing map.
   DeploymentPlan allocation_optimization(DeploymentPlan plan,
@@ -54,7 +54,7 @@ class SegmentAllocator {
   /// Incremental placement used by the reconfiguration path (Section
   /// III-F): places one service's segments into an existing map without
   /// disturbing other services.
-  Status place_service(DeploymentPlan& plan, const ConfiguredService& service) const;
+  [[nodiscard]] Status place_service(DeploymentPlan& plan, const ConfiguredService& service) const;
 
  private:
   /// Size-indexed segment queues (key = gpcs, drained in descending order).

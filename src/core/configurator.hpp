@@ -33,28 +33,28 @@ class SegmentConfigurator {
   /// the maximum-throughput point per instance size whose latency fits the
   /// internal bound. Fails with kCapacityExceeded when no instance size can
   /// meet the SLO at all.
-  Result<ConfiguredService> triplet_decision(const ServiceSpec& spec,
+  [[nodiscard]] Result<ConfiguredService> triplet_decision(const ServiceSpec& spec,
                                              const profiler::ProfileTable& profile) const;
 
   /// Fast-path TripletDecision over an indexed surface: one prefix-argmax
   /// lookup per instance size instead of a full table scan. Produces
   /// bit-identical ConfiguredServices to the table overload (differential
   /// coverage in tests/core/configurator_test.cpp).
-  Result<ConfiguredService> triplet_decision(const ServiceSpec& spec,
+  [[nodiscard]] Result<ConfiguredService> triplet_decision(const ServiceSpec& spec,
                                              const profiler::ProfileSurface& surface) const;
 
   /// Runs DemandMatching on a triplet-decided service: selects the
   /// GPC-efficiency-optimal segment (the O(1) argument of Eq. 1-2), counts
   /// whole optimal segments with the floor rule, and picks the smallest
   /// last segment covering the remainder.
-  Status demand_matching(ConfiguredService& service) const;
+  [[nodiscard]] Status demand_matching(ConfiguredService& service) const;
 
   /// Full Algorithm 1 over a service set (reference scan path).
-  Result<std::vector<ConfiguredService>> configure(std::span<const ServiceSpec> services,
+  [[nodiscard]] Result<std::vector<ConfiguredService>> configure(std::span<const ServiceSpec> services,
                                                    const profiler::ProfileSet& profiles) const;
 
   /// Full Algorithm 1 over indexed surfaces (the production fast path).
-  Result<std::vector<ConfiguredService>> configure(
+  [[nodiscard]] Result<std::vector<ConfiguredService>> configure(
       std::span<const ServiceSpec> services,
       const profiler::ProfileSurfaceSet& surfaces) const;
 
@@ -62,12 +62,12 @@ class SegmentConfigurator {
   /// per-task state merges at the join (no locks; results land in service
   /// order, and the first-in-order error wins exactly as the serial loop's
   /// early return does).
-  Result<std::vector<ConfiguredService>> configure(std::span<const ServiceSpec> services,
+  [[nodiscard]] Result<std::vector<ConfiguredService>> configure(std::span<const ServiceSpec> services,
                                                    const profiler::ProfileSurfaceSet& surfaces,
                                                    ThreadPool& pool) const;
 
  private:
-  Result<ConfiguredService> configure_one(const ServiceSpec& spec,
+  [[nodiscard]] Result<ConfiguredService> configure_one(const ServiceSpec& spec,
                                           const profiler::ProfileSurfaceSet& surfaces) const;
 
   ConfiguratorOptions options_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.hpp"
+
 namespace parva::core {
 
 gpu::NvmlReturn Deployer::create_instance_with_retry(const DeployedUnit& unit,
@@ -132,7 +134,12 @@ Status Deployer::teardown(const DeployedState& state) {
     if (id.gpu >= 0 && nvml_->device_lost(static_cast<unsigned>(id.gpu))) {
       continue;  // the device reset already destroyed the instance
     }
-    nvml_->kill_processes(id);
+    const auto kill_ret = nvml_->kill_processes(id);
+    if (kill_ret != gpu::NvmlReturn::kSuccess) {
+      // Keep tearing down: a failed kill must not leak the instance itself.
+      PARVA_LOG_WARN << "teardown: kill_processes failed on gpu " << id.gpu << ": "
+                     << gpu::nvml_error_string(kill_ret);
+    }
     const auto ret = nvml_->destroy_gpu_instance(id);
     if (ret != gpu::NvmlReturn::kSuccess) {
       return Status(ErrorCode::kInternal,

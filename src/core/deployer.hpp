@@ -58,11 +58,11 @@ class Deployer {
 
   /// Applies a MIG-backed deployment to the cluster. The cluster must have
   /// enough devices (elastic clusters grow automatically).
-  Result<DeployedState> deploy(const Deployment& deployment);
+  [[nodiscard]] Result<DeployedState> deploy(const Deployment& deployment);
 
   /// Tears down the instances recorded in `state`. Instances on lost
   /// devices are already gone and are skipped.
-  Status teardown(const DeployedState& state);
+  [[nodiscard]] Status teardown(const DeployedState& state);
 
   /// Fault accounting of the most recent deploy() call.
   const DeployStats& last_deploy_stats() const { return last_stats_; }
@@ -81,7 +81,7 @@ class Deployer {
  private:
   /// Creates one unit's instance, retrying transient failures with
   /// exponential backoff and falling back to alternate legal slots.
-  gpu::NvmlReturn create_instance_with_retry(const DeployedUnit& unit,
+  [[nodiscard]] gpu::NvmlReturn create_instance_with_retry(const DeployedUnit& unit,
                                              gpu::GlobalInstanceId* out,
                                              DeployStats& stats);
 

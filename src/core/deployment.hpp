@@ -70,7 +70,7 @@ class Scheduler {
   virtual std::string name() const = 0;
   /// Produces a deployment for the services, or an error when the
   /// framework cannot handle the workload (e.g. iGniter at high rates).
-  virtual Result<ScheduleResult> schedule(std::span<const ServiceSpec> services) = 0;
+  [[nodiscard]] virtual Result<ScheduleResult> schedule(std::span<const ServiceSpec> services) = 0;
 };
 
 }  // namespace parva::core

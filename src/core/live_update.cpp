@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "common/logging.hpp"
+
 namespace parva::core {
 namespace {
 
@@ -122,7 +124,13 @@ Result<LiveUpdateReport> LiveUpdater::apply(const Deployment& current, DeployedS
   std::map<int, double> window_ms;  // rebuild window per service
   for (std::size_t i : to_remove) {
     const DeployedUnit& unit = current.units[i];
-    (void)deployer_->nvml().kill_processes(state.unit_instances[i]);
+    const auto kill_ret = deployer_->nvml().kill_processes(state.unit_instances[i]);
+    if (kill_ret != gpu::NvmlReturn::kSuccess) {
+      // Keep going: destroy below reclaims the slice even if the kill failed.
+      PARVA_LOG_WARN << "live update: kill_processes failed on gpu "
+                     << state.unit_instances[i].gpu << ": "
+                     << gpu::nvml_error_string(kill_ret);
+    }
     const auto ret = deployer_->nvml().destroy_gpu_instance(state.unit_instances[i]);
     if (ret != gpu::NvmlReturn::kSuccess) {
       return Error(ErrorCode::kInternal, std::string("teardown failed: ") +
@@ -145,8 +153,17 @@ Result<LiveUpdateReport> LiveUpdater::apply(const Deployment& current, DeployedS
   // Phase 3: drop the shadows (their teardown happens after traffic has
   // shifted back; it adds makespan but no downtime).
   for (const auto& [service_id, instance] : shadows) {
-    (void)deployer_->nvml().kill_processes(instance);
-    (void)deployer_->nvml().destroy_gpu_instance(instance);
+    const auto kill_ret = deployer_->nvml().kill_processes(instance);
+    const auto destroy_ret = deployer_->nvml().destroy_gpu_instance(instance);
+    if (kill_ret != gpu::NvmlReturn::kSuccess ||
+        destroy_ret != gpu::NvmlReturn::kSuccess) {
+      // Shadow teardown happens after traffic has shifted back, so a failure
+      // leaks a slice but cannot affect serving: count it and keep going.
+      ++report.shadow_teardown_failures;
+      PARVA_LOG_WARN << "live update: shadow teardown failed for service " << service_id
+                     << " (kill=" << gpu::nvml_error_string(kill_ret)
+                     << ", destroy=" << gpu::nvml_error_string(destroy_ret) << ")";
+    }
     report.makespan_ms += costs_.destroy_instance_ms;
   }
 

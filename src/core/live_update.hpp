@@ -45,6 +45,9 @@ struct LiveUpdateReport {
   int removed_units = 0;
   int added_units = 0;
   int shadow_units = 0;
+  /// Shadow instances whose post-shift teardown failed (slice leaked; traffic
+  /// was already back on the rebuilt segment, so serving is unaffected).
+  int shadow_teardown_failures = 0;
 
   double worst_downtime_ms() const {
     double worst = 0.0;
@@ -65,7 +68,7 @@ class LiveUpdater {
   /// kShadowed places one shadow segment per affected service on GPUs
   /// beyond the target's count (the spare pool); if no shadow placement is
   /// possible for a service it falls back to in-place for that service.
-  Result<LiveUpdateReport> apply(const Deployment& current, DeployedState& state,
+  [[nodiscard]] Result<LiveUpdateReport> apply(const Deployment& current, DeployedState& state,
                                  const Deployment& target, UpdateStrategy strategy);
 
  private:

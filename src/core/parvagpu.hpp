@@ -44,7 +44,7 @@ class ParvaGpuScheduler final : public Scheduler {
   ParvaGpuScheduler(const profiler::ProfileSet& profiles, ParvaGpuOptions options = {});
 
   std::string name() const override;
-  Result<ScheduleResult> schedule(std::span<const ServiceSpec> services) override;
+  [[nodiscard]] Result<ScheduleResult> schedule(std::span<const ServiceSpec> services) override;
 
   /// The last run's internals, for the Deployer and reconfiguration path.
   const DeploymentPlan& last_plan() const { return last_plan_; }

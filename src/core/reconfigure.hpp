@@ -34,7 +34,7 @@ class Reconfigurer {
   /// Configurator for it alone, strips its old segments from the map,
   /// re-places the new ones into the existing map, then runs Allocation
   /// Optimization. `plan` and `configured` are updated in place.
-  Result<ReconfigureStats> update_service(DeploymentPlan& plan,
+  [[nodiscard]] Result<ReconfigureStats> update_service(DeploymentPlan& plan,
                                           std::vector<ConfiguredService>& configured,
                                           const ServiceSpec& updated_spec,
                                           const profiler::ProfileSet& profiles) const;
@@ -42,13 +42,13 @@ class Reconfigurer {
   /// Fast-path variant over indexed surfaces: repeated SLO/rate updates hit
   /// the surface's memoized grid instead of re-scanning the profile table.
   /// Produces the same plan as the ProfileSet overload.
-  Result<ReconfigureStats> update_service(DeploymentPlan& plan,
+  [[nodiscard]] Result<ReconfigureStats> update_service(DeploymentPlan& plan,
                                           std::vector<ConfiguredService>& configured,
                                           const ServiceSpec& updated_spec,
                                           const profiler::ProfileSurfaceSet& surfaces) const;
 
  private:
-  Result<ReconfigureStats> apply_update(DeploymentPlan& plan,
+  [[nodiscard]] Result<ReconfigureStats> apply_update(DeploymentPlan& plan,
                                         std::vector<ConfiguredService>& configured,
                                         const ServiceSpec& updated_spec,
                                         ConfiguredService service) const;

@@ -72,7 +72,7 @@ class RepairCoordinator {
   /// placements on surviving GPUs for the displaced demand, and drives the
   /// LiveUpdater to create them. On success `current` and `state` describe
   /// the repaired deployment.
-  Result<RepairReport> handle_gpu_loss(Deployment& current, DeployedState& state,
+  [[nodiscard]] Result<RepairReport> handle_gpu_loss(Deployment& current, DeployedState& state,
                                        int lost_gpu);
 
  private:

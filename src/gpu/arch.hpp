@@ -21,6 +21,10 @@ inline constexpr int kSmsPerGpu = kGpcSlots * kSmsPerGpc;
 /// Total device memory in GiB (A100-80GB as used on p4de.24xlarge).
 inline constexpr double kGpuMemoryGiB = 80.0;
 
+/// MIG memory topology: 8 memory slices of 10 GiB each.
+inline constexpr int kMemorySlices = 8;
+inline constexpr double kMemorySliceGiB = kGpuMemoryGiB / kMemorySlices;
+
 /// Valid MIG instance sizes in GPCs. 5 and 6 GPC instances do not exist
 /// (hardware limitation discussed in Section II-B of the paper).
 inline constexpr std::array<int, 5> kInstanceSizes = {1, 2, 3, 4, 7};

@@ -32,16 +32,16 @@ class GpuCluster {
   const VirtualGpu& gpu(std::size_t index) const;
 
   /// Appends one more GPU and returns it (only when elastic).
-  Result<std::size_t> add_gpu();
+  [[nodiscard]] Result<std::size_t> add_gpu();
 
   /// Destroys all instances on all GPUs.
   void reset();
 
   /// Creates an instance on a specific GPU (growing an elastic cluster if
   /// `gpu_index == size()`).
-  Result<GlobalInstanceId> create_instance(std::size_t gpu_index, int gpcs);
+  [[nodiscard]] Result<GlobalInstanceId> create_instance(std::size_t gpu_index, int gpcs);
 
-  Status destroy_instance(GlobalInstanceId id);
+  [[nodiscard]] Status destroy_instance(GlobalInstanceId id);
   const MigInstance* find_instance(GlobalInstanceId id) const;
 
   /// Number of GPUs with at least one instance.

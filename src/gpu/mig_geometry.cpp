@@ -1,62 +1,8 @@
 #include "gpu/mig_geometry.hpp"
 
 #include <algorithm>
-#include <functional>
-#include <set>
 
 namespace parva::gpu {
-namespace {
-
-constexpr std::array<int, 1> kStarts7 = {0};
-constexpr std::array<int, 1> kStarts4 = {0};
-constexpr std::array<int, 2> kStarts3 = {0, 4};
-constexpr std::array<int, 3> kStarts2 = {0, 2, 4};
-constexpr std::array<int, 7> kStarts1 = {0, 1, 2, 3, 4, 5, 6};
-
-// Preference order of Section III-E1: slot choices that keep space open for
-// the high-demand sizes. Size 3 uses slot 4 ONLY: a 3-GPC instance at slot
-// 0 blocks slot 3 through its memory-slice span (configurations 5-7 of
-// Figure 1), "which can cause significant external fragmentation across
-// multiple GPUs" — the allocator therefore declines 3@0 and leaves such
-// GPUs to the Allocation Optimization stage, which re-expresses their
-// segments into sizes 1-2 and consolidates. Size 2 prefers 0 then 2,
-// leaving the right block for size 3; size 1 fills the left block 0-3
-// before spilling into 4-6.
-constexpr std::array<int, 1> kPref3 = {4};
-constexpr std::array<int, 3> kPref2 = {0, 2, 4};
-constexpr std::array<int, 7> kPref1 = {0, 1, 2, 3, 4, 5, 6};
-
-}  // namespace
-
-std::span<const int> legal_start_slots(int gpcs) {
-  switch (gpcs) {
-    case 7: return kStarts7;
-    case 4: return kStarts4;
-    case 3: return kStarts3;
-    case 2: return kStarts2;
-    case 1: return kStarts1;
-    default: return {};
-  }
-}
-
-std::span<const int> preferred_start_slots(int gpcs) {
-  switch (gpcs) {
-    case 7: return kStarts7;
-    case 4: return kStarts4;
-    case 3: return kPref3;
-    case 2: return kPref2;
-    case 1: return kPref1;
-    default: return {};
-  }
-}
-
-bool is_legal_placement(const Placement& placement) {
-  const auto starts = legal_start_slots(placement.gpcs);
-  if (std::find(starts.begin(), starts.end(), placement.start_slot) == starts.end()) {
-    return false;
-  }
-  return placement.start_slot + placement.span() <= kGpcSlots;
-}
 
 std::uint8_t GpuConfig::slot_mask() const {
   std::uint8_t mask = 0;
@@ -100,15 +46,6 @@ std::string GpuConfig::to_string() const {
     out += std::to_string(sorted[i].start_slot);
   }
   return out.empty() ? "empty" : out;
-}
-
-std::optional<int> find_start_slot(std::uint8_t occupied_mask, int gpcs) {
-  for (int start : preferred_start_slots(gpcs)) {
-    const Placement candidate{gpcs, start};
-    if (candidate.start_slot + candidate.span() > kGpcSlots) continue;
-    if ((occupied_mask & candidate.slot_mask()) == 0) return start;
-  }
-  return std::nullopt;
 }
 
 namespace {

@@ -33,12 +33,12 @@ void NvmlSim::log_op(std::string op) {
 std::vector<GpuInstanceProfileInfo> NvmlSim::supported_profiles() {
   std::vector<GpuInstanceProfileInfo> profiles;
   int id = 0;
-  for (int gpcs : kInstanceSizes) {
+  for (const ProfileSpec& spec : kProfileTable) {
     GpuInstanceProfileInfo info;
     info.profile_id = id++;
-    info.gpc_count = gpcs;
-    info.memory_gib = instance_memory_gib(gpcs);
-    info.name = std::to_string(gpcs) + "g." + format_double(info.memory_gib, 0) + "gb";
+    info.gpc_count = spec.gpcs;
+    info.memory_gib = spec.memory_gib;
+    info.name = std::to_string(spec.gpcs) + "g." + format_double(info.memory_gib, 0) + "gb";
     profiles.push_back(std::move(info));
   }
   return profiles;

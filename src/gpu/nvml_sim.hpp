@@ -26,7 +26,7 @@ namespace parva::gpu {
 class DcgmSim;
 
 /// NVML-style return codes (subset).
-enum class NvmlReturn {
+enum class [[nodiscard]] NvmlReturn {
   kSuccess = 0,
   kErrorInvalidArgument,
   kErrorNotFound,
@@ -74,26 +74,26 @@ class NvmlSim {
 
   /// Enables MIG mode on a device; destroys existing instances
   /// (matches real-driver semantics where toggling MIG resets the device).
-  NvmlReturn set_mig_mode(unsigned device, bool enabled);
+  [[nodiscard]] NvmlReturn set_mig_mode(unsigned device, bool enabled);
   bool mig_mode(unsigned device) const;
 
   /// Creates a GPU instance of `gpc_count` at the driver-chosen placement.
-  NvmlReturn create_gpu_instance(unsigned device, int gpc_count, GlobalInstanceId* out);
+  [[nodiscard]] NvmlReturn create_gpu_instance(unsigned device, int gpc_count, GlobalInstanceId* out);
 
   /// Creates a GPU instance at an explicit start slot.
-  NvmlReturn create_gpu_instance_with_placement(unsigned device, int gpc_count, int start_slot,
+  [[nodiscard]] NvmlReturn create_gpu_instance_with_placement(unsigned device, int gpc_count, int start_slot,
                                                 GlobalInstanceId* out);
 
-  NvmlReturn destroy_gpu_instance(GlobalInstanceId id);
+  [[nodiscard]] NvmlReturn destroy_gpu_instance(GlobalInstanceId id);
 
   /// Starts an MPS control daemon for an instance (prereq for >1 client).
-  NvmlReturn start_mps_daemon(GlobalInstanceId id);
+  [[nodiscard]] NvmlReturn start_mps_daemon(GlobalInstanceId id);
 
   /// Launches an inference process (MPS client) inside an instance.
-  NvmlReturn launch_process(GlobalInstanceId id, const MpsProcess& process);
+  [[nodiscard]] NvmlReturn launch_process(GlobalInstanceId id, const MpsProcess& process);
 
   /// Tears down all processes in an instance.
-  NvmlReturn kill_processes(GlobalInstanceId id);
+  [[nodiscard]] NvmlReturn kill_processes(GlobalInstanceId id);
 
   // --- Fault injection ------------------------------------------------
 
@@ -119,11 +119,11 @@ class NvmlSim {
   /// Drops a whole device (XID-style): all its instances are destroyed and
   /// every subsequent operation on it returns kErrorGpuIsLost until
   /// restore_device() (device replacement) is called.
-  NvmlReturn fail_device(unsigned device, int xid = 79);
+  [[nodiscard]] NvmlReturn fail_device(unsigned device, int xid = 79);
 
   /// Returns a lost device to service with a clean (instance-free) state,
   /// modelling a hardware replacement or node reboot.
-  NvmlReturn restore_device(unsigned device);
+  [[nodiscard]] NvmlReturn restore_device(unsigned device);
 
   bool device_lost(unsigned device) const;
   std::vector<int> lost_devices() const;
@@ -138,10 +138,10 @@ class NvmlSim {
   const GpuCluster& cluster() const { return *cluster_; }
 
  private:
-  NvmlReturn translate(const Status& status, const std::string& op);
+  [[nodiscard]] NvmlReturn translate(const Status& status, const std::string& op);
   /// Shared precondition for instance creation: device exists, not lost,
   /// and the fault injector does not veto the call.
-  NvmlReturn check_create(unsigned device, const std::string& op);
+  [[nodiscard]] NvmlReturn check_create(unsigned device, const std::string& op);
   /// Appends to the operation log and mirrors the count into telemetry.
   void log_op(std::string op);
 

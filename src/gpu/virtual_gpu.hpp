@@ -49,28 +49,28 @@ class VirtualGpu {
 
   /// Creates an instance of `gpcs`, choosing the first preferred slot that
   /// fits. Fails with kUnsupported when no legal slot is free.
-  Result<InstanceHandle> create_instance(int gpcs);
+  [[nodiscard]] Result<InstanceHandle> create_instance(int gpcs);
 
   /// Creates an instance at an explicit start slot.
-  Result<InstanceHandle> create_instance_at(int gpcs, int start_slot);
+  [[nodiscard]] Result<InstanceHandle> create_instance_at(int gpcs, int start_slot);
 
   /// Destroys an instance and releases its slots.
-  Status destroy_instance(InstanceHandle handle);
+  [[nodiscard]] Status destroy_instance(InstanceHandle handle);
 
   /// Destroys every instance (equivalent to disabling and re-enabling MIG).
   void reset();
 
   /// Enables MPS on an instance (idempotent).
-  Status enable_mps(InstanceHandle handle);
+  [[nodiscard]] Status enable_mps(InstanceHandle handle);
 
   /// Attaches an MPS client process. Fails with kOutOfMemory when the
   /// instance memory grant would be exceeded, and kInvalidArgument when a
   /// process of a different model is already attached (ParvaGPU runs only
   /// homogeneous processes per segment).
-  Status attach_process(InstanceHandle handle, const MpsProcess& process);
+  [[nodiscard]] Status attach_process(InstanceHandle handle, const MpsProcess& process);
 
   /// Detaches all processes from an instance.
-  Status detach_all_processes(InstanceHandle handle);
+  [[nodiscard]] Status detach_all_processes(InstanceHandle handle);
 
   bool can_fit(int gpcs) const { return find_start_slot(occupied_mask_, gpcs).has_value(); }
   std::uint8_t occupied_mask() const { return occupied_mask_; }

@@ -72,16 +72,16 @@ class AnalyticalPerfModel {
 
   /// Evaluates a MIG operating point (isolated instance, homogeneous MPS).
   /// Fails with kOutOfMemory when the memory grant is exceeded.
-  Result<PerfPoint> evaluate_mig(const WorkloadTraits& traits, int gpcs, int batch,
+  [[nodiscard]] Result<PerfPoint> evaluate_mig(const WorkloadTraits& traits, int gpcs, int batch,
                                  int processes) const;
-  Result<PerfPoint> evaluate_mig(std::string_view model, int gpcs, int batch,
+  [[nodiscard]] Result<PerfPoint> evaluate_mig(std::string_view model, int gpcs, int batch,
                                  int processes) const;
 
   /// Evaluates an MPS percentage partition on a whole (non-MIG) GPU, as the
   /// gpulet/iGniter baselines use: `gpu_fraction` in (0,1] of the 7 GPCs,
   /// with `interference_inflation` >= 0 from heterogeneous co-runners
   /// stretching the kernel work (MIG isolation makes this 0 for ParvaGPU).
-  Result<PerfPoint> evaluate_mps_share(const WorkloadTraits& traits, double gpu_fraction,
+  [[nodiscard]] Result<PerfPoint> evaluate_mps_share(const WorkloadTraits& traits, double gpu_fraction,
                                        int batch, int processes,
                                        double interference_inflation) const;
 
@@ -96,7 +96,7 @@ class AnalyticalPerfModel {
   }
 
  private:
-  Result<PerfPoint> evaluate(const WorkloadTraits& traits, double effective_gpcs,
+  [[nodiscard]] Result<PerfPoint> evaluate(const WorkloadTraits& traits, double effective_gpcs,
                              double memory_grant_gib, int batch, int processes,
                              double interference_inflation) const;
 

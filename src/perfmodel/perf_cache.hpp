@@ -25,11 +25,11 @@ class CachedPerfModel {
   const AnalyticalPerfModel& model() const { return *model_; }
 
   /// Same contract as AnalyticalPerfModel::evaluate_mig, memoized.
-  Result<PerfPoint> evaluate_mig(const WorkloadTraits& traits, int gpcs, int batch,
+  [[nodiscard]] Result<PerfPoint> evaluate_mig(const WorkloadTraits& traits, int gpcs, int batch,
                                  int processes) const;
 
   /// Same contract as AnalyticalPerfModel::evaluate_mps_share, memoized.
-  Result<PerfPoint> evaluate_mps_share(const WorkloadTraits& traits, double gpu_fraction,
+  [[nodiscard]] Result<PerfPoint> evaluate_mps_share(const WorkloadTraits& traits, double gpu_fraction,
                                        int batch, int processes,
                                        double interference_inflation) const;
 

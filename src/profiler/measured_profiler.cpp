@@ -1,5 +1,7 @@
 #include "profiler/measured_profiler.hpp"
 
+#include "common/logging.hpp"
+
 namespace parva::profiler {
 
 Result<ProfileTable> MeasuredProfiler::profile(const std::string& model_name) {
@@ -35,7 +37,15 @@ Result<ProfileTable> MeasuredProfiler::profile(const std::string& model_name) {
                        std::string("profiling instance creation failed: ") +
                            gpu::nvml_error_string(ret));
         }
-        if (procs > 1) (void)nvml_->start_mps_daemon(instance);
+        if (procs > 1) {
+          ret = nvml_->start_mps_daemon(instance);
+          if (ret != gpu::NvmlReturn::kSuccess) {
+            rollback_instance(instance);
+            return Error(ErrorCode::kInternal,
+                         std::string("profiling MPS daemon start failed: ") +
+                             gpu::nvml_error_string(ret));
+          }
+        }
 
         const double process_mem =
             perfmodel::AnalyticalPerfModel::process_memory_gib(*traits, batch);
@@ -47,7 +57,7 @@ Result<ProfileTable> MeasuredProfiler::profile(const std::string& model_name) {
             break;
           }
           if (ret != gpu::NvmlReturn::kSuccess) {
-            (void)nvml_->destroy_gpu_instance(instance);
+            rollback_instance(instance);
             return Error(ErrorCode::kInternal, std::string("process launch failed: ") +
                                                    gpu::nvml_error_string(ret));
           }
@@ -77,7 +87,13 @@ Result<ProfileTable> MeasuredProfiler::profile(const std::string& model_name) {
           point.memory_gib = ground_truth.value().memory_gib;
         }
 
-        (void)nvml_->kill_processes(instance);
+        const auto kill_ret = nvml_->kill_processes(instance);
+        if (kill_ret != gpu::NvmlReturn::kSuccess) {
+          // Keep going: destroy below is the teardown that matters, and it
+          // is checked.
+          PARVA_LOG_WARN << "profiling: kill_processes failed: "
+                         << gpu::nvml_error_string(kill_ret);
+        }
         ret = nvml_->destroy_gpu_instance(instance);
         if (ret != gpu::NvmlReturn::kSuccess) {
           return Error(ErrorCode::kInternal, std::string("profiling teardown failed: ") +
@@ -89,6 +105,19 @@ Result<ProfileTable> MeasuredProfiler::profile(const std::string& model_name) {
   }
   PARVA_CHECK(device.empty(), "profiling must leave the device idle");
   return table;
+}
+
+void MeasuredProfiler::rollback_instance(gpu::GlobalInstanceId instance) {
+  const auto kill_ret = nvml_->kill_processes(instance);
+  if (kill_ret != gpu::NvmlReturn::kSuccess) {
+    PARVA_LOG_WARN << "profiling rollback: kill_processes failed: "
+                   << gpu::nvml_error_string(kill_ret);
+  }
+  const auto destroy_ret = nvml_->destroy_gpu_instance(instance);
+  if (destroy_ret != gpu::NvmlReturn::kSuccess) {
+    PARVA_LOG_WARN << "profiling rollback: destroy_gpu_instance failed: "
+                   << gpu::nvml_error_string(destroy_ret);
+  }
 }
 
 Result<ProfileSet> MeasuredProfiler::profile_all(const std::vector<std::string>& model_names) {

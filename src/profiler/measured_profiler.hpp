@@ -41,12 +41,17 @@ class MeasuredProfiler {
 
   /// Profiles one model on the (simulated) hardware. The profiling device
   /// must be idle; it is left idle afterwards.
-  Result<ProfileTable> profile(const std::string& model_name);
+  [[nodiscard]] Result<ProfileTable> profile(const std::string& model_name);
 
   /// Profiles several models sequentially on the profiling device.
-  Result<ProfileSet> profile_all(const std::vector<std::string>& model_names);
+  [[nodiscard]] Result<ProfileSet> profile_all(const std::vector<std::string>& model_names);
 
  private:
+  /// Best-effort teardown of a half-provisioned profiling instance on an
+  /// error path: failures are logged, not propagated (the original error is
+  /// the one worth reporting).
+  void rollback_instance(gpu::GlobalInstanceId instance);
+
   gpu::NvmlSim* nvml_;
   const perfmodel::AnalyticalPerfModel* perf_;
   MeasuredProfilerOptions options_;

@@ -13,10 +13,10 @@ namespace parva::profiler {
 std::string to_csv(const ProfileSet& set);
 
 /// Parses CSV text produced by to_csv(). Fails on malformed rows.
-Result<ProfileSet> from_csv(const std::string& csv);
+[[nodiscard]] Result<ProfileSet> from_csv(const std::string& csv);
 
 /// File convenience wrappers.
-Status save_csv_file(const ProfileSet& set, const std::string& path);
-Result<ProfileSet> load_csv_file(const std::string& path);
+[[nodiscard]] Status save_csv_file(const ProfileSet& set, const std::string& path);
+[[nodiscard]] Result<ProfileSet> load_csv_file(const std::string& path);
 
 }  // namespace parva::profiler

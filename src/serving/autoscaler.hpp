@@ -74,7 +74,7 @@ class Autoscaler {
       : profiles_(&profiles), perf_(&perf), options_(options) {}
 
   /// Runs one simulated day of the base services under the trace.
-  Result<AutoscaleReport> run_day(std::span<const core::ServiceSpec> base_services,
+  [[nodiscard]] Result<AutoscaleReport> run_day(std::span<const core::ServiceSpec> base_services,
                                   const RateTrace& trace) const;
 
  private:

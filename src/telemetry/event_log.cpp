@@ -25,7 +25,7 @@ const char* to_string(EventKind kind) {
 EventLog::EventLog(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
 
 void EventLog::record(Event event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   event.seq = next_seq_++;
   if (events_.size() >= capacity_) {
     ++dropped_;
@@ -47,17 +47,17 @@ void EventLog::record(EventKind kind, double t_ms, int gpu, int service_id, doub
 }
 
 std::vector<Event> EventLog::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_;
 }
 
 std::size_t EventLog::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_.size();
 }
 
 std::size_t EventLog::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return dropped_;
 }
 

@@ -6,9 +6,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace parva::telemetry {
 
@@ -71,11 +72,11 @@ class EventLog {
   std::size_t capacity() const { return capacity_; }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<Event> events_;
-  std::size_t capacity_;
-  std::uint64_t next_seq_ = 0;
-  std::size_t dropped_ = 0;
+  mutable Mutex mutex_;
+  std::vector<Event> events_ PARVA_GUARDED_BY(mutex_);
+  const std::size_t capacity_;  ///< immutable after construction; capacity() is lock-free
+  std::uint64_t next_seq_ PARVA_GUARDED_BY(mutex_) = 0;
+  std::size_t dropped_ PARVA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace parva::telemetry

@@ -34,6 +34,6 @@ std::string to_csv_summary(const MetricsRegistry& registry);
 std::string format_metric_value(double value);
 
 /// Writes `content` to `path`, truncating; parent directories must exist.
-Status write_text_file(const std::string& path, const std::string& content);
+[[nodiscard]] Status write_text_file(const std::string& path, const std::string& content);
 
 }  // namespace parva::telemetry

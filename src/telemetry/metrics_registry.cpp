@@ -105,7 +105,7 @@ MetricsRegistry::Series* MetricsRegistry::find_series(const std::string& name,
 
 Counter MetricsRegistry::counter(const std::string& name, const std::string& help,
                                  const std::string& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (Series* existing = find_series(name, labels)) {
     PARVA_REQUIRE(existing->kind == MetricKind::kCounter,
                   "metric re-registered with a different kind: " + name);
@@ -124,7 +124,7 @@ Counter MetricsRegistry::counter(const std::string& name, const std::string& hel
 
 Gauge MetricsRegistry::gauge(const std::string& name, const std::string& help,
                              const std::string& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (Series* existing = find_series(name, labels)) {
     PARVA_REQUIRE(existing->kind == MetricKind::kGauge,
                   "metric re-registered with a different kind: " + name);
@@ -148,7 +148,7 @@ HistogramMetric MetricsRegistry::histogram(const std::string& name,
   PARVA_REQUIRE(!bounds.empty(), "histogram needs at least one bucket bound");
   PARVA_REQUIRE(std::is_sorted(bounds.begin(), bounds.end()),
                 "histogram bounds must be ascending");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (Series* existing = find_series(name, labels)) {
     PARVA_REQUIRE(existing->kind == MetricKind::kHistogram,
                   "metric re-registered with a different kind: " + name);
@@ -183,7 +183,7 @@ std::atomic<double>* MetricsRegistry::shard_slot(std::uint32_t slot) {
 }
 
 std::atomic<double>* MetricsRegistry::shard_slot_slow(std::uint32_t slot) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   PARVA_REQUIRE(slot < slot_count_, "metric slot out of range");
   // Allocate (or grow) this thread's shard to the registry's current slot
   // count, carrying existing values forward. The retired (smaller) array is
@@ -225,7 +225,7 @@ std::atomic<double>* MetricsRegistry::shard_slot_slow(std::uint32_t slot) {
 }
 
 std::vector<MetricSnapshot> MetricsRegistry::scrape() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Merge shards into one flat slot array. shards_ is ordered by thread
   // arrival, i.e. by scheduling, and double addition is not associative --
   // summing in registration order would let two identical runs scrape
@@ -286,7 +286,7 @@ std::vector<MetricSnapshot> MetricsRegistry::scrape() const {
 }
 
 std::size_t MetricsRegistry::series_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return series_.size();
 }
 

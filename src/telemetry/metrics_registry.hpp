@@ -19,9 +19,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace parva::telemetry {
 
@@ -140,14 +141,19 @@ class MetricsRegistry {
   std::atomic<double>* shard_slot(std::uint32_t slot);
   std::atomic<double>* shard_slot_slow(std::uint32_t slot);
 
-  Series* find_series(const std::string& name, const std::string& labels);
+  Series* find_series(const std::string& name, const std::string& labels)
+      PARVA_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::deque<Series> series_;  ///< deque: bounds stay address-stable for handles
-  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable Mutex mutex_;
+  /// deque: bounds stay address-stable for handles
+  std::deque<Series> series_ PARVA_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<Shard>> shards_ PARVA_GUARDED_BY(mutex_);
+  /// Cells are atomics written lock-free via Gauge handles; the deque's
+  /// structure (growth) is mutated only under mutex_ and deque growth never
+  /// moves existing elements.
   std::deque<std::atomic<double>> gauges_;
-  std::size_t slot_count_ = 0;  ///< sharded slots allocated so far
-  std::uint64_t id_ = 0;        ///< process-unique, guards thread-local caches
+  std::size_t slot_count_ PARVA_GUARDED_BY(mutex_) = 0;  ///< sharded slots allocated
+  const std::uint64_t id_;  ///< process-unique, guards thread-local caches
 };
 
 }  // namespace parva::telemetry

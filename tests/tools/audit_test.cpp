@@ -1,8 +1,9 @@
 // Golden-fixture suite for parva_audit (tools/parva_audit). One fixture per
-// rule R1-R5 with seeded violations at pinned lines, an allow() suppression
-// fixture, a clean fixture, plus the two meta-contracts: the repository's
-// own src/ tree audits clean at HEAD, and the audit's output is
-// deterministic regardless of traversal order.
+// rule R1-R8 with seeded violations at pinned lines, allow() suppression
+// fixtures, clean fixtures, output-format goldens (JSON / SARIF), baseline
+// round-trips, plus the two meta-contracts: the repository's own src/ tree
+// audits clean at HEAD, and the audit's output is deterministic regardless
+// of traversal order.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -100,6 +101,214 @@ TEST(AuditFixtures, R5RequiresJustificationComments) {
   EXPECT_EQ(got, expected);
 }
 
+TEST(AuditFixtures, R6FlagsUnannotatedDeclarationsAndDiscardedCalls) {
+  const auto got = rule_lines(audit_fixture("r6_discarded_status.cpp"));
+  // 8/9/13/22: declarations and definitions without [[nodiscard]];
+  // 17/18/19: expression statements dropping a status result.
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"R6", 8},  {"R6", 9},  {"R6", 13}, {"R6", 17},
+      {"R6", 18}, {"R6", 19}, {"R6", 22}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(AuditFixtures, R6AllowDirectiveSuppresses) {
+  const auto findings = audit_fixture("r6_allow.cpp");
+  EXPECT_TRUE(findings.empty()) << parva::audit::format_findings(findings);
+}
+
+TEST(AuditFixtures, R6CleanFileProducesNoFindings) {
+  const auto findings = audit_fixture("r6_clean.cpp");
+  EXPECT_TRUE(findings.empty()) << parva::audit::format_findings(findings);
+}
+
+TEST(AuditFixtures, R6HeaderDeclarationExcusesDefinition) {
+  // Two-phase contract: a .cpp definition without the attribute is excused
+  // when the scan set contains an annotated declaration of the same name.
+  const std::string header =
+      "namespace fixture {\n"
+      "enum class NvmlReturn { kSuccess };\n"
+      "struct Sim { [[nodiscard]] NvmlReturn destroy(int gpu); };\n"
+      "}\n";
+  const std::string source =
+      "namespace fixture {\n"
+      "enum class NvmlReturn { kSuccess };\n"
+      "struct Sim { [[nodiscard]] NvmlReturn destroy(int gpu); };\n"
+      "NvmlReturn Sim::destroy(int gpu) { return NvmlReturn::kSuccess; }\n"
+      "}\n";
+  const auto index = parva::audit::build_index({{"sim.hpp", header}, {"sim.cpp", source}});
+  const auto findings =
+      parva::audit::audit_file("sim.cpp", source, default_config(), index);
+  EXPECT_TRUE(findings.empty()) << parva::audit::format_findings(findings);
+
+  // Without the index, the bare definition is a finding.
+  const auto solo = parva::audit::audit_file(
+      "sim.cpp",
+      "namespace fixture {\n"
+      "enum class NvmlReturn { kSuccess };\n"
+      "struct Sim { NvmlReturn destroy(int gpu); };\n"
+      "}\n",
+      default_config());
+  ASSERT_EQ(solo.size(), 1u);
+  EXPECT_EQ(solo[0].rule, "R6");
+}
+
+TEST(AuditFixtures, R7FlagsUnguardedMembersOfMutexOwningClass) {
+  const auto got = rule_lines(audit_fixture("r7_unguarded_members.cpp"));
+  // 19/20: unguarded mutable members; 22: guard names no lock member.
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"R7", 19}, {"R7", 20}, {"R7", 22}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(AuditFixtures, R7AllowDirectiveSuppresses) {
+  const auto findings = audit_fixture("r7_allow.cpp");
+  EXPECT_TRUE(findings.empty()) << parva::audit::format_findings(findings);
+}
+
+TEST(AuditFixtures, R7CleanFileProducesNoFindings) {
+  const auto findings = audit_fixture("r7_clean.cpp");
+  EXPECT_TRUE(findings.empty()) << parva::audit::format_findings(findings);
+}
+
+TEST(AuditFixtures, R8FlagsHardcodedTablesAndShadowApis) {
+  const auto got = rule_lines(audit_fixture("r8_geometry.cpp"));
+  // 9/11: hardcoded slot tables; 13/17: shadow geometry API definitions.
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"R8", 9}, {"R8", 11}, {"R8", 13}, {"R8", 17}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(AuditFixtures, R8AllowDirectiveSuppresses) {
+  const auto findings = audit_fixture("r8_allow.cpp");
+  EXPECT_TRUE(findings.empty()) << parva::audit::format_findings(findings);
+}
+
+TEST(AuditFixtures, R8CleanFileProducesNoFindings) {
+  const auto findings = audit_fixture("r8_clean.cpp");
+  EXPECT_TRUE(findings.empty()) << parva::audit::format_findings(findings);
+}
+
+TEST(AuditFixtures, R8GeometryHeaderMustKeepProvedTables) {
+  // A gutted geometry header (tables or proofs removed) is a finding at
+  // line 1 under the canonical path...
+  const auto gutted = parva::audit::audit_file(
+      "src/gpu/mig_geometry.hpp", "#pragma once\nstruct Empty {};\n",
+      default_config());
+  ASSERT_EQ(gutted.size(), 1u);
+  EXPECT_EQ(gutted[0].rule, "R8");
+  EXPECT_EQ(gutted[0].line, 1);
+
+  // ...while a header carrying the tables and proofs is clean.
+  const auto kept = parva::audit::audit_file(
+      "src/gpu/mig_geometry.hpp",
+      "#pragma once\n"
+      "inline constexpr int kProfileTable = 0;\n"
+      "inline constexpr int kPlacementTable = 0;\n"
+      "static_assert(kProfileTable == 0);\n",
+      default_config());
+  EXPECT_TRUE(kept.empty()) << parva::audit::format_findings(kept);
+}
+
+TEST(AuditOutput, JsonFormatIsGolden) {
+  std::vector<Finding> findings;
+  findings.push_back({"src/gpu/x.cpp", 42, "R6", "status result \"dropped\""});
+  EXPECT_EQ(parva::audit::format_findings_json(findings),
+            "[\n"
+            "  {\"file\": \"src/gpu/x.cpp\", \"line\": 42, \"rule\": \"R6\", "
+            "\"message\": \"status result \\\"dropped\\\"\"}\n"
+            "]\n");
+  EXPECT_EQ(parva::audit::format_findings_json({}), "[]\n");
+}
+
+TEST(AuditOutput, SarifFormatIsGolden) {
+  std::vector<Finding> findings;
+  findings.push_back({"src/gpu/x.cpp", 42, "R6", "status result dropped"});
+  const std::string expected =
+      "{\n"
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"parva_audit\",\n"
+      "          \"informationUri\": \"DESIGN.md\",\n"
+      "          \"rules\": [\n"
+      "            {\"id\": \"R1\", \"shortDescription\": {\"text\": \"banned "
+      "nondeterminism sources (rand, srand, std::random_device, time(nullptr), "
+      "std::chrono::system_clock) outside src/common/rng.hpp\"}},\n"
+      "            {\"id\": \"R2\", \"shortDescription\": {\"text\": \"no "
+      "unordered_{map,set} iteration in exporter/CSV/fingerprint TUs (path "
+      "manifest; see --manifest)\"}},\n"
+      "            {\"id\": \"R3\", \"shortDescription\": {\"text\": \"no mutable "
+      "namespace-scope state in library code\"}},\n"
+      "            {\"id\": \"R4\", \"shortDescription\": {\"text\": \"header "
+      "hygiene: #pragma once, no `using namespace` in headers\"}},\n"
+      "            {\"id\": \"R5\", \"shortDescription\": {\"text\": \"every "
+      "memory_order_relaxed carries a nearby justification comment\"}},\n"
+      "            {\"id\": \"R6\", \"shortDescription\": {\"text\": "
+      "\"status-returning functions (NvmlReturn/ErrorCode/Status/Result) are "
+      "[[nodiscard]] and no call site discards the result\"}},\n"
+      "            {\"id\": \"R7\", \"shortDescription\": {\"text\": \"every "
+      "mutable data member of a mutex-owning class carries "
+      "PARVA_GUARDED_BY(lock) (src/common/thread_annotations.hpp)\"}},\n"
+      "            {\"id\": \"R8\", \"shortDescription\": {\"text\": \"MIG "
+      "geometry is table-driven: constexpr kProfileTable/kPlacementTable with "
+      "static_assert proofs; no hardcoded slot tables or shadow APIs\"}}\n"
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n"
+      "        {\"ruleId\": \"R6\", \"level\": \"error\", \"message\": {\"text\": "
+      "\"status result dropped\"}, \"locations\": [{\"physicalLocation\": "
+      "{\"artifactLocation\": {\"uri\": \"src/gpu/x.cpp\"}, \"region\": "
+      "{\"startLine\": 42}}}]}\n"
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(parva::audit::format_findings_sarif(findings), expected);
+}
+
+TEST(AuditBaseline, RoundTripSuppressesAcceptedFindings) {
+  std::vector<Finding> findings;
+  findings.push_back({"a.cpp", 10, "R6", "dropped"});
+  findings.push_back({"b.cpp", 20, "R7", "unguarded"});
+  const auto baseline = parva::audit::parse_baseline(
+      parva::audit::format_baseline(findings));
+  // Line numbers are excluded from keys: a shifted finding still matches.
+  findings[0].line = 99;
+  const auto result = parva::audit::apply_baseline(findings, baseline);
+  EXPECT_TRUE(result.fresh.empty());
+  EXPECT_EQ(result.suppressed, 2);
+  EXPECT_EQ(result.stale, 0u);
+}
+
+TEST(AuditBaseline, MultisetSemanticsAndStaleEntries) {
+  // Two identical findings need two baseline entries; a third entry with no
+  // matching finding is stale; an unlisted finding stays fresh.
+  std::vector<Finding> findings;
+  findings.push_back({"a.cpp", 1, "R6", "dropped"});
+  findings.push_back({"a.cpp", 2, "R6", "dropped"});
+  findings.push_back({"c.cpp", 3, "R8", "hardcoded"});
+  const auto baseline = parva::audit::parse_baseline(
+      "# comment\n"
+      "a.cpp|R6|dropped\n"
+      "a.cpp|R6|dropped\n"
+      "gone.cpp|R1|removed long ago\n");
+  const auto result = parva::audit::apply_baseline(findings, baseline);
+  ASSERT_EQ(result.fresh.size(), 1u);
+  EXPECT_EQ(result.fresh[0].file, "c.cpp");
+  EXPECT_EQ(result.suppressed, 2);
+  EXPECT_EQ(result.stale, 1u);
+
+  // One entry suppresses only one of the two identical findings.
+  const auto partial = parva::audit::apply_baseline(
+      findings, parva::audit::parse_baseline("a.cpp|R6|dropped\n"));
+  EXPECT_EQ(partial.suppressed, 1);
+  EXPECT_EQ(partial.fresh.size(), 2u);
+}
+
 TEST(AuditFixtures, AllowDirectiveSuppressesFindings) {
   const auto findings = audit_fixture("allow_suppression.cpp");
   EXPECT_TRUE(findings.empty()) << parva::audit::format_findings(findings);
@@ -130,7 +339,8 @@ TEST(AuditRepo, PlantedFixturesTriggerUnderSrcTree) {
   fs::create_directories(root / "src" / "telemetry");
   const std::vector<std::string> fixtures = {
       "r1_banned_randomness.cpp", "r2_unordered_export.cpp", "r3_global_state.cpp",
-      "r4_header_hygiene.hpp", "r5_relaxed_unjustified.cpp"};
+      "r4_header_hygiene.hpp", "r5_relaxed_unjustified.cpp", "r6_discarded_status.cpp",
+      "r7_unguarded_members.cpp", "r8_geometry.cpp"};
   for (const std::string& name : fixtures) {
     fs::copy_file(fixture_path(name), root / "src" / "telemetry" / name);
   }
@@ -138,7 +348,7 @@ TEST(AuditRepo, PlantedFixturesTriggerUnderSrcTree) {
   const auto findings =
       parva::audit::audit_paths({(root / "src").string()}, default_config(), errors);
   EXPECT_TRUE(errors.empty());
-  for (const char* rule : {"R1", "R2", "R3", "R4", "R5"}) {
+  for (const char* rule : {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}) {
     EXPECT_TRUE(std::any_of(findings.begin(), findings.end(),
                             [&](const Finding& f) { return f.rule == rule; }))
         << "planted fixture for " << rule << " was not detected";

@@ -1,0 +1,19 @@
+// Golden fixture: status-returning code that satisfies R6 -- every
+// function is [[nodiscard]] and every call consumes or propagates the
+// result. The audit must report nothing.
+namespace fixture {
+
+enum class NvmlReturn { kSuccess, kError };
+
+[[nodiscard]] NvmlReturn create_instance(int gpu);
+[[nodiscard]] NvmlReturn destroy_instance(int gpu);
+
+[[nodiscard]] inline NvmlReturn provision(int gpu) {
+  const NvmlReturn created = create_instance(gpu);
+  if (created != NvmlReturn::kSuccess) return created;
+  return destroy_instance(gpu);
+}
+
+inline bool try_provision(int gpu) { return provision(gpu) == NvmlReturn::kSuccess; }
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Golden fixture: rule R6 -- status-returning functions must be
+// [[nodiscard]] and call sites must consume the result. Violation lines
+// are pinned in audit_test.cpp.
+namespace fixture {
+
+enum class NvmlReturn { kSuccess, kError };
+
+NvmlReturn create_instance(int gpu);
+NvmlReturn destroy_instance(int gpu);
+[[nodiscard]] NvmlReturn annotated_destroy(int gpu);
+
+struct Controller {
+  NvmlReturn reset();
+};
+
+inline void teardown(Controller& controller) {
+  destroy_instance(0);
+  (void)destroy_instance(1);
+  controller.reset();
+}
+
+inline NvmlReturn consumed(Controller& controller) {
+  const NvmlReturn ret = controller.reset();
+  if (ret != NvmlReturn::kSuccess) return ret;
+  return annotated_destroy(2);
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Golden fixture: a mutex-owning class that satisfies R7 -- every mutable
+// member is annotated, atomics and condition variables are exempt, and a
+// mutex-free class needs no annotations at all. The audit must report
+// nothing.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#define PARVA_GUARDED_BY(x)
+
+namespace fixture {
+
+class Queue {
+ public:
+  void push(int value);
+
+ private:
+  std::mutex mutex_;
+  std::vector<int> items_ PARVA_GUARDED_BY(mutex_);
+  int head_ PARVA_GUARDED_BY(mutex_) = 0;
+  std::condition_variable cv_;
+  std::atomic<int> approx_size_{0};
+  const int capacity_ = 8;
+  static constexpr int kShards = 4;
+};
+
+class PlainValue {
+ public:
+  int get() const { return value_; }
+
+ private:
+  int value_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Golden fixture: rule R7 -- mutable data members of a mutex-owning class
+// must carry PARVA_GUARDED_BY. Violation lines are pinned in
+// audit_test.cpp. The annotation macros are stubbed so the fixture stands
+// alone without the repo headers.
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#define PARVA_GUARDED_BY(x)
+
+namespace fixture {
+
+class Queue {
+ public:
+  void push(int value);
+
+ private:
+  std::mutex mutex_;
+  std::vector<int> items_;
+  int capacity_ = 8;
+  std::vector<int> guarded_ PARVA_GUARDED_BY(mutex_);
+  std::vector<int> misguarded_ PARVA_GUARDED_BY(other_);
+  std::atomic<int> approx_size_{0};
+  const int id_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Golden fixture: rule R8 with justified allow() suppressions -- a test
+// oracle is permitted to restate the geometry, and the audit must report
+// nothing for this file.
+#include <array>
+
+namespace fixture {
+
+// parva-audit: allow(R8) independent oracle restating Fig. 1 for the property test
+constexpr std::array<int, 2> kOracleThreeGpcStarts = {0, 4};
+
+constexpr std::array<int, 3> kExpectedStartSlots = {0, 2, 4};  // parva-audit: allow(R8)
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Golden fixture: geometry-adjacent code that satisfies R8 -- it consults
+// the published API instead of re-hardcoding slot tables, and its own
+// tables are not slot geometry. The audit must report nothing.
+#include <array>
+#include <cstdint>
+
+namespace fixture {
+
+// Geometry-suggesting name but values leave the 0..6 slot range: not a
+// slot table.
+constexpr std::array<int, 3> kStartDelaysMs = {1, 8, 32};
+
+// Geometry-suggesting name but not ascending: a preference permutation,
+// not a slot table.
+constexpr std::array<int, 3> kPreferredStartOrder = {4, 0, 2};
+
+// Declaration only (no body): consulting the real API is fine.
+bool is_legal_placement(int gpcs, int start);
+
+inline bool fits(int gpcs, int start) { return is_legal_placement(gpcs, start); }
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Golden fixture: rule R8 -- A100 slot geometry must come from the proved
+// constexpr tables in src/gpu/mig_geometry.hpp, not be re-hardcoded or
+// shadow-defined. Violation lines are pinned in audit_test.cpp.
+#include <array>
+#include <cstdint>
+
+namespace fixture {
+
+constexpr std::array<int, 3> kTwoGpcStartSlots = {0, 2, 4};
+
+inline const int legal_placement_slots[] = {0, 4};
+
+inline bool is_legal_placement(int gpcs, int start) {
+  return gpcs > 0 && start >= 0 && start + gpcs <= 7;
+}
+
+inline int find_start_slot(std::uint8_t occupied) { return occupied == 0 ? 0 : -1; }
+
+}  // namespace fixture

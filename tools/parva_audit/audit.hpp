@@ -1,8 +1,13 @@
-// parva_audit: project-specific static analysis enforcing the two contracts
-// every result in this reproduction rests on (DESIGN.md §4.3):
+// parva_audit: project-specific static analysis enforcing the contracts
+// every result in this reproduction rests on (DESIGN.md §4.3, §4.4):
 //
 //   * determinism  -- simulation output must be byte-identical run-to-run,
-//   * concurrency  -- shared state must be race-free under the ThreadPool.
+//   * concurrency  -- shared state must be race-free under the ThreadPool,
+//   * status flow  -- fallible MIG control-plane calls must never drop
+//                     their result (a silently ignored NvmlReturn corrupts
+//                     the placement state the Segment Allocator reasons on),
+//   * geometry     -- all A100 slot arithmetic must come from the proved
+//                     constexpr tables in src/gpu/mig_geometry.hpp.
 //
 // Rules:
 //   R1  no banned nondeterminism sources (rand(), std::random_device,
@@ -12,12 +17,24 @@
 //   R3  no mutable namespace-scope state in library code
 //   R4  header hygiene: #pragma once present, no `using namespace` in headers
 //   R5  every memory_order_relaxed carries a nearby justification comment
+//   R6  status-returning functions (NvmlReturn/ErrorCode/Status/Result) are
+//       declared [[nodiscard]] and no call site discards the result
+//       (symbol-aware: call sites are checked against a cross-file index)
+//   R7  every mutable data member of a mutex-owning class carries a
+//       PARVA_GUARDED_BY(lock) annotation (src/common/thread_annotations.hpp)
+//   R8  MIG geometry is table-driven: src/gpu/mig_geometry.hpp must keep its
+//       constexpr kProfileTable/kPlacementTable + static_assert proofs, and
+//       no other file may hardcode slot tables or shadow the geometry API
 //
 // Suppression: `// parva-audit: allow(R3)` on the offending line or the line
 // directly above; `allow(all)` silences every rule for that line.
 #pragma once
 
+#include <cstddef>
+#include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace parva::audit {
@@ -25,7 +42,7 @@ namespace parva::audit {
 struct Finding {
   std::string file;  ///< Path as given on the command line / to audit_file().
   int line = 0;
-  std::string rule;  ///< "R1".."R5".
+  std::string rule;  ///< "R1".."R8".
   std::string message;
 
   bool operator<(const Finding& other) const {
@@ -46,18 +63,48 @@ struct AuditConfig {
   std::vector<std::string> rules;
 };
 
+/// One catalog row per rule; drives --list-rules and the SARIF rules array.
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+const std::vector<RuleInfo>& rule_catalog();
+
+/// Phase-1 output: the cross-file declaration index the symbol-aware rules
+/// (R6) consult in phase 2. Built once over every file in the scan set so a
+/// definition in a .cpp is excused by the [[nodiscard]] declaration in its
+/// header, and call sites anywhere see every status-returning function.
+struct SymbolIndex {
+  /// Function name -> true when at least one declaration of that name
+  /// carries [[nodiscard]]. Every key returns a status-like type
+  /// (NvmlReturn / ErrorCode / Status / Result<...>).
+  std::map<std::string, bool> status_functions;
+};
+
+/// Phase 1: index one in-memory file into `index` (merges with prior files).
+void index_file(const std::string& content, SymbolIndex& index);
+
+/// Phase 1 over a whole scan set of (path, content) pairs.
+SymbolIndex build_index(const std::vector<std::pair<std::string, std::string>>& files);
+
 /// The built-in R2 manifest: translation units on the exporter / CSV /
 /// determinism-fingerprint paths, where container iteration order reaches
 /// persisted output byte-for-byte.
 std::vector<std::string> default_export_manifest();
 
-/// Audits one in-memory file. `path` is used for reporting, extension
-/// dispatch (R4 runs on headers) and manifest matching (R2).
+/// Audits one in-memory file against a pre-built cross-file index. `path`
+/// is used for reporting, extension dispatch (R4 runs on headers), manifest
+/// matching (R2) and geometry-file dispatch (R8).
+std::vector<Finding> audit_file(const std::string& path, const std::string& content,
+                                const AuditConfig& config, const SymbolIndex& index);
+
+/// Single-file convenience: phase 1 over just this file, then phase 2.
 std::vector<Finding> audit_file(const std::string& path, const std::string& content,
                                 const AuditConfig& config);
 
 /// Audits files and directories (recursing into known C++ extensions).
-/// Findings come back sorted by (file, line, rule) regardless of argument or
+/// Runs both phases: the index spans every file in the scan set. Findings
+/// come back sorted by (file, line, rule) regardless of argument or
 /// directory enumeration order -- the audit obeys the determinism contract
 /// it enforces. Unreadable paths are reported via `errors`.
 std::vector<Finding> audit_paths(const std::vector<std::string>& paths,
@@ -66,5 +113,29 @@ std::vector<Finding> audit_paths(const std::vector<std::string>& paths,
 
 /// `file:line: [R#] message` -- one line per finding.
 std::string format_findings(const std::vector<Finding>& findings);
+
+/// Machine-readable formats for CI. JSON is an array of
+/// {"file","line","rule","message"} objects; SARIF is a minimal but valid
+/// SARIF 2.1.0 log (one run, rule metadata from rule_catalog()).
+std::string format_findings_json(const std::vector<Finding>& findings);
+std::string format_findings_sarif(const std::vector<Finding>& findings);
+
+/// Baseline support: CI diffs findings against an accepted set instead of
+/// hard-failing on legacy code. A baseline entry is `file|rule|message`
+/// (line numbers are deliberately excluded so unrelated edits above a
+/// finding do not churn the baseline); the file is newline-separated with
+/// '#' comments, and entries form a multiset so N accepted occurrences
+/// suppress at most N findings.
+std::string baseline_key(const Finding& finding);
+std::multiset<std::string> parse_baseline(const std::string& content);
+std::string format_baseline(const std::vector<Finding>& findings);
+
+struct BaselineResult {
+  std::vector<Finding> fresh;     ///< Findings not covered by the baseline.
+  std::size_t suppressed = 0;     ///< Findings matched (and consumed) by it.
+  std::size_t stale = 0;          ///< Baseline entries no finding matched.
+};
+BaselineResult apply_baseline(const std::vector<Finding>& findings,
+                              std::multiset<std::string> baseline);
 
 }  // namespace parva::audit

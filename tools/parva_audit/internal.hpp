@@ -1,0 +1,49 @@
+// Internal helpers shared between the per-file lexical rules (rules.cpp)
+// and the symbol-aware rules R6-R8 (symbols.cpp). Not part of the public
+// audit API.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "audit.hpp"
+#include "lexer.hpp"
+
+namespace parva::audit::internal {
+
+inline bool is_ident(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kIdent && t.text == text;
+}
+inline bool is_punct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
+}
+
+inline std::string normalize(const std::string& path) {
+  std::string out = path;
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+inline bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), std::string::npos, suffix) == 0;
+}
+
+inline void add_finding(std::vector<Finding>& findings, const LexedFile& lexed,
+                        const std::string& path, int line, const char* rule,
+                        std::string message) {
+  if (is_allowed(lexed, line, rule)) return;
+  findings.push_back({path, line, rule, std::move(message)});
+}
+
+// R6/R7/R8 entry points (implemented in symbols.cpp).
+void scan_status_functions_into_index(const LexedFile& lexed, SymbolIndex& index);
+void check_r6(const LexedFile& lexed, const std::string& path, const SymbolIndex& index,
+              std::vector<Finding>& findings);
+void check_r7(const LexedFile& lexed, const std::string& path,
+              std::vector<Finding>& findings);
+void check_r8(const LexedFile& lexed, const std::string& path,
+              std::vector<Finding>& findings);
+
+}  // namespace parva::audit::internal

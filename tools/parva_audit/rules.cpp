@@ -6,28 +6,17 @@
 #include <sstream>
 
 #include "audit.hpp"
+#include "internal.hpp"
 #include "lexer.hpp"
 
 namespace parva::audit {
 namespace {
 
-bool is_ident(const Token& t, const char* text) {
-  return t.kind == Token::Kind::kIdent && t.text == text;
-}
-bool is_punct(const Token& t, const char* text) {
-  return t.kind == Token::Kind::kPunct && t.text == text;
-}
-
-std::string normalize(const std::string& path) {
-  std::string out = path;
-  std::replace(out.begin(), out.end(), '\\', '/');
-  return out;
-}
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), std::string::npos, suffix) == 0;
-}
+using internal::add_finding;
+using internal::ends_with;
+using internal::is_ident;
+using internal::is_punct;
+using internal::normalize;
 
 bool is_header(const std::string& path) {
   const std::string p = normalize(path);
@@ -43,13 +32,6 @@ bool path_matches(const std::string& path, const std::vector<std::string>& manif
     if (!entry.empty() && p.find(entry) != std::string::npos) return true;
   }
   return false;
-}
-
-void add_finding(std::vector<Finding>& findings, const LexedFile& lexed,
-                 const std::string& path, int line, const char* rule,
-                 std::string message) {
-  if (is_allowed(lexed, line, rule)) return;
-  findings.push_back({path, line, rule, std::move(message)});
 }
 
 // R1 -- banned nondeterminism sources. The simulator's only sanctioned
@@ -361,6 +343,39 @@ bool rule_enabled(const AuditConfig& config, const char* rule) {
 
 }  // namespace
 
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {"R1", "banned nondeterminism sources (rand, srand, std::random_device, "
+             "time(nullptr), std::chrono::system_clock) outside src/common/rng.hpp"},
+      {"R2", "no unordered_{map,set} iteration in exporter/CSV/fingerprint TUs "
+             "(path manifest; see --manifest)"},
+      {"R3", "no mutable namespace-scope state in library code"},
+      {"R4", "header hygiene: #pragma once, no `using namespace` in headers"},
+      {"R5", "every memory_order_relaxed carries a nearby justification comment"},
+      {"R6", "status-returning functions (NvmlReturn/ErrorCode/Status/Result) are "
+             "[[nodiscard]] and no call site discards the result"},
+      {"R7", "every mutable data member of a mutex-owning class carries "
+             "PARVA_GUARDED_BY(lock) (src/common/thread_annotations.hpp)"},
+      {"R8", "MIG geometry is table-driven: constexpr kProfileTable/kPlacementTable "
+             "with static_assert proofs; no hardcoded slot tables or shadow APIs"},
+  };
+  return kCatalog;
+}
+
+void index_file(const std::string& content, SymbolIndex& index) {
+  const LexedFile lexed = lex(content);
+  internal::scan_status_functions_into_index(lexed, index);
+}
+
+SymbolIndex build_index(const std::vector<std::pair<std::string, std::string>>& files) {
+  SymbolIndex index;
+  for (const auto& [path, content] : files) {
+    (void)path;  // the index is keyed by symbol name, not by file
+    index_file(content, index);
+  }
+  return index;
+}
+
 std::vector<std::string> default_export_manifest() {
   // Translation units where container order reaches persisted bytes:
   // Prometheus/JSON/CSV exporters, the CSV table renderer, the
@@ -383,7 +398,7 @@ std::vector<std::string> default_export_manifest() {
 }
 
 std::vector<Finding> audit_file(const std::string& path, const std::string& content,
-                                const AuditConfig& config) {
+                                const AuditConfig& config, const SymbolIndex& index) {
   const LexedFile lexed = lex(content);
   std::vector<Finding> findings;
   if (rule_enabled(config, "R1")) check_r1(lexed, path, findings);
@@ -391,8 +406,18 @@ std::vector<Finding> audit_file(const std::string& path, const std::string& cont
   if (rule_enabled(config, "R3")) check_r3(lexed, path, findings);
   if (rule_enabled(config, "R4")) check_r4(lexed, path, content, findings);
   if (rule_enabled(config, "R5")) check_r5(lexed, path, findings);
+  if (rule_enabled(config, "R6")) internal::check_r6(lexed, path, index, findings);
+  if (rule_enabled(config, "R7")) internal::check_r7(lexed, path, findings);
+  if (rule_enabled(config, "R8")) internal::check_r8(lexed, path, findings);
   std::sort(findings.begin(), findings.end());
   return findings;
+}
+
+std::vector<Finding> audit_file(const std::string& path, const std::string& content,
+                                const AuditConfig& config) {
+  SymbolIndex index;
+  index_file(content, index);
+  return audit_file(path, content, config, index);
 }
 
 std::vector<Finding> audit_paths(const std::vector<std::string>& paths,
@@ -423,7 +448,11 @@ std::vector<Finding> audit_paths(const std::vector<std::string>& paths,
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::vector<Finding> findings;
+  // Phase 1: read everything and build the cross-file symbol index, so a
+  // [[nodiscard]] declaration in a header excuses the definition in its
+  // .cpp and call sites see every status-returning function in the set.
+  std::vector<std::pair<std::string, std::string>> contents;
+  contents.reserve(files.size());
   for (const std::string& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -432,19 +461,18 @@ std::vector<Finding> audit_paths(const std::vector<std::string>& paths,
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    std::vector<Finding> file_findings = audit_file(file, buffer.str(), config);
+    contents.emplace_back(file, buffer.str());
+  }
+  const SymbolIndex index = build_index(contents);
+
+  // Phase 2: per-file rule checks against the index.
+  std::vector<Finding> findings;
+  for (const auto& [file, content] : contents) {
+    std::vector<Finding> file_findings = audit_file(file, content, config, index);
     findings.insert(findings.end(), file_findings.begin(), file_findings.end());
   }
   std::sort(findings.begin(), findings.end());
   return findings;
-}
-
-std::string format_findings(const std::vector<Finding>& findings) {
-  std::string out;
-  for (const Finding& f : findings) {
-    out += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " + f.message + "\n";
-  }
-  return out;
 }
 
 }  // namespace parva::audit

@@ -1,0 +1,672 @@
+// Phase-1 symbol indexing and the symbol-aware rules R6-R8.
+//
+// Phase 1 walks every file in the scan set and records each function whose
+// return type is status-like (NvmlReturn / ErrorCode / Status / Result<...>)
+// together with whether any declaration of it carries [[nodiscard]]. Phase 2
+// then checks each file against that index: declarations must be
+// [[nodiscard]] (a definition is excused when its header declaration is),
+// and no expression statement may drop the result of an indexed call.
+//
+// Like the rest of parva_audit this is lexical, not a front end: no name
+// lookup and no overload resolution. The index is keyed by bare function
+// name, which is precise enough for this codebase (status-returning names
+// are not reused for non-status functions) and keeps phase 1 a single
+// token-stream pass per file.
+#include <cctype>
+#include <initializer_list>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "internal.hpp"
+
+namespace parva::audit::internal {
+namespace {
+
+const std::set<std::string>& status_types() {
+  static const std::set<std::string> kTypes = {"NvmlReturn", "ErrorCode", "Status",
+                                               "Result"};
+  return kTypes;
+}
+
+bool is_decl_specifier(const Token& t) {
+  static const std::set<std::string> kSpecifiers = {
+      "static", "virtual", "inline",   "constexpr", "consteval",
+      "extern", "friend",  "explicit", "mutable"};
+  return t.kind == Token::Kind::kIdent && kSpecifiers.count(t.text) != 0;
+}
+
+/// One status-returning function declarator found in a file.
+struct StatusFunction {
+  std::string name;
+  int line = 0;
+  bool nodiscard = false;    ///< declarator carries a [[nodiscard]] attribute
+  bool has_body = false;     ///< definition (brace body follows)
+  bool qualified = false;    ///< out-of-class declarator: Type Class::name(...)
+};
+
+/// Walks backwards from `type_begin` (the index of the return-type token)
+/// over decl-specifiers and attribute blocks. Returns true when what
+/// precedes is a declaration boundary (';', '{', '}', ':', '>', or file
+/// start) rather than an expression context, and reports whether a
+/// [[nodiscard]] attribute was crossed on the way.
+bool in_decl_context(const std::vector<Token>& toks, std::size_t type_begin,
+                     bool* saw_nodiscard) {
+  *saw_nodiscard = false;
+  std::size_t i = type_begin;
+  while (i > 0) {
+    const Token& prev = toks[i - 1];
+    if (is_decl_specifier(prev)) {
+      --i;
+      continue;
+    }
+    if (i >= 2 && is_punct(prev, "]") && is_punct(toks[i - 2], "]")) {
+      // Attribute block [[...]]: scan back to the opening '[' '['.
+      std::size_t j = i - 2;  // index of the inner ']'
+      bool opened = false;
+      while (j > 0) {
+        if (j >= 2 && is_punct(toks[j - 1], "[") && is_punct(toks[j - 2], "[")) {
+          opened = true;
+          j -= 2;
+          break;
+        }
+        if (toks[j - 1].kind == Token::Kind::kIdent && toks[j - 1].text == "nodiscard") {
+          *saw_nodiscard = true;
+        }
+        --j;
+      }
+      if (!opened) return false;  // stray brackets (array subscript): not a decl
+      i = j;
+      continue;
+    }
+    return is_punct(prev, ";") || is_punct(prev, "{") || is_punct(prev, "}") ||
+           is_punct(prev, ":") || is_punct(prev, ">");
+  }
+  return true;  // file start
+}
+
+/// Scans a token stream for status-returning function declarators.
+std::vector<StatusFunction> scan_status_functions(const LexedFile& lexed) {
+  const auto& toks = lexed.tokens;
+  const std::size_t n = toks.size();
+  std::vector<StatusFunction> out;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || status_types().count(toks[i].text) == 0) {
+      continue;
+    }
+    // Rewind over a namespace qualifier chain (gpu::NvmlReturn lexes as
+    // `gpu : : NvmlReturn`) so the decl-context test sees the chain start.
+    std::size_t type_begin = i;
+    while (type_begin >= 3 && is_punct(toks[type_begin - 1], ":") &&
+           is_punct(toks[type_begin - 2], ":") &&
+           toks[type_begin - 3].kind == Token::Kind::kIdent) {
+      type_begin -= 3;
+    }
+    bool saw_nodiscard = false;
+    if (!in_decl_context(toks, type_begin, &saw_nodiscard)) continue;
+
+    std::size_t j = i + 1;
+    if (toks[i].text == "Result") {
+      // Result must carry template arguments to be a return type here.
+      if (j >= n || !is_punct(toks[j], "<")) continue;
+      int depth = 1;
+      for (++j; j < n && depth > 0; ++j) {
+        if (is_punct(toks[j], "<")) ++depth;
+        if (is_punct(toks[j], ">")) --depth;
+      }
+      if (depth > 0) continue;
+    }
+    while (j < n && (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+                     is_ident(toks[j], "const"))) {
+      ++j;
+    }
+    if (j >= n || toks[j].kind != Token::Kind::kIdent) continue;
+
+    // Declarator name, possibly qualified: ident (:: ident)*. The finding
+    // anchors at the return type's line (where [[nodiscard]] belongs).
+    std::string name = toks[j].text;
+    const int decl_line = toks[type_begin].line;
+    bool qualified = false;
+    ++j;
+    bool chain_ok = true;
+    while (j + 1 < n && is_punct(toks[j], ":") && is_punct(toks[j + 1], ":")) {
+      j += 2;
+      if (j >= n || toks[j].kind != Token::Kind::kIdent) {
+        chain_ok = false;
+        break;
+      }
+      name = toks[j].text;
+      qualified = true;
+      ++j;
+    }
+    if (!chain_ok) continue;
+    if (name == toks[i].text) continue;  // out-of-class constructor: Status::Status
+    if (j >= n || !is_punct(toks[j], "(")) continue;  // variable, not a function
+
+    // Skip the parameter list.
+    int pd = 1;
+    for (++j; j < n && pd > 0; ++j) {
+      if (is_punct(toks[j], "(")) ++pd;
+      if (is_punct(toks[j], ")")) --pd;
+    }
+    if (pd > 0) continue;
+    // Post-qualifiers: const, noexcept(...), override, final, trailing attrs.
+    while (j < n) {
+      if (is_ident(toks[j], "const") || is_ident(toks[j], "override") ||
+          is_ident(toks[j], "final")) {
+        ++j;
+      } else if (is_ident(toks[j], "noexcept")) {
+        ++j;
+        if (j < n && is_punct(toks[j], "(")) {
+          int d = 1;
+          for (++j; j < n && d > 0; ++j) {
+            if (is_punct(toks[j], "(")) ++d;
+            if (is_punct(toks[j], ")")) --d;
+          }
+        }
+      } else {
+        break;
+      }
+    }
+    bool has_body = false;
+    bool is_decl = false;
+    if (j < n) {
+      if (is_punct(toks[j], "{")) {
+        has_body = true;
+      } else if (is_punct(toks[j], ";") || is_punct(toks[j], "=")) {
+        is_decl = true;  // pure declaration, or `= default` / `= delete`
+      }
+    }
+    if (!has_body && !is_decl) continue;
+    out.push_back({name, decl_line, saw_nodiscard, has_body, qualified});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// R6 call-site scan: expression statements that drop an indexed call's
+// result, and status temporaries constructed and discarded.
+// ---------------------------------------------------------------------------
+
+/// Validates a statement prefix as a pure member/scope access chain ending
+/// in a separator right before the call name: `deployer_->nvml().`,
+/// `gpu::`, empty, or a leading `(void)` cast (which is tracked so the
+/// finding can demand an allow(R6) justification). Anything else -- `return`,
+/// `if`, an assignment, a declaration (`Status teardown(...)`) -- means the
+/// result is consumed or this is not a call.
+bool prefix_is_discard_chain(const std::vector<Token>& toks, std::size_t begin,
+                             std::size_t end, bool* void_cast) {
+  std::size_t idx = begin;
+  *void_cast = false;
+  // Strip leading control-flow constructs so `if (lost) kill(x);` is seen.
+  for (;;) {
+    if (idx < end && toks[idx].kind == Token::Kind::kIdent &&
+        (toks[idx].text == "else" || toks[idx].text == "do")) {
+      ++idx;
+      continue;
+    }
+    if (idx < end && toks[idx].kind == Token::Kind::kIdent &&
+        (toks[idx].text == "if" || toks[idx].text == "while" ||
+         toks[idx].text == "for" || toks[idx].text == "switch")) {
+      std::size_t j = idx + 1;
+      // `if constexpr (...)`
+      if (j < end && is_ident(toks[j], "constexpr")) ++j;
+      if (j < end && is_punct(toks[j], "(")) {
+        int d = 1;
+        for (++j; j < end && d > 0; ++j) {
+          if (is_punct(toks[j], "(")) ++d;
+          if (is_punct(toks[j], ")")) --d;
+        }
+        if (d > 0) return false;
+        idx = j;
+        continue;
+      }
+      return false;
+    }
+    break;
+  }
+  if (idx + 2 < end && is_punct(toks[idx], "(") && is_ident(toks[idx + 1], "void") &&
+      is_punct(toks[idx + 2], ")")) {
+    *void_cast = true;
+    idx += 3;
+  }
+  enum class State { kExpectIdent, kAfterIdent };
+  State state = State::kExpectIdent;
+  while (idx < end) {
+    const Token& t = toks[idx];
+    if (state == State::kExpectIdent) {
+      if (t.kind != Token::Kind::kIdent) return false;
+      state = State::kAfterIdent;
+      ++idx;
+      continue;
+    }
+    // kAfterIdent: a separator, or an intermediate call's argument list.
+    if (is_punct(t, ".")) {
+      state = State::kExpectIdent;
+      ++idx;
+    } else if (idx + 1 < end && is_punct(t, "-") && is_punct(toks[idx + 1], ">")) {
+      state = State::kExpectIdent;
+      idx += 2;
+    } else if (idx + 1 < end && is_punct(t, ":") && is_punct(toks[idx + 1], ":")) {
+      state = State::kExpectIdent;
+      idx += 2;
+    } else if (is_punct(t, "(")) {
+      int d = 1;
+      for (++idx; idx < end && d > 0; ++idx) {
+        if (is_punct(toks[idx], "(")) ++d;
+        if (is_punct(toks[idx], ")")) --d;
+      }
+      if (d > 0) return false;
+      // Still kAfterIdent: `.nvml()` is followed by another separator.
+    } else {
+      return false;
+    }
+  }
+  // The prefix must end mid-chain (after a separator) or be empty: the call
+  // name itself completes the chain.
+  return state == State::kExpectIdent;
+}
+
+void check_call_discards(const LexedFile& lexed, const std::string& path,
+                         const SymbolIndex& index, std::vector<Finding>& findings) {
+  const auto& toks = lexed.tokens;
+  const std::size_t n = toks.size();
+  std::size_t stmt_start = 0;  // index AFTER the last boundary token
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Token& t = toks[i];
+    if (is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "}")) {
+      stmt_start = i + 1;
+      continue;
+    }
+    if (t.kind != Token::Kind::kIdent || i + 1 >= n || !is_punct(toks[i + 1], "(")) {
+      continue;
+    }
+    const bool is_indexed_call = index.status_functions.count(t.text) != 0;
+    const bool is_status_temporary = status_types().count(t.text) != 0;
+    if (!is_indexed_call && !is_status_temporary) continue;
+
+    bool void_cast = false;
+    if (!prefix_is_discard_chain(toks, stmt_start, i, &void_cast)) continue;
+    // Match the call's argument list.
+    std::size_t j = i + 1;
+    int d = 1;
+    for (++j; j < n && d > 0; ++j) {
+      if (is_punct(toks[j], "(")) ++d;
+      if (is_punct(toks[j], ")")) --d;
+    }
+    if (d > 0 || j >= n || !is_punct(toks[j], ";")) continue;  // result consumed
+
+    if (is_indexed_call) {
+      std::string message =
+          void_cast
+              ? "call to '" + t.text + "' discards its status result via (void) "
+                "without justification: add `// parva-audit: allow(R6) <why>` "
+                "if the discard is deliberate"
+              : "call to '" + t.text + "' discards its status result: check it, "
+                "log via common/logging and propagate or count the failure";
+      add_finding(findings, lexed, path, t.line, "R6", std::move(message));
+    } else {
+      add_finding(findings, lexed, path, t.line, "R6",
+                  "status temporary '" + t.text + "(...)' constructed and "
+                  "immediately discarded: the error it carries is lost");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R7: mutex-owning classes must annotate their mutable data members.
+// ---------------------------------------------------------------------------
+
+bool token_in(const std::vector<Token>& stmt, std::initializer_list<const char*> names) {
+  for (const Token& t : stmt) {
+    if (t.kind != Token::Kind::kIdent) continue;
+    for (const char* name : names) {
+      if (t.text == name) return true;
+    }
+  }
+  return false;
+}
+
+bool is_lock_type(const std::vector<Token>& stmt) {
+  return token_in(stmt, {"mutex", "shared_mutex", "recursive_mutex", "timed_mutex",
+                         "recursive_timed_mutex", "shared_timed_mutex", "Mutex",
+                         "SharedMutex"});
+}
+
+bool is_exempt_member_type(const std::vector<Token>& stmt) {
+  // Self-synchronizing or synchronization-primitive members need no guard
+  // annotation; const members are immutable after construction.
+  return token_in(stmt, {"atomic", "atomic_flag", "condition_variable",
+                         "condition_variable_any", "once_flag", "const", "constexpr"});
+}
+
+/// Last identifier before the initializer ('=', '@body') or subscript.
+const Token* member_declarator(const std::vector<Token>& stmt) {
+  const Token* declarator = nullptr;
+  for (const Token& t : stmt) {
+    if (is_punct(t, "=") || t.text == "@body" || is_punct(t, "[")) break;
+    if (t.kind == Token::Kind::kIdent) declarator = &t;
+  }
+  return declarator;
+}
+
+}  // namespace
+
+void check_r7(const LexedFile& lexed, const std::string& path,
+              std::vector<Finding>& findings) {
+  enum class ScopeKind { kNamespace, kClass, kFunction, kOther };
+  struct Member {
+    std::string name;
+    int line = 0;
+    bool annotated = false;
+    std::string guard;  ///< PARVA_GUARDED_BY argument, when annotated
+  };
+  struct Scope {
+    ScopeKind kind = ScopeKind::kOther;
+    std::string class_name;
+    std::vector<Member> members;
+    std::vector<std::string> lock_members;
+    std::vector<Token> saved_stmt;
+    bool continues_stmt = false;
+  };
+  const Token kBodyMarker{Token::Kind::kPunct, "@body", 0};
+
+  auto parse_member = [&](Scope& scope, std::vector<Token> stmt) {
+    // Strip leading access specifiers: `public : ...`.
+    while (stmt.size() >= 2 && stmt[0].kind == Token::Kind::kIdent &&
+           (stmt[0].text == "public" || stmt[0].text == "private" ||
+            stmt[0].text == "protected") &&
+           is_punct(stmt[1], ":")) {
+      stmt.erase(stmt.begin(), stmt.begin() + 2);
+    }
+    if (stmt.size() < 2) return;
+    if (token_in(stmt, {"using", "typedef", "friend", "static_assert", "template",
+                        "operator", "enum", "class", "struct", "union", "static"})) {
+      return;
+    }
+    // Function vs data member: a '(' at angle-depth 0 before any '='.
+    int angle = 0;
+    std::size_t paren = stmt.size();
+    std::size_t assign = stmt.size();
+    bool has_body = false;
+    for (std::size_t i = 0; i < stmt.size(); ++i) {
+      if (is_punct(stmt[i], "<")) ++angle;
+      if (is_punct(stmt[i], ">") && angle > 0) --angle;
+      if (angle != 0) continue;
+      if (paren == stmt.size() && is_punct(stmt[i], "(")) paren = i;
+      if (assign == stmt.size() && is_punct(stmt[i], "=")) assign = i;
+      if (stmt[i].text == "@body") has_body = true;
+    }
+    // PARVA_GUARDED_BY(...) contributes a paren; detect the annotation first.
+    bool annotated = false;
+    std::string guard;
+    for (std::size_t i = 0; i + 1 < stmt.size(); ++i) {
+      if (stmt[i].kind == Token::Kind::kIdent &&
+          (stmt[i].text == "PARVA_GUARDED_BY" || stmt[i].text == "PARVA_PT_GUARDED_BY") &&
+          is_punct(stmt[i + 1], "(")) {
+        annotated = true;
+        for (std::size_t k = i + 2; k < stmt.size() && !is_punct(stmt[k], ")"); ++k) {
+          guard += stmt[k].text;
+        }
+      }
+    }
+    if (!annotated && paren < assign && !has_body) return;  // member function decl
+    if (is_lock_type(stmt)) {
+      if (const Token* decl = member_declarator(stmt)) {
+        scope.lock_members.push_back(decl->text);
+      }
+      return;
+    }
+    if (is_exempt_member_type(stmt)) return;
+    const Token* decl = member_declarator(stmt);
+    if (decl == nullptr) return;
+    scope.members.push_back({decl->text, decl->line, annotated, guard});
+  };
+
+  auto evaluate_class = [&](const Scope& scope) {
+    if (scope.lock_members.empty()) return;
+    for (const Member& m : scope.members) {
+      if (!m.annotated) {
+        add_finding(findings, lexed, path, m.line, "R7",
+                    "mutable member '" + m.name + "' of mutex-owning class '" +
+                    scope.class_name + "' lacks PARVA_GUARDED_BY(" +
+                    scope.lock_members.front() + ") (src/common/thread_annotations.hpp); "
+                    "make it const, atomic, or annotate the lock that guards it");
+        continue;
+      }
+      bool known = false;
+      for (const std::string& lock : scope.lock_members) {
+        if (m.guard.find(lock) != std::string::npos) known = true;
+      }
+      if (!known) {
+        add_finding(findings, lexed, path, m.line, "R7",
+                    "PARVA_GUARDED_BY(" + m.guard + ") on member '" + m.name +
+                    "' names no mutex member of class '" + scope.class_name + "'");
+      }
+    }
+  };
+
+  std::vector<Scope> stack;
+  std::vector<Token> stmt;
+  auto in_class = [&] { return !stack.empty() && stack.back().kind == ScopeKind::kClass; };
+
+  for (const Token& t : lexed.tokens) {
+    if (is_punct(t, "{")) {
+      Scope scope;
+      bool has_parens = false;
+      int paren_depth = 0;
+      std::size_t depth0_assign = stmt.size();
+      for (std::size_t i = 0; i < stmt.size(); ++i) {
+        if (is_punct(stmt[i], "(")) {
+          ++paren_depth;
+          has_parens = true;
+        } else if (is_punct(stmt[i], ")")) {
+          --paren_depth;
+        } else if (paren_depth == 0 && depth0_assign == stmt.size() &&
+                   is_punct(stmt[i], "=")) {
+          depth0_assign = i;
+        }
+      }
+      if (token_in(stmt, {"namespace"})) {
+        scope.kind = ScopeKind::kNamespace;
+      } else if (token_in(stmt, {"class", "struct", "union"}) &&
+                 !token_in(stmt, {"enum"})) {
+        scope.kind = ScopeKind::kClass;
+        scope.continues_stmt = true;
+        // Class name: last identifier before a base-clause ':' (skipping
+        // 'final'), or simply the last identifier of the head.
+        for (std::size_t i = 0; i < stmt.size(); ++i) {
+          if (is_punct(stmt[i], ":") &&
+              !(i > 0 && is_punct(stmt[i - 1], ":")) &&
+              !(i + 1 < stmt.size() && is_punct(stmt[i + 1], ":"))) {
+            break;
+          }
+          if (stmt[i].kind == Token::Kind::kIdent && stmt[i].text != "final" &&
+              stmt[i].text != "class" && stmt[i].text != "struct" &&
+              stmt[i].text != "union" && stmt[i].text != "alignas") {
+            scope.class_name = stmt[i].text;
+          }
+        }
+      } else if (stmt.empty()) {
+        scope.kind = ScopeKind::kOther;
+      } else if (depth0_assign != stmt.size()) {
+        scope.kind = ScopeKind::kOther;
+        scope.continues_stmt = true;
+      } else if (has_parens || is_punct(stmt.back(), ")")) {
+        scope.kind = ScopeKind::kFunction;
+      } else {
+        scope.kind = ScopeKind::kOther;
+        scope.continues_stmt = true;  // direct brace init: Type name{...}
+      }
+      if (scope.continues_stmt) scope.saved_stmt = stmt;
+      stack.push_back(std::move(scope));
+      stmt.clear();
+    } else if (is_punct(t, "}")) {
+      if (!stack.empty()) {
+        Scope top = std::move(stack.back());
+        stack.pop_back();
+        stmt.clear();
+        if (top.kind == ScopeKind::kClass) evaluate_class(top);
+        if (top.continues_stmt) {
+          stmt = std::move(top.saved_stmt);
+          stmt.push_back(kBodyMarker);
+        }
+      }
+    } else if (is_punct(t, ";")) {
+      if (in_class()) parse_member(stack.back(), stmt);
+      stmt.clear();
+    } else {
+      stmt.push_back(t);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R8: MIG geometry is table-driven.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool name_suggests_geometry(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return lower.find("slot") != std::string::npos ||
+         lower.find("start") != std::string::npos ||
+         lower.find("placement") != std::string::npos;
+}
+
+}  // namespace
+
+void check_r8(const LexedFile& lexed, const std::string& path,
+              std::vector<Finding>& findings) {
+  const std::string p = normalize(path);
+  const auto& toks = lexed.tokens;
+
+  if (ends_with(p, "gpu/mig_geometry.hpp")) {
+    // The geometry header itself must keep the proved constexpr tables.
+    bool has_profile = false, has_placement = false, has_assert = false,
+         has_constexpr = false;
+    for (const Token& t : toks) {
+      if (t.kind != Token::Kind::kIdent) continue;
+      if (t.text == "kProfileTable") has_profile = true;
+      if (t.text == "kPlacementTable") has_placement = true;
+      if (t.text == "static_assert") has_assert = true;
+      if (t.text == "constexpr") has_constexpr = true;
+    }
+    if (!has_profile || !has_placement || !has_assert || !has_constexpr) {
+      add_finding(findings, lexed, path, 1, "R8",
+                  "mig_geometry.hpp must define constexpr kProfileTable and "
+                  "kPlacementTable with static_assert proofs of the Fig. 1 "
+                  "invariants (GPC sums <= 7, memory slices <= 8, start-slot "
+                  "legality, no intra-profile overlap)");
+    }
+    return;
+  }
+  if (ends_with(p, "gpu/mig_geometry.cpp") || ends_with(p, "gpu/arch.hpp")) {
+    return;  // the geometry implementation itself
+  }
+
+  // (a) Hardcoded slot tables: a declarator whose name mentions
+  // slot/start/placement, brace-initialized from >= 2 ascending integer
+  // literals all within the A100 slot range 0..6.
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent || !name_suggests_geometry(t.text)) continue;
+    // Declarator context: preceded by a type token, not an expression.
+    if (i == 0) continue;
+    const Token& prev = toks[i - 1];
+    const bool decl_context =
+        prev.kind == Token::Kind::kIdent || is_punct(prev, ">");
+    if (!decl_context) continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && is_punct(toks[j], "[")) {  // array declarator
+      for (++j; j < toks.size() && !is_punct(toks[j], "]"); ++j) {
+      }
+      if (j < toks.size()) ++j;
+    }
+    if (j < toks.size() && is_punct(toks[j], "=")) ++j;
+    if (j >= toks.size() || !is_punct(toks[j], "{")) continue;
+    int depth = 1;
+    std::vector<long> values;
+    bool only_numbers = true;
+    for (++j; j < toks.size() && depth > 0; ++j) {
+      if (is_punct(toks[j], "{")) ++depth;
+      else if (is_punct(toks[j], "}")) --depth;
+      else if (toks[j].kind == Token::Kind::kNumber) values.push_back(std::stol(toks[j].text));
+      else if (!is_punct(toks[j], ",")) only_numbers = false;
+    }
+    if (!only_numbers || values.size() < 2) continue;
+    bool slot_range = true;
+    for (std::size_t k = 0; k < values.size(); ++k) {
+      if (values[k] < 0 || values[k] > 6) slot_range = false;
+      if (k > 0 && values[k] <= values[k - 1]) slot_range = false;
+    }
+    if (!slot_range) continue;
+    add_finding(findings, lexed, path, t.line, "R8",
+                "hardcoded slot table '" + t.text + "': A100 start-slot/placement "
+                "data must come from the proved constexpr tables in "
+                "src/gpu/mig_geometry.hpp (legal_start_slots / kPlacementTable)");
+  }
+
+  // (b) Shadow definitions of the geometry API outside the geometry files.
+  static const std::set<std::string> kGeometryApi = {
+      "legal_start_slots", "preferred_start_slots", "is_legal_placement",
+      "find_start_slot",   "enumerate_maximal_configs", "enumerate_all_configs"};
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent || kGeometryApi.count(t.text) == 0) continue;
+    if (!is_punct(toks[i + 1], "(")) continue;
+    if (i == 0) continue;
+    const Token& prev = toks[i - 1];
+    if (prev.kind != Token::Kind::kIdent && !is_punct(prev, ">") &&
+        !is_punct(prev, "&") && !is_punct(prev, "*") && !is_punct(prev, ":")) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    int d = 1;
+    for (++j; j < toks.size() && d > 0; ++j) {
+      if (is_punct(toks[j], "(")) ++d;
+      if (is_punct(toks[j], ")")) --d;
+    }
+    while (j < toks.size() &&
+           (is_ident(toks[j], "const") || is_ident(toks[j], "noexcept"))) {
+      ++j;
+    }
+    if (j < toks.size() && is_punct(toks[j], "{")) {
+      add_finding(findings, lexed, path, t.line, "R8",
+                  "'" + t.text + "' redefines the MIG geometry API outside "
+                  "src/gpu/mig_geometry.*: runtime placement code must consult "
+                  "the single proved implementation");
+    }
+  }
+}
+
+void scan_status_functions_into_index(const LexedFile& lexed, SymbolIndex& index) {
+  for (const StatusFunction& fn : scan_status_functions(lexed)) {
+    auto [it, inserted] = index.status_functions.emplace(fn.name, fn.nodiscard);
+    if (!inserted && fn.nodiscard) it->second = true;
+  }
+}
+
+void check_r6(const LexedFile& lexed, const std::string& path, const SymbolIndex& index,
+              std::vector<Finding>& findings) {
+  for (const StatusFunction& fn : scan_status_functions(lexed)) {
+    if (fn.nodiscard) continue;
+    if (fn.has_body || fn.qualified) {
+      // A definition is excused when some declaration of the same name in
+      // the scan set carries the attribute (header decl covers cpp def).
+      auto it = index.status_functions.find(fn.name);
+      if (it != index.status_functions.end() && it->second) continue;
+    }
+    add_finding(findings, lexed, path, fn.line, "R6",
+                "function '" + fn.name + "' returns a status type but is not "
+                "declared [[nodiscard]]: a dropped MIG control-plane error "
+                "corrupts placement state silently");
+  }
+  check_call_discards(lexed, path, index, findings);
+}
+
+}  // namespace parva::audit::internal
