@@ -149,6 +149,37 @@ int main(int argc, char** argv) {
     report.add("des_events_per_sec_S2", median(rates));
   }
 
+  // 3b. Sharded-DES scaling curve: the same S2 workload decomposed into
+  //     1/2/4 shards, reported as critical-path throughput — total events
+  //     over the busiest shard's execution time. Shards are timed
+  //     sequentially (no shard pool), so each shard's span excludes any
+  //     scheduler contention: the number equals wall-clock throughput on a
+  //     machine granting one core per shard, and stays meaningful on the
+  //     single-core CI box. scripts/bench_perf.sh gates the 4/1 ratio.
+  {
+    const Scenario& sc = scenario("S2");
+    auto scheduler = context.make_scheduler(Framework::kParvaGpu);
+    const auto schedule = scheduler->schedule(sc.services).value();
+    serving::SimulationOptions options;
+    options.duration_ms = smoke ? 200.0 : 1'000.0;
+    options.warmup_ms = smoke ? 20.0 : 100.0;
+    for (const int shards : {1, 2, 4}) {
+      options.shards = shards;
+      std::vector<double> rates;
+      for (int r = 0; r < reps; ++r) {
+        serving::ClusterSimulation sim(schedule.deployment, sc.services, context.perf());
+        const serving::SimulationResult result = sim.run(options);
+        double critical_ms = 0.0;
+        for (const double busy : result.shard_busy_ms) {
+          critical_ms = std::max(critical_ms, busy);
+        }
+        rates.push_back(static_cast<double>(result.events_processed) /
+                        (critical_ms / 1000.0));
+      }
+      report.add("des_events_per_sec_shards_" + std::to_string(shards), median(rates));
+    }
+  }
+
   // 4. End-to-end Fig. 8 sweep: every framework x scenario, three seeds
   //    each, parallel seed simulations — the full experiment workload.
   {

@@ -12,8 +12,11 @@
 //   simulate --scenario S2 | --services services.csv
 //            [--inject-fault gpu=0@t=10000] [--transient-p 0.15]
 //            [--seed 7] [--duration-ms 28000] [--telemetry-out PREFIX]
+//            [--shards N]
 //       Schedule, then replay the deployment in the discrete-event
-//       simulator. With --inject-fault the named GPU drops out XID-style at
+//       simulator. --shards N partitions the services across N engine
+//       shards running on a thread pool (DESIGN.md §4.5); the report and
+//       telemetry exports are byte-identical for every N. With --inject-fault the named GPU drops out XID-style at
 //       the given simulated time; the self-healing repair path re-places
 //       the displaced segments and the report shows compliance through the
 //       failure (pre / degraded / recovered) plus recovery metrics.
@@ -34,6 +37,7 @@
 
 #include "common/cli.hpp"
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
 #include "common/table.hpp"
 #include "core/metrics.hpp"
 #include "core/parvagpu.hpp"
@@ -58,7 +62,8 @@ int usage() {
                "  scenarios\n"
                "  simulate  --services services.csv | --scenario S2\n"
                "            [--inject-fault gpu=0@t=10000] [--transient-p 0.15]\n"
-               "            [--seed 7] [--duration-ms 28000] [--telemetry-out PREFIX]\n";
+               "            [--seed 7] [--duration-ms 28000] [--telemetry-out PREFIX]\n"
+               "            [--shards N]\n";
   return 2;
 }
 
@@ -291,6 +296,23 @@ int cmd_simulate(const CliArgs& args) {
   }
   options.warmup_ms = 2'000.0;
   options.timeline_bucket_ms = 2'000.0;
+
+  // Sharded engine (DESIGN.md §4.5): a dedicated pool for the shards —
+  // the sim itself runs on this thread, so handing it a pool it also
+  // occupies would deadlock parallel_for.
+  std::unique_ptr<ThreadPool> shard_pool;
+  if (args.has("shards")) {
+    if (!parse_double(args.get("shards", ""), value) || value < 1.0) {
+      std::cerr << "bad --shards (want an integer >= 1)\n";
+      return 1;
+    }
+    options.shards = static_cast<int>(value);
+    if (options.shards > 1) {
+      shard_pool = std::make_unique<ThreadPool>(
+          static_cast<std::size_t>(options.shards));
+      options.shard_pool = shard_pool.get();
+    }
+  }
 
   // Materialise the fleet on the (possibly faulty) control plane; on a
   // scheduled loss, run the repair path and feed its replacements into the

@@ -17,11 +17,48 @@ echo "== configure + build (release preset) =="
 cmake --preset release >/dev/null
 cmake --build --preset release -j "$(nproc)" --target perf_regression
 
+# Pulls one numeric field out of a flat perf-report JSON (empty if absent).
+json_field() {
+  awk -v key="\"$2\":" '$1 == key { gsub(/[",]/, "", $2); print $2 }' "$1"
+}
+
 if [[ "$mode" == "--smoke" ]]; then
   echo "== perf smoke =="
   ./build-release/bench/perf_regression --smoke
 else
+  # Reference shard-scaling ratio from the committed report, captured
+  # before the run overwrites it.
+  ref_ratio=""
+  if [[ -f BENCH_perf.json ]]; then
+    ref_s1="$(json_field BENCH_perf.json des_events_per_sec_shards_1)"
+    ref_s4="$(json_field BENCH_perf.json des_events_per_sec_shards_4)"
+    if [[ -n "$ref_s1" && -n "$ref_s4" ]]; then
+      ref_ratio="$(awk -v a="$ref_s4" -v b="$ref_s1" 'BEGIN { printf "%.3f", a / b }')"
+    fi
+  fi
+
   echo "== perf regression (full, medians of 9 reps) =="
   ./build-release/bench/perf_regression --out BENCH_perf.json
   echo "[json: BENCH_perf.json]"
+
+  # Shard-scaling gate: the 4-shard critical-path throughput must stay at
+  # least 2x the single-shard number (the decomposition actually scales),
+  # and must not regress more than 20% against the committed ratio.
+  new_s1="$(json_field BENCH_perf.json des_events_per_sec_shards_1)"
+  new_s4="$(json_field BENCH_perf.json des_events_per_sec_shards_4)"
+  if [[ -z "$new_s1" || -z "$new_s4" ]]; then
+    echo "bench_perf: report is missing the shard-scaling fields" >&2
+    exit 1
+  fi
+  new_ratio="$(awk -v a="$new_s4" -v b="$new_s1" 'BEGIN { printf "%.3f", a / b }')"
+  echo "[shard scaling: 4-shard/1-shard = ${new_ratio}x (reference: ${ref_ratio:-none})]"
+  if awk -v r="$new_ratio" 'BEGIN { exit !(r < 2.0) }'; then
+    echo "bench_perf: shard scaling ${new_ratio}x fell below the 2.0x floor" >&2
+    exit 1
+  fi
+  if [[ -n "$ref_ratio" ]] &&
+     awk -v r="$new_ratio" -v ref="$ref_ratio" 'BEGIN { exit !(r < 0.8 * ref) }'; then
+    echo "bench_perf: shard scaling ${new_ratio}x regressed >20% vs ${ref_ratio}x" >&2
+    exit 1
+  fi
 fi

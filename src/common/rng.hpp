@@ -64,9 +64,27 @@ class Rng {
   /// component its own stream without correlation.
   Rng split() { return Rng(next_u64() ^ 0xa02bdbf7bb3c0a7ULL); }
 
+  /// Derives the (tag, index) stream of a seed as a pure function of its
+  /// arguments — unlike split(), which depends on the parent's draw
+  /// position. Per-entity streams built this way are stable no matter how
+  /// many other entities exist or in what order they are constructed; the
+  /// sharded event engine relies on this to give every service and every
+  /// unit the exact same stream regardless of the shard partition.
+  static Rng stream(std::uint64_t seed, std::uint64_t tag, std::uint64_t index) {
+    std::uint64_t x = mix64(seed + 0x9e3779b97f4a7c15ULL * (tag + 1));
+    x = mix64(x + 0x9e3779b97f4a7c15ULL * (index + 1));
+    return Rng(x);
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
+  }
+  /// SplitMix64 finalizer: the same mix reseed() applies per state word.
+  static constexpr std::uint64_t mix64(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
   }
   std::uint64_t state_[4] = {};
 };

@@ -1,15 +1,30 @@
 #include "serving/cluster_sim.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <string>
+#include <utility>
 
+#include "common/thread_pool.hpp"
 #include "core/metrics.hpp"
 #include "gpu/arch.hpp"
 #include "serving/event_engine.hpp"
+#include "serving/shard_engine.hpp"
 
 namespace parva::serving {
 namespace {
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+// Rng::stream tags: one family of independent streams per entity kind.
+constexpr std::uint64_t kArrivalRngTag = 1;  ///< per-service arrival process
+constexpr std::uint64_t kJitterRngTag = 2;   ///< per-unit batch-latency jitter
+
+// Bits of the per-unit emission counter inside a BufferedRecord sub-key
+// (see shard_engine.hpp: sub = (global unit + 1) << 20 | emission).
+constexpr unsigned kSubEmissionBits = 20;
 
 struct Request {
   int service_id = -1;
@@ -81,249 +96,112 @@ struct UnitState {
 
 using BatchPool = SlotPool<std::vector<Request>>;
 
-}  // namespace
+/// Static run parameters shared read-only by every shard. Every field is a
+/// pure function of (options, deployment, services) — never of execution —
+/// so shards consult them without synchronisation.
+struct RunConfig {
+  double warmup_ms = 0.0;
+  double horizon_ms = 0.0;
+  double timeline_bucket_ms = 0.0;
+  std::size_t timeline_buckets = 0;
+  ArrivalProcess arrivals = ArrivalProcess::kDeterministic;
+  /// Canonical key of the first scheduled device loss (time < 0: none).
+  /// Phase accounting compares event keys against this boundary, which is
+  /// exactly the single-engine dynamic rule: an event lands pre-failure iff
+  /// it precedes the failure in the global (time, seq) order.
+  double first_failure_ms = -1.0;
+  std::uint64_t first_failure_seq = 0;
+  double recovered_at_ms = 0.0;
+  bool buffer_records = false;       ///< telemetry sink attached
+  bool record_batch_events = false;  ///< EventLog batch records requested
+};
 
-double SimulationResult::overall_compliance() const {
-  std::size_t total = 0;
-  std::size_t violated = 0;
-  for (const ServiceOutcome& outcome : services) {
-    total += outcome.batches;
-    violated += outcome.violated_batches;
-  }
-  return total == 0 ? 1.0
-                    : 1.0 - static_cast<double>(violated) / static_cast<double>(total);
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
-double SimulationResult::worst_compliance() const {
-  double worst = 1.0;
-  for (const ServiceOutcome& outcome : services) worst = std::min(worst, outcome.compliance());
-  return worst;
-}
+/// One sub-engine: the full simulation restricted to a subset of the
+/// services (and their units). Between window barriers a shard is touched
+/// by exactly one thread, and the barriers (ThreadPool::parallel_for joins)
+/// order every handoff to and from the coordinator — the happens-before
+/// discipline that replaces locks on all of this state.
+struct Shard {
+  const RunConfig* cfg = nullptr;
 
-SimulationResult ClusterSimulation::run(const SimulationOptions& options) const {
-  PARVA_REQUIRE(options.duration_ms > 0.0, "duration must be positive");
-  const double horizon_ms = options.warmup_ms + options.duration_ms;
+  // Services (local index -> global metadata), in ascending global order.
+  std::vector<std::size_t> svc_global;
+  std::vector<int> svc_id;
+  std::vector<double> svc_slo_ms;
+  std::vector<double> svc_rate;
+  std::vector<double> paced_gap_ms;
+  std::vector<Rng> arrival_rng;
+  ArrivalStreams arrivals;
+  std::size_t arrival_s = 0;  ///< cached arrivals.earliest()
 
-  Rng master(options.seed);
-  Rng arrival_rng = master.split();
-  // Inter-arrival sampler: paced generator (with a phase offset per
-  // service so services do not arrive in lock-step) or Poisson. The paced
-  // gap of a service never changes, so it is computed once up front.
-  std::vector<double> paced_gap_ms(services_.size(), 0.0);
-  for (std::size_t s = 0; s < services_.size(); ++s) {
-    if (services_[s].request_rate > 0.0) {
-      paced_gap_ms[s] = 1.0 / (services_[s].request_rate / 1000.0);
-    }
-  }
-  auto next_gap_ms = [&](std::size_t s) {
-    if (options.arrivals == ArrivalProcess::kPoisson) {
-      return arrival_rng.exponential(services_[s].request_rate / 1000.0);
-    }
-    return paced_gap_ms[s];
-  };
-  Rng service_time_rng = master.split();
-  Rng dispatch_rng = master.split();
-
-  // Per-unit runtime state. The per-fill-level latency scale and SM-work
-  // tables hoist the work-model evaluations out of the batch hot path.
-  std::vector<UnitState> units(deployment_->units.size());
-  for (std::size_t i = 0; i < units.size(); ++i) {
-    units[i].unit = &deployment_->units[i];
-    units[i].traits = perf_->catalog().find(deployment_->units[i].model);
-    units[i].idle_processes = std::max(1, deployment_->units[i].procs);
-    units[i].capacity = std::max(1e-9, deployment_->units[i].actual_throughput);
-    const int batch = units[i].unit->batch;
-    units[i].fill_scale.assign(static_cast<std::size_t>(batch) + 1, 1.0);
-    units[i].sm_work.assign(static_cast<std::size_t>(batch) + 1, 0.0);
-    if (units[i].traits != nullptr) {
-      const double full =
-          perfmodel::AnalyticalPerfModel::batch_work_ms(*units[i].traits, batch);
-      for (int take = 1; take <= batch; ++take) {
-        const double partial =
-            perfmodel::AnalyticalPerfModel::batch_work_ms(*units[i].traits, take);
-        if (take < batch) units[i].fill_scale[static_cast<std::size_t>(take)] = partial / full;
-        units[i].sm_work[static_cast<std::size_t>(take)] = partial * gpu::kSmsPerGpc;
-      }
-    }
-  }
-
-  // Service index lookup and per-service unit lists, flattened into one
-  // contiguous array with offsets (the dispatch path walks them on every
-  // arrival), plus cached copies of the per-service scalars it touches.
-  std::vector<std::uint32_t> svc_unit_off(services_.size() + 1, 0);
+  // Units (local index -> global metadata), in ascending global order.
+  std::vector<UnitState> units;
+  std::vector<std::size_t> unit_global;
+  std::vector<int> unit_service;  ///< local service index (-1: orphan unit)
+  std::vector<Rng> jitter_rng;
+  std::vector<SeqStream> completion_seq;
+  std::vector<std::uint32_t> svc_unit_off;
   std::vector<std::uint32_t> svc_unit_flat;
-  svc_unit_flat.reserve(units.size());
-  std::vector<int> unit_service(units.size(), -1);
-  std::vector<int> svc_id(services_.size(), -1);
-  std::vector<double> svc_slo_ms(services_.size(), 0.0);
-  for (std::size_t s = 0; s < services_.size(); ++s) {
-    svc_unit_off[s] = static_cast<std::uint32_t>(svc_unit_flat.size());
-    svc_id[s] = services_[s].id;
-    svc_slo_ms[s] = services_[s].slo_latency_ms;
-    for (std::size_t u = 0; u < units.size(); ++u) {
-      if (units[u].unit->service_id == services_[s].id) {
-        svc_unit_flat.push_back(static_cast<std::uint32_t>(u));
-        unit_service[u] = static_cast<int>(s);
-      }
-    }
-  }
-  svc_unit_off[services_.size()] = static_cast<std::uint32_t>(svc_unit_flat.size());
 
-  std::vector<ServiceOutcome> outcomes(services_.size());
-  for (std::size_t s = 0; s < services_.size(); ++s) {
-    outcomes[s].service_id = services_[s].id;
-    outcomes[s].offered_rate = services_[s].request_rate;
-  }
-
-  SimulationResult result;
-
-  // Telemetry handles (no-op sinks when options.telemetry is null, so the
-  // hot path below pays one null test per recording site). Per-service
-  // series are labeled by service id; seed sweeps sharing one Telemetry
-  // aggregate across runs.
-  telemetry::Telemetry* tel = options.telemetry;
-  const bool tel_request_events = tel != nullptr && tel->options().request_events;
-  std::vector<telemetry::Counter> tel_svc_requests(services_.size());
-  std::vector<telemetry::Counter> tel_svc_shed(services_.size());
-  telemetry::Counter tel_batches;
-  telemetry::Counter tel_violated_batches;
-  telemetry::Counter tel_events_processed;
-  telemetry::HistogramMetric tel_latency;
-  if (tel != nullptr) {
-    telemetry::MetricsRegistry& m = tel->metrics();
-    tel_batches = m.counter("parva_sim_batches_total", "Batches served after warm-up");
-    tel_violated_batches =
-        m.counter("parva_sim_violated_batches_total", "Served batches that missed their SLO");
-    tel_events_processed =
-        m.counter("parva_sim_events_total", "Discrete events the engine processed");
-    tel_latency = m.histogram("parva_sim_request_latency_ms",
-                              telemetry::MetricsRegistry::default_latency_buckets_ms(),
-                              "End-to-end request latency");
-    for (std::size_t s = 0; s < services_.size(); ++s) {
-      const std::string labels = "service=\"" + std::to_string(svc_id[s]) + "\"";
-      tel_svc_requests[s] = m.counter("parva_sim_requests_total",
-                                      "Requests completed after warm-up", labels);
-      tel_svc_shed[s] =
-          m.counter("parva_sim_shed_requests_total", "Requests dropped by failures", labels);
-    }
-  }
-
-  // Timeline buckets cover the measurement window [warmup, horizon).
-  std::vector<TimelineBucket> timeline;
-  if (options.timeline_bucket_ms > 0.0) {
-    const auto buckets = static_cast<std::size_t>(
-        std::ceil(options.duration_ms / options.timeline_bucket_ms));
-    timeline.resize(buckets);
-    for (std::size_t b = 0; b < buckets; ++b) {
-      timeline[b].t_ms = static_cast<double>(b) * options.timeline_bucket_ms;
-    }
-  }
-  auto bucket_of = [&](double t) -> TimelineBucket* {
-    if (timeline.empty() || t < options.warmup_ms) return nullptr;
-    const auto idx = static_cast<std::size_t>((t - options.warmup_ms) /
-                                              options.timeline_bucket_ms);
-    return idx < timeline.size() ? &timeline[idx] : nullptr;
-  };
-
-  // Event engine: flat pooled heap with (time, seq) ordering, and recycled
-  // slot storage for in-flight batches (see event_engine.hpp).
   EventQueue events;
   BatchPool batches;
 
-  auto make_event = [](double time_ms, EventKind kind, int unit_index,
-                       std::uint32_t slot = 0, std::uint32_t generation = 0) {
-    SimEvent event;
-    event.time_ms = time_ms;
-    event.kind = kind;
-    event.unit_index = unit_index;
-    event.slot = slot;
-    event.generation = generation;
-    return event;
-  };
+  // Accounting, merged by the coordinator after the last window.
+  std::vector<ServiceOutcome> outcomes;
+  PhaseStats pre_failure;
+  PhaseStats degraded;
+  PhaseStats post_recovery;
+  std::vector<TimelineBucket> timeline;
+  std::vector<BufferedRecord> records;
+  std::size_t events_processed = 0;
+  double busy_ms = 0.0;  ///< wall-clock spent advancing this shard
 
-  // Per-service arrival streams, kept OUT of the heap: each service has at
-  // most one pending arrival at a time, so a flat (time, seq) slot per
-  // service replaces ~half the heap traffic with an O(#services) argmin
-  // over a contiguous array of doubles. Streams draw seq numbers from the
-  // heap's counter at exactly the moment a push would have happened, so
-  // the merged order — ties included — is identical to keeping arrivals in
-  // the heap. (Two streams tie only at exactly equal times, where the seq
-  // pass picks the earlier-scheduled one, matching heap semantics.)
-  constexpr double kNever = std::numeric_limits<double>::infinity();
-  const std::size_t service_count = services_.size();
-  std::vector<double> arrival_time(service_count, kNever);
-  std::vector<std::uint64_t> arrival_seq(service_count, 0);
-  auto earliest_arrival = [&]() {
-    std::size_t best = service_count;
-    double best_time = kNever;
-    for (std::size_t s = 0; s < service_count; ++s) {
-      if (arrival_time[s] < best_time) {
-        best_time = arrival_time[s];
-        best = s;
-      }
-    }
-    if (best == service_count) return best;
-    for (std::size_t s = best + 1; s < service_count; ++s) {
-      if (arrival_time[s] == best_time && arrival_seq[s] < arrival_seq[best]) best = s;
-    }
-    return best;
-  };
+  bool idle() const { return arrival_s == svc_global.size() && events.empty(); }
 
-  // Seed the first arrival of every service (random phase).
-  for (std::size_t s = 0; s < service_count; ++s) {
-    if (services_[s].request_rate <= 0.0 || svc_unit_off[s + 1] == svc_unit_off[s]) continue;
-    arrival_time[s] = arrival_rng.next_double() * next_gap_ms(s);
-    arrival_seq[s] = events.issue_seq();
+  double next_gap_ms(std::size_t s) {
+    if (cfg->arrivals == ArrivalProcess::kPoisson) {
+      return arrival_rng[s].exponential(svc_rate[s] / 1000.0);
+    }
+    return paced_gap_ms[s];
   }
 
-  // Schedule the fault plan's device losses and the repair activations.
-  if (options.fault_plan != nullptr) {
-    for (const gpu::GpuFailureEvent& failure : options.fault_plan->sorted_gpu_failures()) {
-      if (failure.at_ms > horizon_ms) continue;
-      events.push(make_event(failure.at_ms, EventKind::kGpuFailure,
-                             static_cast<int>(failure.gpu_index)));
+  PhaseStats* phase_of(double t, std::uint64_t seq) {
+    if (cfg->first_failure_ms < 0.0 || t < cfg->first_failure_ms ||
+        (t == cfg->first_failure_ms && seq < cfg->first_failure_seq)) {
+      return &pre_failure;
     }
+    return (cfg->recovered_at_ms > 0.0 && t >= cfg->recovered_at_ms) ? &post_recovery
+                                                                     : &degraded;
   }
-  for (const UnitActivation& activation : options.activations) {
-    PARVA_REQUIRE(activation.unit_index < units.size(), "activation index out of range");
-    units[activation.unit_index].up = false;  // dormant until its time comes
-    if (activation.at_ms <= horizon_ms) {
-      events.push(make_event(activation.at_ms, EventKind::kUnitActivate,
-                             static_cast<int>(activation.unit_index)));
-    }
+
+  TimelineBucket* bucket_of(double t) {
+    if (timeline.empty() || t < cfg->warmup_ms) return nullptr;
+    const auto idx =
+        static_cast<std::size_t>((t - cfg->warmup_ms) / cfg->timeline_bucket_ms);
+    return idx < timeline.size() ? &timeline[idx] : nullptr;
   }
-  double recovered_at = options.recovered_at_ms;
-  if (recovered_at <= 0.0) {
-    for (const UnitActivation& activation : options.activations) {
-      recovered_at = std::max(recovered_at, activation.at_ms);
+
+  /// Accounts one request dropped by a failure while processing the event
+  /// with canonical key (now, seq); `sub` serialises multiple drops under
+  /// that key. Pre-warm-up requests are not measured.
+  void shed_one(std::size_t s, double request_arrival_ms, double now, std::uint64_t seq,
+                std::uint64_t sub) {
+    if (request_arrival_ms < cfg->warmup_ms) return;
+    ++outcomes[s].shed_requests;
+    ++phase_of(now, seq)->shed_requests;
+    if (TimelineBucket* bucket = bucket_of(now)) ++bucket->shed_requests;
+    if (cfg->buffer_records) {
+      records.push_back({now, seq, sub, telemetry::EventKind::kRequestShed,
+                         /*gpu=*/-1, svc_id[s], 0.0});
     }
   }
 
-  auto phase_of = [&](double t) -> PhaseStats* {
-    if (result.failure_at_ms < 0.0 || t < result.failure_at_ms) return &result.pre_failure;
-    return (recovered_at > 0.0 && t >= recovered_at) ? &result.post_recovery
-                                                     : &result.degraded;
-  };
-
-  auto shed_requests = [&](const Request* first, const Request* last, double now) {
-    for (const Request* request = first; request != last; ++request) {
-      if (request->arrival_ms < options.warmup_ms) continue;
-      for (std::size_t s = 0; s < services_.size(); ++s) {
-        if (services_[s].id != request->service_id) continue;
-        ++outcomes[s].shed_requests;
-        tel_svc_shed[s].inc();
-        break;
-      }
-      ++phase_of(now)->shed_requests;
-      if (TimelineBucket* bucket = bucket_of(now)) ++bucket->shed_requests;
-      if (tel != nullptr) {
-        tel->events().record(telemetry::EventKind::kRequestShed, now, /*gpu=*/-1,
-                             request->service_id);
-      }
-    }
-  };
-
-  auto start_batch_if_possible = [&](std::size_t ui, double now) {
+  void start_batch_if_possible(std::size_t ui, double now) {
     UnitState& state = units[ui];
     while (state.up && state.idle_processes > 0 && !state.queue.empty()) {
       const auto take = std::min<std::size_t>(static_cast<std::size_t>(state.unit->batch),
@@ -332,43 +210,37 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
       state.queue.drain_into(batches[slot].payload, take);
       // Service time: ground-truth full-batch latency scaled to the fill
       // level through the work model (partial batches finish faster, via
-      // the precomputed fill_scale table), with multiplicative jitter.
+      // the precomputed fill_scale table), with multiplicative jitter drawn
+      // from the unit's own stream — so the draw sequence of a unit is the
+      // same no matter which shard hosts it.
       double service_ms = state.unit->actual_latency_ms * state.fill_scale[take];
-      service_ms = perfmodel::AnalyticalPerfModel::sample_latency_ms(service_ms,
-                                                                     service_time_rng);
+      service_ms =
+          perfmodel::AnalyticalPerfModel::sample_latency_ms(service_ms, jitter_rng[ui]);
       // Charge SM-time (Eq. 3 numerator) within the measurement window.
-      if (state.traits != nullptr && now >= options.warmup_ms) {
+      if (state.traits != nullptr && now >= cfg->warmup_ms) {
         state.busy_sm_ms += state.sm_work[take];
       }
       --state.idle_processes;
       state.in_flight_slots.push_back(slot);
       state.in_flight_requests += take;
-      events.push(make_event(now + service_ms, EventKind::kBatchComplete,
-                             static_cast<int>(ui), slot, batches[slot].generation));
+      SimEvent event;
+      event.time_ms = now + service_ms;
+      event.seq = completion_seq[ui].next();
+      event.kind = EventKind::kBatchComplete;
+      event.unit_index = static_cast<int>(ui);
+      event.slot = slot;
+      event.generation = batches[slot].generation;
+      events.push(event);
     }
-  };
+  }
 
-  double now = 0.0;
-  std::size_t events_processed = 0;
-  std::size_t arrival_s = earliest_arrival();
-  while (arrival_s != service_count || !events.empty()) {
-    // Merge the arrival streams with the heap on (time, seq): an arrival
-    // fires when it precedes the heap top in the global event order.
-    const bool take_arrival =
-        arrival_s != service_count &&
-        (events.empty() || arrival_time[arrival_s] < events.top().time_ms ||
-         (arrival_time[arrival_s] == events.top().time_ms &&
-          arrival_seq[arrival_s] < events.top().seq));
-
-    if (take_arrival) {
-      const std::size_t s = arrival_s;
-      now = arrival_time[s];
-      ++events_processed;
-      arrival_time[s] = kNever;
-      if (now > horizon_ms) {
-        arrival_s = earliest_arrival();
-        continue;
-      }
+  void process_arrival() {
+    const std::size_t s = arrival_s;
+    const double now = arrivals.time(s);
+    const std::uint64_t seq = arrivals.seq(s);
+    ++events_processed;
+    arrivals.retire(s);
+    if (now <= cfg->horizon_ms) {
       // Dispatch to the live unit with the smallest expected delay: backlog
       // (queued + in service) over ground-truth capacity. A service whose
       // every unit is down (mid-failure, pre-repair) sheds the request —
@@ -397,10 +269,8 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
           }
         }
       }
-      (void)dispatch_rng;
       if (!any_live) {
-        const Request lost{svc_id[s], now};
-        shed_requests(&lost, &lost + 1, now);
+        shed_one(s, now, now, seq, /*sub=*/0);
       } else {
         units[chosen].queue.push_back(Request{svc_id[s], now});
         start_batch_if_possible(chosen, now);
@@ -408,43 +278,15 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
 
       // Schedule the next arrival of this service.
       const double next = now + next_gap_ms(s);
-      if (next <= horizon_ms) {
-        arrival_time[s] = next;
-        arrival_seq[s] = events.issue_seq();
-      }
-      arrival_s = earliest_arrival();
-      continue;
+      if (next <= cfg->horizon_ms) arrivals.arm(s, next);
     }
+    arrival_s = arrivals.earliest();
+  }
 
-    const SimEvent event = events.pop();
-    now = event.time_ms;
+  void process_event(const SimEvent& event) {
+    const double now = event.time_ms;
     ++events_processed;
-    if (event.kind == EventKind::kGpuFailure) {
-      // XID-style device loss: every unit on the GPU stops serving; its
-      // queue and in-flight batches are shed (the device reset destroys
-      // the processes mid-request). Releasing the slots bumps their
-      // generations, so the already-queued completions go stale.
-      const int gpu = event.unit_index;
-      if (result.failure_at_ms < 0.0) result.failure_at_ms = now;
-      if (tel != nullptr) {
-        tel->events().record(telemetry::EventKind::kGpuFailure, now, gpu);
-      }
-      for (std::size_t ui = 0; ui < units.size(); ++ui) {
-        UnitState& state = units[ui];
-        if (state.unit->gpu_index != gpu || !state.up) continue;
-        state.up = false;
-        shed_requests(state.queue.begin(), state.queue.end(), now);
-        state.queue.clear();
-        for (std::uint32_t slot : state.in_flight_slots) {
-          const std::vector<Request>& payload = batches[slot].payload;
-          shed_requests(payload.data(), payload.data() + payload.size(), now);
-          batches.release(slot);
-        }
-        state.in_flight_slots.clear();
-        state.in_flight_requests = 0;
-        state.idle_processes = 0;
-      }
-    } else if (event.kind == EventKind::kUnitActivate) {
+    if (event.kind == EventKind::kUnitActivate) {
       // A repair replacement comes online with a full complement of idle
       // processes and an empty queue; the dispatcher starts routing to it
       // on the next arrival.
@@ -452,92 +294,501 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
       UnitState& state = units[ui];
       state.up = true;
       state.idle_processes = std::max(1, state.unit->procs);
-      if (tel != nullptr) {
-        tel->events().record(telemetry::EventKind::kUnitActivated, now,
-                             state.unit->gpu_index, state.unit->service_id);
+      if (cfg->buffer_records) {
+        records.push_back({now, event.seq, 0, telemetry::EventKind::kUnitActivated,
+                           state.unit->gpu_index, state.unit->service_id, 0.0});
       }
       start_batch_if_possible(ui, now);
-    } else {
-      const auto ui = static_cast<std::size_t>(event.unit_index);
+      return;
+    }
+    // Device losses are delivered by the coordinator at window barriers
+    // (apply_failure), never through a shard's heap.
+    PARVA_CHECK(event.kind == EventKind::kBatchComplete, "unexpected heap event kind");
+    const auto ui = static_cast<std::size_t>(event.unit_index);
+    UnitState& state = units[ui];
+    if (!batches.current(event.slot, event.generation)) return;  // died with its GPU
+    const std::vector<Request>& requests = batches[event.slot].payload;
+    ++state.idle_processes;
+    const auto slot_it =
+        std::find(state.in_flight_slots.begin(), state.in_flight_slots.end(), event.slot);
+    PARVA_CHECK(slot_it != state.in_flight_slots.end(),
+                "completion without in-flight batch");
+    *slot_it = state.in_flight_slots.back();
+    state.in_flight_slots.pop_back();
+    state.in_flight_requests -= requests.size();
+
+    // Account the batch against its service (skip warm-up).
+    if (!requests.empty() && requests.front().arrival_ms >= cfg->warmup_ms) {
+      const int s_idx = unit_service[ui];
+      PARVA_CHECK(s_idx >= 0, "unit without a service");
+      const auto s = static_cast<std::size_t>(s_idx);
+      ServiceOutcome& outcome = outcomes[s];
+      PhaseStats* phase = phase_of(now, event.seq);  // by completion time
+      ++outcome.batches;
+      bool violated = false;
+      for (const Request& request : requests) {
+        const double latency = now - request.arrival_ms;
+        outcome.request_latency_ms.add(latency);
+        ++outcome.requests;
+        ++phase->requests;
+        if (latency > svc_slo_ms[s]) {
+          violated = true;
+          ++phase->violated_requests;
+        }
+      }
+      if (violated) ++outcome.violated_batches;
+      if (cfg->record_batch_events) {
+        records.push_back({now, event.seq, 0, telemetry::EventKind::kBatchCompleted,
+                           state.unit->gpu_index, svc_id[s],
+                           static_cast<double>(requests.size())});
+      }
+
+      // Phase + timeline accounting, by completion time.
+      ++phase->batches;
+      if (violated) ++phase->violated_batches;
+      if (TimelineBucket* bucket = bucket_of(now)) {
+        ++bucket->batches;
+        if (violated) ++bucket->violated_batches;
+      }
+    }
+    batches.release(event.slot);
+    start_batch_if_possible(ui, now);
+  }
+
+  /// Processes every local event whose canonical key precedes
+  /// (bound_ms, bound_seq); events at or past the bound stay pending for a
+  /// later window.
+  void advance(double bound_ms, std::uint64_t bound_seq) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t n = svc_global.size();
+    while (true) {
+      const bool have_arrival = arrival_s != n;
+      const bool have_event = !events.empty();
+      if (!have_arrival && !have_event) break;
+      // Merge the arrival streams with the heap on (time, seq): an arrival
+      // fires when it precedes the heap top in the global event order.
+      bool take_arrival = have_arrival;
+      if (have_arrival && have_event) {
+        const SimEvent& top = events.top();
+        take_arrival = arrivals.time(arrival_s) < top.time_ms ||
+                       (arrivals.time(arrival_s) == top.time_ms &&
+                        arrivals.seq(arrival_s) < top.seq);
+      }
+      const double t = take_arrival ? arrivals.time(arrival_s) : events.top().time_ms;
+      const std::uint64_t q = take_arrival ? arrivals.seq(arrival_s) : events.top().seq;
+      if (t > bound_ms || (t == bound_ms && q >= bound_seq)) break;
+      if (take_arrival) {
+        process_arrival();
+      } else {
+        process_event(events.pop());
+      }
+    }
+    busy_ms += ms_since(t0);
+  }
+
+  /// XID-style device loss, delivered at a window barrier: every local unit
+  /// on the GPU stops serving; its queue and in-flight batches are shed
+  /// (the device reset destroys the processes mid-request). Releasing the
+  /// slots bumps their generations, so the already-queued completions go
+  /// stale. Shed records carry sub-keys built from the *global* unit index,
+  /// so the merged stream interleaves shards exactly as a single engine's
+  /// ascending unit-index loop would.
+  void apply_failure(int gpu, double now, std::uint64_t seq) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t ui = 0; ui < units.size(); ++ui) {
       UnitState& state = units[ui];
-      if (!batches.current(event.slot, event.generation)) continue;  // died with its GPU
-      const std::vector<Request>& requests = batches[event.slot].payload;
-      ++state.idle_processes;
-      const auto slot_it =
-          std::find(state.in_flight_slots.begin(), state.in_flight_slots.end(), event.slot);
-      PARVA_CHECK(slot_it != state.in_flight_slots.end(),
-                  "completion without in-flight batch");
-      *slot_it = state.in_flight_slots.back();
-      state.in_flight_slots.pop_back();
-      state.in_flight_requests -= requests.size();
+      if (state.unit->gpu_index != gpu || !state.up) continue;
+      state.up = false;
+      // An orphan unit (no matching service) cannot hold requests, so the
+      // shed loops below never dereference its -1 service index.
+      const auto s = static_cast<std::size_t>(unit_service[ui]);
+      const std::uint64_t unit_sub = (static_cast<std::uint64_t>(unit_global[ui]) + 1)
+                                     << kSubEmissionBits;
+      std::uint64_t emission = 0;
+      for (const Request* request = state.queue.begin(); request != state.queue.end();
+           ++request) {
+        PARVA_CHECK(emission >> kSubEmissionBits == 0, "shed emission overflow");
+        shed_one(s, request->arrival_ms, now, seq, unit_sub | emission++);
+      }
+      state.queue.clear();
+      for (const std::uint32_t slot : state.in_flight_slots) {
+        for (const Request& request : batches[slot].payload) {
+          PARVA_CHECK(emission >> kSubEmissionBits == 0, "shed emission overflow");
+          shed_one(s, request.arrival_ms, now, seq, unit_sub | emission++);
+        }
+        batches.release(slot);
+      }
+      state.in_flight_slots.clear();
+      state.in_flight_requests = 0;
+      state.idle_processes = 0;
+    }
+    busy_ms += ms_since(t0);
+  }
+};
 
-      // Account the batch against its service (skip warm-up).
-      if (!requests.empty() && requests.front().arrival_ms >= options.warmup_ms) {
-        const int s_idx = unit_service[ui];
-        PARVA_CHECK(s_idx >= 0, "unit without a service");
-        const auto s = static_cast<std::size_t>(s_idx);
-        ServiceOutcome& outcome = outcomes[s];
-        PhaseStats* phase = phase_of(now);  // by completion time
-        ++outcome.batches;
-        tel_batches.inc();
-        bool violated = false;
-        for (const Request& request : requests) {
-          const double latency = now - request.arrival_ms;
-          outcome.request_latency_ms.add(latency);
-          ++outcome.requests;
-          ++phase->requests;
-          tel_latency.observe(latency);
-          tel_svc_requests[s].inc();
-          if (latency > svc_slo_ms[s]) {
-            violated = true;
-            ++phase->violated_requests;
-          }
-        }
-        if (violated) {
-          ++outcome.violated_batches;
-          tel_violated_batches.inc();
-        }
-        if (tel_request_events) {
-          tel->events().record(telemetry::EventKind::kBatchCompleted, now,
-                               state.unit->gpu_index, svc_id[s],
-                               static_cast<double>(requests.size()));
-        }
+}  // namespace
 
-        // Phase + timeline accounting, by completion time.
-        ++phase->batches;
-        if (violated) ++phase->violated_batches;
-        if (TimelineBucket* bucket = bucket_of(now)) {
-          ++bucket->batches;
-          if (violated) ++bucket->violated_batches;
+double SimulationResult::overall_compliance() const {
+  std::size_t total = 0;
+  std::size_t violated = 0;
+  for (const ServiceOutcome& outcome : services) {
+    total += outcome.batches;
+    violated += outcome.violated_batches;
+  }
+  return total == 0 ? 1.0
+                    : 1.0 - static_cast<double>(violated) / static_cast<double>(total);
+}
+
+double SimulationResult::worst_compliance() const {
+  double worst = 1.0;
+  for (const ServiceOutcome& outcome : services) worst = std::min(worst, outcome.compliance());
+  return worst;
+}
+
+SimulationResult ClusterSimulation::run(const SimulationOptions& options) const {
+  PARVA_REQUIRE(options.duration_ms > 0.0, "duration must be positive");
+  PARVA_REQUIRE(options.shards >= 1, "shard count must be >= 1");
+  const double horizon_ms = options.warmup_ms + options.duration_ms;
+  const std::size_t service_count = services_.size();
+  const std::size_t unit_count = deployment_->units.size();
+  const auto shard_count = static_cast<std::size_t>(options.shards);
+
+  RunConfig cfg;
+  cfg.warmup_ms = options.warmup_ms;
+  cfg.horizon_ms = horizon_ms;
+  cfg.timeline_bucket_ms = options.timeline_bucket_ms;
+  cfg.arrivals = options.arrivals;
+  if (options.timeline_bucket_ms > 0.0) {
+    cfg.timeline_buckets = static_cast<std::size_t>(
+        std::ceil(options.duration_ms / options.timeline_bucket_ms));
+  }
+
+  // Fault schedule with canonical keys: a failure's key is its position in
+  // the *sorted plan* (not the horizon-filtered list), so the key of a
+  // given failure never depends on the run length.
+  struct FaultDelivery {
+    double at_ms = 0.0;
+    std::uint64_t seq = 0;
+    int gpu = -1;
+  };
+  std::vector<FaultDelivery> faults;
+  if (options.fault_plan != nullptr) {
+    const auto sorted = options.fault_plan->sorted_gpu_failures();
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      if (sorted[i].at_ms > horizon_ms) continue;
+      faults.push_back({sorted[i].at_ms, canonical_seq(kFaultStreamId, i),
+                        static_cast<int>(sorted[i].gpu_index)});
+    }
+  }
+  if (!faults.empty()) {
+    cfg.first_failure_ms = faults.front().at_ms;
+    cfg.first_failure_seq = faults.front().seq;
+  }
+
+  double recovered_at = options.recovered_at_ms;
+  if (recovered_at <= 0.0) {
+    for (const UnitActivation& activation : options.activations) {
+      recovered_at = std::max(recovered_at, activation.at_ms);
+    }
+  }
+  cfg.recovered_at_ms = recovered_at;
+
+  // Telemetry handles, registered up front (a scrape sees every series even
+  // for a run with no traffic) and flushed once, in canonical per-service
+  // order, after the last window — which makes the scrape a pure function
+  // of the merged result, byte-identical across shard counts.
+  telemetry::Telemetry* tel = options.telemetry;
+  cfg.buffer_records = tel != nullptr;
+  cfg.record_batch_events = tel != nullptr && tel->options().request_events;
+  std::vector<telemetry::Counter> tel_svc_requests(service_count);
+  std::vector<telemetry::Counter> tel_svc_shed(service_count);
+  telemetry::Counter tel_batches;
+  telemetry::Counter tel_violated_batches;
+  telemetry::Counter tel_events_processed;
+  telemetry::HistogramMetric tel_latency;
+  if (tel != nullptr) {
+    telemetry::MetricsRegistry& m = tel->metrics();
+    tel_batches = m.counter("parva_sim_batches_total", "Batches served after warm-up");
+    tel_violated_batches =
+        m.counter("parva_sim_violated_batches_total", "Served batches that missed their SLO");
+    tel_events_processed =
+        m.counter("parva_sim_events_total", "Discrete events the engine processed");
+    tel_latency = m.histogram("parva_sim_request_latency_ms",
+                              telemetry::MetricsRegistry::default_latency_buckets_ms(),
+                              "End-to-end request latency");
+    for (std::size_t s = 0; s < service_count; ++s) {
+      const std::string labels = "service=\"" + std::to_string(services_[s].id) + "\"";
+      tel_svc_requests[s] = m.counter("parva_sim_requests_total",
+                                      "Requests completed after warm-up", labels);
+      tel_svc_shed[s] =
+          m.counter("parva_sim_shed_requests_total", "Requests dropped by failures", labels);
+    }
+  }
+
+  // Deterministic service partition; every unit follows its service.
+  std::vector<double> rates(service_count, 0.0);
+  for (std::size_t s = 0; s < service_count; ++s) rates[s] = services_[s].request_rate;
+  const std::vector<int> assignment = partition_services(rates, options.shards);
+
+  std::vector<int> unit_svc_global(unit_count, -1);
+  for (std::size_t u = 0; u < unit_count; ++u) {
+    for (std::size_t s = 0; s < service_count; ++s) {
+      if (services_[s].id == deployment_->units[u].service_id) {
+        unit_svc_global[u] = static_cast<int>(s);
+        break;
+      }
+    }
+  }
+
+  std::vector<Shard> shards(shard_count);
+  std::vector<int> svc_shard_local(service_count, -1);
+  for (std::size_t s = 0; s < service_count; ++s) {
+    Shard& shard = shards[static_cast<std::size_t>(assignment[s])];
+    svc_shard_local[s] = static_cast<int>(shard.svc_global.size());
+    shard.svc_global.push_back(s);
+    shard.svc_id.push_back(services_[s].id);
+    shard.svc_slo_ms.push_back(services_[s].slo_latency_ms);
+    shard.svc_rate.push_back(services_[s].request_rate);
+    shard.paced_gap_ms.push_back(
+        services_[s].request_rate > 0.0 ? 1.0 / (services_[s].request_rate / 1000.0) : 0.0);
+    // Per-service stream as a pure function of (seed, service index): the
+    // same stream no matter which shard hosts the service.
+    shard.arrival_rng.push_back(Rng::stream(options.seed, kArrivalRngTag, s));
+  }
+
+  // Per-unit runtime state (orphan units — no matching service — ride on
+  // shard 0; they serve nothing and only contribute a zero activity). The
+  // per-fill-level latency scale and SM-work tables hoist the work-model
+  // evaluations out of the batch hot path.
+  std::vector<std::size_t> unit_shard_local(unit_count, 0);
+  for (std::size_t u = 0; u < unit_count; ++u) {
+    const int sg = unit_svc_global[u];
+    Shard& shard = shards[sg >= 0 ? static_cast<std::size_t>(assignment[sg]) : 0];
+    unit_shard_local[u] = shard.units.size();
+    shard.unit_global.push_back(u);
+    shard.unit_service.push_back(sg >= 0 ? svc_shard_local[sg] : -1);
+    shard.jitter_rng.push_back(Rng::stream(options.seed, kJitterRngTag, u));
+    shard.completion_seq.emplace_back(completion_stream_id(service_count, u));
+    shard.units.emplace_back();
+    UnitState& state = shard.units.back();
+    state.unit = &deployment_->units[u];
+    state.traits = perf_->catalog().find(deployment_->units[u].model);
+    state.idle_processes = std::max(1, deployment_->units[u].procs);
+    state.capacity = std::max(1e-9, deployment_->units[u].actual_throughput);
+    const int batch = state.unit->batch;
+    state.fill_scale.assign(static_cast<std::size_t>(batch) + 1, 1.0);
+    state.sm_work.assign(static_cast<std::size_t>(batch) + 1, 0.0);
+    if (state.traits != nullptr) {
+      const double full =
+          perfmodel::AnalyticalPerfModel::batch_work_ms(*state.traits, batch);
+      for (int take = 1; take <= batch; ++take) {
+        const double partial =
+            perfmodel::AnalyticalPerfModel::batch_work_ms(*state.traits, take);
+        if (take < batch) state.fill_scale[static_cast<std::size_t>(take)] = partial / full;
+        state.sm_work[static_cast<std::size_t>(take)] = partial * gpu::kSmsPerGpc;
+      }
+    }
+  }
+
+  for (Shard& shard : shards) {
+    shard.cfg = &cfg;
+    const std::size_t local_services = shard.svc_global.size();
+    shard.svc_unit_off.assign(local_services + 1, 0);
+    for (std::size_t ls = 0; ls < local_services; ++ls) {
+      shard.svc_unit_off[ls] = static_cast<std::uint32_t>(shard.svc_unit_flat.size());
+      for (std::size_t lu = 0; lu < shard.units.size(); ++lu) {
+        if (shard.unit_service[lu] == static_cast<int>(ls)) {
+          shard.svc_unit_flat.push_back(static_cast<std::uint32_t>(lu));
         }
       }
-      batches.release(event.slot);
-      start_batch_if_possible(ui, now);
+    }
+    shard.svc_unit_off[local_services] = static_cast<std::uint32_t>(shard.svc_unit_flat.size());
+
+    shard.outcomes.resize(local_services);
+    for (std::size_t ls = 0; ls < local_services; ++ls) {
+      shard.outcomes[ls].service_id = shard.svc_id[ls];
+      shard.outcomes[ls].offered_rate = shard.svc_rate[ls];
+    }
+    if (cfg.timeline_buckets > 0) {
+      shard.timeline.resize(cfg.timeline_buckets);
+      for (std::size_t b = 0; b < cfg.timeline_buckets; ++b) {
+        shard.timeline[b].t_ms = static_cast<double>(b) * cfg.timeline_bucket_ms;
+      }
+    }
+
+    // Seed the first arrival of every service (random phase; the phase
+    // draw precedes any gap draw on the service's stream).
+    shard.arrivals = ArrivalStreams(shard.svc_global);
+    for (std::size_t ls = 0; ls < local_services; ++ls) {
+      if (shard.svc_rate[ls] <= 0.0 ||
+          shard.svc_unit_off[ls + 1] == shard.svc_unit_off[ls]) {
+        continue;
+      }
+      const double phase = shard.arrival_rng[ls].next_double();
+      shard.arrivals.arm(ls, phase * shard.next_gap_ms(ls));
+    }
+    shard.arrival_s = shard.arrivals.earliest();
+  }
+
+  // Repair activations: dormant at t=0, woken by an intra-shard heap event
+  // keyed by the activation's position in options.activations.
+  for (std::size_t i = 0; i < options.activations.size(); ++i) {
+    const UnitActivation& activation = options.activations[i];
+    PARVA_REQUIRE(activation.unit_index < unit_count, "activation index out of range");
+    const int sg = unit_svc_global[activation.unit_index];
+    Shard& shard = shards[sg >= 0 ? static_cast<std::size_t>(assignment[sg]) : 0];
+    const std::size_t lu = unit_shard_local[activation.unit_index];
+    shard.units[lu].up = false;  // dormant until its time comes
+    if (activation.at_ms <= horizon_ms) {
+      SimEvent event;
+      event.time_ms = activation.at_ms;
+      event.seq = canonical_seq(kActivationStreamId, i);
+      event.kind = EventKind::kUnitActivate;
+      event.unit_index = static_cast<int>(lu);
+      shard.events.push(event);
+    }
+  }
+
+  // ----- Coordinator: conservative windows with barrier fault delivery.
+  //
+  // The only cross-shard coupling is a GPU failure (one device can host
+  // units of services on different shards), and the fault schedule is
+  // static — so the next undelivered failure's canonical key is an *exact*
+  // conservative bound: every shard can safely process all events that
+  // precede it. shard_window_ms > 0 adds forced lockstep barriers on top
+  // (the general conservative protocol), which must not — and, by the
+  // differential tests, does not — change any output.
+  ThreadPool* pool = options.shard_pool;
+  auto run_window = [&](double bound_ms, std::uint64_t bound_seq) {
+    if (pool != nullptr && shard_count > 1) {
+      pool->parallel_for(shard_count,
+                         [&](std::size_t k) { shards[k].advance(bound_ms, bound_seq); });
+    } else {
+      for (Shard& shard : shards) shard.advance(bound_ms, bound_seq);
+    }
+  };
+  auto all_idle = [&]() {
+    for (const Shard& shard : shards) {
+      if (!shard.idle()) return false;
+    }
+    return true;
+  };
+
+  SimulationResult result;
+  std::vector<BufferedRecord> coordinator_records;
+  std::size_t fault_events = 0;
+  std::size_t next_fault = 0;
+  double window_end = options.shard_window_ms;
+  while (true) {
+    const bool have_fault = next_fault < faults.size();
+    double bound_ms = have_fault ? faults[next_fault].at_ms : kNever;
+    std::uint64_t bound_seq = have_fault ? faults[next_fault].seq : 0;
+    bool forced = false;
+    if (options.shard_window_ms > 0.0 && window_end < bound_ms && !all_idle()) {
+      bound_ms = window_end;
+      bound_seq = 0;
+      forced = true;
+    }
+    run_window(bound_ms, bound_seq);
+    if (forced) {
+      window_end += options.shard_window_ms;
+      continue;
+    }
+    if (!have_fault) break;  // drained to the horizon with nothing pending
+    const FaultDelivery& fault = faults[next_fault++];
+    ++fault_events;  // the coordinator processes each failure exactly once
+    if (result.failure_at_ms < 0.0) result.failure_at_ms = fault.at_ms;
+    if (cfg.buffer_records) {
+      coordinator_records.push_back({fault.at_ms, fault.seq, 0,
+                                     telemetry::EventKind::kGpuFailure, fault.gpu, -1, 0.0});
+    }
+    for (Shard& shard : shards) shard.apply_failure(fault.gpu, fault.at_ms, fault.seq);
+  }
+
+  // ----- Merge: every aggregate is either per-service / per-unit (owned by
+  // exactly one shard, copied into its global slot) or an order-free sum.
+  std::size_t events_processed = fault_events;
+  result.shard_events.resize(shard_count);
+  result.shard_busy_ms.resize(shard_count);
+  result.services.resize(service_count);
+  result.unit_activity.assign(unit_count, 0.0);
+  std::vector<TimelineBucket> timeline(cfg.timeline_buckets);
+  for (std::size_t b = 0; b < cfg.timeline_buckets; ++b) {
+    timeline[b].t_ms = static_cast<double>(b) * cfg.timeline_bucket_ms;
+  }
+  auto add_phase = [](PhaseStats& into, const PhaseStats& from) {
+    into.batches += from.batches;
+    into.violated_batches += from.violated_batches;
+    into.requests += from.requests;
+    into.violated_requests += from.violated_requests;
+    into.shed_requests += from.shed_requests;
+  };
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    Shard& shard = shards[k];
+    events_processed += shard.events_processed;
+    result.shard_events[k] = shard.events_processed;
+    result.shard_busy_ms[k] = shard.busy_ms;
+    for (std::size_t ls = 0; ls < shard.svc_global.size(); ++ls) {
+      ServiceOutcome& outcome = shard.outcomes[ls];
+      outcome.measured_rate =
+          static_cast<double>(outcome.requests) / (options.duration_ms / 1000.0);
+      result.requests_shed += outcome.shed_requests;
+      result.services[shard.svc_global[ls]] = std::move(outcome);
+    }
+    for (std::size_t lu = 0; lu < shard.units.size(); ++lu) {
+      const UnitState& state = shard.units[lu];
+      const double granted_sm_ms =
+          state.unit->gpc_grant * gpu::kSmsPerGpc * options.duration_ms;
+      result.unit_activity[shard.unit_global[lu]] =
+          granted_sm_ms <= 0.0 ? 0.0 : state.busy_sm_ms / granted_sm_ms;
+    }
+    add_phase(result.pre_failure, shard.pre_failure);
+    add_phase(result.degraded, shard.degraded);
+    add_phase(result.post_recovery, shard.post_recovery);
+    for (std::size_t b = 0; b < cfg.timeline_buckets; ++b) {
+      timeline[b].batches += shard.timeline[b].batches;
+      timeline[b].violated_batches += shard.timeline[b].violated_batches;
+      timeline[b].shed_requests += shard.timeline[b].shed_requests;
     }
   }
   result.events_processed = events_processed;
-  tel_events_processed.inc(static_cast<double>(events_processed));
-
-  for (std::size_t s = 0; s < services_.size(); ++s) {
-    outcomes[s].measured_rate =
-        static_cast<double>(outcomes[s].requests) / (options.duration_ms / 1000.0);
-    result.requests_shed += outcomes[s].shed_requests;
-  }
-  result.services = std::move(outcomes);
   if (result.failure_at_ms >= 0.0 && recovered_at > 0.0) {
     result.recovered_at_ms = recovered_at;
   }
   result.timeline = std::move(timeline);
-
-  result.unit_activity.reserve(units.size());
-  for (const UnitState& state : units) {
-    const double granted_sm_ms =
-        state.unit->gpc_grant * gpu::kSmsPerGpc * options.duration_ms;
-    result.unit_activity.push_back(granted_sm_ms <= 0.0 ? 0.0
-                                                        : state.busy_sm_ms / granted_sm_ms);
-  }
   result.internal_slack =
       core::internal_slack_from_activity(*deployment_, result.unit_activity);
+
+  // ----- Telemetry flush, on the coordinator thread, in canonical order.
+  if (tel != nullptr) {
+    tel_events_processed.inc(static_cast<double>(events_processed));
+    std::size_t total_batches = 0;
+    std::size_t total_violated = 0;
+    for (std::size_t s = 0; s < service_count; ++s) {
+      const ServiceOutcome& outcome = result.services[s];
+      total_batches += outcome.batches;
+      total_violated += outcome.violated_batches;
+      tel_svc_requests[s].inc(static_cast<double>(outcome.requests));
+      tel_svc_shed[s].inc(static_cast<double>(outcome.shed_requests));
+      // Histogram observations replay per service in completion order: a
+      // canonical order, so the (order-sensitive) float sum is identical
+      // for every shard count.
+      for (const double latency : outcome.request_latency_ms.values()) {
+        tel_latency.observe(latency);
+      }
+    }
+    tel_batches.inc(static_cast<double>(total_batches));
+    tel_violated_batches.inc(static_cast<double>(total_violated));
+
+    std::vector<std::vector<BufferedRecord>> buffers;
+    buffers.reserve(shard_count + 1);
+    for (Shard& shard : shards) buffers.push_back(std::move(shard.records));
+    buffers.push_back(std::move(coordinator_records));
+    for (const BufferedRecord& record : merge_records(std::move(buffers))) {
+      tel->events().record(record.kind, record.t_ms, record.gpu, record.service_id,
+                           record.value);
+    }
+  }
   return result;
 }
 

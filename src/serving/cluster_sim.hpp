@@ -26,6 +26,16 @@
 // scheduled time, so SLO compliance is measured *through* the failure:
 // the result splits into pre-failure / degraded / post-recovery phases and
 // an optional bucketed compliance timeline.
+//
+// Sharded execution (DESIGN.md §4.5): `options.shards` partitions the
+// services (and their units) across N independent sub-engines that advance
+// in conservative time windows and exchange cross-shard events (GPU
+// failures) at window barriers. Every event source carries a canonical
+// (time, seq) key that is a pure function of the workload (see
+// shard_engine.hpp), and all randomness is drawn from per-service /
+// per-unit streams, so the merged output — results, CSV exports,
+// determinism fingerprints, telemetry — is byte-identical for every shard
+// count and thread schedule (tests/serving/parallel_engine_test.cpp).
 #pragma once
 
 #include <cstdint>
@@ -37,6 +47,10 @@
 #include "gpu/fault_plan.hpp"
 #include "perfmodel/analytical_model.hpp"
 #include "telemetry/telemetry.hpp"
+
+namespace parva {
+class ThreadPool;
+}
 
 namespace parva::serving {
 
@@ -78,6 +92,28 @@ struct SimulationOptions {
   /// accounting; results are byte-identical with telemetry on or off.
   /// Safe to share across concurrent simulations (seed sweeps aggregate).
   telemetry::Telemetry* telemetry = nullptr;
+
+  /// Shard count for parallel execution (1 = single sub-engine, the
+  /// default). Services are partitioned deterministically (LPT on offered
+  /// rate); outputs are byte-identical for every value.
+  int shards = 1;
+
+  /// Pool that executes shard windows concurrently. nullptr runs shards
+  /// sequentially on the calling thread — same outputs, no parallelism —
+  /// so decomposition correctness never depends on a pool being present.
+  /// Must NOT be the pool this run() was itself submitted to (a nested
+  /// parallel_for on one pool can deadlock); sim_runner callers pass a
+  /// dedicated shard pool or nullptr.
+  ThreadPool* shard_pool = nullptr;
+
+  /// Forces lockstep window barriers every `shard_window_ms` of simulated
+  /// time in addition to the barriers at cross-shard events. 0 (default)
+  /// lets windows extend conservatively to the next scheduled cross-shard
+  /// event: with today's event set (static fault/activation schedules)
+  /// that bound is exact, so the engine barriers only when it must. Tests
+  /// force small windows to exercise the barrier path; outputs are
+  /// byte-identical either way.
+  double shard_window_ms = 0.0;
 };
 
 /// Per-service outcome.
@@ -156,6 +192,14 @@ struct SimulationResult {
 
   /// Compliance-vs-time series (empty unless timeline_bucket_ms > 0).
   std::vector<TimelineBucket> timeline;
+
+  /// Execution metadata (one entry per shard; size == options.shards).
+  /// `shard_events` is deterministic (part of the workload partition);
+  /// `shard_busy_ms` is measured wall-clock per shard — the scaling
+  /// numerator for bench reporting — and, like any timing, is excluded
+  /// from determinism fingerprints.
+  std::vector<std::size_t> shard_events;
+  std::vector<double> shard_busy_ms;
 
   /// Batch-weighted SLO compliance across all services (Fig. 8 metric).
   double overall_compliance() const;

@@ -1,13 +1,17 @@
 // The discrete-event engine underneath ClusterSimulation: a flat binary
-// min-heap of plain-value events with an explicit monotonic sequence
-// tie-break, and a slot pool recycling in-flight batch storage.
+// min-heap of plain-value events ordered by a canonical (time, seq) key,
+// and a slot pool recycling in-flight batch storage.
 //
 // Determinism by construction: the heap orders by (time, seq) where `seq`
-// is the enqueue counter, so the pop order of equal-timestamp events is
-// fully determined — never an artifact of heap internals. Same-time events
-// the simulator produces (multiple device losses, replacement activations)
-// commute, so outputs are also independent of their enqueue order
-// (tests/serving/event_determinism_test.cpp).
+// is a *canonical stream key* (see shard_engine.hpp) assigned by the event
+// source, not by enqueue order. Every source — a service's arrival stream,
+// a unit's completion stream, the fault schedule, the activation schedule —
+// owns a stream id and numbers its own events, so the key of an event is a
+// pure function of (source, occurrence index). That makes the pop order of
+// equal-timestamp events fully determined AND invariant under any shard
+// partition of the sources: N per-shard heaps merged on (time, seq) pop
+// the exact same global order as one heap holding everything
+// (tests/serving/parallel_engine_test.cpp, shard_merge_property_test.cpp).
 //
 // Pooling: completions used to live in per-unit std::map<id, batch> tables
 // plus a std::set of ids dropped by device losses — a rb-tree allocation
@@ -31,7 +35,7 @@ enum class EventKind : std::uint8_t { kBatchComplete, kGpuFailure, kUnitActivate
 
 struct SimEvent {
   double time_ms = 0.0;
-  std::uint64_t seq = 0;       ///< enqueue order: the deterministic tie-break
+  std::uint64_t seq = 0;       ///< canonical stream key: the deterministic tie-break
   EventKind kind = EventKind::kBatchComplete;
   int unit_index = -1;         ///< completions/activations: unit; failures: gpu
   std::uint32_t slot = 0;      ///< completions: batch-pool slot
@@ -40,7 +44,8 @@ struct SimEvent {
 
 /// Flat binary min-heap on (time_ms, seq). Events are plain values in one
 /// contiguous vector; push/pop never allocate once the backing storage has
-/// grown to the simulation's high-water mark.
+/// grown to the simulation's high-water mark. The caller assigns `seq`
+/// (canonical stream keys); the heap only orders.
 class EventQueue {
  public:
   explicit EventQueue(std::size_t reserve_hint = 1024) { heap_.reserve(reserve_hint); }
@@ -48,20 +53,11 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
-  /// Stamps the event with the next sequence number and enqueues it.
-  void push(SimEvent event) {
-    event.seq = next_seq_++;
+  /// Enqueues an event carrying its pre-assigned canonical key.
+  void push(const SimEvent& event) {
     heap_.push_back(event);
     sift_up(heap_.size() - 1);
   }
-
-  /// Issues a sequence number WITHOUT enqueuing — for event sources kept
-  /// outside the heap (the per-service arrival streams) that still take
-  /// part in the global (time, seq) order. Drawing from the same counter
-  /// at the same logical moment a push would have happened makes the
-  /// merged pop order identical to an all-in-one-heap engine, ties
-  /// included.
-  std::uint64_t issue_seq() { return next_seq_++; }
 
   const SimEvent& top() const { return heap_.front(); }
 
@@ -103,7 +99,6 @@ class EventQueue {
   }
 
   std::vector<SimEvent> heap_;
-  std::uint64_t next_seq_ = 0;
 };
 
 /// Recycled storage for batches in flight. `Payload` is the per-batch

@@ -6,6 +6,12 @@
 // parallelize with no shared mutable state: each task owns its engine and
 // writes one pre-sized result slot, merged at the join. Results are in job
 // order and bit-identical to a serial loop (tests/serving/sim_runner_test).
+//
+// Sharded jobs: a job may set options.shards > 1 (DESIGN.md §4.5), but its
+// options.shard_pool must NOT be the pool passed here — parallel_for is not
+// nested-safe, and a shard waiting for workers occupied by its own parent
+// task deadlocks. Leave shard_pool null (shards run sequentially, output is
+// identical) or hand the shards their own dedicated pool.
 #pragma once
 
 #include <cstdint>

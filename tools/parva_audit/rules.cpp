@@ -387,6 +387,7 @@ std::vector<std::string> default_export_manifest() {
       "src/telemetry/event_log.cpp",
       "src/common/table.cpp",
       "src/serving/cluster_sim.cpp",
+      "src/serving/shard_engine.cpp",
       "src/serving/sim_runner.cpp",
       "src/scenarios/experiment.cpp",
       "src/core/metrics.cpp",
