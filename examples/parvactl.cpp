@@ -297,10 +297,12 @@ int cmd_simulate(const CliArgs& args) {
   options.warmup_ms = 2'000.0;
   options.timeline_bucket_ms = 2'000.0;
 
-  // Sharded engine (DESIGN.md §4.5): a dedicated pool for the shards —
-  // the sim itself runs on this thread, so handing it a pool it also
-  // occupies would deadlock parallel_for.
-  std::unique_ptr<ThreadPool> shard_pool;
+  // Sharded engine (DESIGN.md §4.5/§4.6): one process-wide pool serves
+  // every parallel surface — here the shard windows. The pool's
+  // parallel_for is nesting-safe (cooperative caller), so the same pool
+  // could simultaneously drive a sweep of sharded simulations; no
+  // dedicated shard pool exists anymore.
+  std::unique_ptr<ThreadPool> pool;
   if (args.has("shards")) {
     if (!parse_double(args.get("shards", ""), value) || value < 1.0) {
       std::cerr << "bad --shards (want an integer >= 1)\n";
@@ -308,9 +310,8 @@ int cmd_simulate(const CliArgs& args) {
     }
     options.shards = static_cast<int>(value);
     if (options.shards > 1) {
-      shard_pool = std::make_unique<ThreadPool>(
-          static_cast<std::size_t>(options.shards));
-      options.shard_pool = shard_pool.get();
+      pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(options.shards));
+      options.shard_pool = pool.get();
     }
   }
 

@@ -26,15 +26,17 @@ if [[ "$mode" == "--smoke" ]]; then
   echo "== perf smoke =="
   ./build-release/bench/perf_regression --smoke
 else
-  # Reference shard-scaling ratio from the committed report, captured
-  # before the run overwrites it.
+  # Reference ratios from the committed report, captured before the run
+  # overwrites it.
   ref_ratio=""
+  ref_arrival=""
   if [[ -f BENCH_perf.json ]]; then
     ref_s1="$(json_field BENCH_perf.json des_events_per_sec_shards_1)"
     ref_s4="$(json_field BENCH_perf.json des_events_per_sec_shards_4)"
     if [[ -n "$ref_s1" && -n "$ref_s4" ]]; then
       ref_ratio="$(awk -v a="$ref_s4" -v b="$ref_s1" 'BEGIN { printf "%.3f", a / b }')"
     fi
+    ref_arrival="$(json_field BENCH_perf.json arrival_tournament_speedup_1k)"
   fi
 
   echo "== perf regression (full, medians of 9 reps) =="
@@ -59,6 +61,26 @@ else
   if [[ -n "$ref_ratio" ]] &&
      awk -v r="$new_ratio" -v ref="$ref_ratio" 'BEGIN { exit !(r < 0.8 * ref) }'; then
     echo "bench_perf: shard scaling ${new_ratio}x regressed >20% vs ${ref_ratio}x" >&2
+    exit 1
+  fi
+
+  # Arrival-scheduler gate: at ~1k services the tournament tree must beat
+  # the flat scan by at least 1.5x (the ratio is box-independent — both
+  # runs replay the identical workload on the same core), and must not
+  # regress more than 20% against the committed ratio.
+  new_arrival="$(json_field BENCH_perf.json arrival_tournament_speedup_1k)"
+  if [[ -z "$new_arrival" ]]; then
+    echo "bench_perf: report is missing arrival_tournament_speedup_1k" >&2
+    exit 1
+  fi
+  echo "[arrival scheduling: tournament/flat at ~1k services = ${new_arrival}x (reference: ${ref_arrival:-none})]"
+  if awk -v r="$new_arrival" 'BEGIN { exit !(r < 1.5) }'; then
+    echo "bench_perf: tournament speedup ${new_arrival}x fell below the 1.5x floor" >&2
+    exit 1
+  fi
+  if [[ -n "$ref_arrival" ]] &&
+     awk -v r="$new_arrival" -v ref="$ref_arrival" 'BEGIN { exit !(r < 0.8 * ref) }'; then
+    echo "bench_perf: tournament speedup ${new_arrival}x regressed >20% vs ${ref_arrival}x" >&2
     exit 1
   fi
 fi

@@ -1,17 +1,40 @@
 #include "common/thread_pool.hpp"
 
-#include <atomic>
+#include <utility>
 
 namespace parva {
+
+namespace {
+
+/// Which pool (if any) owns the calling thread, and the worker's index in
+/// it. Function-local thread_local: each worker thread binds itself once
+/// at startup, so reads never race and no namespace-scope state exists.
+struct WorkerSlot {
+  const ThreadPool* pool = nullptr;
+  std::size_t id = 0;
+};
+
+WorkerSlot& worker_slot() {
+  thread_local WorkerSlot slot;
+  return slot;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
+  {
+    // Workers may start running before the constructor returns; size the
+    // deque table under the lock they will read it under.
+    MutexLock lock(mutex_);
+    local_.resize(threads);
+  }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -24,52 +47,109 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::worker_loop() {
+bool ThreadPool::on_worker_thread() const { return worker_slot().pool == this; }
+
+void ThreadPool::enqueue(Task task) {
+  const WorkerSlot& slot = worker_slot();
+  {
+    MutexLock lock(mutex_);
+    if (slot.pool == this) {
+      // Child task of a running worker: own deque, popped LIFO by the
+      // owner (cache-hot continuation) and stolen FIFO by siblings.
+      local_[slot.id].push_back(std::move(task));
+    } else {
+      injector_.push_back(std::move(task));
+    }
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::have_task_locked() const {
+  if (!injector_.empty()) return true;
+  for (const auto& deque : local_) {
+    if (!deque.empty()) return true;
+  }
+  return false;
+}
+
+ThreadPool::Task ThreadPool::take_task_locked(std::size_t id) {
+  // Own deque newest-first, then the injector, then steal the oldest task
+  // of the nearest sibling (round-robin from id+1 keeps thieves spread).
+  if (!local_[id].empty()) {
+    Task task = std::move(local_[id].back());
+    local_[id].pop_back();
+    return task;
+  }
+  if (!injector_.empty()) {
+    Task task = std::move(injector_.front());
+    injector_.pop_front();
+    return task;
+  }
+  const std::size_t n = local_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    std::deque<Task>& victim = local_[(id + k) % n];
+    if (!victim.empty()) {
+      Task task = std::move(victim.front());
+      victim.pop_front();
+      return task;
+    }
+  }
+  return {};
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  worker_slot() = {this, id};
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       // Explicit predicate loop (not the wait(lock, pred) overload): the
       // thread-safety analysis treats a predicate lambda as a separate
       // function that touches guarded members without visibly holding the
       // capability.
       MutexLock lock(mutex_);
-      while (!stopping_ && queue_.empty()) cv_.wait(lock);
-      if (stopping_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      while (!stopping_ && !have_task_locked()) cv_.wait(lock);
+      if (stopping_ && !have_task_locked()) break;
+      task = take_task_locked(id);
     }
-    task();
+    if (task) task();
+  }
+  worker_slot() = {};
+}
+
+void ThreadPool::drain(ForJob& job) {
+  while (true) {
+    const std::size_t i = job.cursor.fetch_add(1);
+    if (i >= job.n) return;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      MutexLock lock(job.mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.done.fetch_add(1) + 1 == job.n) {
+      // Completion edge: synchronise with the waiting caller. Taking the
+      // job mutex before notifying closes the gap between its done-check
+      // and its cv.wait.
+      MutexLock lock(job.mutex);
+      job.cv.notify_all();
+    }
   }
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  // Chunked dynamic scheduling: an atomic cursor hands out indices; each
-  // worker pulls until the range is exhausted.
-  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
-  const std::size_t workers = std::min(n, size());
-  std::vector<std::future<void>> futures;
-  futures.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    futures.push_back(submit([cursor, n, &fn] {
-      while (true) {
-        const std::size_t i = cursor->fetch_add(1);
-        if (i >= n) return;
-        fn(i);
-      }
-    }));
+  auto job = std::make_shared<ForJob>(n, fn);
+  // Recruit up to size() helpers; the caller participates regardless, so
+  // helpers that never get a worker (or arrive after the range is drained)
+  // are harmless no-ops holding a reference to the job.
+  const std::size_t helpers = std::min(n - 1, size());
+  for (std::size_t h = 0; h < helpers; ++h) {
+    enqueue([job] { drain(*job); });
   }
-  // Wait for every worker before rethrowing: an early rethrow would unwind
-  // the caller's frame (and `fn`) while the other workers still call it.
-  std::exception_ptr first;
-  for (auto& future : futures) {
-    try {
-      future.get();
-    } catch (...) {
-      if (!first) first = std::current_exception();
-    }
-  }
-  if (first) std::rethrow_exception(first);
+  drain(*job);
+  MutexLock lock(job->mutex);
+  while (job->done.load() < n) job->cv.wait(lock);
+  if (job->error) std::rethrow_exception(job->error);
 }
 
 }  // namespace parva

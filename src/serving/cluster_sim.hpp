@@ -46,6 +46,7 @@
 #include "core/deployment.hpp"
 #include "gpu/fault_plan.hpp"
 #include "perfmodel/analytical_model.hpp"
+#include "serving/shard_engine.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace parva {
@@ -101,10 +102,17 @@ struct SimulationOptions {
   /// Pool that executes shard windows concurrently. nullptr runs shards
   /// sequentially on the calling thread — same outputs, no parallelism —
   /// so decomposition correctness never depends on a pool being present.
-  /// Must NOT be the pool this run() was itself submitted to (a nested
-  /// parallel_for on one pool can deadlock); sim_runner callers pass a
-  /// dedicated shard pool or nullptr.
+  /// Sharing one pool between a sweep (sim_runner) and the shards of its
+  /// jobs is safe: ThreadPool::parallel_for is nesting-safe (the caller
+  /// participates), so this may be the very pool run() was submitted to.
   ThreadPool* shard_pool = nullptr;
+
+  /// How each shard schedules its pending arrivals (DESIGN.md §4.6).
+  /// kAuto picks the tournament tree above kArrivalTournamentThreshold
+  /// local services and the flat scan below; forcing either changes
+  /// per-event cost only — outputs are byte-identical for every value
+  /// (tests/serving/arrival_scheduler_test.cpp).
+  ArrivalSchedulerKind arrival_scheduler = ArrivalSchedulerKind::kAuto;
 
   /// Forces lockstep window barriers every `shard_window_ms` of simulated
   /// time in addition to the barriers at cross-shard events. 0 (default)

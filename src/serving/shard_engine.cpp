@@ -1,6 +1,7 @@
 #include "serving/shard_engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <numeric>
 
@@ -55,25 +56,63 @@ std::vector<BufferedRecord> merge_records(
   return merged;
 }
 
-ArrivalStreams::ArrivalStreams(const std::vector<std::size_t>& service_indices)
+ArrivalStreams::ArrivalStreams(const std::vector<std::size_t>& service_indices,
+                               ArrivalSchedulerKind kind)
     : time_(service_indices.size(), std::numeric_limits<double>::infinity()),
       seq_(service_indices.size(), 0) {
   streams_.reserve(service_indices.size());
   for (const std::size_t global : service_indices) {
     streams_.emplace_back(arrival_stream_id(global));
   }
+  const std::size_t n = service_indices.size();
+  kind_ = kind;
+  if (kind_ == ArrivalSchedulerKind::kAuto) {
+    kind_ = n > kArrivalTournamentThreshold ? ArrivalSchedulerKind::kTournament
+                                            : ArrivalSchedulerKind::kFlatScan;
+  }
+  if (kind_ == ArrivalSchedulerKind::kTournament) {
+    // Complete binary tournament over bit_ceil(n) leaves; the spare leaves
+    // (and every empty slot) hold kNoSlot, which loses every match. All
+    // slots start retired, so the whole tree starts at kNoSlot.
+    leaf_base_ = std::bit_ceil(std::max<std::size_t>(n, 1));
+    tree_.assign(2 * leaf_base_, kNoSlot);
+  }
+}
+
+std::uint32_t ArrivalStreams::play(std::uint32_t a, std::uint32_t b) const {
+  if (a == kNoSlot) return b;
+  if (b == kNoSlot) return a;
+  if (time_[a] != time_[b]) return time_[a] < time_[b] ? a : b;
+  if (seq_[a] != seq_[b]) return seq_[a] < seq_[b] ? a : b;
+  return a;  // equal keys: both retired (time == inf), unobservable choice
+}
+
+void ArrivalStreams::replay_matches(std::size_t s) {
+  std::size_t node = leaf_base_ + s;
+  while (node > 1) {
+    node /= 2;
+    tree_[node] = play(tree_[2 * node], tree_[2 * node + 1]);
+  }
 }
 
 void ArrivalStreams::arm(std::size_t s, double time_ms) {
   time_[s] = time_ms;
   seq_[s] = streams_[s].next();
+  if (kind_ == ArrivalSchedulerKind::kTournament) {
+    tree_[leaf_base_ + s] = static_cast<std::uint32_t>(s);
+    replay_matches(s);
+  }
 }
 
 void ArrivalStreams::retire(std::size_t s) {
   time_[s] = std::numeric_limits<double>::infinity();
+  if (kind_ == ArrivalSchedulerKind::kTournament) {
+    tree_[leaf_base_ + s] = kNoSlot;
+    replay_matches(s);
+  }
 }
 
-std::size_t ArrivalStreams::earliest() const {
+std::size_t ArrivalStreams::scan_earliest() const {
   const std::size_t n = time_.size();
   std::size_t best = n;
   double best_time = std::numeric_limits<double>::infinity();
@@ -88,6 +127,13 @@ std::size_t ArrivalStreams::earliest() const {
     if (time_[s] == best_time && seq_[s] < seq_[best]) best = s;
   }
   return best;
+}
+
+std::size_t ArrivalStreams::earliest() const {
+  if (kind_ != ArrivalSchedulerKind::kTournament) return scan_earliest();
+  if (time_.empty()) return 0;
+  const std::uint32_t champion = tree_[1];
+  return champion == kNoSlot ? time_.size() : champion;
 }
 
 }  // namespace parva::serving

@@ -10,7 +10,15 @@ std::vector<SimulationResult> run_simulations(std::span<const SimulationJob> job
     PARVA_REQUIRE(job.deployment != nullptr && job.perf != nullptr,
                   "simulation job missing deployment or perf model");
     ClusterSimulation sim(*job.deployment, job.services, *job.perf);
-    results[i] = sim.run(job.options);
+    SimulationOptions options = job.options;
+    if (options.shards > 1 && options.shard_pool == nullptr) {
+      // Nested fork-join on the sweep pool itself: parallel_for is
+      // cooperative, so the shard windows of this job recruit idle sweep
+      // workers and never deadlock. Sequential-shard outputs are
+      // byte-identical, so this only changes where the work runs.
+      options.shard_pool = &pool;
+    }
+    results[i] = sim.run(options);
   });
   return results;
 }

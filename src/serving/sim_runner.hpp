@@ -7,11 +7,14 @@
 // writes one pre-sized result slot, merged at the join. Results are in job
 // order and bit-identical to a serial loop (tests/serving/sim_runner_test).
 //
-// Sharded jobs: a job may set options.shards > 1 (DESIGN.md §4.5), but its
-// options.shard_pool must NOT be the pool passed here — parallel_for is not
-// nested-safe, and a shard waiting for workers occupied by its own parent
-// task deadlocks. Leave shard_pool null (shards run sequentially, output is
-// identical) or hand the shards their own dedicated pool.
+// Sharded jobs share the sweep pool: a job with options.shards > 1 and no
+// dedicated shard_pool runs its shard windows on `pool` itself.
+// ThreadPool::parallel_for is nesting-safe (the caller claims indices from
+// the same cursor as the recruited workers, so a parent task blocked at a
+// window barrier still drives its own shards), which is what retired the
+// old rule that the shard pool must be distinct from the sweep pool.
+// Outputs are byte-identical either way
+// (tests/serving/nested_pool_test.cpp, under tsan).
 #pragma once
 
 #include <cstdint>
@@ -31,7 +34,9 @@ struct SimulationJob {
   SimulationOptions options;
 };
 
-/// Runs every job concurrently on `pool`; results land in job order.
+/// Runs every job concurrently on `pool`; results land in job order. A
+/// sharded job (options.shards > 1) that names no shard_pool of its own
+/// has its shards executed on `pool` too — one pool drives both levels.
 std::vector<SimulationResult> run_simulations(std::span<const SimulationJob> jobs,
                                               ThreadPool& pool);
 

@@ -1,0 +1,180 @@
+// Differential battery for the tournament-tree arrival scheduler
+// (DESIGN.md §4.6): the tree must select byte-identical winners to the
+// flat argmin scan it replaced, for any arm/retire sequence — equal-time
+// seq tie-breaks included — and forcing either implementation through a
+// full simulation must not move a single output bit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/parvagpu.hpp"
+#include "gpu/fault_plan.hpp"
+#include "serving/cluster_sim.hpp"
+#include "serving/shard_engine.hpp"
+#include "tests/core/test_support.hpp"
+
+namespace parva::serving {
+namespace {
+
+using core::testing::builtin_profiles;
+using core::testing::service;
+
+std::vector<std::size_t> iota_indices(std::size_t n) {
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  return indices;
+}
+
+TEST(ArrivalSchedulerTest, AutoSelectsByServiceCount) {
+  EXPECT_EQ(ArrivalStreams(iota_indices(kArrivalTournamentThreshold)).kind(),
+            ArrivalSchedulerKind::kFlatScan);
+  EXPECT_EQ(ArrivalStreams(iota_indices(kArrivalTournamentThreshold + 1)).kind(),
+            ArrivalSchedulerKind::kTournament);
+  // Forcing overrides the count on both sides of the threshold.
+  EXPECT_EQ(ArrivalStreams(iota_indices(2), ArrivalSchedulerKind::kTournament).kind(),
+            ArrivalSchedulerKind::kTournament);
+  EXPECT_EQ(ArrivalStreams(iota_indices(100), ArrivalSchedulerKind::kFlatScan).kind(),
+            ArrivalSchedulerKind::kFlatScan);
+}
+
+TEST(ArrivalSchedulerTest, TournamentBreaksTimeTiesBySeq) {
+  // The mirror of SeqStabilityTest.EarliestBreaksTimeTiesBySeq on the
+  // tree path: stream ids decide equal-time matches.
+  ArrivalStreams streams(iota_indices(3), ArrivalSchedulerKind::kTournament);
+  streams.arm(2, 10.0);
+  streams.arm(0, 10.0);
+  streams.arm(1, 10.0);
+  EXPECT_EQ(streams.earliest(), 0u);
+  streams.retire(0);
+  EXPECT_EQ(streams.earliest(), 1u);
+  streams.arm(0, 5.0);  // strictly earlier time wins over any seq
+  EXPECT_EQ(streams.earliest(), 0u);
+  streams.retire(0);
+  streams.retire(1);
+  streams.retire(2);
+  EXPECT_EQ(streams.earliest(), 3u);  // nothing pending
+}
+
+TEST(ArrivalSchedulerTest, NonPowerOfTwoSlotCountsFillWithSentinels) {
+  // Spare tournament leaves (5 slots over an 8-leaf tree) must never win.
+  ArrivalStreams streams(iota_indices(5), ArrivalSchedulerKind::kTournament);
+  EXPECT_EQ(streams.earliest(), 5u);
+  streams.arm(4, 1.0);  // the last real slot, adjacent to the sentinels
+  EXPECT_EQ(streams.earliest(), 4u);
+  streams.retire(4);
+  EXPECT_EQ(streams.earliest(), 5u);
+}
+
+TEST(ArrivalSchedulerTest, RandomOpsMatchFlatOracleIncludingTies) {
+  // The property the engine's determinism rides on: after every operation
+  // of a random arm/retire schedule, tournament earliest() == flat
+  // earliest(). Times are drawn from a SMALL integer set so equal-time
+  // collisions (the seq tie-break path) occur constantly, and both
+  // structures see the identical op sequence so their canonical streams
+  // stay in lockstep.
+  for (const std::size_t slots : {1u, 2u, 3u, 7u, 16u, 17u, 64u, 197u}) {
+    ArrivalStreams oracle(iota_indices(slots), ArrivalSchedulerKind::kFlatScan);
+    ArrivalStreams tree(iota_indices(slots), ArrivalSchedulerKind::kTournament);
+    Rng rng(0xA771 + slots);
+    std::vector<bool> pending(slots, false);
+    for (int step = 0; step < 4'000; ++step) {
+      const auto s = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(slots) - 1));
+      if (pending[s] && rng.next_double() < 0.5) {
+        oracle.retire(s);
+        tree.retire(s);
+        pending[s] = false;
+      } else {
+        const double t = static_cast<double>(rng.uniform_int(0, 31));
+        oracle.arm(s, t);
+        tree.arm(s, t);
+        pending[s] = true;
+      }
+      const std::size_t expected = oracle.earliest();
+      ASSERT_EQ(tree.earliest(), expected)
+          << "slots=" << slots << " step=" << step;
+      if (expected < slots) {
+        ASSERT_EQ(tree.time(expected), oracle.time(expected));
+        ASSERT_EQ(tree.seq(expected), oracle.seq(expected));
+      }
+    }
+    for (std::size_t s = 0; s < slots; ++s) {
+      EXPECT_EQ(tree.issued(s), oracle.issued(s)) << "slots=" << slots;
+    }
+  }
+}
+
+TEST(ArrivalSchedulerTest, DrainOrderMatchesFlatOracle) {
+  // Pop-everything equivalence: repeatedly retiring the earliest slot must
+  // walk both structures through the same total order.
+  const std::size_t slots = 41;
+  ArrivalStreams oracle(iota_indices(slots), ArrivalSchedulerKind::kFlatScan);
+  ArrivalStreams tree(iota_indices(slots), ArrivalSchedulerKind::kTournament);
+  Rng rng(99);
+  for (std::size_t s = 0; s < slots; ++s) {
+    const double t = static_cast<double>(rng.uniform_int(0, 7));  // dense ties
+    oracle.arm(s, t);
+    tree.arm(s, t);
+  }
+  for (std::size_t popped = 0; popped < slots; ++popped) {
+    const std::size_t expected = oracle.earliest();
+    ASSERT_LT(expected, slots);
+    ASSERT_EQ(tree.earliest(), expected) << "pop " << popped;
+    oracle.retire(expected);
+    tree.retire(expected);
+  }
+  EXPECT_EQ(oracle.earliest(), slots);
+  EXPECT_EQ(tree.earliest(), slots);
+}
+
+TEST(ArrivalSchedulerTest, ForcedSchedulersAreByteIdenticalEndToEnd) {
+  // Engine-level differential: a faulted, sharded simulation forced
+  // through the flat scan and through the tournament tree must agree on
+  // every latency bit. (kAuto resolves per shard from the local service
+  // count, so this also pins kAuto between the two forced runs.)
+  const std::vector<core::ServiceSpec> services = {service(0, "resnet-50", 205, 2000),
+                                                   service(1, "vgg-19", 397, 1200),
+                                                   service(2, "mobilenetv2", 167, 4000),
+                                                   service(3, "bert-large", 400, 500)};
+  core::ParvaGpuScheduler scheduler(builtin_profiles());
+  const core::Deployment deployment = scheduler.schedule(services).value().deployment;
+  perfmodel::AnalyticalPerfModel perf(perfmodel::ModelCatalog::builtin());
+  ClusterSimulation sim(deployment, services, perf);
+  gpu::FaultPlan plan;
+  plan.gpu_failures = {{600.0, 0, 79}};
+  SimulationOptions opts;
+  opts.duration_ms = 1'200.0;
+  opts.warmup_ms = 300.0;
+  opts.seed = 17;
+  opts.fault_plan = &plan;
+  opts.arrivals = ArrivalProcess::kPoisson;
+
+  auto run_with = [&](ArrivalSchedulerKind kind, int shards) {
+    SimulationOptions o = opts;
+    o.arrival_scheduler = kind;
+    o.shards = shards;
+    return sim.run(o);
+  };
+  for (const int shards : {1, 3}) {
+    const SimulationResult flat = run_with(ArrivalSchedulerKind::kFlatScan, shards);
+    const SimulationResult tree = run_with(ArrivalSchedulerKind::kTournament, shards);
+    const SimulationResult autop = run_with(ArrivalSchedulerKind::kAuto, shards);
+    EXPECT_EQ(flat.events_processed, tree.events_processed) << "shards " << shards;
+    EXPECT_EQ(flat.events_processed, autop.events_processed) << "shards " << shards;
+    ASSERT_EQ(flat.services.size(), tree.services.size());
+    for (std::size_t s = 0; s < flat.services.size(); ++s) {
+      EXPECT_EQ(flat.services[s].requests, tree.services[s].requests);
+      EXPECT_EQ(flat.services[s].shed_requests, tree.services[s].shed_requests);
+      EXPECT_EQ(flat.services[s].request_latency_ms.values(),
+                tree.services[s].request_latency_ms.values())
+          << "service " << s << " shards " << shards;
+      EXPECT_EQ(autop.services[s].request_latency_ms.values(),
+                tree.services[s].request_latency_ms.values());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parva::serving

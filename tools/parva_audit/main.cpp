@@ -52,7 +52,11 @@ std::vector<std::string> split_rules(const std::string& text) {
       const int lo = std::atoi(item.substr(1, dash - 1).c_str());
       const int hi = std::atoi(item.substr(dash + 2).c_str());
       if (lo > 0 && hi >= lo) {
-        for (int r = lo; r <= hi; ++r) out.push_back("R" + std::to_string(r));
+        for (int r = lo; r <= hi; ++r) {
+          std::string rule = "R";  // avoids a GCC 12 -Wrestrict false positive
+          rule += std::to_string(r);
+          out.push_back(std::move(rule));
+        }
         item.clear();
         return;
       }
