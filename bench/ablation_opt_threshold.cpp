@@ -26,10 +26,10 @@ parva::scenarios::Scenario stress_mix() {
   int id = 0;
   // vgg-19 at rates forcing several multi-GPC segments each.
   for (int i = 0; i < 6; ++i) {
-    sc.services.push_back(ServiceSpec{id++, "vgg-19", 397, 2400});
+    sc.services.push_back(ServiceSpec{id++, "vgg-19", 397, 2400, {}});
   }
-  sc.services.push_back(ServiceSpec{id++, "resnet-50", 205, 1700});
-  sc.services.push_back(ServiceSpec{id++, "densenet-121", 183, 760});
+  sc.services.push_back(ServiceSpec{id++, "resnet-50", 205, 1700, {}});
+  sc.services.push_back(ServiceSpec{id++, "densenet-121", 183, 760, {}});
   return sc;
 }
 

@@ -60,10 +60,13 @@ int usage() {
                "  schedule  --services services.csv | --scenario S2\n"
                "            [--profiles profiles.csv] [--framework ParvaGPU]\n"
                "  scenarios\n"
-               "  simulate  --services services.csv | --scenario S2\n"
+               "  simulate  --services services.csv | --scenario S2|S7\n"
                "            [--inject-fault gpu=0@t=10000] [--transient-p 0.15]\n"
                "            [--seed 7] [--duration-ms 28000] [--telemetry-out PREFIX]\n"
-               "            [--shards N]\n";
+               "            [--shards N] [--arrivals deterministic|poisson|bursty]\n"
+               "            [--llm-admission reject|evict] [--llm-eviction fifo|lru]\n"
+               "            [--llm-dispatch least-loaded|round-robin|p2c]\n"
+               "            [--llm-chunk TOKENS]\n";
   return 2;
 }
 
@@ -173,8 +176,9 @@ int cmd_schedule(const CliArgs& args) {
     return usage();
   }
 
-  // Profiles: from CSV or computed on the fly.
-  perfmodel::AnalyticalPerfModel perf(perfmodel::ModelCatalog::builtin());
+  // Profiles: from CSV or computed on the fly (over the LLM-extended
+  // catalog, a strict superset of the builtin one).
+  perfmodel::AnalyticalPerfModel perf(perfmodel::ModelCatalog::with_llm());
   profiler::ProfileSet profiles;
   if (args.has("profiles")) {
     auto loaded = profiler::load_csv_file(args.get("profiles", ""));
@@ -185,7 +189,7 @@ int cmd_schedule(const CliArgs& args) {
     profiles = std::move(loaded).value();
   } else {
     profiler::Profiler profiler(perf);
-    profiles = profiler.profile_all(perfmodel::ModelCatalog::builtin().names());
+    profiles = profiler.profile_all(perfmodel::ModelCatalog::with_llm().names());
   }
 
   core::ParvaGpuOptions options;
@@ -232,6 +236,7 @@ int cmd_schedule(const CliArgs& args) {
 
 int cmd_simulate(const CliArgs& args) {
   std::vector<core::ServiceSpec> services;
+  bool streaming_default = false;
   if (args.has("services")) {
     auto loaded = load_services(args.get("services", ""));
     if (!loaded.ok()) {
@@ -240,14 +245,18 @@ int cmd_simulate(const CliArgs& args) {
     }
     services = std::move(loaded).value();
   } else if (args.has("scenario")) {
-    services = scenarios::scenario(args.get("scenario", "S2")).services;
+    const scenarios::Scenario& scenario = scenarios::scenario(args.get("scenario", "S2"));
+    services = scenario.services;
+    streaming_default = scenario.streaming;
   } else {
     return usage();
   }
 
-  perfmodel::AnalyticalPerfModel perf(perfmodel::ModelCatalog::builtin());
+  // The LLM-extended catalog is a superset of the builtin one, so Table-IV
+  // scenarios schedule identically while S7's llama rows resolve.
+  perfmodel::AnalyticalPerfModel perf(perfmodel::ModelCatalog::with_llm());
   profiler::Profiler profiler(perf);
-  const auto profiles = profiler.profile_all(perfmodel::ModelCatalog::builtin().names());
+  const auto profiles = profiler.profile_all(perfmodel::ModelCatalog::with_llm().names());
   core::ParvaGpuScheduler scheduler(profiles);
   const auto scheduled = scheduler.schedule(services);
   if (!scheduled.ok()) {
@@ -304,15 +313,64 @@ int cmd_simulate(const CliArgs& args) {
   // dedicated shard pool exists anymore.
   std::unique_ptr<ThreadPool> pool;
   if (args.has("shards")) {
-    if (!parse_double(args.get("shards", ""), value) || value < 1.0) {
-      std::cerr << "bad --shards (want an integer >= 1)\n";
+    // Hard error, not a silent fallback: "--shards 0", a negative count, or
+    // trailing junk ("4x") is a typo the user needs to see.
+    if (!args.int_in_range("shards", 1, 4096)) {
+      std::cerr << "bad --shards '" << args.get("shards", "")
+                << "' (want an integer in [1, 4096])\n";
       return 1;
     }
-    options.shards = static_cast<int>(value);
+    options.shards = static_cast<int>(args.get_int("shards", 1));
     if (options.shards > 1) {
       pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(options.shards));
       options.shard_pool = pool.get();
     }
+  }
+
+  // Arrival process and generative-LLM policies (DESIGN.md §4.7). Every
+  // value is validated up front; an unknown spelling is a hard CLI error.
+  // Streaming scenarios (S7) default to bursty arrivals; --arrivals
+  // overrides either way.
+  if (streaming_default) options.arrivals = serving::ArrivalProcess::kBursty;
+  if (args.has("arrivals")) {
+    const std::string arrivals = args.get("arrivals", "");
+    if (arrivals == "deterministic") {
+      options.arrivals = serving::ArrivalProcess::kDeterministic;
+    } else if (arrivals == "poisson") {
+      options.arrivals = serving::ArrivalProcess::kPoisson;
+    } else if (arrivals == "bursty") {
+      options.arrivals = serving::ArrivalProcess::kBursty;
+    } else {
+      std::cerr << "bad --arrivals '" << arrivals
+                << "' (want deterministic|poisson|bursty)\n";
+      return 1;
+    }
+  }
+  if (args.has("llm-admission") &&
+      !serving::parse_llm_admission(args.get("llm-admission", ""), &options.llm.admission)) {
+    std::cerr << "bad --llm-admission '" << args.get("llm-admission", "")
+              << "' (want reject|evict)\n";
+    return 1;
+  }
+  if (args.has("llm-eviction") &&
+      !serving::parse_llm_eviction(args.get("llm-eviction", ""), &options.llm.eviction)) {
+    std::cerr << "bad --llm-eviction '" << args.get("llm-eviction", "")
+              << "' (want fifo|lru)\n";
+    return 1;
+  }
+  if (args.has("llm-dispatch") &&
+      !serving::parse_llm_dispatch(args.get("llm-dispatch", ""), &options.llm.dispatch)) {
+    std::cerr << "bad --llm-dispatch '" << args.get("llm-dispatch", "")
+              << "' (want least-loaded|round-robin|p2c)\n";
+    return 1;
+  }
+  if (args.has("llm-chunk")) {
+    if (!args.int_in_range("llm-chunk", 1, 4096)) {
+      std::cerr << "bad --llm-chunk '" << args.get("llm-chunk", "")
+                << "' (want an integer in [1, 4096])\n";
+      return 1;
+    }
+    options.llm.decode_chunk_tokens = static_cast<int>(args.get_int("llm-chunk", 32));
   }
 
   // Materialise the fleet on the (possibly faulty) control plane; on a
@@ -383,6 +441,18 @@ int cmd_simulate(const CliArgs& args) {
   table.print(std::cout);
 
   std::cout << "\noverall compliance: " << format_double(result.overall_compliance(), 4);
+  const bool llm_run = result.generated_tokens > 0 || result.requests_rejected > 0 ||
+                       result.requests_evicted > 0;
+  if (llm_run) {
+    double kv_peak = 0.0;
+    for (const double ratio : result.unit_kv_peak) kv_peak = std::max(kv_peak, ratio);
+    std::cout << "\nllm: " << result.generated_tokens << " tokens generated, "
+              << result.requests_rejected << " rejected, " << result.requests_evicted
+              << " evicted, peak KV " << format_double(kv_peak * 100.0, 1) << "% ("
+              << serving::to_string(options.llm.admission) << "/"
+              << serving::to_string(options.llm.eviction) << "/"
+              << serving::to_string(options.llm.dispatch) << ")";
+  }
   if (result.failure_at_ms >= 0.0) {
     std::cout << "  pre-failure: " << format_double(result.pre_failure.compliance(), 4)
               << "  degraded: " << format_double(result.degraded.compliance(), 4)
@@ -423,8 +493,8 @@ int cmd_simulate(const CliArgs& args) {
 }
 
 int cmd_scenarios() {
-  TextTable table({"scenario", "services", "total req/s", "tightest SLO (ms)"});
-  for (const auto& sc : scenarios::all_scenarios()) {
+  TextTable table({"scenario", "services", "total req/s", "tightest SLO (ms)", "class"});
+  auto add = [&table](const scenarios::Scenario& sc, const char* klass) {
     double total = 0.0;
     double tightest = 1e18;
     for (const auto& spec : sc.services) {
@@ -432,8 +502,10 @@ int cmd_scenarios() {
       tightest = std::min(tightest, spec.slo_latency_ms);
     }
     table.add_row({sc.name, std::to_string(sc.services.size()), format_double(total, 0),
-                   format_double(tightest, 0)});
-  }
+                   format_double(tightest, 0), klass});
+  };
+  for (const auto& sc : scenarios::all_scenarios()) add(sc, "Table IV");
+  add(scenarios::llm_scenario(), "LLM (prefill/decode)");
   table.print(std::cout);
   return 0;
 }
@@ -442,6 +514,11 @@ int cmd_scenarios() {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  if (!args.repeated().empty()) {
+    std::cerr << "error: flag --" << args.repeated().front()
+              << " given more than once (each flag may appear at most once)\n";
+    return 2;
+  }
   if (args.positional().empty()) return usage();
   const std::string& command = args.positional().front();
   try {

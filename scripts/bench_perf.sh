@@ -30,6 +30,7 @@ else
   # overwrites it.
   ref_ratio=""
   ref_arrival=""
+  ref_llm=""
   if [[ -f BENCH_perf.json ]]; then
     ref_s1="$(json_field BENCH_perf.json des_events_per_sec_shards_1)"
     ref_s4="$(json_field BENCH_perf.json des_events_per_sec_shards_4)"
@@ -37,6 +38,7 @@ else
       ref_ratio="$(awk -v a="$ref_s4" -v b="$ref_s1" 'BEGIN { printf "%.3f", a / b }')"
     fi
     ref_arrival="$(json_field BENCH_perf.json arrival_tournament_speedup_1k)"
+    ref_llm="$(json_field BENCH_perf.json des_events_per_sec_llm)"
   fi
 
   echo "== perf regression (full, medians of 9 reps) =="
@@ -81,6 +83,24 @@ else
   if [[ -n "$ref_arrival" ]] &&
      awk -v r="$new_arrival" -v ref="$ref_arrival" 'BEGIN { exit !(r < 0.8 * ref) }'; then
     echo "bench_perf: tournament speedup ${new_arrival}x regressed >20% vs ${ref_arrival}x" >&2
+    exit 1
+  fi
+
+  # LLM-engine gate: S7 (prefill/decode chains + KV ledger under evict)
+  # event throughput must stay within the standard 20% band of the
+  # committed reference. Raw events/s is box-dependent, so the band only
+  # applies when a reference exists — same convention as the ratios above,
+  # whose reference was produced on the same box that regenerated the
+  # report being gated.
+  new_llm="$(json_field BENCH_perf.json des_events_per_sec_llm)"
+  if [[ -z "$new_llm" ]]; then
+    echo "bench_perf: report is missing des_events_per_sec_llm" >&2
+    exit 1
+  fi
+  echo "[llm engine: ${new_llm} events/s on S7 (reference: ${ref_llm:-none})]"
+  if [[ -n "$ref_llm" ]] &&
+     awk -v r="$new_llm" -v ref="$ref_llm" 'BEGIN { exit !(r < 0.8 * ref) }'; then
+    echo "bench_perf: LLM engine throughput ${new_llm} regressed >20% vs ${ref_llm}" >&2
     exit 1
   fi
 fi

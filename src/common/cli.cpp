@@ -1,10 +1,27 @@
 #include "common/cli.hpp"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/strings.hpp"
 
 namespace parva {
+namespace {
+
+/// Full-consumption base-10 integer parse: the strtoll that CLI validation
+/// needs (atoll silently accepts "4x" as 4 and "" as 0).
+bool parse_int_strict(const std::string& text, long long* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE || end == text.c_str() || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
@@ -15,14 +32,24 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
       continue;
     }
     arg.erase(0, 2);
+    std::string name;
+    std::string value;
     const std::size_t eq = arg.find('=');
     if (eq != std::string::npos) {
-      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
     } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
-      flags_[arg] = argv[++i];
+      name = arg;
+      value = argv[++i];
     } else {
-      flags_[arg] = "true";
+      name = arg;
+      value = "true";
     }
+    if (flags_.count(name) != 0 &&
+        std::find(repeated_.begin(), repeated_.end(), name) == repeated_.end()) {
+      repeated_.push_back(name);
+    }
+    flags_[name] = std::move(value);
   }
 }
 
@@ -43,7 +70,17 @@ double CliArgs::get_double(const std::string& name, double fallback) const {
 long long CliArgs::get_int(const std::string& name, long long fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
-  return std::atoll(it->second.c_str());
+  long long value = 0;
+  return parse_int_strict(it->second, &value) ? value : fallback;
+}
+
+bool CliArgs::int_in_range(const std::string& name, long long min_value,
+                           long long max_value) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return false;
+  long long value = 0;
+  if (!parse_int_strict(it->second, &value)) return false;
+  return value >= min_value && value <= max_value;
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {

@@ -18,8 +18,23 @@ class CliArgs {
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& fallback) const;
   double get_double(const std::string& name, double fallback) const;
+  /// Integer flag value. The whole value must parse as a base-10 integer
+  /// (optional sign); anything else — including trailing junk like
+  /// "4x" or an empty value — returns the fallback.
   long long get_int(const std::string& name, long long fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
+
+  /// True when `name` parses as a base-10 integer in [min_value, max_value].
+  /// Distinguishes "absent" (fine, use the default) from "present but
+  /// malformed / out of range" (a user error a CLI should reject loudly,
+  /// not silently swallow into the fallback).
+  bool int_in_range(const std::string& name, long long min_value, long long max_value) const;
+
+  /// Flags that appeared more than once on the command line, in first-seen
+  /// order. Parsing keeps the LAST occurrence's value; strict front ends
+  /// treat a non-empty list as a usage error (a repeated flag is almost
+  /// always a typo'd edit of the wrong copy).
+  const std::vector<std::string>& repeated() const { return repeated_; }
 
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
@@ -27,6 +42,7 @@ class CliArgs {
  private:
   std::string program_;
   std::map<std::string, std::string> flags_;
+  std::vector<std::string> repeated_;
   std::vector<std::string> positional_;
 };
 

@@ -10,12 +10,33 @@
 
 namespace parva::core {
 
+/// Generative-LLM request shape attached to a service. Token counts are
+/// drawn per request from a clamped lognormal: exp(N(log(mean) - s^2/2, s))
+/// rounded and clamped to [1, max], so `*_mean` is the expected count. A
+/// mean of zero produces zero tokens for that phase without consuming any
+/// random variates (the degenerate fixed-latency contract, DESIGN.md §4.7).
+struct LlmWorkload {
+  double prompt_tokens_mean = 0.0;   ///< expected prompt length (0: none)
+  double prompt_tokens_sigma = 0.0;  ///< lognormal sigma (log-space)
+  int prompt_tokens_max = 8192;      ///< hard clamp on drawn prompt length
+  double gen_tokens_mean = 0.0;      ///< expected generation length (0: none)
+  double gen_tokens_sigma = 0.0;     ///< lognormal sigma (log-space)
+  int gen_tokens_max = 2048;         ///< hard clamp on drawn generation
+  /// KV-cache footprint per resident token in bytes; 0 disables the
+  /// per-instance memory ledger entirely.
+  double kv_bytes_per_token = 0.0;
+};
+
 /// A client-registered inference service: model + SLO + request rate.
 struct ServiceSpec {
   int id = -1;
   std::string model;
   double slo_latency_ms = 0.0;  ///< end-to-end SLO latency target
   double request_rate = 0.0;    ///< requests/s the service must sustain
+  /// Generative workload descriptor; disengaged for the fixed-latency
+  /// CNN models of Table IV (the scheduler ignores it — sizing always
+  /// uses the profiled WorkloadTraits surface).
+  std::optional<LlmWorkload> llm;
 };
 
 /// An operating triplet (instance size, batch size, process count) together

@@ -1,0 +1,101 @@
+#include "perfmodel/llm_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace parva::perfmodel {
+namespace {
+
+// Aggregate decode tokens/s per GPC at the saturation knee:
+// R(1, k) = d1 * k^2 / (2k - 1). This is the rate the scheduler-facing
+// w1 calibration charges decode work at (batching is assumed effective).
+double saturated_decode_per_gpc(const LlmTraits& traits) {
+  const double k = traits.decode_batch_knee;
+  if (traits.decode_tok_per_s_1g <= 0.0 || k <= 0.0) return 0.0;
+  return traits.decode_tok_per_s_1g * k * k / (2.0 * k - 1.0);
+}
+
+std::vector<LlmTraits> builtin_llm_traits() {
+  // name, params(B), weights GiB, prefill t/s/1g, decode t/s/1g (single
+  // stream), knee, kv B/token, reference prompt/gen tokens.
+  //
+  // Rates are A100-MIG-scale fp16 numbers: prefill is compute-bound and
+  // scales with GPC count; single-stream decode is bandwidth-bound and
+  // slow, recovering throughput only through batching (the knee). KV
+  // bytes/token assume GQA-style heads for the small models and denser
+  // attention for 13b.
+  return {
+      {"llama-3b",   3.0,  6.0, 9000.0, 60.0, 8.0, 100.0e3,  256.0,  96.0},
+      {"llama-7b",   6.7, 13.0, 4000.0, 40.0, 8.0, 160.0e3,  512.0, 160.0},
+      {"llama-13b", 13.0, 24.5, 2200.0, 25.0, 8.0, 250.0e3, 1536.0, 128.0},
+  };
+}
+
+}  // namespace
+
+const LlmCatalog& LlmCatalog::builtin() {
+  static const LlmCatalog catalog(builtin_llm_traits());
+  return catalog;
+}
+
+LlmCatalog::LlmCatalog(std::vector<LlmTraits> traits) : traits_(std::move(traits)) {}
+
+const LlmTraits* LlmCatalog::find(std::string_view name) const {
+  for (const auto& traits : traits_) {
+    if (traits.name == name) return &traits;
+  }
+  return nullptr;
+}
+
+const LlmTraits& LlmCatalog::at(std::string_view name) const {
+  const LlmTraits* traits = find(name);
+  PARVA_REQUIRE(traits != nullptr, "unknown LLM model: " + std::string(name));
+  return *traits;
+}
+
+const LlmTraits& default_llm_traits() {
+  // Mid-size defaults; weight_gib 0 so a synthetic LLM workload on a CNN
+  // model never makes its instance memory-infeasible.
+  static const LlmTraits traits{"default-llm", 1.0,    0.0,   6000.0, 50.0,
+                                8.0,           80.0e3, 256.0, 96.0};
+  return traits;
+}
+
+double prefill_ms(const LlmTraits& traits, double gpcs, double tokens) {
+  if (tokens <= 0.0) return 0.0;
+  const double rate = traits.prefill_tok_per_s_1g * std::max(gpcs, 1e-9);
+  if (rate <= 0.0) return 0.0;
+  return tokens / rate * 1000.0;
+}
+
+double decode_tok_per_s(const LlmTraits& traits, double gpcs, int live) {
+  if (live <= 0) return 0.0;
+  const double k = std::max(traits.decode_batch_knee, 1.0);
+  const double n = static_cast<double>(live);
+  return traits.decode_tok_per_s_1g * std::max(gpcs, 1e-9) * n * k / (n + k - 1.0);
+}
+
+double decode_step_ms(const LlmTraits& traits, double gpcs, int procs,
+                      int live, int chunk_tokens) {
+  if (live <= 0 || chunk_tokens <= 0) return 0.0;
+  const double rate = decode_tok_per_s(traits, gpcs, live);
+  if (rate <= 0.0) return 0.0;
+  // `chunk * live` tokens advance per step; `procs` processes share the
+  // instance's memory bandwidth.
+  const double share = rate / static_cast<double>(std::max(procs, 1));
+  return static_cast<double>(chunk_tokens) * static_cast<double>(live) / share * 1000.0;
+}
+
+double prefill_cost_share(const LlmTraits& traits) {
+  const double pre =
+      prefill_ms(traits, 1.0, traits.reference_prompt_tokens);
+  const double sat = saturated_decode_per_gpc(traits);
+  const double dec =
+      sat > 0.0 ? traits.reference_gen_tokens / sat * 1000.0 : 0.0;
+  const double total = pre + dec;
+  if (total <= 0.0) return 1.0;
+  return pre / total;
+}
+
+}  // namespace parva::perfmodel

@@ -1,0 +1,87 @@
+// Token-based latency model for generative-LLM workloads.
+//
+// Fixed-latency CNNs are fully described by the batch latency law in
+// analytical_model.hpp. Generative models split a request into two phases
+// with different bottlenecks:
+//   prefill — compute-bound: the whole prompt is processed in one pass, so
+//             throughput scales with instance GPCs:
+//                 prefill_ms(g, T) = T / (prefill_tok_per_s_1g * g) * 1000.
+//   decode  — memory-bandwidth-bound: each step emits one token per live
+//             request. A single stream on a 1-GPC instance sustains
+//             `decode_tok_per_s_1g`; batching amortises weight reads up to
+//             a saturation knee:
+//                 R(g, n) = d1 * g * n * k / (n + k - 1)   tokens/s
+//             (R(g,1) = d1*g, R -> d1*g*k as n grows). With p MPS
+//             processes sharing the instance each process sees R / p.
+//
+// The catalog rows double as the calibration source for the scheduler's
+// WorkloadTraits view (ModelCatalog::with_llm): w1 there is the per-request
+// GPC-cost of a *reference-shaped* request (reference_prompt_tokens prefill
+// + reference_gen_tokens decode at the saturated rate), so Demand Matching
+// sizes instances by total token work while the DES replays the two phases
+// explicitly (DESIGN.md §4.7).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parva::perfmodel {
+
+/// Calibrated traits of one generative model.
+struct LlmTraits {
+  std::string name;
+  double params_billions = 0.0;
+  double weight_gib = 0.0;  ///< resident fp16 weights + context, per process
+  double prefill_tok_per_s_1g = 0.0;  ///< prefill rate on a 1-GPC instance
+  double decode_tok_per_s_1g = 0.0;   ///< single-stream decode rate on 1 GPC
+  double decode_batch_knee = 8.0;     ///< live-request count where decode
+                                      ///< throughput saturates
+  double kv_bytes_per_token = 0.0;    ///< default KV footprint per token
+  double reference_prompt_tokens = 512.0;  ///< shape w1 is calibrated at
+  double reference_gen_tokens = 128.0;
+};
+
+/// Immutable catalog of the built-in generative models.
+class LlmCatalog {
+ public:
+  static const LlmCatalog& builtin();
+
+  explicit LlmCatalog(std::vector<LlmTraits> traits);
+
+  const LlmTraits* find(std::string_view name) const;
+  /// Lookup that throws on unknown model (for internal callers).
+  const LlmTraits& at(std::string_view name) const;
+
+  std::span<const LlmTraits> all() const { return traits_; }
+  std::size_t size() const { return traits_.size(); }
+
+ private:
+  std::vector<LlmTraits> traits_;
+};
+
+/// Conservative traits used when a service carries an LlmWorkload but its
+/// model has no LlmCatalog entry (e.g. an LLM workload attached to a CNN
+/// name in tests).
+const LlmTraits& default_llm_traits();
+
+/// Milliseconds to prefill `tokens` prompt tokens on a `gpcs`-GPC instance.
+double prefill_ms(const LlmTraits& traits, double gpcs, double tokens);
+
+/// Aggregate decode rate (tokens/s) of one process with `live` in-flight
+/// requests on a `gpcs`-GPC instance.
+double decode_tok_per_s(const LlmTraits& traits, double gpcs, int live);
+
+/// Milliseconds for one decode step that advances each of `live` requests
+/// by `chunk_tokens` tokens, with `procs` MPS processes sharing the
+/// instance bandwidth.
+double decode_step_ms(const LlmTraits& traits, double gpcs, int procs,
+                      int live, int chunk_tokens);
+
+/// Fraction of a reference-shaped request's GPC-cost spent in prefill;
+/// used to split the profiled batch latency into the Prefill event and the
+/// Decode chain. Independent of instance size (both phases scale ~1/g).
+double prefill_cost_share(const LlmTraits& traits);
+
+}  // namespace parva::perfmodel

@@ -31,10 +31,37 @@ std::vector<WorkloadTraits> builtin_traits() {
   };
 }
 
+std::vector<WorkloadTraits> llm_workload_traits() {
+  // Scheduler-facing view of the generative models (llm_model.cpp holds
+  // the token-level calibration these rows derive from). w1 is the
+  // per-request GPC-cost at the reference shape:
+  //   ref_prompt / prefill_tok_per_s_1g + ref_gen / saturated_decode_per_gpc
+  // in milliseconds (e.g. llama-7b: 512/4000 + 160/170.7 tokens-per-ms
+  // -> 128 + 937 = 1065 GPC-ms). Small pi0: a single decode stream keeps
+  // only a sliver of a big instance busy, so batching (and sometimes MPS
+  // stacking) is where throughput comes from. mem0 covers resident
+  // weights + context per process; mem1 approximates the KV footprint of
+  // one reference-shaped in-flight request.
+  return {
+      {"llama-3b",   3000.0,  2100.0, 4.0,  403.0, 0.28, 0.30, 4.0,  6.8, 0.033, 0.60},
+      {"llama-7b",   6700.0,  9000.0, 6.0, 1066.0, 0.30, 0.30, 5.0, 13.8, 0.100, 0.65},
+      {"llama-13b", 13000.0, 43000.0, 8.0, 1898.0, 0.32, 0.30, 6.0, 25.3, 0.390, 0.70},
+  };
+}
+
 }  // namespace
 
 const ModelCatalog& ModelCatalog::builtin() {
   static const ModelCatalog catalog(builtin_traits());
+  return catalog;
+}
+
+const ModelCatalog& ModelCatalog::with_llm() {
+  static const ModelCatalog catalog([] {
+    std::vector<WorkloadTraits> traits = builtin_traits();
+    for (auto& llm : llm_workload_traits()) traits.push_back(std::move(llm));
+    return traits;
+  }());
   return catalog;
 }
 

@@ -51,6 +51,12 @@ class ModelCatalog {
   /// The built-in catalog (Table IV models).
   static const ModelCatalog& builtin();
 
+  /// The built-in catalog plus the generative-LLM family (llm_model.hpp).
+  /// The LLM rows charge each request its total token work (prefill +
+  /// saturated decode at the reference shape) so Demand Matching sizes
+  /// instances correctly; the DES replays the phases explicitly.
+  static const ModelCatalog& with_llm();
+
   /// Constructs a catalog from explicit traits (tests use this).
   explicit ModelCatalog(std::vector<WorkloadTraits> traits);
 

@@ -16,7 +16,7 @@ Scenario make(const std::string& name, const std::vector<Row>& rows) {
   scenario.name = name;
   int id = 0;
   for (const Row& row : rows) {
-    scenario.services.push_back(core::ServiceSpec{id++, row.model, row.slo, row.rate});
+    scenario.services.push_back(core::ServiceSpec{id++, row.model, row.slo, row.rate, {}});
   }
   return scenario;
 }
@@ -100,6 +100,31 @@ std::vector<Scenario> build_all() {
   return all;
 }
 
+/// S7: the generative-LLM scenario (DESIGN.md §4.7). Not part of the
+/// paper's Table IV — it lives outside all_scenarios() so every Table-IV
+/// sweep and golden stays untouched — but reachable by name from
+/// scenario() and `parvactl simulate --scenario S7`. Prompt/generation
+/// shapes model three request classes: short chat turns, an assistant with
+/// moderate generation, and RAG with long stuffed prompts.
+Scenario build_s7() {
+  Scenario scenario;
+  scenario.name = "S7";
+  scenario.streaming = true;
+  auto add = [&scenario](int id, const char* model, double slo, double rate,
+                         core::LlmWorkload workload) {
+    scenario.services.push_back(core::ServiceSpec{id, model, slo, rate, workload});
+  };
+  // Chat: short prompts, short replies, latency-sensitive.
+  add(0, "llama-3b", 4'000, 36, {160.0, 0.6, 2048, 48.0, 0.6, 512, 800.0e3});
+  add(1, "llama-7b", 6'000, 20, {220.0, 0.6, 2048, 64.0, 0.6, 512, 1200.0e3});
+  // Assistant: mid prompts, heavier generation.
+  add(2, "llama-7b", 10'000, 12, {420.0, 0.7, 4096, 180.0, 0.7, 1024, 1450.0e3});
+  add(3, "llama-13b", 15'000, 6, {512.0, 0.7, 4096, 220.0, 0.7, 1024, 2100.0e3});
+  // RAG: long stuffed prompts dominate; replies stay short.
+  add(4, "llama-13b", 20'000, 4, {1600.0, 0.5, 8192, 96.0, 0.6, 512, 2000.0e3});
+  return scenario;
+}
+
 }  // namespace
 
 const std::vector<Scenario>& all_scenarios() {
@@ -107,10 +132,16 @@ const std::vector<Scenario>& all_scenarios() {
   return scenarios;
 }
 
+const Scenario& llm_scenario() {
+  static const Scenario scenario = build_s7();
+  return scenario;
+}
+
 const Scenario& scenario(const std::string& name) {
   for (const Scenario& s : all_scenarios()) {
     if (s.name == name) return s;
   }
+  if (name == llm_scenario().name) return llm_scenario();
   throw std::logic_error("unknown scenario " + name);
 }
 

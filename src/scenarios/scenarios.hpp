@@ -11,14 +11,25 @@
 namespace parva::scenarios {
 
 struct Scenario {
-  std::string name;                            ///< "S1".."S6"
+  std::string name;                            ///< "S1".."S6" (plus "S7")
   std::vector<core::ServiceSpec> services;
+  /// Streaming-traffic scenario: front ends should default the arrival
+  /// process to bursty (ArrivalProcess::kBursty) unless overridden. True
+  /// only for S7 — chat/RAG traffic arrives in bursts, and the KV-pressure
+  /// dynamics the scenario exists to study only appear under them.
+  bool streaming = false;
 };
 
-/// All six scenarios, in order S1..S6.
+/// All six scenarios, in order S1..S6. Deliberately excludes S7 (the LLM
+/// scenario) so Table-IV sweeps stay exactly the paper's evaluation set.
 const std::vector<Scenario>& all_scenarios();
 
-/// Lookup by name ("S1".."S6"); throws on unknown name.
+/// S7: generative-LLM services (chat / assistant / RAG shapes) carrying
+/// core::LlmWorkload token distributions and KV footprints (DESIGN.md
+/// §4.7). Pair with ArrivalProcess::kBursty for streaming-traffic studies.
+const Scenario& llm_scenario();
+
+/// Lookup by name ("S1".."S6", plus "S7"); throws on unknown name.
 const Scenario& scenario(const std::string& name);
 
 /// Replicates every service `fold` times (fresh ids), modelling a client

@@ -10,6 +10,7 @@
 #include "common/thread_pool.hpp"
 #include "core/metrics.hpp"
 #include "gpu/arch.hpp"
+#include "perfmodel/llm_model.hpp"
 #include "serving/event_engine.hpp"
 #include "serving/shard_engine.hpp"
 
@@ -19,8 +20,13 @@ namespace {
 constexpr double kNever = std::numeric_limits<double>::infinity();
 
 // Rng::stream tags: one family of independent streams per entity kind.
-constexpr std::uint64_t kArrivalRngTag = 1;  ///< per-service arrival process
-constexpr std::uint64_t kJitterRngTag = 2;   ///< per-unit batch-latency jitter
+// The LLM tags are drawn only by services carrying an LlmWorkload, so the
+// arrival/jitter draw sequences of fixed-latency services are untouched by
+// the generative path (the degenerate contract of DESIGN.md §4.7).
+constexpr std::uint64_t kArrivalRngTag = 1;   ///< per-service arrival process
+constexpr std::uint64_t kJitterRngTag = 2;    ///< per-unit batch-latency jitter
+constexpr std::uint64_t kTokenRngTag = 3;     ///< per-service token-length draws
+constexpr std::uint64_t kDispatchRngTag = 4;  ///< per-service p2c probes
 
 // Bits of the per-unit emission counter inside a BufferedRecord sub-key
 // (see shard_engine.hpp: sub = (global unit + 1) << 20 | emission).
@@ -29,6 +35,10 @@ constexpr unsigned kSubEmissionBits = 20;
 struct Request {
   int service_id = -1;
   double arrival_ms = 0.0;
+  // Token counts drawn at arrival from the service's token stream; both
+  // zero for fixed-latency services (no draws consumed).
+  int prompt_tokens = 0;
+  int gen_tokens = 0;
 };
 
 /// FIFO of waiting requests: a flat vector with a head cursor. pop is a
@@ -70,6 +80,35 @@ class RequestQueue {
   std::size_t head_ = 0;
 };
 
+/// Pool payload: the requests of one in-service batch plus the decode-phase
+/// state of the generative path (untouched by fixed-latency units).
+struct Batch {
+  std::vector<Request> requests;
+  /// Decode tokens left per request; sized at the Prefill event, empty
+  /// before it (and always empty on fixed-latency units).
+  std::vector<int> remaining;
+  int live = 0;                  ///< requests still decoding
+  double kv_bytes = 0.0;         ///< KV-ledger bytes this batch holds
+  double prefill_done_ms = 0.0;  ///< first-token time (0: not prefilled yet)
+  /// Victim-choice stamps from the owning unit's monotone counter.
+  std::uint64_t admitted_stamp = 0;
+  std::uint64_t touched_stamp = 0;
+  bool measured = false;  ///< front request arrived after warm-up
+  bool violated = false;  ///< some finished request missed the SLO
+
+  void clear() {
+    requests.clear();
+    remaining.clear();
+    live = 0;
+    kv_bytes = 0.0;
+    prefill_done_ms = 0.0;
+    admitted_stamp = 0;
+    touched_stamp = 0;
+    measured = false;
+    violated = false;
+  }
+};
+
 /// Runtime state of one deployed unit.
 struct UnitState {
   const core::DeployedUnit* unit = nullptr;
@@ -92,9 +131,28 @@ struct UnitState {
   /// sm_work[take]: SM-time charged for a batch of `take` requests
   /// (batch_work_ms * kSmsPerGpc), precomputed per fill level.
   std::vector<double> sm_work;
+
+  // ---- Generative-LLM execution state (DESIGN.md §4.7). ----
+  bool is_llm = false;  ///< owning service carries an LlmWorkload
+  const perfmodel::LlmTraits* llm_traits = nullptr;
+  /// Fraction of the profiled batch latency charged to the Prefill event;
+  /// exactly 1.0 for workloads with no generation phase, so a zero-token
+  /// LLM batch reproduces the fixed-latency service time bit-for-bit.
+  double prefill_share = 1.0;
+  double expected_prompt = 0.0;  ///< workload prompt mean (prefill anchor)
+  double kv_per_token = 0.0;     ///< bytes per resident token (0: no ledger)
+  double kv_capacity = 0.0;      ///< ledger capacity in bytes
+  double kv_used = 0.0;
+  double kv_peak = 0.0;
+  std::uint64_t next_stamp = 0;  ///< admission/touch stamp source
+  /// Slots currently holding ledger bytes (eviction candidates).
+  std::vector<std::uint32_t> resident;
+  /// decode_step_ms[live]: wall time of one decode chunk at that many live
+  /// requests, precomputed from the token-rate law.
+  std::vector<double> decode_step_ms;
 };
 
-using BatchPool = SlotPool<std::vector<Request>>;
+using BatchPool = SlotPool<Batch>;
 
 /// Static run parameters shared read-only by every shard. Every field is a
 /// pure function of (options, deployment, services) — never of execution —
@@ -114,6 +172,13 @@ struct RunConfig {
   double recovered_at_ms = 0.0;
   bool buffer_records = false;       ///< telemetry sink attached
   bool record_batch_events = false;  ///< EventLog batch records requested
+  /// Generative-LLM policies (admission/eviction/dispatch, chunking).
+  LlmSimOptions llm;
+  /// kBursty arrival shaping; burst_slow is derived once so the burst/slow
+  /// exponential mixture preserves the offered rate.
+  double burst_prob = 0.0;
+  double burst_factor = 1.0;
+  double burst_slow = 1.0;
 };
 
 double ms_since(std::chrono::steady_clock::time_point t0) {
@@ -136,6 +201,11 @@ struct Shard {
   std::vector<double> svc_rate;
   std::vector<double> paced_gap_ms;
   std::vector<Rng> arrival_rng;
+  /// Per-service LLM workload (nullptr: fixed-latency service).
+  std::vector<const core::LlmWorkload*> svc_llm;
+  std::vector<Rng> token_rng;
+  std::vector<Rng> dispatch_rng;
+  std::vector<std::uint32_t> rr_cursor;  ///< round-robin dispatch state
   ArrivalStreams arrivals;
   std::size_t arrival_s = 0;  ///< cached arrivals.earliest()
 
@@ -167,7 +237,33 @@ struct Shard {
     if (cfg->arrivals == ArrivalProcess::kPoisson) {
       return arrival_rng[s].exponential(svc_rate[s] / 1000.0);
     }
+    if (cfg->arrivals == ArrivalProcess::kBursty) {
+      // Two-phase exponential mixture: a boosted burst rate with
+      // probability burst_prob, else a compensating slow rate — the mean
+      // gap matches the offered rate (DESIGN.md §4.7).
+      const double u = arrival_rng[s].next_double();
+      const double factor = u < cfg->burst_prob ? cfg->burst_factor : cfg->burst_slow;
+      return arrival_rng[s].exponential(svc_rate[s] * factor / 1000.0);
+    }
     return paced_gap_ms[s];
+  }
+
+  /// Clamped-lognormal token draw: exp(N(log(mean) - s^2/2, s)) rounded to
+  /// [1, max]. A zero mean produces zero tokens without touching the
+  /// stream; a zero sigma produces the rounded mean with one structure for
+  /// every request (still no draw — the count is exact).
+  static int sample_tokens(double mean, double sigma, int max_tokens, Rng& rng) {
+    if (mean <= 0.0) return 0;
+    double tokens = mean;
+    if (sigma > 0.0) {
+      tokens = std::exp(rng.normal(std::log(mean) - 0.5 * sigma * sigma, sigma));
+    }
+    const double hi = static_cast<double>(std::max(max_tokens, 1));
+    return static_cast<int>(std::lround(std::min(std::max(tokens, 1.0), hi)));
+  }
+
+  std::uint64_t unit_sub(std::size_t ui) const {
+    return (static_cast<std::uint64_t>(unit_global[ui]) + 1) << kSubEmissionBits;
   }
 
   PhaseStats* phase_of(double t, std::uint64_t seq) {
@@ -201,19 +297,173 @@ struct Shard {
     }
   }
 
-  void start_batch_if_possible(std::size_t ui, double now) {
+  /// Removes `slot`'s ledger entry and returns its bytes to the unit's KV
+  /// capacity. No-op on units whose ledger is disabled.
+  void release_ledger(std::size_t ui, std::uint32_t slot) {
+    UnitState& state = units[ui];
+    if (state.kv_per_token <= 0.0) return;
+    Batch& batch = batches[slot].payload;
+    state.kv_used -= batch.kv_bytes;
+    batch.kv_bytes = 0.0;
+    const auto it = std::find(state.resident.begin(), state.resident.end(), slot);
+    if (it != state.resident.end()) {
+      *it = state.resident.back();
+      state.resident.pop_back();
+    }
+  }
+
+  /// Evicts one resident batch: its unfinished requests are counted as
+  /// evicted, its KV bytes return to the ledger, and its process frees.
+  /// Releasing the slot bumps the generation, so the batch's pending
+  /// Prefill/Decode event goes stale.
+  void evict_batch(std::size_t ui, std::uint32_t slot, double now, std::uint64_t seq,
+                   std::uint64_t* emission) {
+    UnitState& state = units[ui];
+    Batch& batch = batches[slot].payload;
+    const auto s = static_cast<std::size_t>(unit_service[ui]);
+    std::size_t victims = 0;
+    if (batch.remaining.empty()) {
+      victims = batch.requests.size();  // pre-prefill: nothing finished yet
+    } else {
+      for (const int left : batch.remaining) {
+        if (left > 0) ++victims;
+      }
+    }
+    if (batch.measured) outcomes[s].evicted_requests += victims;
+    if (cfg->buffer_records) {
+      PARVA_CHECK(*emission >> kSubEmissionBits == 0, "eviction emission overflow");
+      records.push_back({now, seq, unit_sub(ui) | (*emission)++,
+                         telemetry::EventKind::kLlmEviction, state.unit->gpu_index,
+                         svc_id[s], static_cast<double>(victims)});
+    }
+    release_ledger(ui, slot);
+    const auto it =
+        std::find(state.in_flight_slots.begin(), state.in_flight_slots.end(), slot);
+    PARVA_CHECK(it != state.in_flight_slots.end(), "evicting a batch not in flight");
+    *it = state.in_flight_slots.back();
+    state.in_flight_slots.pop_back();
+    state.in_flight_requests -= batch.requests.size();
+    ++state.idle_processes;
+    batches.release(slot);
+  }
+
+  /// Frees ledger capacity for `need` bytes by evicting resident batches
+  /// other than `self`, oldest first by admission (FIFO) or last-touch
+  /// (LRU) stamp. Stops when the need fits or no victim remains.
+  void evict_until_fits(std::size_t ui, double need, std::uint32_t self, double now,
+                        std::uint64_t seq, std::uint64_t* emission) {
+    UnitState& state = units[ui];
+    while (need > state.kv_capacity - state.kv_used) {
+      bool found = false;
+      std::uint32_t victim = 0;
+      std::uint64_t best_stamp = 0;
+      for (const std::uint32_t slot : state.resident) {
+        if (slot == self) continue;
+        const Batch& batch = batches[slot].payload;
+        const std::uint64_t stamp = cfg->llm.eviction == LlmEvictionPolicy::kLru
+                                        ? batch.touched_stamp
+                                        : batch.admitted_stamp;
+        if (!found || stamp < best_stamp) {
+          found = true;
+          best_stamp = stamp;
+          victim = slot;
+        }
+      }
+      if (!found) return;
+      evict_batch(ui, victim, now, seq, emission);
+    }
+  }
+
+  /// Rejects the just-drained batch in `slot`: its requests are refused
+  /// admission (counted, not queued again) and the slot is released.
+  void reject_batch(std::size_t ui, std::uint32_t slot, double now, std::uint64_t seq,
+                    std::uint64_t* emission) {
+    UnitState& state = units[ui];
+    Batch& batch = batches[slot].payload;
+    const auto s = static_cast<std::size_t>(unit_service[ui]);
+    if (batch.measured) outcomes[s].rejected_requests += batch.requests.size();
+    if (cfg->buffer_records) {
+      PARVA_CHECK(*emission >> kSubEmissionBits == 0, "reject emission overflow");
+      records.push_back({now, seq, unit_sub(ui) | (*emission)++,
+                         telemetry::EventKind::kLlmAdmissionReject, state.unit->gpu_index,
+                         svc_id[s], static_cast<double>(batch.requests.size())});
+    }
+    batches.release(slot);
+  }
+
+  /// KV admission for the just-drained batch. kReject reserves the full
+  /// prompt+generation footprint up front (decode can never overflow);
+  /// kEvict admits on prompt footprint alone and reclaims from residents
+  /// when even that does not fit. Returns false when the batch was
+  /// rejected (the slot is already released).
+  bool admit_llm_batch(std::size_t ui, std::uint32_t slot, double now, std::uint64_t seq,
+                       std::uint64_t* emission) {
+    UnitState& state = units[ui];
+    Batch& batch = batches[slot].payload;
+    batch.measured =
+        !batch.requests.empty() && batch.requests.front().arrival_ms >= cfg->warmup_ms;
+    batch.admitted_stamp = ++state.next_stamp;
+    batch.touched_stamp = batch.admitted_stamp;
+    if (state.kv_per_token <= 0.0) return true;
+    double prompt_tokens = 0.0;
+    double total_tokens = 0.0;
+    for (const Request& request : batch.requests) {
+      prompt_tokens += static_cast<double>(request.prompt_tokens);
+      total_tokens += static_cast<double>(request.prompt_tokens + request.gen_tokens);
+    }
+    const bool reserve_full = cfg->llm.admission == LlmAdmissionPolicy::kReject;
+    const double need = state.kv_per_token * (reserve_full ? total_tokens : prompt_tokens);
+    if (!reserve_full && need > state.kv_capacity - state.kv_used) {
+      evict_until_fits(ui, need, slot, now, seq, emission);
+    }
+    if (need > state.kv_capacity - state.kv_used) {
+      reject_batch(ui, slot, now, seq, emission);
+      return false;
+    }
+    state.kv_used += need;
+    batch.kv_bytes = need;
+    state.kv_peak = std::max(state.kv_peak, state.kv_used);
+    state.resident.push_back(slot);
+    return true;
+  }
+
+  void start_batch_if_possible(std::size_t ui, double now, std::uint64_t seq,
+                               std::uint64_t* emission) {
     UnitState& state = units[ui];
     while (state.up && state.idle_processes > 0 && !state.queue.empty()) {
       const auto take = std::min<std::size_t>(static_cast<std::size_t>(state.unit->batch),
                                               state.queue.size());
       const std::uint32_t slot = batches.acquire();
-      state.queue.drain_into(batches[slot].payload, take);
+      Batch& batch = batches[slot].payload;
+      state.queue.drain_into(batch.requests, take);
+      if (state.is_llm && !admit_llm_batch(ui, slot, now, seq, emission)) {
+        continue;  // rejected under memory pressure; the process stays free
+      }
       // Service time: ground-truth full-batch latency scaled to the fill
       // level through the work model (partial batches finish faster, via
       // the precomputed fill_scale table), with multiplicative jitter drawn
       // from the unit's own stream — so the draw sequence of a unit is the
       // same no matter which shard hosts it.
       double service_ms = state.unit->actual_latency_ms * state.fill_scale[take];
+      if (state.is_llm) {
+        // The Prefill event carries the prefill share of the profiled
+        // latency, scaled to the batch's actual prompt mass against the
+        // workload's expectation. Both factors are exactly 1.0 for a
+        // zero-token workload, keeping the product bit-identical to the
+        // fixed-latency service time.
+        double prompt_scale = 1.0;
+        if (state.expected_prompt > 0.0) {
+          double prompt_sum = 0.0;
+          for (const Request& request : batch.requests) {
+            prompt_sum += static_cast<double>(request.prompt_tokens);
+          }
+          if (prompt_sum > 0.0) {
+            prompt_scale =
+                prompt_sum / (static_cast<double>(take) * state.expected_prompt);
+          }
+        }
+        service_ms *= state.prefill_share * prompt_scale;
+      }
       service_ms =
           perfmodel::AnalyticalPerfModel::sample_latency_ms(service_ms, jitter_rng[ui]);
       // Charge SM-time (Eq. 3 numerator) within the measurement window.
@@ -226,12 +476,89 @@ struct Shard {
       SimEvent event;
       event.time_ms = now + service_ms;
       event.seq = completion_seq[ui].next();
-      event.kind = EventKind::kBatchComplete;
+      event.kind = state.is_llm ? EventKind::kLlmPrefillDone : EventKind::kBatchComplete;
       event.unit_index = static_cast<int>(ui);
       event.slot = slot;
       event.generation = batches[slot].generation;
       events.push(event);
     }
+  }
+
+  /// Expected-delay score of a unit for dispatch: backlog (queued + in
+  /// service) over ground-truth capacity.
+  double delay_score(std::size_t ui) const {
+    const UnitState& state = units[ui];
+    const double backlog =
+        static_cast<double>(state.queue.size() + state.in_flight_requests);
+    return backlog / state.capacity;
+  }
+
+  /// The default dispatch rule: the live unit with the smallest expected
+  /// delay, matching a front-end load balancer. Returns units.size() when
+  /// every candidate is down (mid-failure, pre-repair).
+  std::size_t choose_least_loaded(std::size_t s) const {
+    const std::uint32_t cand_begin = svc_unit_off[s];
+    const std::uint32_t cand_end = svc_unit_off[s + 1];
+    if (cand_end - cand_begin == 1) {
+      // Single-unit service (the common case): the choice is forced, so
+      // the delay score is never compared against anything.
+      const std::size_t only = svc_unit_flat[cand_begin];
+      return units[only].up ? only : units.size();
+    }
+    bool any_live = false;
+    std::size_t chosen = 0;
+    double best_score = 0.0;
+    for (std::uint32_t idx = cand_begin; idx < cand_end; ++idx) {
+      const std::size_t ui = svc_unit_flat[idx];
+      if (!units[ui].up) continue;
+      const double score = delay_score(ui);
+      if (!any_live || score < best_score) {
+        any_live = true;
+        best_score = score;
+        chosen = ui;
+      }
+    }
+    return any_live ? chosen : units.size();
+  }
+
+  /// Replica choice for one arriving request. Fixed-latency services (and
+  /// the default LLM policy) use least-loaded; LLM services can opt into
+  /// round-robin or power-of-two-choices. P2C always consumes exactly two
+  /// draws from the service's dispatch stream, so the stream position never
+  /// depends on replica liveness.
+  std::size_t dispatch_unit(std::size_t s) {
+    if (svc_llm[s] == nullptr || cfg->llm.dispatch == LlmDispatchPolicy::kLeastLoaded) {
+      return choose_least_loaded(s);
+    }
+    const std::uint32_t cand_begin = svc_unit_off[s];
+    const std::uint32_t count = svc_unit_off[s + 1] - cand_begin;
+    if (count == 0) return units.size();
+    if (cfg->llm.dispatch == LlmDispatchPolicy::kRoundRobin) {
+      // First live replica at or after the per-service cursor; the cursor
+      // then moves past it so replicas take turns.
+      for (std::uint32_t step = 0; step < count; ++step) {
+        const std::uint32_t off = (rr_cursor[s] + step) % count;
+        const std::size_t ui = svc_unit_flat[cand_begin + off];
+        if (units[ui].up) {
+          rr_cursor[s] = (off + 1) % count;
+          return ui;
+        }
+      }
+      return units.size();
+    }
+    // Power-of-two-choices: two uniform probes, lower delay score wins,
+    // lower replica offset breaks ties; both probes dead falls back to the
+    // full scan (a front end would retry, not drop).
+    const auto a = static_cast<std::uint32_t>(dispatch_rng[s].uniform_int(0, count - 1));
+    const auto b = static_cast<std::uint32_t>(dispatch_rng[s].uniform_int(0, count - 1));
+    const std::size_t first = svc_unit_flat[cand_begin + std::min(a, b)];
+    const std::size_t second = svc_unit_flat[cand_begin + std::max(a, b)];
+    const bool first_up = units[first].up;
+    const bool second_up = units[second].up;
+    if (!first_up && !second_up) return choose_least_loaded(s);
+    if (!second_up) return first;
+    if (!first_up) return second;
+    return delay_score(second) < delay_score(first) ? second : first;
   }
 
   void process_arrival() {
@@ -241,39 +568,24 @@ struct Shard {
     ++events_processed;
     arrivals.retire(s);
     if (now <= cfg->horizon_ms) {
-      // Dispatch to the live unit with the smallest expected delay: backlog
-      // (queued + in service) over ground-truth capacity. A service whose
-      // every unit is down (mid-failure, pre-repair) sheds the request —
-      // the front end has nowhere to send it.
-      const std::uint32_t cand_begin = svc_unit_off[s];
-      const std::uint32_t cand_end = svc_unit_off[s + 1];
-      bool any_live = false;
-      std::size_t chosen = 0;
-      if (cand_end - cand_begin == 1) {
-        // Single-unit service (the common case): the choice is forced, so
-        // the delay score is never compared against anything.
-        chosen = svc_unit_flat[cand_begin];
-        any_live = units[chosen].up;
-      } else {
-        double best_score = 0.0;
-        for (std::uint32_t idx = cand_begin; idx < cand_end; ++idx) {
-          const UnitState& state = units[svc_unit_flat[idx]];
-          if (!state.up) continue;
-          const double backlog =
-              static_cast<double>(state.queue.size() + state.in_flight_requests);
-          const double score = backlog / state.capacity;
-          if (!any_live || score < best_score) {
-            any_live = true;
-            best_score = score;
-            chosen = svc_unit_flat[idx];
-          }
-        }
-      }
-      if (!any_live) {
+      // Dispatch to a live unit (policy above); a service whose every unit
+      // is down sheds the request — the front end has nowhere to send it.
+      const std::size_t chosen = dispatch_unit(s);
+      if (chosen == units.size()) {
         shed_one(s, now, now, seq, /*sub=*/0);
       } else {
-        units[chosen].queue.push_back(Request{svc_id[s], now});
-        start_batch_if_possible(chosen, now);
+        Request request{svc_id[s], now};
+        if (const core::LlmWorkload* workload = svc_llm[s]) {
+          request.prompt_tokens =
+              sample_tokens(workload->prompt_tokens_mean, workload->prompt_tokens_sigma,
+                            workload->prompt_tokens_max, token_rng[s]);
+          request.gen_tokens =
+              sample_tokens(workload->gen_tokens_mean, workload->gen_tokens_sigma,
+                            workload->gen_tokens_max, token_rng[s]);
+        }
+        units[chosen].queue.push_back(request);
+        std::uint64_t emission = 0;
+        start_batch_if_possible(chosen, now, seq, &emission);
       }
 
       // Schedule the next arrival of this service.
@@ -283,31 +595,14 @@ struct Shard {
     arrival_s = arrivals.earliest();
   }
 
-  void process_event(const SimEvent& event) {
+  /// The fixed-latency completion path: frees the process, accounts the
+  /// batch against its service (skip warm-up), releases the slot. An LLM
+  /// batch with no decode work takes exactly this path from its Prefill
+  /// event — the degenerate byte-identity contract (DESIGN.md §4.7).
+  void complete_batch(std::size_t ui, const SimEvent& event) {
     const double now = event.time_ms;
-    ++events_processed;
-    if (event.kind == EventKind::kUnitActivate) {
-      // A repair replacement comes online with a full complement of idle
-      // processes and an empty queue; the dispatcher starts routing to it
-      // on the next arrival.
-      const auto ui = static_cast<std::size_t>(event.unit_index);
-      UnitState& state = units[ui];
-      state.up = true;
-      state.idle_processes = std::max(1, state.unit->procs);
-      if (cfg->buffer_records) {
-        records.push_back({now, event.seq, 0, telemetry::EventKind::kUnitActivated,
-                           state.unit->gpu_index, state.unit->service_id, 0.0});
-      }
-      start_batch_if_possible(ui, now);
-      return;
-    }
-    // Device losses are delivered by the coordinator at window barriers
-    // (apply_failure), never through a shard's heap.
-    PARVA_CHECK(event.kind == EventKind::kBatchComplete, "unexpected heap event kind");
-    const auto ui = static_cast<std::size_t>(event.unit_index);
     UnitState& state = units[ui];
-    if (!batches.current(event.slot, event.generation)) return;  // died with its GPU
-    const std::vector<Request>& requests = batches[event.slot].payload;
+    const std::vector<Request>& requests = batches[event.slot].payload.requests;
     ++state.idle_processes;
     const auto slot_it =
         std::find(state.in_flight_slots.begin(), state.in_flight_slots.end(), event.slot);
@@ -352,7 +647,204 @@ struct Shard {
       }
     }
     batches.release(event.slot);
-    start_batch_if_possible(ui, now);
+    std::uint64_t emission = 0;
+    start_batch_if_possible(ui, now, event.seq, &emission);
+  }
+
+  /// Accounts one finished LLM request at its completing event (the batch
+  /// warm-up gate follows the fixed path: the front request decides).
+  void finish_llm_request(std::size_t ui, Batch& batch, const Request& request, double now,
+                          std::uint64_t seq) {
+    if (!batch.measured) return;
+    const auto s = static_cast<std::size_t>(unit_service[ui]);
+    ServiceOutcome& outcome = outcomes[s];
+    PhaseStats* phase = phase_of(now, seq);
+    const double latency = now - request.arrival_ms;
+    outcome.request_latency_ms.add(latency);
+    if (request.gen_tokens > 0) {
+      outcome.decode_latency_ms.add(now - batch.prefill_done_ms);
+      outcome.generated_tokens += static_cast<std::uint64_t>(request.gen_tokens);
+    }
+    ++outcome.requests;
+    ++phase->requests;
+    if (latency > svc_slo_ms[s]) {
+      batch.violated = true;
+      ++phase->violated_requests;
+    }
+  }
+
+  /// Pushes the next Decode event for `slot` at the current live count.
+  void schedule_decode(std::size_t ui, std::uint32_t slot, double now) {
+    UnitState& state = units[ui];
+    const Batch& batch = batches[slot].payload;
+    const auto live = std::min<std::size_t>(static_cast<std::size_t>(batch.live),
+                                            state.decode_step_ms.size() - 1);
+    SimEvent event;
+    event.time_ms = now + state.decode_step_ms[live];
+    event.seq = completion_seq[ui].next();
+    event.kind = EventKind::kLlmDecodeStep;
+    event.unit_index = static_cast<int>(ui);
+    event.slot = slot;
+    event.generation = batches[slot].generation;
+    events.push(event);
+  }
+
+  /// Last decode token emitted: free the ledger, the process and the slot,
+  /// and account the batch by its completion key like the fixed path.
+  void finalize_llm_batch(std::size_t ui, const SimEvent& event, std::uint64_t* emission) {
+    const double now = event.time_ms;
+    UnitState& state = units[ui];
+    Batch& batch = batches[event.slot].payload;
+    release_ledger(ui, event.slot);
+    ++state.idle_processes;
+    const auto slot_it =
+        std::find(state.in_flight_slots.begin(), state.in_flight_slots.end(), event.slot);
+    PARVA_CHECK(slot_it != state.in_flight_slots.end(),
+                "llm completion without in-flight batch");
+    *slot_it = state.in_flight_slots.back();
+    state.in_flight_slots.pop_back();
+    state.in_flight_requests -= batch.requests.size();
+    if (batch.measured) {
+      const auto s = static_cast<std::size_t>(unit_service[ui]);
+      ServiceOutcome& outcome = outcomes[s];
+      PhaseStats* phase = phase_of(now, event.seq);
+      ++outcome.batches;
+      if (batch.violated) ++outcome.violated_batches;
+      if (cfg->record_batch_events) {
+        records.push_back({now, event.seq, 0, telemetry::EventKind::kBatchCompleted,
+                           state.unit->gpu_index, svc_id[s],
+                           static_cast<double>(batch.requests.size())});
+      }
+      ++phase->batches;
+      if (batch.violated) ++phase->violated_batches;
+      if (TimelineBucket* bucket = bucket_of(now)) {
+        ++bucket->batches;
+        if (batch.violated) ++bucket->violated_batches;
+      }
+    }
+    batches.release(event.slot);
+    start_batch_if_possible(ui, now, event.seq, emission);
+  }
+
+  /// Prompt pass finished. Requests with no generation complete here (time
+  /// to first token IS their latency); the rest enter the decode chain.
+  void on_prefill_done(std::size_t ui, const SimEvent& event) {
+    const double now = event.time_ms;
+    Batch& batch = batches[event.slot].payload;
+    bool any_decode = false;
+    for (const Request& request : batch.requests) {
+      if (request.gen_tokens > 0) {
+        any_decode = true;
+        break;
+      }
+    }
+    if (!any_decode) {
+      // Zero-decode batch: the fixed-latency completion path, verbatim.
+      release_ledger(ui, event.slot);
+      complete_batch(ui, event);
+      return;
+    }
+    batch.prefill_done_ms = now;
+    if (batch.measured) {
+      ServiceOutcome& outcome = outcomes[static_cast<std::size_t>(unit_service[ui])];
+      for (const Request& request : batch.requests) {
+        outcome.prefill_latency_ms.add(now - request.arrival_ms);
+      }
+    }
+    batch.remaining.reserve(batch.requests.size());
+    batch.live = 0;
+    for (const Request& request : batch.requests) {
+      batch.remaining.push_back(request.gen_tokens);
+      if (request.gen_tokens > 0) ++batch.live;
+    }
+    for (const Request& request : batch.requests) {
+      if (request.gen_tokens == 0) finish_llm_request(ui, batch, request, now, event.seq);
+    }
+    schedule_decode(ui, event.slot, now);
+  }
+
+  /// One decode chunk: every live request advances, the ledger grows (with
+  /// evictions under memory pressure), finished requests complete.
+  void on_decode_step(std::size_t ui, const SimEvent& event) {
+    const double now = event.time_ms;
+    UnitState& state = units[ui];
+    Batch& batch = batches[event.slot].payload;
+    std::uint64_t emission = 0;
+    const int chunk = cfg->llm.decode_chunk_tokens;
+    double grown_tokens = 0.0;
+    for (const int left : batch.remaining) {
+      if (left > 0) grown_tokens += static_cast<double>(std::min(left, chunk));
+    }
+    if (state.kv_per_token > 0.0 && cfg->llm.admission == LlmAdmissionPolicy::kEvict) {
+      // Under kReject the growth was reserved at admission; under kEvict
+      // the ledger grows live and reclaims from other residents — or, with
+      // nothing left to take, sacrifices this batch itself.
+      const double growth = state.kv_per_token * grown_tokens;
+      if (growth > state.kv_capacity - state.kv_used) {
+        evict_until_fits(ui, growth, event.slot, now, event.seq, &emission);
+        if (growth > state.kv_capacity - state.kv_used) {
+          evict_batch(ui, event.slot, now, event.seq, &emission);
+          start_batch_if_possible(ui, now, event.seq, &emission);
+          return;
+        }
+      }
+      state.kv_used += growth;
+      batch.kv_bytes += growth;
+      state.kv_peak = std::max(state.kv_peak, state.kv_used);
+    }
+    batch.touched_stamp = ++state.next_stamp;
+    for (std::size_t i = 0; i < batch.remaining.size(); ++i) {
+      if (batch.remaining[i] <= 0) continue;
+      batch.remaining[i] -= std::min(batch.remaining[i], chunk);
+      if (batch.remaining[i] == 0) {
+        --batch.live;
+        finish_llm_request(ui, batch, batch.requests[i], now, event.seq);
+      }
+    }
+    if (batch.live > 0) {
+      schedule_decode(ui, event.slot, now);
+      return;
+    }
+    finalize_llm_batch(ui, event, &emission);
+  }
+
+  void process_event(const SimEvent& event) {
+    const double now = event.time_ms;
+    ++events_processed;
+    if (event.kind == EventKind::kUnitActivate) {
+      // A repair replacement comes online with a full complement of idle
+      // processes and an empty queue; the dispatcher starts routing to it
+      // on the next arrival.
+      const auto ui = static_cast<std::size_t>(event.unit_index);
+      UnitState& state = units[ui];
+      state.up = true;
+      state.idle_processes = std::max(1, state.unit->procs);
+      if (cfg->buffer_records) {
+        records.push_back({now, event.seq, 0, telemetry::EventKind::kUnitActivated,
+                           state.unit->gpu_index, state.unit->service_id, 0.0});
+      }
+      std::uint64_t emission = 0;
+      start_batch_if_possible(ui, now, event.seq, &emission);
+      return;
+    }
+    // Device losses are delivered by the coordinator at window barriers
+    // (apply_failure), never through a shard's heap.
+    PARVA_CHECK(event.kind == EventKind::kBatchComplete ||
+                    event.kind == EventKind::kLlmPrefillDone ||
+                    event.kind == EventKind::kLlmDecodeStep,
+                "unexpected heap event kind");
+    const auto ui = static_cast<std::size_t>(event.unit_index);
+    if (!batches.current(event.slot, event.generation)) return;  // stale (GPU died
+                                                                 // or batch evicted)
+    if (event.kind == EventKind::kLlmPrefillDone) {
+      on_prefill_done(ui, event);
+      return;
+    }
+    if (event.kind == EventKind::kLlmDecodeStep) {
+      on_decode_step(ui, event);
+      return;
+    }
+    complete_batch(ui, event);
   }
 
   /// Processes every local event whose canonical key precedes
@@ -412,15 +904,22 @@ struct Shard {
       }
       state.queue.clear();
       for (const std::uint32_t slot : state.in_flight_slots) {
-        for (const Request& request : batches[slot].payload) {
+        const Batch& batch = batches[slot].payload;
+        for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+          // LLM batches mid-decode only shed the requests still generating
+          // (finished ones already completed and were accounted).
+          if (!batch.remaining.empty() && batch.remaining[i] <= 0) continue;
           PARVA_CHECK(emission >> kSubEmissionBits == 0, "shed emission overflow");
-          shed_one(s, request.arrival_ms, now, seq, unit_sub | emission++);
+          shed_one(s, batch.requests[i].arrival_ms, now, seq, unit_sub | emission++);
         }
         batches.release(slot);
       }
       state.in_flight_slots.clear();
       state.in_flight_requests = 0;
       state.idle_processes = 0;
+      // The device reset wipes the unit's KV ledger with it.
+      state.kv_used = 0.0;
+      state.resident.clear();
     }
     busy_ms += ms_since(t0);
   }
@@ -458,6 +957,19 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
   cfg.horizon_ms = horizon_ms;
   cfg.timeline_bucket_ms = options.timeline_bucket_ms;
   cfg.arrivals = options.arrivals;
+  PARVA_REQUIRE(options.llm.decode_chunk_tokens > 0, "decode chunk must be positive");
+  cfg.llm = options.llm;
+  if (options.arrivals == ArrivalProcess::kBursty) {
+    PARVA_REQUIRE(options.burst_factor > 1.0, "burst factor must exceed 1");
+    PARVA_REQUIRE(options.burst_prob > 0.0 && options.burst_prob < 1.0,
+                  "burst probability must be in (0, 1)");
+    cfg.burst_prob = options.burst_prob;
+    cfg.burst_factor = options.burst_factor;
+    // Slow-phase rate multiplier chosen so the two-phase mixture keeps the
+    // offered rate: E[gap] = p/(r*f) + (1-p)/(r*slow) = 1/r.
+    cfg.burst_slow =
+        (1.0 - options.burst_prob) / (1.0 - options.burst_prob / options.burst_factor);
+  }
   if (options.timeline_bucket_ms > 0.0) {
     cfg.timeline_buckets = static_cast<std::size_t>(
         std::ceil(options.duration_ms / options.timeline_bucket_ms));
@@ -506,6 +1018,12 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
   telemetry::Counter tel_violated_batches;
   telemetry::Counter tel_events_processed;
   telemetry::HistogramMetric tel_latency;
+  telemetry::Counter tel_llm_rejected;
+  telemetry::Counter tel_llm_evicted;
+  telemetry::Counter tel_llm_tokens;
+  telemetry::HistogramMetric tel_prefill_latency;
+  telemetry::HistogramMetric tel_decode_latency;
+  telemetry::Gauge tel_kv_peak;
   if (tel != nullptr) {
     telemetry::MetricsRegistry& m = tel->metrics();
     tel_batches = m.counter("parva_sim_batches_total", "Batches served after warm-up");
@@ -516,6 +1034,20 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
     tel_latency = m.histogram("parva_sim_request_latency_ms",
                               telemetry::MetricsRegistry::default_latency_buckets_ms(),
                               "End-to-end request latency");
+    tel_llm_rejected = m.counter("parva_sim_llm_rejected_total",
+                                 "LLM requests refused admission by the KV ledger");
+    tel_llm_evicted =
+        m.counter("parva_sim_llm_evicted_total", "LLM requests evicted mid-decode");
+    tel_llm_tokens = m.counter("parva_sim_llm_generated_tokens_total",
+                               "Decode tokens emitted by completed requests");
+    tel_prefill_latency = m.histogram("parva_sim_prefill_latency_ms",
+                                      telemetry::MetricsRegistry::default_latency_buckets_ms(),
+                                      "Arrival to first token (prefill done)");
+    tel_decode_latency = m.histogram("parva_sim_decode_latency_ms",
+                                     telemetry::MetricsRegistry::default_latency_buckets_ms(),
+                                     "Prefill completion to last token");
+    tel_kv_peak = m.gauge("parva_sim_kv_peak_ratio",
+                          "Highest per-unit peak KV occupancy / capacity this run");
     for (std::size_t s = 0; s < service_count; ++s) {
       const std::string labels = "service=\"" + std::to_string(services_[s].id) + "\"";
       tel_svc_requests[s] = m.counter("parva_sim_requests_total",
@@ -563,6 +1095,15 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
     // Per-service stream as a pure function of (seed, service index): the
     // same stream no matter which shard hosts the service.
     shard.arrival_rng.push_back(Rng::stream(options.seed, kArrivalRngTag, s));
+    // LLM per-service state. The token and dispatch streams exist for every
+    // service but are only ever drawn by LLM ones, so fixed-latency runs
+    // stay byte-identical to the pre-LLM engine.
+    const core::LlmWorkload* llm =
+        services_[s].llm.has_value() ? &*services_[s].llm : nullptr;
+    shard.svc_llm.push_back(llm);
+    shard.token_rng.push_back(Rng::stream(options.seed, kTokenRngTag, s));
+    shard.dispatch_rng.push_back(Rng::stream(options.seed, kDispatchRngTag, s));
+    shard.rr_cursor.push_back(0);
   }
 
   // Per-unit runtime state (orphan units — no matching service — ride on
@@ -595,6 +1136,42 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
             perfmodel::AnalyticalPerfModel::batch_work_ms(*state.traits, take);
         if (take < batch) state.fill_scale[static_cast<std::size_t>(take)] = partial / full;
         state.sm_work[static_cast<std::size_t>(take)] = partial * gpu::kSmsPerGpc;
+      }
+    }
+    // Generative-LLM unit state (DESIGN.md §4.7). Token laws and the KV
+    // ledger key off the unit's model in the LLM catalog (unknown models
+    // get generic defaults so synthetic tests can attach workloads to any
+    // catalog row).
+    if (sg >= 0 && services_[static_cast<std::size_t>(sg)].llm.has_value()) {
+      const core::LlmWorkload& wl = *services_[static_cast<std::size_t>(sg)].llm;
+      state.is_llm = true;
+      state.llm_traits = perfmodel::LlmCatalog::builtin().find(state.unit->model);
+      if (state.llm_traits == nullptr) state.llm_traits = &perfmodel::default_llm_traits();
+      state.prefill_share =
+          wl.gen_tokens_mean > 0.0 ? perfmodel::prefill_cost_share(*state.llm_traits) : 1.0;
+      state.expected_prompt = wl.prompt_tokens_mean;
+      state.kv_per_token = wl.kv_bytes_per_token;
+      if (state.kv_per_token > 0.0) {
+        // Ledger capacity: the MIG slice's memory (fractional MPS grants
+        // pro-rate the full device) minus one weight replica per process.
+        const int g = static_cast<int>(std::lround(state.unit->gpc_grant));
+        const double mem_gib =
+            gpu::is_valid_instance_size(g) &&
+                    std::abs(state.unit->gpc_grant - static_cast<double>(g)) < 1e-9
+                ? gpu::instance_memory_gib(g)
+                : gpu::kGpuMemoryGiB * state.unit->gpc_grant /
+                      static_cast<double>(gpu::kGpcSlots);
+        const double weights_gib =
+            state.llm_traits->weight_gib * static_cast<double>(std::max(1, state.unit->procs));
+        state.kv_capacity = std::max(0.0, mem_gib - weights_gib) * 1024.0 * 1024.0 * 1024.0;
+      }
+      // Per-live-count decode step table: evaluated once here, read every
+      // Decode event. Index 0 is never scheduled (live == 0 finalizes).
+      state.decode_step_ms.assign(static_cast<std::size_t>(batch) + 1, 0.0);
+      for (int live = 1; live <= batch; ++live) {
+        state.decode_step_ms[static_cast<std::size_t>(live)] = perfmodel::decode_step_ms(
+            *state.llm_traits, state.unit->gpc_grant, std::max(1, state.unit->procs), live,
+            cfg.llm.decode_chunk_tokens);
       }
     }
   }
@@ -730,6 +1307,7 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
   result.shard_busy_ms.resize(shard_count);
   result.services.resize(service_count);
   result.unit_activity.assign(unit_count, 0.0);
+  result.unit_kv_peak.assign(unit_count, 0.0);
   std::vector<TimelineBucket> timeline(cfg.timeline_buckets);
   for (std::size_t b = 0; b < cfg.timeline_buckets; ++b) {
     timeline[b].t_ms = static_cast<double>(b) * cfg.timeline_bucket_ms;
@@ -751,6 +1329,9 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
       outcome.measured_rate =
           static_cast<double>(outcome.requests) / (options.duration_ms / 1000.0);
       result.requests_shed += outcome.shed_requests;
+      result.requests_rejected += outcome.rejected_requests;
+      result.requests_evicted += outcome.evicted_requests;
+      result.generated_tokens += outcome.generated_tokens;
       result.services[shard.svc_global[ls]] = std::move(outcome);
     }
     for (std::size_t lu = 0; lu < shard.units.size(); ++lu) {
@@ -759,6 +1340,9 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
           state.unit->gpc_grant * gpu::kSmsPerGpc * options.duration_ms;
       result.unit_activity[shard.unit_global[lu]] =
           granted_sm_ms <= 0.0 ? 0.0 : state.busy_sm_ms / granted_sm_ms;
+      if (state.kv_capacity > 0.0) {
+        result.unit_kv_peak[shard.unit_global[lu]] = state.kv_peak / state.kv_capacity;
+      }
     }
     add_phase(result.pre_failure, shard.pre_failure);
     add_phase(result.degraded, shard.degraded);
@@ -794,9 +1378,21 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
       for (const double latency : outcome.request_latency_ms.values()) {
         tel_latency.observe(latency);
       }
+      for (const double latency : outcome.prefill_latency_ms.values()) {
+        tel_prefill_latency.observe(latency);
+      }
+      for (const double latency : outcome.decode_latency_ms.values()) {
+        tel_decode_latency.observe(latency);
+      }
     }
     tel_batches.inc(static_cast<double>(total_batches));
     tel_violated_batches.inc(static_cast<double>(total_violated));
+    tel_llm_rejected.inc(static_cast<double>(result.requests_rejected));
+    tel_llm_evicted.inc(static_cast<double>(result.requests_evicted));
+    tel_llm_tokens.inc(static_cast<double>(result.generated_tokens));
+    double kv_peak = 0.0;
+    for (const double ratio : result.unit_kv_peak) kv_peak = std::max(kv_peak, ratio);
+    tel_kv_peak.set(kv_peak);
 
     std::vector<std::vector<BufferedRecord>> buffers;
     buffers.reserve(shard_count + 1);

@@ -46,6 +46,7 @@
 #include "core/deployment.hpp"
 #include "gpu/fault_plan.hpp"
 #include "perfmodel/analytical_model.hpp"
+#include "serving/llm_engine.hpp"
 #include "serving/shard_engine.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -58,7 +59,10 @@ namespace parva::serving {
 /// Request arrival process. The paper's evaluation drives each service at a
 /// "specified request rate" (a paced load generator), which kDeterministic
 /// models; kPoisson adds open-loop burstiness for robustness studies.
-enum class ArrivalProcess { kDeterministic, kPoisson };
+/// kBursty models streaming chat traffic: each gap is exponential at
+/// either a boosted burst rate (probability `burst_prob`) or a compensating
+/// slow rate, preserving the offered rate overall (DESIGN.md §4.7).
+enum class ArrivalProcess { kDeterministic, kPoisson, kBursty };
 
 /// A unit that starts dormant and comes up mid-run (a repair replacement).
 struct UnitActivation {
@@ -108,10 +112,11 @@ struct SimulationOptions {
   ThreadPool* shard_pool = nullptr;
 
   /// How each shard schedules its pending arrivals (DESIGN.md §4.6).
-  /// kAuto picks the tournament tree above kArrivalTournamentThreshold
-  /// local services and the flat scan below; forcing either changes
-  /// per-event cost only — outputs are byte-identical for every value
-  /// (tests/serving/arrival_scheduler_test.cpp).
+  /// kAuto picks the tournament tree strictly above
+  /// kArrivalTournamentThreshold local services and the flat scan at or
+  /// below it (exactly 16 local services → flat scan); forcing either
+  /// changes per-event cost only — outputs are byte-identical for every
+  /// value (tests/serving/arrival_scheduler_test.cpp).
   ArrivalSchedulerKind arrival_scheduler = ArrivalSchedulerKind::kAuto;
 
   /// Forces lockstep window barriers every `shard_window_ms` of simulated
@@ -122,6 +127,17 @@ struct SimulationOptions {
   /// force small windows to exercise the barrier path; outputs are
   /// byte-identical either way.
   double shard_window_ms = 0.0;
+
+  /// Generative-LLM execution policies (DESIGN.md §4.7). Only services
+  /// carrying a core::LlmWorkload engage them; fixed-latency services are
+  /// byte-identically unaffected by every setting.
+  LlmSimOptions llm;
+
+  /// kBursty arrival shaping: gaps draw the boosted rate
+  /// `rate * burst_factor` with probability `burst_prob`, otherwise a slow
+  /// rate chosen so the mean gap still matches the offered rate.
+  double burst_factor = 6.0;
+  double burst_prob = 0.2;
 };
 
 /// Per-service outcome.
@@ -136,6 +152,18 @@ struct ServiceOutcome {
   Samples request_latency_ms;
   double offered_rate = 0.0;
   double measured_rate = 0.0;  ///< completed requests / duration
+
+  // Generative-LLM accounting (all zero for fixed-latency services).
+  /// Requests refused admission because the KV ledger could not fit them.
+  std::size_t rejected_requests = 0;
+  /// Requests evicted mid-decode to free KV capacity for newer work.
+  std::size_t evicted_requests = 0;
+  /// Total decode tokens emitted by completed requests.
+  std::uint64_t generated_tokens = 0;
+  /// Arrival -> prefill completion (time to first token), measured batches.
+  Samples prefill_latency_ms;
+  /// Prefill completion -> last token, measured batches with decode work.
+  Samples decode_latency_ms;
 
   double compliance() const {
     return batches == 0 ? 1.0
@@ -208,6 +236,15 @@ struct SimulationResult {
   /// from determinism fingerprints.
   std::vector<std::size_t> shard_events;
   std::vector<double> shard_busy_ms;
+
+  /// LLM totals across services (zero when no service carries a workload).
+  std::size_t requests_rejected = 0;
+  std::size_t requests_evicted = 0;
+  std::uint64_t generated_tokens = 0;
+  /// Peak KV-ledger occupancy per deployed unit as a fraction of its
+  /// capacity (parallel to deployment.units; 0 for fixed-latency units and
+  /// for LLM units whose ledger is disabled).
+  std::vector<double> unit_kv_peak;
 
   /// Batch-weighted SLO compliance across all services (Fig. 8 metric).
   double overall_compliance() const;

@@ -31,7 +31,16 @@ namespace parva::serving {
 /// Event kinds, ordered by time in the event queue. Arrivals live in
 /// per-service streams outside the heap (see cluster_sim.cpp) and only
 /// batch completions, device losses, and activations are heap events.
-enum class EventKind : std::uint8_t { kBatchComplete, kGpuFailure, kUnitActivate };
+enum class EventKind : std::uint8_t {
+  kBatchComplete,  ///< fixed-latency batch finished
+  kGpuFailure,
+  kUnitActivate,
+  // Generative-LLM phase structure (DESIGN.md §4.7). Both draw their
+  // sequence numbers from the owning unit's completion stream, so keys
+  // are a pure function of the unit's trajectory and shard-invariant.
+  kLlmPrefillDone,  ///< prompt pass finished; decode chain starts
+  kLlmDecodeStep,   ///< each live request advanced one decode chunk
+};
 
 struct SimEvent {
   double time_ms = 0.0;

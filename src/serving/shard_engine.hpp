@@ -138,9 +138,10 @@ std::vector<BufferedRecord> merge_records(std::vector<std::vector<BufferedRecord
 
 /// How ArrivalStreams finds its earliest pending slot.
 enum class ArrivalSchedulerKind : std::uint8_t {
-  /// Pick by size(): tournament above kArrivalTournamentThreshold services,
-  /// flat below it (where the scan fits in a cache line or two and the
-  /// tree's update walk buys nothing).
+  /// Pick by size(): tournament strictly above kArrivalTournamentThreshold
+  /// services, flat scan at or below it — exactly 16 local services still
+  /// takes the flat scan (where the slot array fits in a cache line or two
+  /// and the tree's update walk buys nothing).
   kAuto,
   /// O(size) argmin scan over the slots. The original implementation,
   /// kept as the differential oracle for the tournament tree and as the
@@ -153,10 +154,13 @@ enum class ArrivalSchedulerKind : std::uint8_t {
   kTournament,
 };
 
-/// kAuto boundary: below this many local services the flat scan wins (the
-/// whole slot array is a couple of cache lines); above it the scan is the
-/// per-event bottleneck and the tree takes over. Both sides stay exercised
-/// by the differential battery regardless of which one kAuto picks.
+/// kAuto boundary: at or below this many local services the flat scan wins
+/// (the whole slot array is a couple of cache lines); strictly above it the
+/// scan is the per-event bottleneck and the tree takes over. A shard with
+/// zero local services (shards > services) builds a valid sentinel-only
+/// structure under either scheduler: earliest() == size() == 0. Both sides
+/// stay exercised by the differential battery regardless of which one kAuto
+/// picks.
 inline constexpr std::size_t kArrivalTournamentThreshold = 16;
 
 /// The next pending arrival of one service: each service has at most one

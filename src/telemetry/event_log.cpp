@@ -6,6 +6,8 @@ const char* to_string(EventKind kind) {
   switch (kind) {
     case EventKind::kRequestShed: return "request_shed";
     case EventKind::kBatchCompleted: return "batch_completed";
+    case EventKind::kLlmAdmissionReject: return "llm_admission_reject";
+    case EventKind::kLlmEviction: return "llm_eviction";
     case EventKind::kGpuFailure: return "gpu_failure";
     case EventKind::kUnitActivated: return "unit_activated";
     case EventKind::kInstanceCreated: return "instance_created";

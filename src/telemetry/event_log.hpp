@@ -19,6 +19,8 @@ enum class EventKind : std::uint8_t {
   // serving/cluster_sim
   kRequestShed,     ///< dropped by a failure (dying unit or no live unit)
   kBatchCompleted,  ///< one served batch (emitted only with request_events)
+  kLlmAdmissionReject,  ///< batch refused: KV ledger could not fit it
+  kLlmEviction,         ///< resident batch evicted to free KV capacity
   kGpuFailure,      ///< XID-style device loss executed mid-run
   kUnitActivated,   ///< repair replacement came online
   // core/deployer + gpu/nvml_sim

@@ -1,5 +1,6 @@
 #include "telemetry/exporters.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -121,6 +122,38 @@ std::string to_json_lines(const EventLog& log) {
   return out;
 }
 
+double histogram_quantile(const MetricSnapshot& snapshot, double q) {
+  if (snapshot.kind != MetricKind::kHistogram || snapshot.bounds.empty()) return 0.0;
+  q = std::min(100.0, std::max(0.0, q));
+  // Total over ALL buckets including +Inf: must equal snapshot.count, but
+  // derive it from the buckets so a snapshot built by hand stays coherent.
+  double total = 0.0;
+  for (const double c : snapshot.bucket_counts) total += c;
+  const auto count = static_cast<std::size_t>(total);
+  if (count == 0) return 0.0;
+
+  // The value of the i-th (0-based) order statistic at bucket resolution:
+  // the smallest le-bound whose cumulative count covers i + 1 observations
+  // (le-inclusive convention, as to_prometheus exports). The +Inf overflow
+  // bucket has no upper bound; clamp to the highest finite one.
+  const auto order_stat = [&snapshot](std::size_t i) {
+    double cumulative = 0.0;
+    for (std::size_t b = 0; b < snapshot.bounds.size(); ++b) {
+      cumulative += snapshot.bucket_counts[b];
+      if (cumulative >= static_cast<double>(i + 1)) return snapshot.bounds[b];
+    }
+    return snapshot.bounds.back();
+  };
+
+  // Samples::percentile's rank convention, verbatim.
+  if (count == 1) return order_stat(0);
+  const double rank = q / 100.0 * static_cast<double>(count - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, count - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return order_stat(lo) * (1.0 - frac) + order_stat(hi) * frac;
+}
+
 std::string to_csv_summary(const MetricsRegistry& registry) {
   TextTable table({"metric", "labels", "value"});
   for (const MetricSnapshot& snapshot : registry.scrape()) {
@@ -138,6 +171,13 @@ std::string to_csv_summary(const MetricsRegistry& registry) {
         const double mean = snapshot.count <= 0.0 ? 0.0 : snapshot.sum / snapshot.count;
         table.add_row({snapshot.name + "_mean", snapshot.labels,
                        format_metric_value(mean)});
+        // Quantiles under the same rank convention as Samples::percentile,
+        // so a CSV p99 and a Samples-derived p99 agree at bucket
+        // resolution (exporters.hpp documents the reconciliation).
+        for (const double q : {50.0, 95.0, 99.0}) {
+          table.add_row({snapshot.name + "_p" + format_metric_value(q), snapshot.labels,
+                         format_metric_value(histogram_quantile(snapshot, q))});
+        }
         break;
       }
     }

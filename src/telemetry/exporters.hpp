@@ -25,9 +25,23 @@ std::string to_prometheus(const MetricsRegistry& registry);
 std::string to_json_lines(const EventLog& log);
 
 /// CSV summary (header `metric,labels,value`; histograms flatten to
-/// `<name>_sum` / `<name>_count` / `<name>_mean` rows). Row order follows
-/// the scrape's (name, labels) sort.
+/// `<name>_sum` / `<name>_count` / `<name>_mean` / `<name>_p50` /
+/// `<name>_p95` / `<name>_p99` rows). Row order follows the scrape's
+/// (name, labels) sort.
 std::string to_csv_summary(const MetricsRegistry& registry);
+
+/// Estimates the q-th percentile (q in [0, 100]) of a histogram snapshot
+/// using the SAME rank convention as Samples::percentile — rank
+/// q/100 * (count - 1), linearly interpolated between order statistics —
+/// over Prometheus le-INCLUSIVE cumulative buckets: the i-th order
+/// statistic is attributed to the smallest bound whose cumulative count
+/// reaches i + 1. Observations in the +Inf overflow bucket clamp to the
+/// highest finite bound. When every observation sits exactly on a bucket
+/// bound the estimate equals Samples::percentile on the raw values
+/// bit-for-bit (tests/telemetry/exporters_test.cpp pins the
+/// reconciliation); in between, it is the usual bucket-resolution
+/// approximation. Returns 0.0 for empty histograms and scalar snapshots.
+double histogram_quantile(const MetricSnapshot& snapshot, double q);
 
 /// Deterministic value formatting shared by the exporters: integers print
 /// bare, everything else with up to six significant decimals.

@@ -17,7 +17,7 @@ inline const profiler::ProfileSet& builtin_profiles() {
 }
 
 inline ServiceSpec service(int id, const std::string& model, double slo_ms, double rate) {
-  return ServiceSpec{id, model, slo_ms, rate};
+  return ServiceSpec{id, model, slo_ms, rate, {}};
 }
 
 /// A synthetic triplet for plan/allocator tests that do not need profiles.

@@ -1,0 +1,118 @@
+// Unit tests for the token-based LLM latency model: catalog integrity, the
+// prefill/decode laws and their scaling properties, and the degenerate
+// guards the DES engine's bitwise contract leans on (DESIGN.md §4.7).
+#include "perfmodel/llm_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/model_catalog.hpp"
+
+namespace parva::perfmodel {
+namespace {
+
+TEST(LlmCatalogTest, BuiltinRowsAreWellFormed) {
+  const LlmCatalog& catalog = LlmCatalog::builtin();
+  EXPECT_GE(catalog.size(), 3u);
+  for (const LlmTraits& traits : catalog.all()) {
+    EXPECT_FALSE(traits.name.empty());
+    EXPECT_GT(traits.params_billions, 0.0) << traits.name;
+    EXPECT_GT(traits.weight_gib, 0.0) << traits.name;
+    EXPECT_GT(traits.prefill_tok_per_s_1g, 0.0) << traits.name;
+    EXPECT_GT(traits.decode_tok_per_s_1g, 0.0) << traits.name;
+    EXPECT_GT(traits.decode_batch_knee, 1.0) << traits.name;
+    EXPECT_GT(traits.kv_bytes_per_token, 0.0) << traits.name;
+    // Bigger models prefill slower than smaller ones per GPC.
+    EXPECT_LT(traits.decode_tok_per_s_1g, traits.prefill_tok_per_s_1g) << traits.name;
+  }
+  EXPECT_NE(catalog.find("llama-7b"), nullptr);
+  EXPECT_EQ(catalog.find("resnet-50"), nullptr);
+  EXPECT_THROW(catalog.at("no-such-model"), std::exception);
+}
+
+TEST(LlmCatalogTest, DefaultTraitsCoverUncataloguedModels) {
+  const LlmTraits& traits = default_llm_traits();
+  EXPECT_GT(traits.prefill_tok_per_s_1g, 0.0);
+  EXPECT_GT(traits.decode_tok_per_s_1g, 0.0);
+  // Zero weights: a synthetic LLM workload attached to a CNN model name
+  // must never turn memory-infeasible through the default traits.
+  EXPECT_EQ(traits.weight_gib, 0.0);
+}
+
+TEST(LlmModelTest, PrefillScalesLinearlyInTokensAndInverselyInGpcs) {
+  const LlmTraits& traits = LlmCatalog::builtin().at("llama-7b");
+  const double base = prefill_ms(traits, 1.0, 512.0);
+  EXPECT_GT(base, 0.0);
+  EXPECT_DOUBLE_EQ(prefill_ms(traits, 1.0, 1024.0), 2.0 * base);
+  EXPECT_NEAR(prefill_ms(traits, 4.0, 512.0), base / 4.0, 1e-12);
+  EXPECT_EQ(prefill_ms(traits, 1.0, 0.0), 0.0);
+  EXPECT_EQ(prefill_ms(traits, 1.0, -5.0), 0.0);
+}
+
+TEST(LlmModelTest, DecodeRateSaturatesAtTheKnee) {
+  const LlmTraits& traits = LlmCatalog::builtin().at("llama-7b");
+  // R(g, 1) = d1 * g.
+  EXPECT_NEAR(decode_tok_per_s(traits, 1.0, 1), traits.decode_tok_per_s_1g, 1e-9);
+  EXPECT_NEAR(decode_tok_per_s(traits, 3.0, 1), 3.0 * traits.decode_tok_per_s_1g, 1e-9);
+  // Monotone non-decreasing in live count, bounded by d1 * g * k.
+  double last = 0.0;
+  for (int live = 1; live <= 256; live *= 2) {
+    const double rate = decode_tok_per_s(traits, 2.0, live);
+    EXPECT_GE(rate, last);
+    EXPECT_LE(rate, 2.0 * traits.decode_tok_per_s_1g * traits.decode_batch_knee + 1e-9);
+    last = rate;
+  }
+  // Far past the knee the rate approaches the ceiling.
+  EXPECT_GT(decode_tok_per_s(traits, 2.0, 1024),
+            0.9 * 2.0 * traits.decode_tok_per_s_1g * traits.decode_batch_knee);
+}
+
+TEST(LlmModelTest, DecodeStepTimeGrowsWithSharingAndLiveCount) {
+  const LlmTraits& traits = LlmCatalog::builtin().at("llama-3b");
+  const double solo = decode_step_ms(traits, 2.0, 1, 1, 32);
+  EXPECT_GT(solo, 0.0);
+  // Two MPS processes halve the per-process bandwidth: steps take twice as
+  // long.
+  EXPECT_NEAR(decode_step_ms(traits, 2.0, 2, 1, 32), 2.0 * solo, 1e-9);
+  // More live requests move more tokens per step; per-step time grows even
+  // though aggregate throughput improves.
+  EXPECT_GT(decode_step_ms(traits, 2.0, 1, 8, 32), solo);
+  // Chunk scaling is exactly linear.
+  EXPECT_NEAR(decode_step_ms(traits, 2.0, 1, 4, 64),
+              2.0 * decode_step_ms(traits, 2.0, 1, 4, 32), 1e-9);
+}
+
+TEST(LlmModelTest, PrefillCostShareIsAProperFraction) {
+  for (const LlmTraits& traits : LlmCatalog::builtin().all()) {
+    const double share = prefill_cost_share(traits);
+    EXPECT_GT(share, 0.0) << traits.name;
+    EXPECT_LT(share, 1.0) << traits.name;
+  }
+}
+
+TEST(LlmModelTest, WithLlmCatalogExtendsBuiltinWithoutChangingIt) {
+  const ModelCatalog& base = ModelCatalog::builtin();
+  const ModelCatalog& extended = ModelCatalog::with_llm();
+  EXPECT_EQ(extended.size(), base.size() + LlmCatalog::builtin().size());
+  // Every builtin row survives untouched (same traits object semantics).
+  for (const std::string& name : base.names()) {
+    ASSERT_NE(extended.find(name), nullptr) << name;
+    EXPECT_EQ(extended.find(name)->params_millions, base.find(name)->params_millions);
+  }
+  // Every LLM row resolves, and its w1 equals the reference-shape token
+  // work (prefill + saturated decode) in ms — the calibration contract
+  // that keeps the scheduler's sizing consistent with the DES token laws.
+  for (const LlmTraits& traits : LlmCatalog::builtin().all()) {
+    const auto* row = extended.find(traits.name);
+    ASSERT_NE(row, nullptr) << traits.name;
+    const double saturated =
+        traits.decode_tok_per_s_1g * traits.decode_batch_knee * traits.decode_batch_knee /
+        (2.0 * traits.decode_batch_knee - 1.0);
+    const double expected_w1 =
+        traits.reference_prompt_tokens / traits.prefill_tok_per_s_1g * 1000.0 +
+        traits.reference_gen_tokens / saturated * 1000.0;
+    EXPECT_NEAR(row->w1, expected_w1, expected_w1 * 0.05) << traits.name;
+  }
+}
+
+}  // namespace
+}  // namespace parva::perfmodel

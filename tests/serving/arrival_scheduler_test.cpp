@@ -39,6 +39,73 @@ TEST(ArrivalSchedulerTest, AutoSelectsByServiceCount) {
             ArrivalSchedulerKind::kFlatScan);
 }
 
+TEST(ArrivalSchedulerTest, AutoBoundaryIsExactlyThreshold) {
+  // The §4.6 contract, pinned one-past on each side: the tournament engages
+  // STRICTLY above the threshold. Exactly 16 local services (a power of
+  // two, so an off-by-one here would still build a well-formed tree and
+  // hide) must take the flat scan, and the boundary must track the
+  // constant, not a hard-coded 16.
+  static_assert(kArrivalTournamentThreshold == 16,
+                "DESIGN.md §4.6 documents threshold 16; update it with this constant");
+  EXPECT_EQ(ArrivalStreams(iota_indices(kArrivalTournamentThreshold - 1)).kind(),
+            ArrivalSchedulerKind::kFlatScan);
+  EXPECT_EQ(ArrivalStreams(iota_indices(kArrivalTournamentThreshold)).kind(),
+            ArrivalSchedulerKind::kFlatScan);
+  EXPECT_EQ(ArrivalStreams(iota_indices(kArrivalTournamentThreshold + 1)).kind(),
+            ArrivalSchedulerKind::kTournament);
+}
+
+TEST(ArrivalSchedulerTest, ZeroServicesBuildValidSentinelOnlyStructures) {
+  // A shard of a (shards > services) run binds an EMPTY service list. Both
+  // schedulers must come up as valid empty structures — the tournament as
+  // a sentinel-only tree — where earliest() == size() == 0, and the
+  // default-constructed (pre-bind) object must behave the same.
+  for (const auto kind : {ArrivalSchedulerKind::kAuto, ArrivalSchedulerKind::kFlatScan,
+                          ArrivalSchedulerKind::kTournament}) {
+    ArrivalStreams streams(iota_indices(0), kind);
+    EXPECT_EQ(streams.size(), 0u);
+    EXPECT_EQ(streams.earliest(), 0u);
+  }
+  ArrivalStreams unbound;
+  EXPECT_EQ(unbound.size(), 0u);
+  EXPECT_EQ(unbound.earliest(), 0u);
+}
+
+TEST(ArrivalSchedulerTest, MoreShardsThanServicesRunsUnderEitherScheduler) {
+  // End-to-end: 2 services over 4 shards leaves two shards service-less;
+  // their empty (possibly sentinel-only) arrival structures must be inert
+  // and the outputs byte-identical to the 1-shard run under BOTH forced
+  // schedulers.
+  const std::vector<core::ServiceSpec> services = {service(0, "resnet-50", 205, 600),
+                                                   service(1, "vgg-19", 397, 300)};
+  const auto profiles = builtin_profiles();
+  core::ParvaGpuScheduler scheduler(profiles);
+  const auto scheduled = scheduler.schedule(services);
+  ASSERT_TRUE(scheduled.ok());
+
+  perfmodel::AnalyticalPerfModel perf{perfmodel::ModelCatalog::builtin()};
+  ClusterSimulation sim(scheduled.value().deployment, services, perf);
+  SimulationOptions options;
+  options.duration_ms = 3'000.0;
+  options.arrivals = ArrivalProcess::kPoisson;
+  options.shards = 1;
+  const SimulationResult base = sim.run(options);
+  for (const auto kind :
+       {ArrivalSchedulerKind::kFlatScan, ArrivalSchedulerKind::kTournament}) {
+    options.shards = 4;
+    options.arrival_scheduler = kind;
+    const SimulationResult sharded = sim.run(options);
+    ASSERT_EQ(sharded.services.size(), base.services.size());
+    for (std::size_t s = 0; s < base.services.size(); ++s) {
+      EXPECT_EQ(sharded.services[s].requests, base.services[s].requests);
+      EXPECT_EQ(sharded.services[s].violated_batches, base.services[s].violated_batches);
+      EXPECT_EQ(sharded.services[s].request_latency_ms.values(),
+                base.services[s].request_latency_ms.values());
+    }
+    EXPECT_EQ(sharded.events_processed, base.events_processed);
+  }
+}
+
 TEST(ArrivalSchedulerTest, TournamentBreaksTimeTiesBySeq) {
   // The mirror of SeqStabilityTest.EarliestBreaksTimeTiesBySeq on the
   // tree path: stream ids decide equal-time matches.

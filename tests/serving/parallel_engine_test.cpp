@@ -41,14 +41,29 @@ std::vector<std::uint64_t> fingerprint(const SimulationResult& result) {
   for (double activity : result.unit_activity) {
     print.push_back(std::bit_cast<std::uint64_t>(activity));
   }
+  print.push_back(result.requests_rejected);
+  print.push_back(result.requests_evicted);
+  print.push_back(result.generated_tokens);
+  for (double kv_peak : result.unit_kv_peak) {
+    print.push_back(std::bit_cast<std::uint64_t>(kv_peak));
+  }
   for (const ServiceOutcome& outcome : result.services) {
     print.push_back(static_cast<std::uint64_t>(outcome.service_id));
     print.push_back(outcome.requests);
     print.push_back(outcome.batches);
     print.push_back(outcome.violated_batches);
     print.push_back(outcome.shed_requests);
+    print.push_back(outcome.rejected_requests);
+    print.push_back(outcome.evicted_requests);
+    print.push_back(outcome.generated_tokens);
     print.push_back(std::bit_cast<std::uint64_t>(outcome.measured_rate));
     for (double sample : outcome.request_latency_ms.values()) {
+      print.push_back(std::bit_cast<std::uint64_t>(sample));
+    }
+    for (double sample : outcome.prefill_latency_ms.values()) {
+      print.push_back(std::bit_cast<std::uint64_t>(sample));
+    }
+    for (double sample : outcome.decode_latency_ms.values()) {
       print.push_back(std::bit_cast<std::uint64_t>(sample));
     }
   }
@@ -94,6 +109,38 @@ TEST(ParallelEngineTest, ShardCountsAreByteIdenticalAcrossScenarios) {
       opts.shards = shards;
       EXPECT_EQ(serial, fingerprint(sim.run(opts)))
           << scenario.name << " diverged at shards=" << shards;
+    }
+  }
+}
+
+TEST(ParallelEngineTest, LlmScenarioIsByteIdenticalAcrossShardsAndPolicies) {
+  // The S7 generative scenario exercises every new event kind (Prefill,
+  // Decode chains), the KV ledger, bursty arrivals, and both admission
+  // policies — all of which must hold the §4.5 contract: shards {1, 2, 4}
+  // produce bit-equal fingerprints, including the new LLM fields
+  // (rejected/evicted counts, generated tokens, per-phase samples,
+  // per-unit KV peaks).
+  const scenarios::Scenario& scenario = scenarios::llm_scenario();
+  core::ParvaGpuScheduler scheduler([] {
+    perfmodel::AnalyticalPerfModel perf(perfmodel::ModelCatalog::with_llm());
+    profiler::Profiler profiler(perf);
+    return profiler.profile_all(perfmodel::ModelCatalog::with_llm().names());
+  }());
+  const core::Deployment deployment = scheduler.schedule(scenario.services).value().deployment;
+  perfmodel::AnalyticalPerfModel perf(perfmodel::ModelCatalog::with_llm());
+  ClusterSimulation sim(deployment, scenario.services, perf);
+
+  for (const auto admission : {LlmAdmissionPolicy::kReject, LlmAdmissionPolicy::kEvict}) {
+    SimulationOptions opts = base_options();
+    opts.duration_ms = 6'000.0;
+    opts.warmup_ms = 500.0;
+    opts.arrivals = ArrivalProcess::kBursty;
+    opts.llm.admission = admission;
+    const std::vector<std::uint64_t> serial = fingerprint(sim.run(opts));
+    for (const int shards : {2, 4}) {
+      opts.shards = shards;
+      EXPECT_EQ(serial, fingerprint(sim.run(opts)))
+          << "admission=" << to_string(admission) << " shards=" << shards;
     }
   }
 }

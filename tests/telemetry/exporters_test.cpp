@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/stats.hpp"
+
 namespace parva::telemetry {
 namespace {
 
@@ -49,9 +53,54 @@ TEST(ExportersTest, CsvSummaryGolden) {
       "latency_ms_count,,3\n"
       "latency_ms_sum,,12.5\n"
       "latency_ms_mean,,4.16667\n"
+      "latency_ms_p50,,5\n"
+      "latency_ms_p95,,5\n"
+      "latency_ms_p99,,5\n"
       "requests_total,\"service=\"\"0\"\"\",5\n"
       "requests_total,\"service=\"\"1\"\"\",3\n";
   EXPECT_EQ(to_csv_summary(registry), expected);
+}
+
+// The bugfix regression: the CSV/.prom quantiles and Samples::percentile
+// must agree when observations sit exactly on bucket bounds — one rank
+// convention (rank = q/100 * (n-1), linear interpolation) applied to
+// le-inclusive cumulative buckets. Before the fix the exporter had no
+// quantile at all and ad-hoc consumers used the nearest-rank convention,
+// so a CSV p99 and a report p99 could disagree by a whole bucket.
+TEST(ExportersTest, HistogramQuantileMatchesSamplesPercentileOnBounds) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0, 8.0, 16.0};
+  MetricsRegistry registry;
+  HistogramMetric h = registry.histogram("on_bounds_ms", bounds, "");
+  Samples samples;
+  // 17 observations, every one exactly on a bucket bound, skewed low.
+  const std::vector<double> values = {1, 1, 1, 1, 1, 2, 2, 2, 2, 4, 4, 4, 8, 8, 8, 16, 16};
+  for (const double v : values) {
+    h.observe(v);
+    samples.add(v);
+  }
+  const std::vector<MetricSnapshot> scraped = registry.scrape();
+  ASSERT_EQ(scraped.size(), 1u);
+  for (const double q : {0.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    EXPECT_EQ(histogram_quantile(scraped[0], q), samples.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(ExportersTest, HistogramQuantileEdgeCases) {
+  MetricsRegistry registry;
+  HistogramMetric h = registry.histogram("edge_ms", {1.0, 5.0}, "");
+  // Empty histogram: 0.0, not a crash.
+  EXPECT_EQ(histogram_quantile(registry.scrape()[0], 99.0), 0.0);
+  // Single observation: that observation's bucket at every quantile.
+  h.observe(3.0);
+  EXPECT_EQ(histogram_quantile(registry.scrape()[0], 0.0), 5.0);
+  EXPECT_EQ(histogram_quantile(registry.scrape()[0], 100.0), 5.0);
+  // Overflow observations clamp to the highest finite bound.
+  h.observe(100.0);
+  EXPECT_EQ(histogram_quantile(registry.scrape()[0], 100.0), 5.0);
+  // Scalar snapshots report 0.0.
+  MetricsRegistry scalars;
+  scalars.counter("c_total", "").inc();
+  EXPECT_EQ(histogram_quantile(scalars.scrape()[0], 50.0), 0.0);
 }
 
 TEST(ExportersTest, JsonLinesGolden) {

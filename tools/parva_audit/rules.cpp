@@ -388,7 +388,11 @@ std::vector<std::string> default_export_manifest() {
       "src/common/table.cpp",
       "src/serving/cluster_sim.cpp",
       "src/serving/shard_engine.cpp",
+      // Generative-LLM paths: policy spellings reach parvactl reports, and
+      // the token laws feed the determinism fingerprints byte-for-byte.
+      "src/serving/llm_engine.cpp",
       "src/serving/sim_runner.cpp",
+      "src/perfmodel/llm_model.cpp",
       "src/scenarios/experiment.cpp",
       "src/core/metrics.cpp",
       // Name-based tags: any file announcing itself as an export or
