@@ -74,6 +74,7 @@ int main() {
   auto state = deployer.deploy(deployment).value();
 
   nvml.set_time_ms(kFailAtMs);
+  // parva-audit: allow(R6) fault injection: the bench plants the failure and measures recovery
   (void)nvml.fail_device(static_cast<unsigned>(victim));
 
   core::RepairOptions repair_options;

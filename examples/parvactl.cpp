@@ -94,7 +94,7 @@ bool parse_fault_spec(const std::string& spec, gpu::GpuFailureEvent* out) {
   return true;
 }
 
-Result<std::vector<core::ServiceSpec>> load_services(const std::string& path) {
+[[nodiscard]] Result<std::vector<core::ServiceSpec>> load_services(const std::string& path) {
   std::ifstream file(path);
   if (!file) return Error(ErrorCode::kNotFound, "cannot open " + path);
   std::vector<core::ServiceSpec> services;
@@ -401,6 +401,7 @@ int cmd_simulate(const CliArgs& args) {
   core::Deployment sim_deployment = deployment;
   if (!fault_plan.gpu_failures.empty()) {
     nvml.set_time_ms(failure.at_ms);
+    // parva-audit: allow(R6) fault injection: the replay plants the failure on purpose
     (void)nvml.fail_device(static_cast<unsigned>(failure.gpu_index), failure.xid);
     core::LiveUpdater updater(deployer);
     core::RepairOptions repair_options;

@@ -74,13 +74,16 @@ run_audit() {
   fi
 }
 
-echo "== parva_audit: determinism/concurrency contracts (R1-R8) =="
-run_audit --rules R1-R8 src/
+echo "== parva_audit: determinism/concurrency contracts (R1-R12) =="
+run_audit --rules R1-R12 src/
 
-echo "== parva_audit: self-check (the checker obeys its own rules) =="
+echo "== parva_audit: self-check (the checker obeys its own rules, R1-R12) =="
 run_audit tools/parva_audit/
 
-echo "== parva_audit: canary (planted R6/R7/R8 violations must be caught) =="
+echo "== parva_audit: tree scan (bench/ examples/ tools/ vs committed baseline) =="
+run_audit --baseline tools/parva_audit/tree_baseline.txt bench/ examples/ tools/
+
+echo "== parva_audit: canary (planted R6-R12 violations must be caught) =="
 CANARY_DIR="$(mktemp -d)"
 trap 'rm -rf "${CANARY_DIR}"' EXIT
 cat > "${CANARY_DIR}/canary.cpp" <<'EOF'
@@ -92,13 +95,67 @@ inline void teardown() { destroy_instance(0); }
 class Q { std::mutex m_; int unguarded_ = 0; };
 constexpr int kCanaryStartSlots[] = {0, 2, 4};
 }  // namespace canary
+
+// R9 canary: a planted lock-order cycle (alpha->beta in one function,
+// beta->alpha in another). Never compiled -- parva_audit scans lexically.
+struct CanaryMutex {};
+struct MutexLock {
+  explicit MutexLock(CanaryMutex& m);
+};
+struct CanaryLocks {
+  static CanaryMutex alpha;
+  static CanaryMutex beta;
+};
+inline void canary_alpha_then_beta() {
+  MutexLock l1(CanaryLocks::alpha);
+  MutexLock l2(CanaryLocks::beta);
+}
+inline void canary_beta_then_alpha() {
+  MutexLock l1(CanaryLocks::beta);
+  MutexLock l2(CanaryLocks::alpha);
+}
+
+// R10 canary: a literal RNG stream tag. R11 canary: the blocking lock in
+// canary_alpha_then_beta is reachable from the hot-path root Shard::advance.
+struct Rng {
+  static Rng stream(unsigned long long seed, unsigned long long tag,
+                    unsigned long long index);
+};
+struct Shard {
+  void advance();
+};
+inline void Shard::advance() {
+  (void)Rng::stream(1, 7, 0);
+  canary_alpha_then_beta();
+}
+
+// R12 canary helper: iterates an unordered container and is called from
+// the fingerprint-named TU planted next to this one.
+std::unordered_map<int, int>& canary_cells();
+inline int canary_digest_helper() {
+  int acc = 0;
+  for (const auto& cell : canary_cells()) acc += cell.first;
+  return acc;
+}
+EOF
+cat > "${CANARY_DIR}/canary_fingerprint.cpp" <<'EOF'
+// R12 canary entry: the file name puts this TU on the export manifest,
+// so the unordered iteration in canary.cpp is reachable from here.
+int canary_digest_helper();
+inline int canary_emit_fingerprint() { return canary_digest_helper(); }
 EOF
 CANARY_RC=0
-"${AUDIT}" --rules R6,R7,R8 "${CANARY_DIR}" >/dev/null 2>&1 || CANARY_RC=$?
+CANARY_OUT="$("${AUDIT}" --rules R6-R12 --format text "${CANARY_DIR}" 2>/dev/null)" || CANARY_RC=$?
 if [[ "${CANARY_RC}" -ne 1 ]]; then
-  echo "lint: canary failed -- expected exit 1 on planted R6/R7/R8 violations, got ${CANARY_RC}" >&2
+  echo "lint: canary failed -- expected exit 1 on planted R6-R12 violations, got ${CANARY_RC}" >&2
   exit 1
 fi
+for rule in R6 R7 R8 R9 R10 R11 R12; do
+  if ! grep -q "\[${rule}\]" <<< "${CANARY_OUT}"; then
+    echo "lint: canary failed -- planted ${rule} violation was not detected" >&2
+    exit 1
+  fi
+done
 
 if [[ "${AUDIT_ONLY}" == 1 ]]; then
   echo "lint: OK (clang-tidy skipped: --audit-only)"

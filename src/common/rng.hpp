@@ -3,10 +3,45 @@
 // reproducible run-to-run (see DESIGN.md §4).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <random>
 
 namespace parva {
+
+/// Central registry of Rng::stream tag values (audit rule R10). Every
+/// stream() call site must pass one of these enumerators: two call sites
+/// sharing a tag value draw correlated streams, which silently destroys
+/// the independence the per-entity stream derivation promises. Add new
+/// tags here (and to detail::kAllStreamTags below, which carries the
+/// pairwise-distinctness proof) rather than minting local constants.
+enum class RngStreamTag : std::uint64_t {
+  kArrival = 1,   ///< per-service arrival process (cluster_sim)
+  kJitter = 2,    ///< per-unit batch-latency jitter
+  kToken = 3,     ///< per-service token-length draws (generative LLM)
+  kDispatch = 4,  ///< per-service power-of-two-choices dispatch probes
+};
+
+namespace detail {
+inline constexpr RngStreamTag kAllStreamTags[] = {
+    RngStreamTag::kArrival,
+    RngStreamTag::kJitter,
+    RngStreamTag::kToken,
+    RngStreamTag::kDispatch,
+};
+constexpr bool stream_tags_pairwise_distinct() {
+  for (std::size_t i = 0; i < sizeof(kAllStreamTags) / sizeof(kAllStreamTags[0]); ++i) {
+    for (std::size_t j = i + 1; j < sizeof(kAllStreamTags) / sizeof(kAllStreamTags[0]);
+         ++j) {
+      if (kAllStreamTags[i] == kAllStreamTags[j]) return false;
+    }
+  }
+  return true;
+}
+}  // namespace detail
+static_assert(detail::stream_tags_pairwise_distinct(),
+              "RngStreamTag values must be pairwise distinct: a shared value "
+              "correlates the derived streams");
 
 /// Thin deterministic RNG wrapper around SplitMix64 seeding + xoshiro256**.
 /// Cheap to construct, cheap to copy, and stable across platforms (unlike
@@ -74,6 +109,11 @@ class Rng {
     std::uint64_t x = mix64(seed + 0x9e3779b97f4a7c15ULL * (tag + 1));
     x = mix64(x + 0x9e3779b97f4a7c15ULL * (index + 1));
     return Rng(x);
+  }
+
+  /// Registry-checked overload: the only form call sites should use (R10).
+  static Rng stream(std::uint64_t seed, RngStreamTag tag, std::uint64_t index) {
+    return stream(seed, static_cast<std::uint64_t>(tag), index);
   }
 
  private:

@@ -19,14 +19,12 @@ namespace {
 
 constexpr double kNever = std::numeric_limits<double>::infinity();
 
-// Rng::stream tags: one family of independent streams per entity kind.
-// The LLM tags are drawn only by services carrying an LlmWorkload, so the
-// arrival/jitter draw sequences of fixed-latency services are untouched by
-// the generative path (the degenerate contract of DESIGN.md §4.7).
-constexpr std::uint64_t kArrivalRngTag = 1;   ///< per-service arrival process
-constexpr std::uint64_t kJitterRngTag = 2;    ///< per-unit batch-latency jitter
-constexpr std::uint64_t kTokenRngTag = 3;     ///< per-service token-length draws
-constexpr std::uint64_t kDispatchRngTag = 4;  ///< per-service p2c probes
+// Rng::stream tags come from the central RngStreamTag registry in
+// common/rng.hpp (audit rule R10): one family of independent streams per
+// entity kind. The LLM tags are drawn only by services carrying an
+// LlmWorkload, so the arrival/jitter draw sequences of fixed-latency
+// services are untouched by the generative path (the degenerate contract
+// of DESIGN.md §4.7).
 
 // Bits of the per-unit emission counter inside a BufferedRecord sub-key
 // (see shard_engine.hpp: sub = (global unit + 1) << 20 | emission).
@@ -1094,15 +1092,15 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
         services_[s].request_rate > 0.0 ? 1.0 / (services_[s].request_rate / 1000.0) : 0.0);
     // Per-service stream as a pure function of (seed, service index): the
     // same stream no matter which shard hosts the service.
-    shard.arrival_rng.push_back(Rng::stream(options.seed, kArrivalRngTag, s));
+    shard.arrival_rng.push_back(Rng::stream(options.seed, RngStreamTag::kArrival, s));
     // LLM per-service state. The token and dispatch streams exist for every
     // service but are only ever drawn by LLM ones, so fixed-latency runs
     // stay byte-identical to the pre-LLM engine.
     const core::LlmWorkload* llm =
         services_[s].llm.has_value() ? &*services_[s].llm : nullptr;
     shard.svc_llm.push_back(llm);
-    shard.token_rng.push_back(Rng::stream(options.seed, kTokenRngTag, s));
-    shard.dispatch_rng.push_back(Rng::stream(options.seed, kDispatchRngTag, s));
+    shard.token_rng.push_back(Rng::stream(options.seed, RngStreamTag::kToken, s));
+    shard.dispatch_rng.push_back(Rng::stream(options.seed, RngStreamTag::kDispatch, s));
     shard.rr_cursor.push_back(0);
   }
 
@@ -1117,7 +1115,7 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
     unit_shard_local[u] = shard.units.size();
     shard.unit_global.push_back(u);
     shard.unit_service.push_back(sg >= 0 ? svc_shard_local[sg] : -1);
-    shard.jitter_rng.push_back(Rng::stream(options.seed, kJitterRngTag, u));
+    shard.jitter_rng.push_back(Rng::stream(options.seed, RngStreamTag::kJitter, u));
     shard.completion_seq.emplace_back(completion_stream_id(service_count, u));
     shard.units.emplace_back();
     UnitState& state = shard.units.back();

@@ -1,0 +1,18 @@
+// Golden fixture: rule R11 with the blocking operation under the hot-path
+// root EventQueue::push carrying a justified allow() -- the audit must
+// report nothing for this file.
+struct FixtureMutex {};
+struct MutexLock {
+  explicit MutexLock(FixtureMutex& m);
+};
+
+struct EventQueue {
+  void push(int event_id);
+  FixtureMutex heap_mutex_;
+};
+
+inline void EventQueue::push(int event_id) {
+  // parva-audit: allow(R11) single-threaded warm-up path; no contention by construction
+  MutexLock guard(heap_mutex_);
+  (void)event_id;
+}

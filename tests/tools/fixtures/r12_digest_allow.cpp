@@ -1,0 +1,17 @@
+// Golden fixture: rule R12 with the reachable unordered iteration carrying
+// a justified allow() -- the audit must report nothing for this file even
+// when it is scanned together with r12_fingerprint_entry.cpp.
+#include <unordered_set>
+
+namespace fixture_r12 {
+inline std::unordered_set<unsigned long long>& digest_salts();
+}  // namespace fixture_r12
+
+inline unsigned long long digest_allowed() {
+  unsigned long long acc = 0;
+  // parva-audit: allow(R12) XOR accumulation is order-independent
+  for (unsigned long long salt : fixture_r12::digest_salts()) {
+    acc ^= salt;
+  }
+  return acc;
+}

@@ -1,0 +1,18 @@
+// Golden fixture: rule R12 helper. Not manifest-matched itself (so R2
+// stays silent), but digest_accumulate() is called from the entry file
+// r12_fingerprint_entry.cpp and iterates an unordered container; audited
+// together with the entry, the iteration line below is pinned in
+// audit_test.cpp. Audited alone, this file must be clean.
+#include <unordered_map>
+
+namespace fixture_r12 {
+inline std::unordered_map<int, unsigned long long>& digest_cells();
+}  // namespace fixture_r12
+
+inline unsigned long long digest_accumulate() {
+  unsigned long long acc = 0;
+  for (const auto& cell : fixture_r12::digest_cells()) {
+    acc += cell.second;
+  }
+  return acc;
+}

@@ -1,0 +1,27 @@
+// Golden fixture: rule R9 with the cycle's anchor (the acquisition that
+// closes the inversion) carrying a justified allow() -- the audit must
+// report nothing for this file.
+struct FixtureMutex {};
+struct MutexLock {
+  explicit MutexLock(FixtureMutex& m);
+};
+struct R9AllowLocks {
+  static FixtureMutex checkpoint;
+  static FixtureMutex manifest_lock;
+};
+
+namespace fixture_r9_allow {
+
+inline void checkpoint_then_manifest() {
+  MutexLock a(R9AllowLocks::checkpoint);
+  // parva-audit: allow(R9) snapshot path; never concurrent with restore
+  MutexLock b(R9AllowLocks::manifest_lock);
+}
+
+inline void manifest_then_checkpoint() {
+  MutexLock b(R9AllowLocks::manifest_lock);
+  // parva-audit: allow(R9) restore path; never concurrent with snapshot
+  MutexLock a(R9AllowLocks::checkpoint);
+}
+
+}  // namespace fixture_r9_allow

@@ -1,0 +1,30 @@
+// Golden fixture: rule R9 satisfied -- every function acquires the two
+// locks in the same global order (roster before billing), including the
+// path that threads the second acquisition through a call. The audit must
+// report nothing.
+struct FixtureMutex {};
+struct MutexLock {
+  explicit MutexLock(FixtureMutex& m);
+};
+struct R9CleanLocks {
+  static FixtureMutex roster;
+  static FixtureMutex billing;
+};
+
+namespace fixture_r9_clean {
+
+inline void take_billing() {
+  MutexLock b(R9CleanLocks::billing);
+}
+
+inline void roster_then_billing() {
+  MutexLock r(R9CleanLocks::roster);
+  MutexLock b(R9CleanLocks::billing);
+}
+
+inline void roster_then_billing_via_call() {
+  MutexLock r(R9CleanLocks::roster);
+  take_billing();
+}
+
+}  // namespace fixture_r9_clean

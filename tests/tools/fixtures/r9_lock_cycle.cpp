@@ -1,0 +1,42 @@
+// Golden fixture: rule R9 -- lock-order cycles. Two cycles are planted:
+// an intra-function inversion (journal/ledger) and one threaded through a
+// call (gate/latch). Violation lines are pinned in audit_test.cpp. The
+// lock types are stubbed so the fixture stands alone.
+struct FixtureMutex {};
+struct MutexLock {
+  explicit MutexLock(FixtureMutex& m);
+};
+struct R9Locks {
+  static FixtureMutex journal;
+  static FixtureMutex ledger;
+  static FixtureMutex gate;
+  static FixtureMutex latch;
+};
+
+namespace fixture_r9 {
+
+inline void journal_then_ledger() {
+  MutexLock a(R9Locks::journal);
+  MutexLock b(R9Locks::ledger);
+}
+
+inline void ledger_then_journal() {
+  MutexLock b(R9Locks::ledger);
+  MutexLock a(R9Locks::journal);
+}
+
+inline void take_gate() {
+  MutexLock g(R9Locks::gate);
+}
+
+inline void gate_under_latch() {
+  MutexLock l(R9Locks::latch);
+  take_gate();  // latch -> gate, one level through the call
+}
+
+inline void latch_under_gate() {
+  MutexLock g(R9Locks::gate);
+  MutexLock l(R9Locks::latch);
+}
+
+}  // namespace fixture_r9

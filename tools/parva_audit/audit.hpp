@@ -25,6 +25,22 @@
 //   R8  MIG geometry is table-driven: src/gpu/mig_geometry.hpp must keep its
 //       constexpr kProfileTable/kPlacementTable + static_assert proofs, and
 //       no other file may hardcode slot tables or shadow the geometry API
+//   R9  the lock-acquisition order graph (MutexLock/SharedMutexLock scopes,
+//       including one level through a call) is acyclic; any cycle is a
+//       potential deadlock, reported with its witness path
+//       (call-graph-aware; see callgraph.hpp)
+//   R10 every Rng::stream(seed, TAG, ...) call passes a named enumerator of
+//       the RngStreamTag registry (src/common/rng.hpp) and registry values
+//       are pairwise distinct; literal tags, unregistered constants and
+//       duplicate values are findings
+//   R11 no blocking operation (mutex acquisition, ThreadPool submit/wait,
+//       iostream/file I/O, opt-in std::{map,set} inserts) is transitively
+//       reachable from a hot-path root (shard window advance, event-engine
+//       push/pop, arrival-tournament replay; see --hotpath-roots)
+//   R12 R2 upgraded to reachability: unordered-container iteration anywhere
+//       transitively reachable from a function defined in an export/
+//       fingerprint manifest file is flagged, closing the helper-in-a-
+//       non-manifest-file hole
 //
 // Suppression: `// parva-audit: allow(R3)` on the offending line or the line
 // directly above; `allow(all)` silences every rule for that line.
@@ -56,11 +72,17 @@ struct Finding {
 };
 
 struct AuditConfig {
-  /// R2 applies to files whose normalized path contains one of these
+  /// R2/R12 apply to files whose normalized path contains one of these
   /// entries. Defaults to default_export_manifest().
   std::vector<std::string> export_manifest;
   /// Rules to run; empty means all.
   std::vector<std::string> rules;
+  /// R11 reachability roots as qualified function names ("Shard::advance");
+  /// empty means default_hotpath_roots().
+  std::vector<std::string> hotpath_roots;
+  /// R11: also flag node-based std::{map,set} insert/emplace on the hot
+  /// path (allocation per insert). Off by default.
+  bool r11_allocations = false;
 };
 
 /// One catalog row per rule; drives --list-rules and the SARIF rules array.
@@ -87,20 +109,35 @@ void index_file(const std::string& content, SymbolIndex& index);
 /// Phase 1 over a whole scan set of (path, content) pairs.
 SymbolIndex build_index(const std::vector<std::pair<std::string, std::string>>& files);
 
-/// The built-in R2 manifest: translation units on the exporter / CSV /
+/// The built-in R2/R12 manifest: translation units on the exporter / CSV /
 /// determinism-fingerprint paths, where container iteration order reaches
 /// persisted output byte-for-byte.
 std::vector<std::string> default_export_manifest();
 
+/// The built-in R11 roots: the sharded DES's hot loops (window advance,
+/// event-engine heap operations, arrival-tournament replay).
+std::vector<std::string> default_hotpath_roots();
+
 /// Audits one in-memory file against a pre-built cross-file index. `path`
 /// is used for reporting, extension dispatch (R4 runs on headers), manifest
-/// matching (R2) and geometry-file dispatch (R8).
+/// matching (R2) and geometry-file dispatch (R8). Runs the per-file rules
+/// R1-R8 only; the interprocedural rules need the whole scan set (use
+/// audit_files / audit_paths).
 std::vector<Finding> audit_file(const std::string& path, const std::string& content,
                                 const AuditConfig& config, const SymbolIndex& index);
 
-/// Single-file convenience: phase 1 over just this file, then phase 2.
+/// Single-file convenience: all three phases over just this file --
+/// per-file rules plus the call-graph rules R9-R12 restricted to what one
+/// translation unit can see.
 std::vector<Finding> audit_file(const std::string& path, const std::string& content,
                                 const AuditConfig& config);
+
+/// The full three-phase pipeline over an in-memory scan set: phase 1
+/// builds the cross-file SymbolIndex, phase 1.5 the call graph, phase 2
+/// runs R1-R8 per file, phase 3 runs R9-R12 over the graph. Findings come
+/// back sorted by (file, line, rule).
+std::vector<Finding> audit_files(const std::vector<std::pair<std::string, std::string>>& files,
+                                 const AuditConfig& config);
 
 /// Audits files and directories (recursing into known C++ extensions).
 /// Runs both phases: the index spans every file in the scan set. Findings

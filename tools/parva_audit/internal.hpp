@@ -4,10 +4,12 @@
 #pragma once
 
 #include <algorithm>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "audit.hpp"
+#include "callgraph.hpp"
 #include "lexer.hpp"
 
 namespace parva::audit::internal {
@@ -30,6 +32,16 @@ inline bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), std::string::npos, suffix) == 0;
 }
 
+/// Path-manifest matching shared by R2 (per-file) and R12 (reachability):
+/// a file is on the manifest when its normalized path contains any entry.
+inline bool path_matches(const std::string& path, const std::vector<std::string>& manifest) {
+  const std::string p = normalize(path);
+  for (const std::string& entry : manifest) {
+    if (!entry.empty() && p.find(entry) != std::string::npos) return true;
+  }
+  return false;
+}
+
 inline void add_finding(std::vector<Finding>& findings, const LexedFile& lexed,
                         const std::string& path, int line, const char* rule,
                         std::string message) {
@@ -45,5 +57,18 @@ void check_r7(const LexedFile& lexed, const std::string& path,
               std::vector<Finding>& findings);
 void check_r8(const LexedFile& lexed, const std::string& path,
               std::vector<Finding>& findings);
+
+// R9-R12 entry points (implemented in lockgraph.cpp): interprocedural
+// rules over the phase-1.5 call graph. `lexed` maps each scanned path to
+// its token stream so allow() suppression anchors at the finding's file.
+using LexedByFile = std::map<std::string, const LexedFile*>;
+void check_r9(const CallGraph& graph, const LexedByFile& lexed,
+              std::vector<Finding>& findings);
+void check_r10(const CallGraph& graph, const LexedByFile& lexed,
+               std::vector<Finding>& findings);
+void check_r11(const CallGraph& graph, const AuditConfig& config,
+               const LexedByFile& lexed, std::vector<Finding>& findings);
+void check_r12(const CallGraph& graph, const AuditConfig& config,
+               const LexedByFile& lexed, std::vector<Finding>& findings);
 
 }  // namespace parva::audit::internal

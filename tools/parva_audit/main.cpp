@@ -20,14 +20,21 @@ namespace {
 constexpr const char* kUsage = R"(usage: parva_audit [options] <path>...
 
 Project-specific static analysis for the ParvaGPU determinism, concurrency,
-status-flow and geometry contracts (DESIGN.md 4.3/4.4). Scans C++
+status-flow and geometry contracts (DESIGN.md 4.3/4.4/4.8). Scans C++
 sources/headers under the given files or directories; rules R6-R8 are
-symbol-aware (phase 1 indexes declarations across the whole scan set).
+symbol-aware (phase 1 indexes declarations across the whole scan set) and
+rules R9-R12 are call-graph-aware (phase 1.5 builds a lexical call graph;
+phase 3 runs lock-order, RNG-tag and reachability checks over it).
 
 options:
-  --rules R1,R2,...    run only the named rules; ranges expand (R1-R8)
-  --manifest FILE      replace the built-in R2 export-path manifest with the
-                       newline-separated path substrings in FILE ('#' comments)
+  --rules R1,R2,...    run only the named rules; ranges expand (R1-R12)
+  --manifest FILE      replace the built-in R2/R12 export-path manifest with
+                       the newline-separated path substrings in FILE
+                       ('#' comments)
+  --hotpath-roots FILE replace the built-in R11 hot-path roots with the
+                       newline-separated qualified function names in FILE
+  --r11-alloc          R11 also flags std::{map,set} insert/emplace on the
+                       hot path (an allocation per insert)
   --format FMT         output format: text (default), json, sarif
   --baseline FILE      suppress findings listed in FILE (file|rule|message
                        lines); exit 1 only on findings NOT in the baseline
@@ -80,6 +87,7 @@ std::vector<std::string> split_rules(const std::string& text) {
 int main(int argc, char** argv) {
   parva::audit::AuditConfig config;
   config.export_manifest = parva::audit::default_export_manifest();
+  config.hotpath_roots = parva::audit::default_hotpath_roots();
   std::vector<std::string> paths;
   std::string format = "text";
   std::string baseline_path;
@@ -130,24 +138,31 @@ int main(int argc, char** argv) {
       update_baseline = true;
       continue;
     }
-    if (arg == "--manifest") {
+    if (arg == "--manifest" || arg == "--hotpath-roots") {
       if (++i >= argc) {
-        std::cerr << "parva_audit: --manifest needs an argument\n";
+        std::cerr << "parva_audit: " << arg << " needs an argument\n";
         return 2;
       }
       std::ifstream in(argv[i]);
       if (!in) {
-        std::cerr << "parva_audit: cannot open manifest " << argv[i] << "\n";
+        std::cerr << "parva_audit: cannot open " << arg.substr(2) << " file "
+                  << argv[i] << "\n";
         return 2;
       }
-      config.export_manifest.clear();
+      std::vector<std::string>& target =
+          arg == "--manifest" ? config.export_manifest : config.hotpath_roots;
+      target.clear();
       std::string line;
       while (std::getline(in, line)) {
         const std::size_t start = line.find_first_not_of(" \t");
         if (start == std::string::npos || line[start] == '#') continue;
         const std::size_t end = line.find_last_not_of(" \t\r");
-        config.export_manifest.push_back(line.substr(start, end - start + 1));
+        target.push_back(line.substr(start, end - start + 1));
       }
+      continue;
+    }
+    if (arg == "--r11-alloc") {
+      config.r11_allocations = true;
       continue;
     }
     if (!arg.empty() && arg[0] == '-') {

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "audit.hpp"
+#include "callgraph.hpp"
 #include "internal.hpp"
 #include "lexer.hpp"
 
@@ -17,19 +18,12 @@ using internal::ends_with;
 using internal::is_ident;
 using internal::is_punct;
 using internal::normalize;
+using internal::path_matches;
 
 bool is_header(const std::string& path) {
   const std::string p = normalize(path);
   for (const char* ext : {".hpp", ".h", ".hh", ".hxx"}) {
     if (ends_with(p, ext)) return true;
-  }
-  return false;
-}
-
-bool path_matches(const std::string& path, const std::vector<std::string>& manifest) {
-  const std::string p = normalize(path);
-  for (const std::string& entry : manifest) {
-    if (!entry.empty() && p.find(entry) != std::string::npos) return true;
   }
   return false;
 }
@@ -83,71 +77,14 @@ void check_r1(const LexedFile& lexed, const std::string& path,
 void check_r2(const LexedFile& lexed, const std::string& path,
               const AuditConfig& config, std::vector<Finding>& findings) {
   if (!path_matches(path, config.export_manifest)) return;
-  const auto& toks = lexed.tokens;
-
-  // Pass 1: names declared with an unordered container type.
-  std::set<std::string> unordered_names;
-  static const std::set<std::string> kUnordered = {
-      "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
-  for (std::size_t i = 0; i < toks.size(); ++i) {
-    if (toks[i].kind != Token::Kind::kIdent || kUnordered.count(toks[i].text) == 0) continue;
-    std::size_t j = i + 1;
-    if (j < toks.size() && is_punct(toks[j], "<")) {
-      int depth = 1;
-      for (++j; j < toks.size() && depth > 0; ++j) {
-        if (is_punct(toks[j], "<")) ++depth;
-        if (is_punct(toks[j], ">")) --depth;
-      }
-    }
-    while (j < toks.size() &&
-           (is_punct(toks[j], "&") || is_punct(toks[j], "*") || is_ident(toks[j], "const"))) {
-      ++j;
-    }
-    if (j < toks.size() && toks[j].kind == Token::Kind::kIdent) {
-      unordered_names.insert(toks[j].text);
-    }
-  }
-  if (unordered_names.empty()) return;
-
-  // Pass 2a: range-for over a tracked name.
-  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
-    if (!is_ident(toks[i], "for") || !is_punct(toks[i + 1], "(")) continue;
-    int depth = 1;
-    std::size_t colon = 0;
-    std::size_t j = i + 2;
-    for (; j < toks.size() && depth > 0; ++j) {
-      if (is_punct(toks[j], "(")) ++depth;
-      if (is_punct(toks[j], ")")) --depth;
-      // A single ':' at paren depth 1 (not part of '::') is the range-for colon.
-      if (depth == 1 && colon == 0 && is_punct(toks[j], ":") &&
-          !is_punct(toks[j - 1], ":") &&
-          (j + 1 >= toks.size() || !is_punct(toks[j + 1], ":"))) {
-        colon = j;
-      }
-    }
-    if (colon == 0) continue;
-    for (std::size_t k = colon + 1; k < j - 1; ++k) {
-      if (toks[k].kind == Token::Kind::kIdent && unordered_names.count(toks[k].text) != 0) {
-        add_finding(findings, lexed, path, toks[k].line, "R2",
-                    "iteration over unordered container '" + toks[k].text +
-                    "' on an export path: iteration order is not deterministic; "
-                    "copy to a sorted vector (or use std::map) before emitting");
-        break;
-      }
-    }
-  }
-
-  // Pass 2b: explicit iterator walks / algorithm calls: name.begin() etc.
-  static const std::set<std::string> kBegin = {"begin", "cbegin", "rbegin", "crbegin"};
-  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
-    if (toks[i].kind == Token::Kind::kIdent && unordered_names.count(toks[i].text) != 0 &&
-        is_punct(toks[i + 1], ".") && toks[i + 2].kind == Token::Kind::kIdent &&
-        kBegin.count(toks[i + 2].text) != 0) {
-      add_finding(findings, lexed, path, toks[i].line, "R2",
-                  "iterator over unordered container '" + toks[i].text +
-                  "' on an export path: iteration order is not deterministic; "
-                  "copy to a sorted vector (or use std::map) before emitting");
-    }
+  // The detector is shared with R12 (which applies it to non-manifest
+  // files reachable from manifest entry points); see callgraph.cpp.
+  for (const UnorderedIteration& it : collect_unordered_iterations(lexed)) {
+    add_finding(findings, lexed, path, it.line, "R2",
+                std::string(it.iterator_walk ? "iterator" : "iteration") +
+                " over unordered container '" + it.name +
+                "' on an export path: iteration order is not deterministic; "
+                "copy to a sorted vector (or use std::map) before emitting");
   }
 }
 
@@ -181,7 +118,7 @@ void check_r3(const LexedFile& lexed, const std::string& path,
     return false;
   };
 
-  auto evaluate = [&](const std::vector<Token>& stmt) {
+  auto evaluate_stmt = [&](const std::vector<Token>& stmt) {
     if (stmt.size() < 2) return;  // lone macro invocations / stray tokens
     if (contains_ident(stmt, {"using", "typedef", "friend", "static_assert", "template",
                               "concept", "requires", "operator"})) {
@@ -281,7 +218,7 @@ void check_r3(const LexedFile& lexed, const std::string& path,
         }
       }
     } else if (is_punct(t, ";")) {
-      if (scope_kind() == ScopeKind::kNamespace) evaluate(stmt);
+      if (scope_kind() == ScopeKind::kNamespace) evaluate_stmt(stmt);
       stmt.clear();
     } else {
       stmt.push_back(t);
@@ -358,6 +295,14 @@ const std::vector<RuleInfo>& rule_catalog() {
              "PARVA_GUARDED_BY(lock) (src/common/thread_annotations.hpp)"},
       {"R8", "MIG geometry is table-driven: constexpr kProfileTable/kPlacementTable "
              "with static_assert proofs; no hardcoded slot tables or shadow APIs"},
+      {"R9", "the lock-acquisition order graph (lock-guard scopes, including one "
+             "level through a call) is acyclic; cycles are potential deadlocks"},
+      {"R10", "every Rng::stream tag is a named enumerator of the RngStreamTag "
+              "registry (src/common/rng.hpp) with pairwise-distinct values"},
+      {"R11", "no blocking operation (locks, pool submit/wait, iostream/file I/O) "
+              "is transitively reachable from a hot-path root (--hotpath-roots)"},
+      {"R12", "no unordered-container iteration transitively reachable from "
+              "functions defined in export/fingerprint manifest files"},
   };
   return kCatalog;
 }
@@ -402,10 +347,12 @@ std::vector<std::string> default_export_manifest() {
   };
 }
 
-std::vector<Finding> audit_file(const std::string& path, const std::string& content,
-                                const AuditConfig& config, const SymbolIndex& index) {
-  const LexedFile lexed = lex(content);
-  std::vector<Finding> findings;
+namespace {
+
+// Phase 2 (per-file rules) over an already-lexed file; findings unsorted.
+void audit_lexed(const std::string& path, const std::string& content,
+                 const LexedFile& lexed, const AuditConfig& config,
+                 const SymbolIndex& index, std::vector<Finding>& findings) {
   if (rule_enabled(config, "R1")) check_r1(lexed, path, findings);
   if (rule_enabled(config, "R2")) check_r2(lexed, path, config, findings);
   if (rule_enabled(config, "R3")) check_r3(lexed, path, findings);
@@ -414,15 +361,63 @@ std::vector<Finding> audit_file(const std::string& path, const std::string& cont
   if (rule_enabled(config, "R6")) internal::check_r6(lexed, path, index, findings);
   if (rule_enabled(config, "R7")) internal::check_r7(lexed, path, findings);
   if (rule_enabled(config, "R8")) internal::check_r8(lexed, path, findings);
+}
+
+}  // namespace
+
+std::vector<Finding> audit_file(const std::string& path, const std::string& content,
+                                const AuditConfig& config, const SymbolIndex& index) {
+  const LexedFile lexed = lex(content);
+  std::vector<Finding> findings;
+  audit_lexed(path, content, lexed, config, index, findings);
   std::sort(findings.begin(), findings.end());
   return findings;
 }
 
 std::vector<Finding> audit_file(const std::string& path, const std::string& content,
                                 const AuditConfig& config) {
+  return audit_files({{path, content}}, config);
+}
+
+std::vector<Finding> audit_files(const std::vector<std::pair<std::string, std::string>>& files,
+                                 const AuditConfig& config) {
+  // Phase 1: lex everything once and build the cross-file symbol index.
+  std::vector<LexedFile> lexed;
+  lexed.reserve(files.size());
   SymbolIndex index;
-  index_file(content, index);
-  return audit_file(path, content, config, index);
+  for (const auto& [path, content] : files) {
+    (void)path;
+    lexed.push_back(lex(content));
+    internal::scan_status_functions_into_index(lexed.back(), index);
+  }
+
+  // Phase 2: per-file rules.
+  std::vector<Finding> findings;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    audit_lexed(files[i].first, files[i].second, lexed[i], config, index, findings);
+  }
+
+  // Phase 1.5 + 3: the call graph and the interprocedural rules, skipped
+  // entirely when none of them is enabled.
+  const bool graph_rules = rule_enabled(config, "R9") || rule_enabled(config, "R10") ||
+                           rule_enabled(config, "R11") || rule_enabled(config, "R12");
+  if (graph_rules) {
+    std::vector<std::pair<std::string, const LexedFile*>> graph_input;
+    internal::LexedByFile by_file;
+    graph_input.reserve(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      graph_input.emplace_back(files[i].first, &lexed[i]);
+      by_file[files[i].first] = &lexed[i];
+    }
+    const CallGraph graph = build_call_graph(graph_input);
+    if (rule_enabled(config, "R9")) internal::check_r9(graph, by_file, findings);
+    if (rule_enabled(config, "R10")) internal::check_r10(graph, by_file, findings);
+    if (rule_enabled(config, "R11")) internal::check_r11(graph, config, by_file, findings);
+    if (rule_enabled(config, "R12")) internal::check_r12(graph, config, by_file, findings);
+  }
+
+  std::sort(findings.begin(), findings.end());
+  return findings;
 }
 
 std::vector<Finding> audit_paths(const std::vector<std::string>& paths,
@@ -468,16 +463,8 @@ std::vector<Finding> audit_paths(const std::vector<std::string>& paths,
     buffer << in.rdbuf();
     contents.emplace_back(file, buffer.str());
   }
-  const SymbolIndex index = build_index(contents);
-
-  // Phase 2: per-file rule checks against the index.
-  std::vector<Finding> findings;
-  for (const auto& [file, content] : contents) {
-    std::vector<Finding> file_findings = audit_file(file, content, config, index);
-    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
-  }
-  std::sort(findings.begin(), findings.end());
-  return findings;
+  // Phases 1, 1.5, 2 and 3 over the in-memory scan set.
+  return audit_files(contents, config);
 }
 
 }  // namespace parva::audit
