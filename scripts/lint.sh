@@ -57,35 +57,71 @@ else
   AUDIT=./build/tools/parva_audit
 fi
 
-AUDIT_ARGS=(--format "${FORMAT}")
+# Incremental cache: a warm cache makes the second run near-instant (the
+# audit re-analyzes only changed files). Keyed per scan set + config, so
+# the three scans below share one directory. --jobs 0 = all cores.
+CACHE_DIR="${PARVA_AUDIT_CACHE_DIR:-build/audit_cache}"
+JOBS="${PARVA_AUDIT_JOBS:-0}"
+AUDIT_ARGS=(--format "${FORMAT}" --cache-dir "${CACHE_DIR}" --jobs "${JOBS}")
 [[ -n "${BASELINE}" ]] && AUDIT_ARGS+=(--baseline "${BASELINE}")
+
+SCRATCH_DIR="$(mktemp -d)"
+trap 'rm -rf "${SCRATCH_DIR}"' EXIT
+STALE_LOG="${SCRATCH_DIR}/stale.log"
+RULE_LOG="${SCRATCH_DIR}/rules.log"
+: > "${STALE_LOG}"
+: > "${RULE_LOG}"
+
+# One summary line over every audit scan (canary excluded): total findings
+# plus per-rule counts, and any stale-baseline warnings exactly once even
+# when several scans consult the same baseline.
+print_summary() {
+  if [[ -s "${STALE_LOG}" ]]; then
+    sort -u "${STALE_LOG}" >&2
+  fi
+  local total per_rule
+  total="$(wc -l < "${RULE_LOG}" | tr -d ' ')"
+  per_rule="$(sort -V "${RULE_LOG}" | uniq -c | awk '{printf " %s=%s", substr($2, 2, length($2) - 2), $1}')"
+  echo "lint: audit summary: ${total} finding(s)${per_rule}"
+}
 
 # Runs the audit and maps its exit codes: 0 passes through, 1 (findings)
 # and >= 2 (usage/IO error) are reported distinctly and fail the script.
+# Stale-baseline warnings are diverted to the deduped end-of-run report;
+# per-rule finding markers feed the summary line.
 run_audit() {
   local rc=0
-  "${AUDIT}" "${AUDIT_ARGS[@]}" "$@" || rc=$?
+  local log="${SCRATCH_DIR}/audit.log"
+  "${AUDIT}" "${AUDIT_ARGS[@]}" "$@" >"${log}" 2>&1 || rc=$?
+  grep "stale baseline entr" "${log}" >> "${STALE_LOG}" || true
+  # Cache telemetry stays on stderr so a warm rerun's stdout is
+  # byte-identical to the cold run's.
+  grep "^parva_audit: cache " "${log}" >&2 || true
+  grep -v -e "stale baseline entr" -e "^parva_audit: cache " "${log}" || true
+  grep -oE '\[R[0-9]+\]' "${log}" >> "${RULE_LOG}" || true
   if [[ "${rc}" -ge 2 ]]; then
     echo "lint: parva_audit failed to run (exit ${rc}) -- not a clean pass" >&2
     exit "${rc}"
   elif [[ "${rc}" -ne 0 ]]; then
+    print_summary
     echo "lint: parva_audit found violations (exit ${rc})" >&2
     exit 1
   fi
 }
 
-echo "== parva_audit: determinism/concurrency contracts (R1-R12) =="
-run_audit --rules R1-R12 src/
+echo "== parva_audit: determinism/concurrency contracts (R1-R15) =="
+run_audit --rules R1-R15 src/
 
-echo "== parva_audit: self-check (the checker obeys its own rules, R1-R12) =="
+echo "== parva_audit: self-check (the checker obeys its own rules, R1-R15) =="
 run_audit tools/parva_audit/
 
 echo "== parva_audit: tree scan (bench/ examples/ tools/ vs committed baseline) =="
 run_audit --baseline tools/parva_audit/tree_baseline.txt bench/ examples/ tools/
+print_summary
 
-echo "== parva_audit: canary (planted R6-R12 violations must be caught) =="
+echo "== parva_audit: canary (planted R6-R15 violations must be caught) =="
 CANARY_DIR="$(mktemp -d)"
-trap 'rm -rf "${CANARY_DIR}"' EXIT
+trap 'rm -rf "${SCRATCH_DIR}" "${CANARY_DIR}"' EXIT
 cat > "${CANARY_DIR}/canary.cpp" <<'EOF'
 #include <mutex>
 namespace canary {
@@ -137,20 +173,41 @@ inline int canary_digest_helper() {
   for (const auto& cell : canary_cells()) acc += cell.first;
   return acc;
 }
+
+// R13 canary: mixed-unit arithmetic (milliseconds plus seconds).
+inline double canary_mixed_units(double span_ms, double budget_s) {
+  return span_ms + budget_s;
+}
+
+// R15 canary: a reference taken before push_back is used after it.
+#include <vector>
+inline int canary_use_after_growth(std::vector<int>& v) {
+  int& first = v.front();
+  v.push_back(1);
+  return first;
+}
 EOF
 cat > "${CANARY_DIR}/canary_fingerprint.cpp" <<'EOF'
 // R12 canary entry: the file name puts this TU on the export manifest,
 // so the unordered iteration in canary.cpp is reachable from here.
+// R14 canary: the same manifest membership makes the unsorted loop
+// reduction below an export-path accumulation.
+#include <vector>
 int canary_digest_helper();
 inline int canary_emit_fingerprint() { return canary_digest_helper(); }
+inline double canary_rollup(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) total += xs[i];
+  return total;
+}
 EOF
 CANARY_RC=0
-CANARY_OUT="$("${AUDIT}" --rules R6-R12 --format text "${CANARY_DIR}" 2>/dev/null)" || CANARY_RC=$?
+CANARY_OUT="$("${AUDIT}" --rules R6-R15 --format text "${CANARY_DIR}" 2>/dev/null)" || CANARY_RC=$?
 if [[ "${CANARY_RC}" -ne 1 ]]; then
-  echo "lint: canary failed -- expected exit 1 on planted R6-R12 violations, got ${CANARY_RC}" >&2
+  echo "lint: canary failed -- expected exit 1 on planted R6-R15 violations, got ${CANARY_RC}" >&2
   exit 1
 fi
-for rule in R6 R7 R8 R9 R10 R11 R12; do
+for rule in R6 R7 R8 R9 R10 R11 R12 R13 R14 R15; do
   if ! grep -q "\[${rule}\]" <<< "${CANARY_OUT}"; then
     echo "lint: canary failed -- planted ${rule} violation was not detected" >&2
     exit 1

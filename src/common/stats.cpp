@@ -1,11 +1,26 @@
 #include "common/stats.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "common/error.hpp"
 
 namespace parva {
+
+double sorted_sum(std::vector<double> values) {
+  // Sorting the raw bit patterns (not the doubles) keeps the order total
+  // even when NaNs slip in, and orders equal-magnitude values of either
+  // sign consistently across platforms.
+  std::vector<std::uint64_t> bits;
+  bits.reserve(values.size());
+  for (const double v : values) bits.push_back(std::bit_cast<std::uint64_t>(v));
+  std::sort(bits.begin(), bits.end());
+  double sum = 0.0;
+  for (const std::uint64_t b : bits) sum += std::bit_cast<double>(b);
+  return sum;
+}
 
 void OnlineStats::add(double x) {
   if (count_ == 0) {

@@ -8,6 +8,15 @@
 
 namespace parva {
 
+/// Canonical-order floating-point sum: sorts the values by IEEE-754 bit
+/// pattern, then adds left to right. Double addition is not associative,
+/// so the same multiset summed in two different orders can differ in the
+/// last ulp; sorting first makes the result a pure function of the
+/// multiset, which is what every exporter on the byte-identical path
+/// needs (DESIGN.md §4.9, audit rule R14). Takes the vector by value --
+/// the sort is destructive and callers usually pass a scratch buffer.
+double sorted_sum(std::vector<double> values);
+
 /// Welford-style streaming moments. O(1) space; numerically stable.
 class OnlineStats {
  public:

@@ -12,6 +12,7 @@ int DeployedUnit::granted_sms() const {
 
 double Deployment::total_granted_gpcs() const {
   double total = 0.0;
+  // parva-audit: allow(R14): summed in fixed vector index order.
   for (const auto& unit : units) total += unit.gpc_grant;
   return total;
 }
@@ -27,6 +28,7 @@ std::vector<const DeployedUnit*> Deployment::units_for_service(int service_id) c
 double Deployment::service_capacity(int service_id) const {
   double total = 0.0;
   for (const auto& unit : units) {
+    // parva-audit: allow(R14): summed in fixed vector index order.
     if (unit.service_id == service_id) total += unit.actual_throughput;
   }
   return total;

@@ -41,7 +41,7 @@ UtilizationMetrics compute_metrics(const Deployment& deployment,
       ++metrics.units_without_spec;
     }
     const double sms = unit.gpc_grant * gpu::kSmsPerGpc;
-    granted_sms += sms;
+    granted_sms += sms;  // parva-audit: allow(R14): fixed vector index order
     busy_sms += sms * unit.sm_occupancy * load_fraction;
   }
   if (metrics.units_without_spec > 0) {
@@ -72,7 +72,7 @@ double internal_slack_from_activity(const Deployment& deployment,
   double busy_sms = 0.0;
   for (std::size_t i = 0; i < deployment.units.size(); ++i) {
     const double sms = deployment.units[i].gpc_grant * gpu::kSmsPerGpc;
-    granted_sms += sms;
+    granted_sms += sms;  // parva-audit: allow(R14): fixed vector index order
     busy_sms += sms * std::clamp(activities[i], 0.0, 1.0);
   }
   return granted_sms <= 0.0 ? 0.0 : 1.0 - busy_sms / granted_sms;

@@ -94,6 +94,7 @@ double fragmentation_excluding_tail(const core::Deployment& deployment) {
   // The least-filled GPU is the rounding tail; exclude it.
   const auto tail = std::min_element(granted.begin(), granted.end());
   double total = 0.0;
+  // parva-audit: allow(R14): summed in fixed vector index order.
   for (double g : granted) total += g;
   total -= *tail;
   const double capacity =

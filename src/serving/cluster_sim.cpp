@@ -205,7 +205,7 @@ struct Shard {
   std::vector<Rng> dispatch_rng;
   std::vector<std::uint32_t> rr_cursor;  ///< round-robin dispatch state
   ArrivalStreams arrivals;
-  std::size_t arrival_s = 0;  ///< cached arrivals.earliest()
+  std::size_t arrival_svc = 0;  ///< cached arrivals.earliest()
 
   // Units (local index -> global metadata), in ascending global order.
   std::vector<UnitState> units;
@@ -229,7 +229,7 @@ struct Shard {
   std::size_t events_processed = 0;
   double busy_ms = 0.0;  ///< wall-clock spent advancing this shard
 
-  bool idle() const { return arrival_s == svc_global.size() && events.empty(); }
+  bool idle() const { return arrival_svc == svc_global.size() && events.empty(); }
 
   double next_gap_ms(std::size_t s) {
     if (cfg->arrivals == ArrivalProcess::kPoisson) {
@@ -405,8 +405,12 @@ struct Shard {
     if (state.kv_per_token <= 0.0) return true;
     double prompt_tokens = 0.0;
     double total_tokens = 0.0;
+    // The batch is summed in admission order, which is fixed per batch;
+    // re-sorting here would change golden-pinned exported bytes.
     for (const Request& request : batch.requests) {
+      // parva-audit: allow(R14): fixed admission order, see above.
       prompt_tokens += static_cast<double>(request.prompt_tokens);
+      // parva-audit: allow(R14): fixed admission order, see above.
       total_tokens += static_cast<double>(request.prompt_tokens + request.gen_tokens);
     }
     const bool reserve_full = cfg->llm.admission == LlmAdmissionPolicy::kReject;
@@ -453,6 +457,7 @@ struct Shard {
         if (state.expected_prompt > 0.0) {
           double prompt_sum = 0.0;
           for (const Request& request : batch.requests) {
+            // parva-audit: allow(R14): fixed admission order per batch.
             prompt_sum += static_cast<double>(request.prompt_tokens);
           }
           if (prompt_sum > 0.0) {
@@ -466,6 +471,8 @@ struct Shard {
           perfmodel::AnalyticalPerfModel::sample_latency_ms(service_ms, jitter_rng[ui]);
       // Charge SM-time (Eq. 3 numerator) within the measurement window.
       if (state.traits != nullptr && now >= cfg->warmup_ms) {
+        // One term per dispatched batch, not a bulk reduction.
+        // parva-audit: allow(R14): deterministic DES event order.
         state.busy_sm_ms += state.sm_work[take];
       }
       --state.idle_processes;
@@ -560,7 +567,7 @@ struct Shard {
   }
 
   void process_arrival() {
-    const std::size_t s = arrival_s;
+    const std::size_t s = arrival_svc;
     const double now = arrivals.time(s);
     const std::uint64_t seq = arrivals.seq(s);
     ++events_processed;
@@ -590,7 +597,7 @@ struct Shard {
       const double next = now + next_gap_ms(s);
       if (next <= cfg->horizon_ms) arrivals.arm(s, next);
     }
-    arrival_s = arrivals.earliest();
+    arrival_svc = arrivals.earliest();
   }
 
   /// The fixed-latency completion path: frees the process, accounts the
@@ -771,6 +778,7 @@ struct Shard {
     const int chunk = cfg->llm.decode_chunk_tokens;
     double grown_tokens = 0.0;
     for (const int left : batch.remaining) {
+      // parva-audit: allow(R14): fixed vector index order per batch.
       if (left > 0) grown_tokens += static_cast<double>(std::min(left, chunk));
     }
     if (state.kv_per_token > 0.0 && cfg->llm.admission == LlmAdmissionPolicy::kEvict) {
@@ -852,7 +860,7 @@ struct Shard {
     const auto t0 = std::chrono::steady_clock::now();
     const std::size_t n = svc_global.size();
     while (true) {
-      const bool have_arrival = arrival_s != n;
+      const bool have_arrival = arrival_svc != n;
       const bool have_event = !events.empty();
       if (!have_arrival && !have_event) break;
       // Merge the arrival streams with the heap on (time, seq): an arrival
@@ -860,12 +868,12 @@ struct Shard {
       bool take_arrival = have_arrival;
       if (have_arrival && have_event) {
         const SimEvent& top = events.top();
-        take_arrival = arrivals.time(arrival_s) < top.time_ms ||
-                       (arrivals.time(arrival_s) == top.time_ms &&
-                        arrivals.seq(arrival_s) < top.seq);
+        take_arrival = arrivals.time(arrival_svc) < top.time_ms ||
+                       (arrivals.time(arrival_svc) == top.time_ms &&
+                        arrivals.seq(arrival_svc) < top.seq);
       }
-      const double t = take_arrival ? arrivals.time(arrival_s) : events.top().time_ms;
-      const std::uint64_t q = take_arrival ? arrivals.seq(arrival_s) : events.top().seq;
+      const double t = take_arrival ? arrivals.time(arrival_svc) : events.top().time_ms;
+      const std::uint64_t q = take_arrival ? arrivals.seq(arrival_svc) : events.top().seq;
       if (t > bound_ms || (t == bound_ms && q >= bound_seq)) break;
       if (take_arrival) {
         process_arrival();
@@ -1220,7 +1228,7 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
       const double phase = shard.arrival_rng[ls].next_double();
       shard.arrivals.arm(ls, phase * shard.next_gap_ms(ls));
     }
-    shard.arrival_s = shard.arrivals.earliest();
+    shard.arrival_svc = shard.arrivals.earliest();
   }
 
   // Repair activations: dormant at t=0, woken by an intra-shard heap event
@@ -1284,6 +1292,8 @@ SimulationResult ClusterSimulation::run(const SimulationOptions& options) const 
     }
     run_window(bound_ms, bound_seq);
     if (forced) {
+      // Monotonic window stepping by a constant, not a reduction.
+      // parva-audit: allow(R14): order is the window order by construction.
       window_end += options.shard_window_ms;
       continue;
     }

@@ -86,12 +86,15 @@ std::string to_prometheus(const MetricsRegistry& registry) {
         // Prometheus buckets are cumulative.
         double cumulative = 0.0;
         for (std::size_t b = 0; b < snapshot.bounds.size(); ++b) {
+          // The cumulative-bucket prefix sum is inherently ordered by index.
+          // parva-audit: allow(R14): order fixed by construction.
           cumulative += snapshot.bucket_counts[b];
           append_series_line(out, snapshot.name + "_bucket",
                              with_le(snapshot.labels,
                                      format_metric_value(snapshot.bounds[b])),
                              cumulative);
         }
+        // parva-audit: allow(R14): final +Inf term of the ordered prefix sum.
         cumulative += snapshot.bucket_counts.back();
         append_series_line(out, snapshot.name + "_bucket",
                            with_le(snapshot.labels, "+Inf"), cumulative);
@@ -128,6 +131,8 @@ double histogram_quantile(const MetricSnapshot& snapshot, double q) {
   // Total over ALL buckets including +Inf: must equal snapshot.count, but
   // derive it from the buckets so a snapshot built by hand stays coherent.
   double total = 0.0;
+  // Bucket counts are small non-negative integers stored as double.
+  // parva-audit: allow(R14): integer-valued sum is exact in any order.
   for (const double c : snapshot.bucket_counts) total += c;
   const auto count = static_cast<std::size_t>(total);
   if (count == 0) return 0.0;
@@ -139,6 +144,7 @@ double histogram_quantile(const MetricSnapshot& snapshot, double q) {
   const auto order_stat = [&snapshot](std::size_t i) {
     double cumulative = 0.0;
     for (std::size_t b = 0; b < snapshot.bounds.size(); ++b) {
+      // parva-audit: allow(R14): ordered prefix sum over exact integers.
       cumulative += snapshot.bucket_counts[b];
       if (cumulative >= static_cast<double>(i + 1)) return snapshot.bounds[b];
     }

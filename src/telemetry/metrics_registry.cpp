@@ -1,10 +1,10 @@
 #include "telemetry/metrics_registry.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cstdint>
 
 #include "common/error.hpp"
+#include "common/stats.hpp"
 
 namespace parva::telemetry {
 namespace {
@@ -230,23 +230,20 @@ std::vector<MetricSnapshot> MetricsRegistry::scrape() const {
   // arrival, i.e. by scheduling, and double addition is not associative --
   // summing in registration order would let two identical runs scrape
   // values differing in the last ulp and break byte-identical .prom/.csv
-  // exports. Sorting each slot's contributions by bit pattern first makes
-  // the merged value a pure function of the contribution multiset.
+  // exports. parva::sorted_sum orders each slot's contributions by bit
+  // pattern first, making the merged value a pure function of the
+  // contribution multiset.
   std::vector<double> merged(slot_count_, 0.0);
-  std::vector<std::uint64_t> contributions;
+  std::vector<double> contributions;
   contributions.reserve(shards_.size());
   for (std::size_t i = 0; i < slot_count_; ++i) {
     contributions.clear();
     for (const std::unique_ptr<Shard>& shard : shards_) {
       if (i >= shard->capacity) continue;
       // acquire: pairs with the release store in shard_add(); see there.
-      contributions.push_back(
-          std::bit_cast<std::uint64_t>(shard->slots[i].load(std::memory_order_acquire)));
+      contributions.push_back(shard->slots[i].load(std::memory_order_acquire));
     }
-    std::sort(contributions.begin(), contributions.end());
-    double sum = 0.0;
-    for (const std::uint64_t bits : contributions) sum += std::bit_cast<double>(bits);
-    merged[i] = sum;
+    merged[i] = sorted_sum(contributions);
   }
 
   std::vector<MetricSnapshot> out;

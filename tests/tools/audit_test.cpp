@@ -1,10 +1,13 @@
 // Golden-fixture suite for parva_audit (tools/parva_audit). One fixture per
-// rule R1-R12 with seeded violations at pinned lines, allow() suppression
+// rule R1-R15 with seeded violations at pinned lines, allow() suppression
 // fixtures, clean fixtures, pinned (caller, callee) edge lists for the
 // phase-1.5 call-graph builder, output-format goldens (JSON / SARIF),
-// baseline round-trips, plus the two meta-contracts: the repository's own
-// src/ tree audits clean at HEAD, and the audit's output is deterministic
-// regardless of traversal order.
+// baseline round-trips, the fix-it engine round-trip (plant -> fix ->
+// byte-exact golden -> re-audit clean), the incremental cache (warm run
+// reuses everything; touched files re-analyze alone; config changes go
+// cold), plus the meta-contracts: the repository's own src/ tree audits
+// clean at HEAD, and the audit's output is deterministic regardless of
+// traversal order or job count.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -17,6 +20,7 @@
 
 #include "audit.hpp"
 #include "callgraph.hpp"
+#include "fixits.hpp"
 
 namespace {
 
@@ -40,6 +44,17 @@ AuditConfig default_config() {
   AuditConfig config;
   config.export_manifest = parva::audit::default_export_manifest();
   return config;
+}
+
+/// Builds a Finding without touching the fix-it fields (which would
+/// otherwise trip -Wmissing-field-initializers under aggregate init).
+Finding make_finding(std::string file, int line, std::string rule, std::string message) {
+  Finding f;
+  f.file = std::move(file);
+  f.line = line;
+  f.rule = std::move(rule);
+  f.message = std::move(message);
+  return f;
 }
 
 /// (rule, line) pairs, sorted, for comparison against pinned expectations.
@@ -384,7 +399,7 @@ TEST(AuditOutput, JsonFormatIsGoldenForR9) {
 
 TEST(AuditOutput, JsonFormatIsGolden) {
   std::vector<Finding> findings;
-  findings.push_back({"src/gpu/x.cpp", 42, "R6", "status result \"dropped\""});
+  findings.push_back(make_finding("src/gpu/x.cpp", 42, "R6", "status result \"dropped\""));
   EXPECT_EQ(parva::audit::format_findings_json(findings),
             "[\n"
             "  {\"file\": \"src/gpu/x.cpp\", \"line\": 42, \"rule\": \"R6\", "
@@ -395,7 +410,7 @@ TEST(AuditOutput, JsonFormatIsGolden) {
 
 TEST(AuditOutput, SarifFormatIsGolden) {
   std::vector<Finding> findings;
-  findings.push_back({"src/gpu/x.cpp", 42, "R6", "status result dropped"});
+  findings.push_back(make_finding("src/gpu/x.cpp", 42, "R6", "status result dropped"));
   const std::string expected =
       "{\n"
       "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
@@ -439,7 +454,19 @@ TEST(AuditOutput, SarifFormatIsGolden) {
       "transitively reachable from a hot-path root (--hotpath-roots)\"}},\n"
       "            {\"id\": \"R12\", \"shortDescription\": {\"text\": \"no "
       "unordered-container iteration transitively reachable from functions "
-      "defined in export/fingerprint manifest files\"}}\n"
+      "defined in export/fingerprint manifest files\"}},\n"
+      "            {\"id\": \"R13\", \"shortDescription\": {\"text\": \"unit "
+      "discipline: no mixed-unit arithmetic between quantity-suffixed names "
+      "(_ms/_s/_bytes/...), no bare literals for unit-suffixed parameters, no "
+      "suffix-less laundering sinks\"}},\n"
+      "            {\"id\": \"R14\", \"shortDescription\": {\"text\": "
+      "\"floating-point determinism: loop +=/-= reductions on double/float "
+      "reachable from export-manifest entries must use parva::sorted_sum or "
+      "carry allow(R14)\"}},\n"
+      "            {\"id\": \"R15\", \"shortDescription\": {\"text\": "
+      "\"iterator/reference invalidation: no use of a vector/deque "
+      "reference/pointer/iterator after push_back/insert/erase/clear on the "
+      "same container in the same scope\"}}\n"
       "          ]\n"
       "        }\n"
       "      },\n"
@@ -457,8 +484,8 @@ TEST(AuditOutput, SarifFormatIsGolden) {
 
 TEST(AuditBaseline, RoundTripSuppressesAcceptedFindings) {
   std::vector<Finding> findings;
-  findings.push_back({"a.cpp", 10, "R6", "dropped"});
-  findings.push_back({"b.cpp", 20, "R7", "unguarded"});
+  findings.push_back(make_finding("a.cpp", 10, "R6", "dropped"));
+  findings.push_back(make_finding("b.cpp", 20, "R7", "unguarded"));
   const auto baseline = parva::audit::parse_baseline(
       parva::audit::format_baseline(findings));
   // Line numbers are excluded from keys: a shifted finding still matches.
@@ -473,9 +500,9 @@ TEST(AuditBaseline, MultisetSemanticsAndStaleEntries) {
   // Two identical findings need two baseline entries; a third entry with no
   // matching finding is stale; an unlisted finding stays fresh.
   std::vector<Finding> findings;
-  findings.push_back({"a.cpp", 1, "R6", "dropped"});
-  findings.push_back({"a.cpp", 2, "R6", "dropped"});
-  findings.push_back({"c.cpp", 3, "R8", "hardcoded"});
+  findings.push_back(make_finding("a.cpp", 1, "R6", "dropped"));
+  findings.push_back(make_finding("a.cpp", 2, "R6", "dropped"));
+  findings.push_back(make_finding("c.cpp", 3, "R8", "hardcoded"));
   const auto baseline = parva::audit::parse_baseline(
       "# comment\n"
       "a.cpp|R6|dropped\n"
@@ -504,6 +531,255 @@ TEST(AuditFixtures, CleanFileProducesNoFindings) {
   EXPECT_TRUE(findings.empty()) << parva::audit::format_findings(findings);
 }
 
+TEST(AuditFixtures, R13FlagsUnitMixingLiteralArgsAndLaundering) {
+  const auto got = rule_lines(audit_fixture("r13_unit_mixing.cpp"));
+  // 7/11: mixed-unit arithmetic; 17: bare literal for a unit-suffixed
+  // parameter; 21: suffix-less assignment sink laundering the unit away.
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"R13", 7}, {"R13", 11}, {"R13", 17}, {"R13", 21}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(AuditFixtures, R13AllowDirectiveSuppresses) {
+  const auto findings = audit_fixture("r13_allow.cpp");
+  EXPECT_TRUE(findings.empty()) << parva::audit::format_findings(findings);
+}
+
+TEST(AuditFixtures, R13CleanFileProducesNoFindings) {
+  const auto findings = audit_fixture("r13_clean.cpp");
+  EXPECT_TRUE(findings.empty()) << parva::audit::format_findings(findings);
+}
+
+TEST(AuditFixtures, R13ZeroLiteralIsUnitNeutralInAnySpelling) {
+  const std::string content =
+      "void set_deadline(double timeout_ms);\n"
+      "inline void disarm() { set_deadline(0.0); set_deadline(0); }\n";
+  const auto findings =
+      parva::audit::audit_file("watchdog.cpp", content, default_config());
+  EXPECT_TRUE(findings.empty()) << parva::audit::format_findings(findings);
+}
+
+TEST(AuditFixtures, R13UnitBindingsCrossFilesOnlyThroughHeaders) {
+  // A .cpp-local declaration binds call sites in its own file only: a
+  // DES shard's `advance(double bound_ms)` must not turn every other
+  // TU's unrelated `advance(1)` (a lexer cursor, say) into a finding.
+  // The same declaration in a header is an exported API and does bind.
+  const std::string decl = "void advance(double bound_ms);\n";
+  const std::string call = "void advance(int n);\ninline void step() { advance(1); }\n";
+  const auto cpp_scoped = parva::audit::audit_files(
+      {{"sim.cpp", decl}, {"lexer.cpp", call}}, default_config());
+  EXPECT_TRUE(cpp_scoped.empty()) << parva::audit::format_findings(cpp_scoped);
+
+  const auto header_bound = parva::audit::audit_files(
+      {{"sim.hpp", "#pragma once\n" + decl},
+       {"other.cpp", "inline void step() { advance(1); }\n"}},
+      default_config());
+  const auto got = rule_lines(header_bound);
+  const std::vector<std::pair<std::string, int>> expected = {{"R13", 1}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(AuditFixtures, R14FlagsLoopReductionsOnExportPaths) {
+  const auto got = rule_lines(audit_fixture("r14_export_rollup.cpp"));
+  // 11: += reduction in a manifest entry; 22: -= reduction in a helper
+  // reachable from one.
+  const std::vector<std::pair<std::string, int>> expected = {{"R14", 11}, {"R14", 22}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(AuditFixtures, R14IgnoresFilesOutsideManifest) {
+  const std::string content = read_file(fixture_path("r14_export_rollup.cpp"));
+  const auto findings =
+      parva::audit::audit_file("src/core/allocator.cpp", content, default_config());
+  EXPECT_TRUE(findings.empty()) << parva::audit::format_findings(findings);
+}
+
+TEST(AuditFixtures, R14AllowDirectiveSuppresses) {
+  // The alias path contains "export" so the function is a manifest entry.
+  const std::string content = read_file(fixture_path("r14_allow.cpp"));
+  const auto findings =
+      parva::audit::audit_file("r14_allow_export.cpp", content, default_config());
+  EXPECT_TRUE(findings.empty()) << parva::audit::format_findings(findings);
+}
+
+TEST(AuditFixtures, R14SortedSumHelperIsExempt) {
+  const std::string content = read_file(fixture_path("r14_clean.cpp"));
+  const auto findings =
+      parva::audit::audit_file("r14_clean_export.cpp", content, default_config());
+  EXPECT_TRUE(findings.empty()) << parva::audit::format_findings(findings);
+}
+
+TEST(AuditFixtures, R15FlagsUseAfterInvalidatingMutation) {
+  const auto got = rule_lines(audit_fixture("r15_invalidation.cpp"));
+  // 9: reference used after push_back; 15: iterator after erase;
+  // 21: iterator after clear.
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"R15", 9}, {"R15", 15}, {"R15", 21}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(AuditFixtures, R15AllowDirectiveSuppresses) {
+  const auto findings = audit_fixture("r15_allow.cpp");
+  EXPECT_TRUE(findings.empty()) << parva::audit::format_findings(findings);
+}
+
+TEST(AuditFixtures, R15CleanFileProducesNoFindings) {
+  const auto findings = audit_fixture("r15_clean.cpp");
+  EXPECT_TRUE(findings.empty()) << parva::audit::format_findings(findings);
+}
+
+// ------------------------------------------------------------ fix-its ----
+
+TEST(AuditFixits, RoundTripMatchesGoldenAndReauditsClean) {
+  const std::string path = fixture_path("fixit_planted.hpp");
+  const std::string content = read_file(path);
+  const auto findings = parva::audit::audit_file(path, content, default_config());
+  ASSERT_EQ(findings.size(), 3u) << parva::audit::format_findings(findings);
+  for (const Finding& f : findings) {
+    EXPECT_FALSE(f.fix_edits.empty()) << f.rule << " carries no fix";
+    EXPECT_FALSE(f.fix_description.empty()) << f.rule;
+  }
+  std::string fixed = content;
+  const std::size_t applied = parva::audit::apply_fix_edits(path, findings, fixed);
+  EXPECT_EQ(applied, 3u);
+  // Byte-exact against the committed golden, and the fixed bytes re-audit
+  // clean -- the fix engine must converge in one pass.
+  EXPECT_EQ(fixed, read_file(fixture_path("fixit_planted.hpp.golden")));
+  const auto refindings = parva::audit::audit_file(path, fixed, default_config());
+  EXPECT_TRUE(refindings.empty()) << parva::audit::format_findings(refindings);
+}
+
+TEST(AuditFixits, SarifOutputCarriesFixes) {
+  const std::string path = fixture_path("fixit_planted.hpp");
+  const auto findings =
+      parva::audit::audit_file(path, read_file(path), default_config());
+  const std::string sarif = parva::audit::format_findings_sarif(findings);
+  EXPECT_NE(sarif.find("\"fixes\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"insertedContent\""), std::string::npos);
+  EXPECT_NE(sarif.find("RngStreamTag::kArrival"), std::string::npos);
+}
+
+TEST(AuditFixits, StaleEditsAreSkippedNotClamped) {
+  const std::string path = fixture_path("fixit_planted.hpp");
+  const std::string content = read_file(path);
+  const auto findings = parva::audit::audit_file(path, content, default_config());
+  // Apply against content the findings were NOT computed from: a file
+  // truncated to one line. Every edit is out of bounds and skipped.
+  std::string truncated = "// nothing here\n";
+  const std::size_t applied = parva::audit::apply_fix_edits(path, findings, truncated);
+  EXPECT_EQ(applied, 0u);
+  EXPECT_EQ(truncated, "// nothing here\n");
+}
+
+// -------------------------------------------------- incremental cache ----
+
+namespace cache_helpers {
+
+void write_file(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+}
+
+}  // namespace cache_helpers
+
+TEST(AuditCache, WarmRunReusesEverythingAndMatchesCold) {
+  const fs::path root = fs::temp_directory_path() / "parva_audit_cache_warm";
+  fs::remove_all(root);
+  fs::create_directories(root / "tree");
+  cache_helpers::write_file(root / "tree" / "a.cpp",
+                            "inline int stir() { return rand(); }\n");
+  cache_helpers::write_file(root / "tree" / "b.cpp",
+                            "inline int calm() { return 4; }\n");
+  AuditConfig config = default_config();
+  config.cache_dir = (root / "cache").string();
+  std::vector<std::string> errors;
+  parva::audit::CacheStats stats;
+
+  const auto cold = parva::audit::audit_paths({(root / "tree").string()}, config,
+                                              errors, &stats);
+  EXPECT_TRUE(stats.enabled);
+  EXPECT_TRUE(stats.cold);
+  EXPECT_EQ(stats.analyzed, 2u);
+  ASSERT_EQ(cold.size(), 1u);
+  EXPECT_EQ(cold[0].rule, "R1");
+
+  const auto warm = parva::audit::audit_paths({(root / "tree").string()}, config,
+                                              errors, &stats);
+  EXPECT_FALSE(stats.cold);
+  EXPECT_EQ(stats.analyzed, 0u);
+  EXPECT_EQ(stats.reused, 2u);
+  // Byte-identical findings, fix-its included.
+  EXPECT_EQ(parva::audit::format_findings_sarif(cold),
+            parva::audit::format_findings_sarif(warm));
+  EXPECT_TRUE(errors.empty());
+  fs::remove_all(root);
+}
+
+TEST(AuditCache, TouchingOneFileReanalyzesOnlyThatFile) {
+  const fs::path root = fs::temp_directory_path() / "parva_audit_cache_touch";
+  fs::remove_all(root);
+  fs::create_directories(root / "tree");
+  cache_helpers::write_file(root / "tree" / "a.cpp",
+                            "inline int stir() { return rand(); }\n");
+  cache_helpers::write_file(root / "tree" / "b.cpp",
+                            "inline int calm() { return 4; }\n");
+  AuditConfig config = default_config();
+  config.cache_dir = (root / "cache").string();
+  std::vector<std::string> errors;
+  parva::audit::CacheStats stats;
+  const auto cold = parva::audit::audit_paths({(root / "tree").string()}, config,
+                                              errors, &stats);
+
+  // A comment-only edit changes the content hash but no cross-file
+  // contribution, so the warm run re-analyzes exactly the touched file.
+  cache_helpers::write_file(root / "tree" / "b.cpp",
+                            "// still calm\ninline int calm() { return 4; }\n");
+  const auto warm = parva::audit::audit_paths({(root / "tree").string()}, config,
+                                              errors, &stats);
+  EXPECT_FALSE(stats.cold);
+  EXPECT_EQ(stats.analyzed, 1u);
+  EXPECT_EQ(stats.reused, 1u);
+  EXPECT_EQ(parva::audit::format_findings(cold), parva::audit::format_findings(warm));
+  EXPECT_TRUE(errors.empty());
+  fs::remove_all(root);
+}
+
+TEST(AuditCache, ConfigChangeForcesAColdRun) {
+  const fs::path root = fs::temp_directory_path() / "parva_audit_cache_config";
+  fs::remove_all(root);
+  fs::create_directories(root / "tree");
+  cache_helpers::write_file(root / "tree" / "a.cpp",
+                            "inline int stir() { return rand(); }\n");
+  AuditConfig config = default_config();
+  config.cache_dir = (root / "cache").string();
+  std::vector<std::string> errors;
+  parva::audit::CacheStats stats;
+  (void)parva::audit::audit_paths({(root / "tree").string()}, config, errors, &stats);
+  EXPECT_TRUE(stats.cold);
+
+  // A different rule set keys a different manifest: cold again.
+  config.rules = {"R1"};
+  (void)parva::audit::audit_paths({(root / "tree").string()}, config, errors, &stats);
+  EXPECT_TRUE(stats.cold);
+  EXPECT_EQ(stats.analyzed, 1u);
+  fs::remove_all(root);
+}
+
+// ------------------------------------------------------------ parallel ----
+
+TEST(AuditJobs, ParallelAuditMatchesSerial) {
+  const std::string fixtures_dir(PARVA_AUDIT_FIXTURE_DIR);
+  std::vector<std::string> errors;
+  AuditConfig serial = default_config();
+  serial.jobs = 1;
+  AuditConfig parallel = default_config();
+  parallel.jobs = 4;
+  const auto one = parva::audit::audit_paths({fixtures_dir}, serial, errors);
+  const auto four = parva::audit::audit_paths({fixtures_dir}, parallel, errors);
+  EXPECT_EQ(parva::audit::format_findings(one), parva::audit::format_findings(four));
+  EXPECT_TRUE(errors.empty());
+}
+
 // The acceptance gate: the repository's own library code audits clean.
 // A regression here means a change reintroduced a nondeterminism source,
 // racy global, or unjustified relaxed atomic -- fix the code (or justify
@@ -527,7 +803,8 @@ TEST(AuditRepo, PlantedFixturesTriggerUnderSrcTree) {
       "r4_header_hygiene.hpp", "r5_relaxed_unjustified.cpp", "r6_discarded_status.cpp",
       "r7_unguarded_members.cpp", "r8_geometry.cpp", "r9_lock_cycle.cpp",
       "r10_rng_tags.cpp", "r11_hotpath_blocking.cpp", "r12_fingerprint_entry.cpp",
-      "r12_digest_helper.cpp"};
+      "r12_digest_helper.cpp", "r13_unit_mixing.cpp", "r14_export_rollup.cpp",
+      "r15_invalidation.cpp"};
   for (const std::string& name : fixtures) {
     fs::copy_file(fixture_path(name), root / "src" / "telemetry" / name);
   }
@@ -536,7 +813,7 @@ TEST(AuditRepo, PlantedFixturesTriggerUnderSrcTree) {
       parva::audit::audit_paths({(root / "src").string()}, default_config(), errors);
   EXPECT_TRUE(errors.empty());
   for (const char* rule : {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
-                           "R10", "R11", "R12"}) {
+                           "R10", "R11", "R12", "R13", "R14", "R15"}) {
     EXPECT_TRUE(std::any_of(findings.begin(), findings.end(),
                             [&](const Finding& f) { return f.rule == rule; }))
         << "planted fixture for " << rule << " was not detected";
@@ -556,7 +833,12 @@ TEST(AuditRepo, OutputIsDeterministic) {
   // Individual files in reverse order must produce the same sorted output.
   std::vector<std::string> files;
   for (const auto& entry : fs::directory_iterator(fixtures_dir)) {
-    files.push_back(entry.path().string());
+    // Match the tool's own extension filter: the fixture dir also holds
+    // .golden files that directory scans skip.
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".cpp" || ext == ".hpp" || ext == ".h") {
+      files.push_back(entry.path().string());
+    }
   }
   std::sort(files.rbegin(), files.rend());
   const auto reversed = parva::audit::audit_paths(files, config, errors);

@@ -1,0 +1,18 @@
+// Fix-it fixture: planted R4 (missing include guard), R6 (status-returning
+// declaration without [[nodiscard]]) and R10 (literal RNG stream tag).
+// The byte-exact post-fix content lives in fixit_planted.hpp.golden;
+// audit_test.cpp round-trips this file through apply_fix_edits and then
+// re-audits the result, which must come back clean.
+
+enum class NvmlReturn { kSuccess, kError };
+
+enum class RngStreamTag : unsigned long long { kArrival = 7 };
+
+struct Rng {
+  static Rng stream(unsigned long long seed, unsigned long long tag,
+                    unsigned long long index);
+};
+
+NvmlReturn destroy_instance(int gpu);
+
+inline void reseed() { (void)Rng::stream(1, 7, 0); }

@@ -1,0 +1,19 @@
+// Golden fixture: the same R13 violation shapes as r13_unit_mixing.cpp,
+// each justified with an allow(R13) directive; the audit must stay silent.
+
+inline double window_pressure(double span_ms, double budget_s) {
+  // parva-audit: allow(R13): unit-polymorphic pressure metric by design.
+  return span_ms + budget_s;
+}
+
+void set_deadline(double timeout_ms);
+
+inline void arm_watchdog() {
+  set_deadline(250);  // parva-audit: allow(R13): protocol-fixed default
+}
+
+inline double drift(double skew_ms) {
+  // parva-audit: allow(R13): dimensionless ratio input downstream.
+  double skew = skew_ms;
+  return skew;
+}

@@ -1,0 +1,29 @@
+// Golden fixture: unit-disciplined code R13 must not flag. Same-unit
+// arithmetic, named constants for unit-suffixed parameters, and
+// suffix-preserving assignments.
+
+inline double total_span_ms(double warmup_ms, double run_ms) {
+  return warmup_ms + run_ms;
+}
+
+inline bool over_budget(double used_bytes, double quota_bytes) {
+  return used_bytes > quota_bytes;
+}
+
+void set_deadline(double timeout_ms);
+
+constexpr double kDefaultTimeoutMs = 250.0;
+
+inline void arm_watchdog() {
+  set_deadline(kDefaultTimeoutMs);
+}
+
+inline double drift_ms(double skew_ms) {
+  double residual_ms = skew_ms;
+  return residual_ms;
+}
+
+inline double scaled(double span_ms, double rate_per_s) {
+  // Multiplication and division between units are conversions, not mixing.
+  return span_ms * rate_per_s / 1000.0;
+}

@@ -1,0 +1,23 @@
+// Golden fixture: rule R13 -- unit discipline. Three violation classes:
+// mixed-unit arithmetic between suffixed names, a bare numeric literal
+// passed for a unit-suffixed parameter, and a suffix-less assignment sink
+// laundering a unit away. Violation lines are pinned in audit_test.cpp.
+
+inline double window_pressure(double span_ms, double budget_s) {
+  return span_ms + budget_s;
+}
+
+inline bool over_quota(double used_bytes, double quota_gib) {
+  return used_bytes > quota_gib;
+}
+
+void set_deadline(double timeout_ms);
+
+inline void arm_watchdog() {
+  set_deadline(250);
+}
+
+inline double drift(double skew_ms) {
+  double skew = skew_ms;
+  return skew;
+}

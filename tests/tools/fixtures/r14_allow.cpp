@@ -1,0 +1,13 @@
+// Golden fixture: an R14 violation shape justified with allow(R14); the
+// audit must stay silent. audit_test.cpp audits this content under an
+// alias path containing "export" so the function is a manifest entry.
+#include <vector>
+
+inline double rollup(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (const double x : xs) {
+    // parva-audit: allow(R14): xs is pre-sorted by the caller.
+    total += x;
+  }
+  return total;
+}

@@ -1,0 +1,22 @@
+// Golden fixture: R14-clean export path (audited under an alias path
+// containing "export" by audit_test.cpp). The only loop reduction lives
+// in a function named sorted_sum -- the canonical-order helper R14 itself
+// prescribes -- so the export entry that calls it must not be flagged.
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+inline double sorted_sum(std::vector<double> values) {
+  std::vector<std::uint64_t> bits;
+  bits.reserve(values.size());
+  for (const double v : values) bits.push_back(std::bit_cast<std::uint64_t>(v));
+  std::sort(bits.begin(), bits.end());
+  double sum = 0.0;
+  for (const std::uint64_t b : bits) sum += std::bit_cast<double>(b);
+  return sum;
+}
+
+inline double rollup(std::vector<double> xs) {
+  return sorted_sum(std::move(xs));
+}

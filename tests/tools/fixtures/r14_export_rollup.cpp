@@ -1,0 +1,25 @@
+// Golden fixture: rule R14 -- order-sensitive floating-point accumulation
+// on an export path. The file name contains "export", so every function
+// here is an export-manifest entry; the loop reductions below make the
+// summation order observable in exported bytes. Violation lines are
+// pinned in audit_test.cpp.
+#include <vector>
+
+inline double rollup(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (const double x : xs) {
+    total += x;
+  }
+  return total;
+}
+
+double shard_weight(int shard);
+
+// Reachability: the reduction lives in a helper that only this
+// manifest-entry file calls; R14 must still flag it with a witness chain.
+inline double drain(double acc, int shards) {
+  for (int i = 0; i < shards; ++i) {
+    acc -= shard_weight(i);
+  }
+  return acc;
+}

@@ -1,0 +1,10 @@
+// Golden fixture: R15 violation shapes justified with allow(R15); the
+// audit must stay silent.
+#include <vector>
+
+inline int ref_after_reserve_like(std::vector<int>& v) {
+  int& first = v.front();
+  v.push_back(7);
+  // parva-audit: allow(R15): capacity pre-reserved by the caller.
+  return first;
+}

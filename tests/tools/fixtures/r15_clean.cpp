@@ -1,0 +1,25 @@
+// Golden fixture: invalidation-safe container use R15 must not flag:
+// re-acquiring after the mutation, the erase-returns-next idiom, and
+// index-based access.
+#include <vector>
+
+inline int reacquire_after_push(std::vector<int>& v) {
+  v.push_back(7);
+  int& first = v.front();
+  return first;
+}
+
+inline void erase_loop(std::vector<int>& v) {
+  for (auto it = v.begin(); it != v.end();) {
+    if (*it < 0) {
+      it = v.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+inline int index_after_push(std::vector<int>& v) {
+  v.push_back(7);
+  return v[0];
+}

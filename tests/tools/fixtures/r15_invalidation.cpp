@@ -1,0 +1,22 @@
+// Golden fixture: rule R15 -- use of a reference/iterator/pointer after a
+// mutating call on the container it came from. Violation lines are pinned
+// in audit_test.cpp.
+#include <vector>
+
+inline int ref_after_push(std::vector<int>& v) {
+  int& first = v.front();
+  v.push_back(7);
+  return first;
+}
+
+inline int iter_after_erase(std::vector<int>& v) {
+  auto it = v.begin();
+  v.erase(v.begin());
+  return *it;
+}
+
+inline int iter_after_clear(std::vector<int>& v) {
+  auto end = v.end();
+  v.clear();
+  return end == v.begin() ? 0 : 1;
+}

@@ -41,6 +41,19 @@
 //       transitively reachable from a function defined in an export/
 //       fingerprint manifest file is flagged, closing the helper-in-a-
 //       non-manifest-file hole
+//   R13 unit discipline: identifiers with quantity suffixes (_ms, _s, _us,
+//       _bytes, _gib, _tokens, _per_s, ...) form inferred unit classes;
+//       mixed-unit arithmetic (`x_ms + y_s`), bare numeric literals passed
+//       for unit-suffixed parameters, and suffix-less assignment sinks that
+//       launder a unit away are findings (dataflow.hpp)
+//   R14 floating-point determinism: a double/float `+=`/`-=` inside a loop
+//       in any function reachable from an export-manifest entry must go
+//       through the canonical-order helper parva::sorted_sum or carry
+//       allow(R14) -- summation order is observable in exported bytes
+//   R15 iterator/reference invalidation: a reference/pointer/iterator
+//       obtained from a vector/deque must not be used after a
+//       push_back/insert/erase/clear/... on the same container in the same
+//       scope; rebinding (`it = v.erase(it)`) revalidates
 //
 // Suppression: `// parva-audit: allow(R3)` on the offending line or the line
 // directly above; `allow(all)` silences every rule for that line.
@@ -55,16 +68,34 @@
 
 namespace parva::audit {
 
+/// One machine-applicable replacement of a fix-it (fixits.hpp): replace
+/// `length` bytes starting at 1-based (line, column) with `text`. Inserts
+/// have length 0.
+struct FixEdit {
+  int line = 0;
+  int column = 0;  ///< 1-based byte offset within the line
+  int length = 0;  ///< bytes replaced
+  std::string text;
+};
+
 struct Finding {
   std::string file;  ///< Path as given on the command line / to audit_file().
   int line = 0;
-  std::string rule;  ///< "R1".."R8".
+  std::string rule;  ///< "R1".."R15".
   std::string message;
+  /// Optional machine-applicable fix (fixits.hpp): a human description plus
+  /// byte-exact edits. Emitted into SARIF `fixes` and applied by `--fix`.
+  /// Excluded from ordering/equality -- fixes are derived, not identity.
+  std::string fix_description;
+  std::vector<FixEdit> fix_edits;
 
   bool operator<(const Finding& other) const {
     if (file != other.file) return file < other.file;
     if (line != other.line) return line < other.line;
-    return rule < other.rule;
+    if (rule != other.rule) return rule < other.rule;
+    // Total order: two findings on one line from one rule (distinct
+    // messages) must sort identically on cold and warm cache runs.
+    return message < other.message;
   }
   bool operator==(const Finding& other) const {
     return file == other.file && line == other.line && rule == other.rule;
@@ -83,6 +114,12 @@ struct AuditConfig {
   /// R11: also flag node-based std::{map,set} insert/emplace on the hot
   /// path (allocation per insert). Off by default.
   bool r11_allocations = false;
+  /// Incremental-cache directory (cache.hpp). Empty disables the cache.
+  std::string cache_dir;
+  /// Worker threads for lexing + per-file rules (common/thread_pool). 1 =
+  /// serial (default); 0 = hardware concurrency. Finding order is
+  /// independent of the job count.
+  std::size_t jobs = 1;
 };
 
 /// One catalog row per rule; drives --list-rules and the SARIF rules array.
@@ -101,6 +138,9 @@ struct SymbolIndex {
   /// carries [[nodiscard]]. Every key returns a status-like type
   /// (NvmlReturn / ErrorCode / Status / Result<...>).
   std::map<std::string, bool> status_functions;
+  /// R13: function name -> parameter index -> inferred unit of the declared
+  /// parameter name ("" when overloads disagree; such slots never flag).
+  std::map<std::string, std::map<int, std::string>> unit_params;
 };
 
 /// Phase 1: index one in-memory file into `index` (merges with prior files).
@@ -147,6 +187,22 @@ std::vector<Finding> audit_files(const std::vector<std::pair<std::string, std::s
 std::vector<Finding> audit_paths(const std::vector<std::string>& paths,
                                  const AuditConfig& config,
                                  std::vector<std::string>& errors);
+
+/// What the incremental cache (cache.hpp) did for one audit_paths run.
+struct CacheStats {
+  bool enabled = false;   ///< config.cache_dir was set and usable
+  bool cold = false;      ///< no manifest, config/context change, or IO error
+  std::size_t analyzed = 0;  ///< files lexed + per-file-ruled this run
+  std::size_t reused = 0;    ///< files served from the cache
+};
+
+/// audit_paths with cache telemetry: when config.cache_dir is set, per-file
+/// results are keyed by content hash and a cross-file context hash so an
+/// unchanged tree re-analyzes nothing yet produces byte-identical findings.
+std::vector<Finding> audit_paths(const std::vector<std::string>& paths,
+                                 const AuditConfig& config,
+                                 std::vector<std::string>& errors,
+                                 CacheStats* stats);
 
 /// `file:line: [R#] message` -- one line per finding.
 std::string format_findings(const std::vector<Finding>& findings);

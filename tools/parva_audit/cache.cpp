@@ -1,0 +1,533 @@
+#include "cache.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "callgraph.hpp"
+#include "dataflow.hpp"
+#include "fixits.hpp"
+#include "internal.hpp"
+#include "lexer.hpp"
+
+namespace parva::audit::internal {
+namespace {
+
+// ------------------------------------------------------------- hashing ----
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+// ------------------------------------------------- record (de)serializer ----
+
+// Line-oriented records, fields joined with '|'. Field content is escaped
+// so a literal '|' or newline can never corrupt the framing.
+std::string esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '|') {
+      out += "\\p";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unesc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    if (s[i] == 'p') {
+      out += '|';
+    } else if (s[i] == 'n') {
+      out += '\n';
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : line) {
+    if (c == '|') {
+      out.push_back(unesc(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(unesc(cur));
+  return out;
+}
+
+bool to_int(const std::string& s, int& out) {
+  if (s.empty()) return false;
+  try {
+    out = std::stoi(s);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+bool to_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  try {
+    out = std::stoull(s);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------- cache model ----
+
+/// Everything phases 1/1.5/2 learned from one file.
+struct CachedFile {
+  std::string hash;
+  std::map<int, std::set<std::string>> allows;
+  std::vector<Finding> findings;  ///< per-file rules only (no graph rules)
+  std::map<std::string, bool> status;
+  std::map<std::string, std::map<int, std::string>> unit_params;
+  FileFacts facts;  ///< functions carry finished bodies; class_members too
+};
+
+void write_manifest(std::ostream& out, const std::string& context_hash,
+                    const std::vector<std::pair<std::string, CachedFile>>& entries) {
+  out << "parva-audit-cache 1\n";
+  out << "context|" << context_hash << "\n";
+  for (const auto& [path, cf] : entries) {
+    out << "file|" << esc(path) << "|" << cf.hash << "\n";
+    for (const auto& [line, rules] : cf.allows) {
+      for (const std::string& rule : rules) {
+        out << "A|" << line << "|" << esc(rule) << "\n";
+      }
+    }
+    for (const Finding& f : cf.findings) {
+      out << "F|" << f.line << "|" << esc(f.rule) << "|" << esc(f.message) << "\n";
+    }
+    for (const auto& [name, nodiscard] : cf.status) {
+      out << "S|" << esc(name) << "|" << (nodiscard ? 1 : 0) << "\n";
+    }
+    for (const auto& [fn, slots] : cf.unit_params) {
+      for (const auto& [idx, unit] : slots) {
+        out << "U|" << esc(fn) << "|" << idx << "|" << esc(unit) << "\n";
+      }
+    }
+    for (const auto& [cls, members] : cf.facts.class_members) {
+      for (const auto& [member, type] : members) {
+        out << "M|" << esc(cls) << "|" << esc(member) << "|" << esc(type) << "\n";
+      }
+    }
+    for (const FunctionDef& fn : cf.facts.functions) {
+      out << "D|" << esc(fn.name) << "|" << esc(fn.class_name) << "|" << fn.line << "\n";
+      for (const CallSite& call : fn.calls) {
+        out << "C|" << esc(call.name) << "|" << esc(call.class_qual) << "|"
+            << esc(call.receiver_type) << "|" << (call.is_method_syntax ? 1 : 0)
+            << "|" << call.line << "\n";
+        for (const std::string& held : call.held_locks) {
+          out << "h|" << esc(held) << "\n";
+        }
+      }
+      for (const LockAcquisition& acq : fn.locks) {
+        out << "L|" << esc(acq.lock) << "|" << acq.line << "\n";
+        for (const std::string& held : acq.held) {
+          out << "h|" << esc(held) << "\n";
+        }
+      }
+      for (const BlockingOp& op : fn.blocking) {
+        out << "B|" << static_cast<int>(op.kind) << "|" << esc(op.what) << "|"
+            << op.line << "\n";
+      }
+      for (const UnorderedIteration& it : fn.unordered) {
+        out << "O|" << esc(it.name) << "|" << it.line << "|" << it.token_index
+            << "|" << (it.iterator_walk ? 1 : 0) << "\n";
+      }
+      for (const FpAccumulation& acc : fn.fp_accums) {
+        out << "P|" << esc(acc.name) << "|" << acc.line << "|" << acc.token_index
+            << "|" << (acc.subtract ? 1 : 0) << "\n";
+      }
+    }
+    for (const RngTagDef& tag : cf.facts.rng_tags) {
+      out << "T|" << esc(tag.name) << "|" << tag.value << "|" << tag.line << "\n";
+    }
+    for (const RngStreamUse& use : cf.facts.rng_uses) {
+      out << "R|" << esc(use.tag_name) << "|" << (use.literal ? 1 : 0) << "|"
+          << use.line << "\n";
+    }
+  }
+}
+
+bool load_manifest(const std::string& path, std::map<std::string, CachedFile>& cached,
+                   std::string& context_hash) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line) || line != "parva-audit-cache 1") return false;
+  if (!std::getline(in, line)) return false;
+  {
+    const std::vector<std::string> f = split_fields(line);
+    if (f.size() != 2 || f[0] != "context") return false;
+    context_hash = f[1];
+  }
+
+  CachedFile* cf = nullptr;
+  FunctionDef* fn = nullptr;
+  std::vector<std::string>* held_sink = nullptr;
+  std::string current_path;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> f = split_fields(line);
+    const std::string& kind = f[0];
+    int iv = 0;
+    if (kind == "file") {
+      if (f.size() != 3) return false;
+      current_path = f[1];
+      cf = &cached[current_path];
+      cf->hash = f[2];
+      cf->facts.path = current_path;
+      fn = nullptr;
+      held_sink = nullptr;
+      continue;
+    }
+    if (cf == nullptr) return false;
+    if (kind == "A") {
+      if (f.size() != 3 || !to_int(f[1], iv)) return false;
+      cf->allows[iv].insert(f[2]);
+    } else if (kind == "F") {
+      if (f.size() != 4 || !to_int(f[1], iv)) return false;
+      Finding finding;
+      finding.file = current_path;
+      finding.line = iv;
+      finding.rule = f[2];
+      finding.message = f[3];
+      cf->findings.push_back(std::move(finding));
+    } else if (kind == "S") {
+      if (f.size() != 3) return false;
+      cf->status[f[1]] = f[2] == "1";
+    } else if (kind == "U") {
+      if (f.size() != 4 || !to_int(f[2], iv)) return false;
+      cf->unit_params[f[1]][iv] = f[3];
+    } else if (kind == "M") {
+      if (f.size() != 4) return false;
+      cf->facts.class_members[f[1]][f[2]] = f[3];
+    } else if (kind == "D") {
+      if (f.size() != 4 || !to_int(f[3], iv)) return false;
+      cf->facts.functions.emplace_back();
+      fn = &cf->facts.functions.back();
+      fn->name = f[1];
+      fn->class_name = f[2];
+      fn->file = current_path;
+      fn->line = iv;
+      held_sink = nullptr;
+    } else if (kind == "C") {
+      if (fn == nullptr || f.size() != 6 || !to_int(f[5], iv)) return false;
+      fn->calls.push_back({f[1], f[2], f[3], f[4] == "1", iv, {}});
+      held_sink = &fn->calls.back().held_locks;
+    } else if (kind == "L") {
+      if (fn == nullptr || f.size() != 3 || !to_int(f[2], iv)) return false;
+      fn->locks.push_back({f[1], iv, {}});
+      held_sink = &fn->locks.back().held;
+    } else if (kind == "h") {
+      if (held_sink == nullptr || f.size() != 2) return false;
+      held_sink->push_back(f[1]);
+    } else if (kind == "B") {
+      int kv = 0;
+      if (fn == nullptr || f.size() != 4 || !to_int(f[1], kv) || !to_int(f[3], iv)) {
+        return false;
+      }
+      if (kv < 0 || kv > static_cast<int>(BlockKind::kAlloc)) return false;
+      fn->blocking.push_back({static_cast<BlockKind>(kv), f[2], iv});
+      held_sink = nullptr;
+    } else if (kind == "O") {
+      std::uint64_t tok = 0;
+      if (fn == nullptr || f.size() != 5 || !to_int(f[2], iv) || !to_u64(f[3], tok)) {
+        return false;
+      }
+      fn->unordered.push_back({f[1], iv, static_cast<std::size_t>(tok), f[4] == "1"});
+      held_sink = nullptr;
+    } else if (kind == "P") {
+      std::uint64_t tok = 0;
+      if (fn == nullptr || f.size() != 5 || !to_int(f[2], iv) || !to_u64(f[3], tok)) {
+        return false;
+      }
+      fn->fp_accums.push_back({f[1], iv, static_cast<std::size_t>(tok), f[4] == "1"});
+      held_sink = nullptr;
+    } else if (kind == "T") {
+      std::uint64_t value = 0;
+      if (f.size() != 4 || !to_u64(f[2], value) || !to_int(f[3], iv)) return false;
+      cf->facts.rng_tags.push_back({f[1], value, current_path, iv});
+    } else if (kind == "R") {
+      if (f.size() != 4 || !to_int(f[3], iv)) return false;
+      cf->facts.rng_uses.push_back({f[1], f[2] == "1", current_path, iv});
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ------------------------------------------------------ context merging ----
+
+/// Order-independent join of per-file status contributions (OR, matching
+/// scan_status_functions_into_index) and unit-param contributions (equal
+/// keeps, conflict poisons to "", matching scan_unit_params_into_index).
+void merge_status(const std::map<std::string, bool>& from,
+                  std::map<std::string, bool>& into) {
+  for (const auto& [name, nodiscard] : from) {
+    auto [it, inserted] = into.emplace(name, nodiscard);
+    if (!inserted && nodiscard) it->second = true;
+  }
+}
+
+void merge_units(const std::map<std::string, std::map<int, std::string>>& from,
+                 std::map<std::string, std::map<int, std::string>>& into) {
+  for (const auto& [fn, slots] : from) {
+    auto& dst = into[fn];
+    for (const auto& [idx, unit] : slots) {
+      auto [it, inserted] = dst.emplace(idx, unit);
+      if (!inserted && it->second != unit) it->second.clear();
+    }
+  }
+}
+
+std::string serialize_context(
+    const SymbolIndex& index,
+    const std::map<std::string, std::map<std::string, std::string>>& members) {
+  std::ostringstream out;
+  for (const auto& [name, nodiscard] : index.status_functions) {
+    out << "S|" << esc(name) << "|" << (nodiscard ? 1 : 0) << "\n";
+  }
+  for (const auto& [fn, slots] : index.unit_params) {
+    for (const auto& [idx, unit] : slots) {
+      out << "U|" << esc(fn) << "|" << idx << "|" << esc(unit) << "\n";
+    }
+  }
+  for (const auto& [cls, mem] : members) {
+    for (const auto& [member, type] : mem) {
+      out << "M|" << esc(cls) << "|" << esc(member) << "|" << esc(type) << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string config_fingerprint(const AuditConfig& config) {
+  std::ostringstream out;
+  out << "parva-audit-cache 1\n";
+  std::vector<std::string> rules = config.rules;
+  std::sort(rules.begin(), rules.end());
+  for (const std::string& r : rules) out << "rule|" << esc(r) << "\n";
+  for (const std::string& m : config.export_manifest) out << "manifest|" << esc(m) << "\n";
+  for (const std::string& r : config.hotpath_roots) out << "root|" << esc(r) << "\n";
+  out << "alloc|" << (config.r11_allocations ? 1 : 0) << "\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::vector<Finding> audit_files_cached(
+    const std::string& scan_key,
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const AuditConfig& config, CacheStats* stats) {
+  namespace fs = std::filesystem;
+  CacheStats local;
+  CacheStats& st = stats != nullptr ? *stats : local;
+  st = CacheStats{};
+  st.enabled = true;
+
+  const std::string cfg = config_fingerprint(config);
+  std::error_code ec;
+  fs::create_directories(config.cache_dir, ec);
+  const std::string manifest_path =
+      (fs::path(config.cache_dir) /
+       ("scan-" + hex64(fnv1a(scan_key + "\x1f" + cfg)) + ".txt"))
+          .string();
+
+  std::map<std::string, CachedFile> cached;
+  std::string stored_context;
+  const bool loaded = load_manifest(manifest_path, cached, stored_context);
+
+  std::vector<std::string> hashes(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    hashes[i] = hex64(fnv1a(files[i].second));
+  }
+  const auto cache_hit = [&](std::size_t i) {
+    const auto it = cached.find(files[i].first);
+    return it != cached.end() && it->second.hash == hashes[i];
+  };
+
+  // Pass 1 (changed files only): lex, per-file context contributions, and
+  // the scope-machine facts scan. All per-file pure, so --jobs applies.
+  struct Fresh {
+    bool analyzed = false;
+    LexedFile lexed;
+    std::vector<BodySpan> spans;
+    CachedFile record;
+  };
+  std::vector<Fresh> fresh(files.size());
+  const auto analyze = [&](std::size_t i) {
+    Fresh& f = fresh[i];
+    f.analyzed = true;
+    f.lexed = lex(files[i].second);
+    f.record.hash = hashes[i];
+    f.record.allows = f.lexed.allows;
+    SymbolIndex contrib;
+    scan_status_functions_into_index(f.lexed, contrib);
+    // Match audit_files: only header declarations contribute cross-file
+    // unit bindings (check_r13 re-scans its own file for .cpp-local ones).
+    if (is_header_path(files[i].first)) {
+      scan_unit_params_into_index(f.lexed, contrib);
+    }
+    f.record.status = std::move(contrib.status_functions);
+    f.record.unit_params = std::move(contrib.unit_params);
+    f.record.facts = scan_file_facts(files[i].first, f.lexed, f.spans);
+  };
+
+  std::vector<std::size_t> changed;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (!loaded || !cache_hit(i)) changed.push_back(i);
+  }
+  for_each_index(changed.size(), config.jobs,
+                 [&](std::size_t k) { analyze(changed[k]); });
+
+  // Merged cross-file context, from cached contributions where the content
+  // hash matched and fresh ones where it did not. Join order does not
+  // matter (see merge_*), but iterate in file order anyway.
+  SymbolIndex index;
+  std::map<std::string, std::map<std::string, std::string>> members;
+  const auto contributions = [&](std::size_t i) -> const CachedFile& {
+    return fresh[i].analyzed ? fresh[i].record : cached[files[i].first];
+  };
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const CachedFile& c = contributions(i);
+    merge_status(c.status, index.status_functions);
+    merge_units(c.unit_params, index.unit_params);
+    for (const auto& [cls, mem] : c.facts.class_members) {
+      for (const auto& [member, type] : mem) members[cls][member] = type;
+    }
+  }
+  const std::string context_hash = hex64(fnv1a(serialize_context(index, members)));
+
+  // The per-file findings of unchanged files were computed under the old
+  // cross-file context; if the merged context moved, they are all suspect
+  // (R6 call-discard and R13 literal-arg findings read it), so fall back to
+  // a full cold analysis. The context itself is already correct -- hashed
+  // contributions are pure functions of content.
+  st.cold = !loaded || context_hash != stored_context;
+  if (st.cold) {
+    std::vector<std::size_t> rest;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      if (!fresh[i].analyzed) rest.push_back(i);
+    }
+    for_each_index(rest.size(), config.jobs,
+                   [&](std::size_t k) { analyze(rest[k]); });
+  }
+
+  // Phase 2 on analyzed files (per-file rules), and pass 2 of the facts
+  // scan with the merged class-member map.
+  std::vector<std::size_t> analyzed;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (fresh[i].analyzed) analyzed.push_back(i);
+  }
+  for_each_index(analyzed.size(), config.jobs, [&](std::size_t k) {
+    const std::size_t i = analyzed[k];
+    Fresh& f = fresh[i];
+    run_per_file_rules(files[i].first, files[i].second, f.lexed, config, index,
+                       f.record.findings);
+    std::sort(f.record.findings.begin(), f.record.findings.end());
+    finish_file_facts(f.record.facts, f.lexed, f.spans, members);
+  });
+  st.analyzed = analyzed.size();
+  st.reused = files.size() - analyzed.size();
+
+  // Collect per-file findings (cached or fresh) in file order.
+  std::vector<Finding> findings;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const CachedFile& c = contributions(i);
+    findings.insert(findings.end(), c.findings.begin(), c.findings.end());
+  }
+
+  // Graph rules, recomputed every run over the merged facts. Facts arrive
+  // in sorted file order whether cached or fresh, so function indexes --
+  // and therefore every graph finding -- match a cold run exactly.
+  std::vector<RngTagDef> rng_tags;
+  const bool graph_rules = rule_enabled(config, "R9") || rule_enabled(config, "R10") ||
+                           rule_enabled(config, "R11") || rule_enabled(config, "R12") ||
+                           rule_enabled(config, "R14");
+  if (graph_rules) {
+    std::vector<const FileFacts*> facts;
+    facts.reserve(files.size());
+    LexedByFile by_file;
+    std::deque<LexedFile> synthetic;  // stable storage for allow-only stubs
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      facts.push_back(&contributions(i).facts);
+      if (fresh[i].analyzed) {
+        by_file[files[i].first] = &fresh[i].lexed;
+      } else {
+        synthetic.emplace_back();
+        synthetic.back().allows = contributions(i).allows;
+        by_file[files[i].first] = &synthetic.back();
+      }
+    }
+    const CallGraph graph = assemble_call_graph(facts);
+    rng_tags = graph.rng_tags;
+    if (rule_enabled(config, "R9")) check_r9(graph, by_file, findings);
+    if (rule_enabled(config, "R10")) check_r10(graph, by_file, findings);
+    if (rule_enabled(config, "R11")) check_r11(graph, config, by_file, findings);
+    if (rule_enabled(config, "R12")) check_r12(graph, config, by_file, findings);
+    if (rule_enabled(config, "R14")) check_r14(graph, config, by_file, findings);
+  }
+
+  std::sort(findings.begin(), findings.end());
+  attach_fixits(files, rng_tags, findings);
+
+  // Persist: every file's record, fresh where analyzed, carried over where
+  // not. Entries for files that left the scan set simply drop out.
+  std::vector<std::pair<std::string, CachedFile>> entries;
+  entries.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    entries.emplace_back(files[i].first, contributions(i));
+  }
+  std::ofstream out(manifest_path, std::ios::binary | std::ios::trunc);
+  if (out) write_manifest(out, context_hash, entries);
+
+  return findings;
+}
+
+}  // namespace parva::audit::internal

@@ -1,0 +1,36 @@
+// Incremental cache for parva_audit (--cache-dir).
+//
+// One manifest per (scan set, config): content-hash keyed per-file records
+// holding everything phase 1/1.5/2 learned from the file -- per-file
+// findings, allow() table, SymbolIndex contributions, class-member types
+// and finished call-graph facts. On a warm run only changed files are
+// re-lexed and re-ruled; the interprocedural rules (R9-R12, R14) are
+// recomputed every run from the merged facts, which is what makes the
+// invalidation call-graph-aware: a changed file's facts flow into the same
+// graph positions a cold run would give them, so downstream findings move
+// with the change while untouched per-file results are reused verbatim.
+//
+// A cross-file context hash (merged symbol index + unit-param index +
+// class-member map) guards the per-file reuse: R6/R13 findings depend on
+// that context, so a change to it forces a full re-analysis. Unchanged
+// tree => 0 files analyzed and byte-identical findings.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit.hpp"
+
+namespace parva::audit::internal {
+
+/// audit_files() with the cache behind it. `scan_key` names the manifest
+/// (the sorted scan roots); `files` is the full sorted (path, content) scan
+/// set. Falls back to a cold full run -- still writing the cache -- on any
+/// manifest miss, version/config/context mismatch, or parse error.
+std::vector<Finding> audit_files_cached(
+    const std::string& scan_key,
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const AuditConfig& config, CacheStats* stats);
+
+}  // namespace parva::audit::internal

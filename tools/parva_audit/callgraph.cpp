@@ -24,13 +24,53 @@
 #include <vector>
 
 #include "callgraph.hpp"
+#include "dataflow.hpp"
 #include "internal.hpp"
 
 namespace parva::audit {
+
+namespace internal {
+
+std::size_t match_close(const std::vector<Token>& toks, std::size_t i,
+                        const char* open, const char* close) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (is_punct(toks[i], open)) ++depth;
+    if (is_punct(toks[i], close)) {
+      if (--depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+std::vector<std::vector<Token>> split_args(const std::vector<Token>& toks,
+                                           std::size_t i, std::size_t end) {
+  std::vector<std::vector<Token>> groups(1);
+  int paren = 0;
+  int bracket = 0;
+  for (; i < end; ++i) {
+    if (is_punct(toks[i], "(") || is_punct(toks[i], "{")) ++paren;
+    if (is_punct(toks[i], ")") || is_punct(toks[i], "}")) --paren;
+    if (is_punct(toks[i], "[")) ++bracket;
+    if (is_punct(toks[i], "]")) --bracket;
+    if (paren == 0 && bracket == 0 && is_punct(toks[i], ",")) {
+      groups.emplace_back();
+      continue;
+    }
+    groups.back().push_back(toks[i]);
+  }
+  if (groups.back().empty()) groups.pop_back();
+  return groups;
+}
+
+}  // namespace internal
+
 namespace {
 
 using internal::is_ident;
 using internal::is_punct;
+using internal::match_close;
+using internal::split_args;
 
 bool is_keyword(const std::string& s) {
   static const std::set<std::string> kKeywords = {
@@ -59,20 +99,10 @@ bool is_decl_specifier(const std::string& s) {
          s == "thread_local" || s == "typename";
 }
 
-struct ClassInfo {
-  /// member name -> last identifier of its declared type ("Mutex",
-  /// "EventQueue", "map", ...). Merged across files by class name.
-  std::map<std::string, std::string> member_types;
-};
-
-/// A function recorded by pass 1, before its body has been scanned.
-struct BodySpan {
-  std::size_t fn_index = 0;    ///< into CallGraph::functions
-  std::size_t file_index = 0;  ///< into the build input vector
-  std::vector<Token> params;   ///< tokens between the signature's parens
-  std::size_t begin = 0;       ///< first token index inside the body brace
-  std::size_t end = 0;         ///< index of the body's closing brace
-};
+/// member name -> last identifier of its declared type ("Mutex",
+/// "EventQueue", "map", ...); merged across files by class name.
+using MemberTypes = std::map<std::string, std::string>;
+using ClassMembers = std::map<std::string, MemberTypes>;
 
 // Skips a balanced <...> starting at toks[i] == '<'; returns the index one
 // past the closing '>'. Tokens are single characters, so '>>' is two tokens
@@ -129,41 +159,6 @@ std::optional<DeclParse> parse_decl(const std::vector<Token>& toks, std::size_t 
     return std::nullopt;
   }
   return DeclParse{type, toks[i].text, i + 1};
-}
-
-/// Splits `toks[i..end)` (the inside of an argument list) at top-level commas.
-std::vector<std::vector<Token>> split_args(const std::vector<Token>& toks,
-                                           std::size_t i, std::size_t end) {
-  std::vector<std::vector<Token>> groups(1);
-  int paren = 0;
-  int bracket = 0;
-  for (; i < end; ++i) {
-    if (is_punct(toks[i], "(") || is_punct(toks[i], "{")) ++paren;
-    if (is_punct(toks[i], ")") || is_punct(toks[i], "}")) --paren;
-    if (is_punct(toks[i], "[")) ++bracket;
-    if (is_punct(toks[i], "]")) --bracket;
-    if (paren == 0 && bracket == 0 && is_punct(toks[i], ",")) {
-      groups.emplace_back();
-      continue;
-    }
-    groups.back().push_back(toks[i]);
-  }
-  if (groups.back().empty()) groups.pop_back();
-  return groups;
-}
-
-/// Finds the matching close for the open delimiter at toks[i]; returns its
-/// index (or `toks.size()` when unbalanced).
-std::size_t match_close(const std::vector<Token>& toks, std::size_t i,
-                        const char* open, const char* close) {
-  int depth = 0;
-  for (; i < toks.size(); ++i) {
-    if (is_punct(toks[i], open)) ++depth;
-    if (is_punct(toks[i], close)) {
-      if (--depth == 0) return i;
-    }
-  }
-  return toks.size();
 }
 
 /// Stable identity for a lock object, so the same mutex named from two
@@ -227,7 +222,7 @@ std::string class_name_from_stmt(const std::vector<Token>& stmt) {
 /// Parses one class-body statement as a data-member declaration; access
 /// specifiers are stripped, anything function-shaped (a '(' before any '=')
 /// is skipped, as are usings/friends/nested types.
-void record_member(const std::vector<Token>& stmt_in, ClassInfo& info) {
+void record_member(const std::vector<Token>& stmt_in, MemberTypes& members) {
   std::vector<Token> stmt = stmt_in;
   while (stmt.size() >= 2 && stmt[0].kind == Token::Kind::kIdent &&
          (stmt[0].text == "public" || stmt[0].text == "private" ||
@@ -259,7 +254,7 @@ void record_member(const std::vector<Token>& stmt_in, ClassInfo& info) {
   }
   if (paren < assign) return;  // method declaration
   auto decl = parse_decl(stmt, 0, stmt.size());
-  if (decl) info.member_types[decl->name] = decl->type;
+  if (decl) members[decl->name] = decl->type;
 }
 
 /// Parses the RngStreamTag registry out of a file's token stream. Auto
@@ -325,8 +320,7 @@ struct LockScope {
 /// declarations as they appear), then calls / locks / blocking ops /
 /// Rng::stream uses in token order.
 void scan_body(FunctionDef& fn, const LexedFile& lexed, const BodySpan& span,
-               const std::map<std::string, ClassInfo>& classes,
-               std::vector<RngStreamUse>& rng_uses) {
+               const ClassMembers& classes, std::vector<RngStreamUse>& rng_uses) {
   const auto& toks = lexed.tokens;
 
   std::map<std::string, std::string> local_types;
@@ -349,8 +343,8 @@ void scan_body(FunctionDef& fn, const LexedFile& lexed, const BodySpan& span,
     if (!fn.class_name.empty()) {
       auto ct = classes.find(fn.class_name);
       if (ct != classes.end()) {
-        auto mt = ct->second.member_types.find(name);
-        if (mt != ct->second.member_types.end()) return mt->second;
+        auto mt = ct->second.find(name);
+        if (mt != ct->second.end()) return mt->second;
       }
     }
     return "";
@@ -608,18 +602,13 @@ std::vector<UnorderedIteration> collect_unordered_iterations(const LexedFile& le
   return out;
 }
 
-CallGraph build_call_graph(
-    const std::vector<std::pair<std::string, const LexedFile*>>& files) {
-  CallGraph graph;
-  std::map<std::string, ClassInfo> classes;
-  std::vector<BodySpan> spans;
-
-  // ---- Pass 1: scope machine per file --------------------------------
-  for (std::size_t f = 0; f < files.size(); ++f) {
-    const std::string& path = files[f].first;
-    const LexedFile& lexed = *files[f].second;
+FileFacts scan_file_facts(const std::string& path, const LexedFile& lexed,
+                          std::vector<BodySpan>& spans) {
+  FileFacts facts;
+  facts.path = path;
+  {
     const auto& toks = lexed.tokens;
-    collect_rng_registry(toks, path, graph.rng_tags);
+    collect_rng_registry(toks, path, facts.rng_tags);
 
     enum class ScopeKind { kNamespace, kClass, kFunction, kOther };
     struct Scope {
@@ -708,8 +697,7 @@ CallGraph build_call_graph(
                 fn.class_name = enclosing_class();
               }
               BodySpan span;
-              span.fn_index = graph.functions.size();
-              span.file_index = f;
+              span.fn_index = facts.functions.size();
               const std::size_t close =
                   [&] {  // matching ')' of the parameter list within stmt
                     int d = 0;
@@ -722,7 +710,7 @@ CallGraph build_call_graph(
               span.params.assign(stmt.begin() + depth0_paren + 1,
                                  stmt.begin() + std::min(close, stmt.size()));
               span.begin = i + 1;  // body tokens; end patched at the close brace
-              graph.functions.push_back(std::move(fn));
+              facts.functions.push_back(std::move(fn));
               span_index = spans.size();
               spans.push_back(std::move(span));
             }
@@ -757,7 +745,7 @@ CallGraph build_call_graph(
       } else if (is_punct(t, ";")) {
         if (!stack.empty() && stack.back().kind == ScopeKind::kClass &&
             !stack.back().class_name.empty() && function_depth == 0) {
-          record_member(stmt, classes[stack.back().class_name]);
+          record_member(stmt, facts.class_members[stack.back().class_name]);
         }
         stmt.clear();
       } else {
@@ -765,30 +753,47 @@ CallGraph build_call_graph(
       }
     }
   }
+  return facts;
+}
 
-  // ---- Pass 2: per-function fact extraction --------------------------
+void finish_file_facts(FileFacts& facts, const LexedFile& lexed,
+                       const std::vector<BodySpan>& spans,
+                       const ClassMembers& class_members) {
   for (const BodySpan& span : spans) {
     if (span.end <= span.begin) continue;  // unterminated body (lex anomaly)
-    FunctionDef& fn = graph.functions[span.fn_index];
-    scan_body(fn, *files[span.file_index].second, span, classes, graph.rng_uses);
+    FunctionDef& fn = facts.functions[span.fn_index];
+    scan_body(fn, lexed, span, class_members, facts.rng_uses);
   }
 
-  // Attribute each file's unordered-container iterations (the shared R2
-  // detector) to the function whose body span contains the token.
-  for (std::size_t f = 0; f < files.size(); ++f) {
-    for (const UnorderedIteration& it : collect_unordered_iterations(*files[f].second)) {
-      for (const BodySpan& span : spans) {
-        if (span.file_index != f || it.token_index < span.begin ||
-            it.token_index >= span.end) {
-          continue;
-        }
-        graph.functions[span.fn_index].unordered.push_back(it);
-        break;
-      }
+  // Attribute the file's unordered-container iterations (the shared R2
+  // detector) and floating-point loop accumulations (the R14 detector) to
+  // the function whose body span contains the token.
+  for (const UnorderedIteration& it : collect_unordered_iterations(lexed)) {
+    for (const BodySpan& span : spans) {
+      if (it.token_index < span.begin || it.token_index >= span.end) continue;
+      facts.functions[span.fn_index].unordered.push_back(it);
+      break;
     }
   }
+  for (const FpAccumulation& acc : collect_fp_accumulations(lexed)) {
+    for (const BodySpan& span : spans) {
+      if (acc.token_index < span.begin || acc.token_index >= span.end) continue;
+      facts.functions[span.fn_index].fp_accums.push_back(acc);
+      break;
+    }
+  }
+}
 
-  // ---- Indexes -------------------------------------------------------
+CallGraph assemble_call_graph(const std::vector<const FileFacts*>& facts) {
+  CallGraph graph;
+  for (const FileFacts* file : facts) {
+    graph.functions.insert(graph.functions.end(), file->functions.begin(),
+                           file->functions.end());
+    graph.rng_tags.insert(graph.rng_tags.end(), file->rng_tags.begin(),
+                          file->rng_tags.end());
+    graph.rng_uses.insert(graph.rng_uses.end(), file->rng_uses.begin(),
+                          file->rng_uses.end());
+  }
   for (std::size_t i = 0; i < graph.functions.size(); ++i) {
     const FunctionDef& fn = graph.functions[i];
     graph.by_name[fn.name].push_back(i);
@@ -796,6 +801,32 @@ CallGraph build_call_graph(
     if (!fn.class_name.empty()) graph.classes.insert(fn.class_name);
   }
   return graph;
+}
+
+CallGraph build_call_graph(
+    const std::vector<std::pair<std::string, const LexedFile*>>& files) {
+  // Pass 1 per file, then a merged class-member map (last declaration in
+  // file order wins, matching the historical single-map behavior), then
+  // pass 2 per file against the merged map.
+  std::vector<FileFacts> facts;
+  std::vector<std::vector<BodySpan>> spans(files.size());
+  facts.reserve(files.size());
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    facts.push_back(scan_file_facts(files[f].first, *files[f].second, spans[f]));
+  }
+  ClassMembers merged;
+  for (const FileFacts& file : facts) {
+    for (const auto& [cls, members] : file.class_members) {
+      for (const auto& [name, type] : members) merged[cls][name] = type;
+    }
+  }
+  std::vector<const FileFacts*> finished;
+  finished.reserve(facts.size());
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    finish_file_facts(facts[f], *files[f].second, spans[f], merged);
+    finished.push_back(&facts[f]);
+  }
+  return assemble_call_graph(finished);
 }
 
 std::vector<std::size_t> CallGraph::resolve(const CallSite& call,

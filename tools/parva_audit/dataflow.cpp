@@ -1,0 +1,683 @@
+// Phase-4 dataflow rules R13/R14/R15 (DESIGN.md §4.9). Everything here is
+// token-order dataflow over the stripped lexer stream: R13 propagates unit
+// classes inferred from identifier suffixes, R14 marks floating-point loop
+// reductions and defers judgment to the call graph's export reachability,
+// R15 tracks reference/iterator bindings against container mutations with a
+// statement-granular invalidation frontier.
+
+#include "dataflow.hpp"
+
+#include <array>
+#include <cstddef>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "internal.hpp"
+
+namespace parva::audit {
+
+namespace {
+
+using internal::add_finding;
+using internal::add_graph_finding;
+using internal::is_ident;
+using internal::is_punct;
+using internal::match_close;
+using internal::path_matches;
+using internal::split_args;
+
+bool is_keyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if", "else", "for", "while", "do", "switch", "case", "default", "break",
+      "continue", "return", "goto", "new", "delete", "throw", "try", "catch",
+      "sizeof", "alignof", "alignas", "decltype", "typeid", "noexcept",
+      "static_assert", "using", "typedef", "template", "typename", "operator",
+      "co_await", "co_return", "co_yield", "const", "constexpr", "constinit",
+      "static", "inline", "extern", "mutable", "volatile", "thread_local",
+      "public", "private", "protected", "virtual", "override", "final",
+      "class", "struct", "union", "enum", "namespace", "friend", "requires",
+      "and", "or", "not", "this", "true", "false", "nullptr", "void", "bool",
+      "char", "int", "long", "short", "float", "double", "signed", "unsigned",
+      "auto"};
+  return kKeywords.count(s) != 0;
+}
+
+bool is_plain_ident(const Token& t) {
+  return t.kind == Token::Kind::kIdent && !is_keyword(t.text);
+}
+
+bool suffix_matches(const std::string& name, const char* suffix,
+                    std::size_t suffix_len) {
+  return name.size() > suffix_len &&
+         name.compare(name.size() - suffix_len, suffix_len, suffix) == 0;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- unit inference ----
+
+std::string unit_suffix(const std::string& name_in) {
+  // The data-member convention (`window_ms_`) strips one trailing '_'.
+  std::string name = name_in;
+  if (!name.empty() && name.back() == '_') name.pop_back();
+
+  struct Suffix {
+    const char* text;
+    const char* unit;
+  };
+  // Rates first: `_per_s` would otherwise be eaten by the `_s` row, and a
+  // tokens-per-second rate must never unify with a plain seconds quantity.
+  static const std::array<Suffix, 7> kRates = {{
+      {"_per_ms", "per_ms"},
+      {"_per_us", "per_us"},
+      {"_per_ns", "per_ns"},
+      {"_per_sec", "per_s"},
+      {"_per_s", "per_s"},
+      {"_per_token", "per_token"},
+      {"_per_hour", "per_hour"},
+  }};
+  static const std::array<Suffix, 11> kBases = {{
+      {"_ms", "ms"},
+      {"_us", "us"},
+      {"_ns", "ns"},
+      {"_sec", "s"},
+      {"_s", "s"},
+      {"_bytes", "bytes"},
+      {"_gib", "gib"},
+      {"_mib", "mib"},
+      {"_kib", "kib"},
+      {"_tokens", "tokens"},
+      {"_hours", "hours"},
+  }};
+  for (const Suffix& s : kRates) {
+    if (suffix_matches(name, s.text, std::string(s.text).size())) return s.unit;
+  }
+  for (const Suffix& s : kBases) {
+    if (suffix_matches(name, s.text, std::string(s.text).size())) return s.unit;
+  }
+  return "";
+}
+
+// -------------------------------------------------------- R14 detector ----
+
+std::vector<FpAccumulation> collect_fp_accumulations(const LexedFile& lexed) {
+  const auto& toks = lexed.tokens;
+
+  // Names declared double/float anywhere in the file. Declarator-only: the
+  // name must not open a call/function paren.
+  std::set<std::string> fp_names;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "double") && !is_ident(toks[i], "float")) continue;
+    std::size_t j = i + 1;
+    while (j < toks.size() &&
+           (is_punct(toks[j], "*") || is_punct(toks[j], "&") ||
+            is_ident(toks[j], "const"))) {
+      ++j;
+    }
+    if (j >= toks.size() || !is_plain_ident(toks[j])) continue;
+    if (j + 1 < toks.size() && is_punct(toks[j + 1], "(")) continue;
+    fp_names.insert(toks[j].text);
+  }
+  if (fp_names.empty()) return {};
+
+  // Loop body token ranges [begin, end], inclusive of the interior.
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if ((is_ident(toks[i], "for") || is_ident(toks[i], "while")) &&
+        i + 1 < toks.size() && is_punct(toks[i + 1], "(")) {
+      const std::size_t close = match_close(toks, i + 1, "(", ")");
+      if (close >= toks.size()) continue;
+      if (close + 1 < toks.size() && is_punct(toks[close + 1], "{")) {
+        const std::size_t body_end = match_close(toks, close + 1, "{", "}");
+        if (body_end < toks.size()) ranges.emplace_back(close + 2, body_end);
+      } else {
+        // Single-statement body: up to the next top-level ';'.
+        std::size_t k = close + 1;
+        int depth = 0;
+        for (; k < toks.size(); ++k) {
+          if (is_punct(toks[k], "(") || is_punct(toks[k], "{")) ++depth;
+          if (is_punct(toks[k], ")") || is_punct(toks[k], "}")) --depth;
+          if (depth == 0 && is_punct(toks[k], ";")) break;
+        }
+        ranges.emplace_back(close + 1, k);
+      }
+    } else if (is_ident(toks[i], "do") && i + 1 < toks.size() &&
+               is_punct(toks[i + 1], "{")) {
+      const std::size_t body_end = match_close(toks, i + 1, "{", "}");
+      if (body_end < toks.size()) ranges.emplace_back(i + 2, body_end);
+    }
+  }
+  if (ranges.empty()) return {};
+
+  const auto in_loop = [&ranges](std::size_t idx) {
+    for (const auto& [b, e] : ranges) {
+      if (idx >= b && idx < e) return true;
+    }
+    return false;
+  };
+
+  std::vector<FpAccumulation> out;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_plain_ident(toks[i]) || fp_names.count(toks[i].text) == 0) continue;
+    const bool plus = is_punct(toks[i + 1], "+");
+    const bool minus = is_punct(toks[i + 1], "-");
+    if (!plus && !minus) continue;
+    if (!is_punct(toks[i + 2], "=")) continue;
+    // `a + ==` cannot lex; guard anyway so `!=`/`==` chains never match.
+    if (i + 3 < toks.size() && is_punct(toks[i + 3], "=")) continue;
+    if (!in_loop(i)) continue;
+    out.push_back({toks[i].text, toks[i].line, i, minus});
+  }
+  return out;
+}
+
+namespace internal {
+
+// ---------------------------------------------------------------- R13 ----
+
+namespace {
+
+/// True when the identifier at `i` opens a *declaration* parameter list
+/// rather than a call: preceded by a type-ish token (plain identifier,
+/// builtin type keyword, template close that is not an arrow, `&` or `*`).
+bool decl_context(const std::vector<Token>& toks, std::size_t i) {
+  if (i == 0) return false;
+  const Token& prev = toks[i - 1];
+  if (is_plain_ident(prev)) return true;
+  if (prev.kind == Token::Kind::kIdent) {
+    // Builtin type keywords open declarations; statement keywords
+    // (`return foo(...)`) do not.
+    static const std::set<std::string> kTypeWords = {
+        "void", "bool",  "char",   "int",    "long",     "short",
+        "float", "double", "signed", "unsigned", "auto"};
+    return kTypeWords.count(prev.text) != 0;
+  }
+  if (is_punct(prev, ">")) return i < 2 || !is_punct(toks[i - 2], "-");
+  return is_punct(prev, "&") || is_punct(prev, "*");
+}
+
+/// Strips a default argument (`= expr`) from a parameter group; returns
+/// false when the group looks like a call-site argument instead of a
+/// declared parameter (contains member access or a bare number outside a
+/// default).
+bool clean_param_group(std::vector<Token>& group) {
+  int depth = 0;
+  for (std::size_t k = 0; k < group.size(); ++k) {
+    if (is_punct(group[k], "(") || is_punct(group[k], "{") ||
+        is_punct(group[k], "[")) {
+      ++depth;
+    }
+    if (is_punct(group[k], ")") || is_punct(group[k], "}") ||
+        is_punct(group[k], "]")) {
+      --depth;
+    }
+    if (depth == 0 && is_punct(group[k], "=")) {
+      group.resize(k);
+      break;
+    }
+  }
+  for (std::size_t k = 0; k < group.size(); ++k) {
+    if (group[k].kind == Token::Kind::kNumber) return false;
+    if (is_punct(group[k], ".")) return false;
+    if (k + 1 < group.size() && is_punct(group[k], "-") &&
+        is_punct(group[k + 1], ">")) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void scan_unit_params_into_index(const LexedFile& lexed, SymbolIndex& index) {
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_plain_ident(toks[i]) || !is_punct(toks[i + 1], "(")) continue;
+    if (!decl_context(toks, i)) continue;
+    const std::size_t close = match_close(toks, i + 1, "(", ")");
+    if (close >= toks.size()) continue;
+    std::vector<std::vector<Token>> groups = split_args(toks, i + 2, close);
+
+    bool is_decl = true;
+    std::vector<std::pair<int, std::string>> units;  // param idx -> unit
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (!clean_param_group(groups[g])) {
+        is_decl = false;
+        break;
+      }
+      // A parameter needs a type and a name; `void` / unnamed params carry
+      // no unit by construction.
+      if (groups[g].size() < 2) continue;
+      const Token& last = groups[g].back();
+      if (!is_plain_ident(last)) continue;
+      const std::string unit = unit_suffix(last.text);
+      if (!unit.empty()) units.emplace_back(static_cast<int>(g), unit);
+    }
+    if (!is_decl || units.empty()) continue;
+
+    auto& slots = index.unit_params[toks[i].text];
+    for (const auto& [idx, unit] : units) {
+      auto it = slots.find(idx);
+      if (it == slots.end()) {
+        slots.emplace(idx, unit);
+      } else if (it->second != unit) {
+        it->second.clear();  // overload conflict: poison, never flag
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Binary operators R13 treats as unit-preserving: addition, subtraction
+/// and the comparisons. Multiplicative operators are conversions by
+/// construction and never flagged. Returns the operator's token length
+/// (1 or 2) or 0 when toks[i] does not start one.
+std::size_t unit_op_len(const std::vector<Token>& toks, std::size_t i) {
+  if (i >= toks.size() || toks[i].kind != Token::Kind::kPunct) return 0;
+  const std::string& c = toks[i].text;
+  const bool eq_next = i + 1 < toks.size() && is_punct(toks[i + 1], "=");
+  if (c == "+") return eq_next ? 2 : 1;
+  if (c == "-") {
+    if (i + 1 < toks.size() && is_punct(toks[i + 1], ">")) return 0;  // arrow
+    return eq_next ? 2 : 1;
+  }
+  if (c == "<" || c == ">") return eq_next ? 2 : 1;
+  if (c == "=" || c == "!") return eq_next ? 2 : 0;
+  return 0;
+}
+
+/// Zero is unit-neutral in any spelling: 0, 0.0, 0., 0x0, 0.0f, 0ULL...
+/// Everything else (including non-numeric garbage) counts as a quantity.
+bool is_zero_literal(const std::string& text) {
+  std::string digits;
+  for (const char c : text) {
+    if (c == '\'' || c == 'u' || c == 'U' || c == 'l' || c == 'L' ||
+        c == 'f' || c == 'F') {
+      continue;  // integer/float suffixes and digit separators
+    }
+    digits += c;
+  }
+  if (digits.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(digits.c_str(), &end);
+  return end == digits.c_str() + digits.size() && value == 0.0;
+}
+
+const std::set<std::string>& arith_type_words() {
+  static const std::set<std::string> kArith = {
+      "auto", "double", "float", "int", "long", "short", "unsigned",
+      "size_t", "ptrdiff_t", "ssize_t", "int8_t", "int16_t", "int32_t",
+      "int64_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t"};
+  return kArith;
+}
+
+}  // namespace
+
+void check_r13(const LexedFile& lexed, const std::string& path,
+               const SymbolIndex& index, std::vector<Finding>& findings) {
+  const auto& toks = lexed.tokens;
+
+  // The shared index carries only header-declared (cross-TU visible) unit
+  // parameters; this file's own .cpp-local declarations bind its call
+  // sites too, so scan them here and merge. A disagreement between the
+  // local and header view poisons the slot -- never flag on a guess.
+  SymbolIndex local;
+  scan_unit_params_into_index(lexed, local);
+  std::map<std::string, std::map<int, std::string>> units = index.unit_params;
+  for (const auto& [fn_name, slots] : local.unit_params) {
+    auto& dst = units[fn_name];
+    for (const auto& [idx, unit] : slots) {
+      auto it = dst.find(idx);
+      if (it == dst.end()) {
+        dst.emplace(idx, unit);
+      } else if (it->second != unit) {
+        it->second.clear();
+      }
+    }
+  }
+
+  // (a) mixed-unit arithmetic / comparison: identU1 OP identU2.
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_plain_ident(toks[i])) continue;
+    const std::string lhs_unit = unit_suffix(toks[i].text);
+    if (lhs_unit.empty()) continue;
+    const std::size_t op_len = unit_op_len(toks, i + 1);
+    if (op_len == 0) continue;
+    const std::size_t rhs = i + 1 + op_len;
+    if (rhs >= toks.size() || !is_plain_ident(toks[rhs])) continue;
+    const std::string rhs_unit = unit_suffix(toks[rhs].text);
+    if (rhs_unit.empty() || rhs_unit == lhs_unit) continue;
+    // A neighboring multiplicative operator means a conversion is in
+    // progress (`a_ms + b_s * 1000.0` converts, badly, but explicitly).
+    if (i > 0 && (is_punct(toks[i - 1], "*") || is_punct(toks[i - 1], "/") ||
+                  is_punct(toks[i - 1], "%"))) {
+      continue;
+    }
+    if (rhs + 1 < toks.size() &&
+        (is_punct(toks[rhs + 1], "*") || is_punct(toks[rhs + 1], "/") ||
+         is_punct(toks[rhs + 1], "%"))) {
+      continue;
+    }
+    // `x_ms < y_s(...)`: the rhs is a call, not a quantity.
+    if (rhs + 1 < toks.size() && is_punct(toks[rhs + 1], "(")) continue;
+    add_finding(findings, lexed, path, toks[i].line, "R13",
+                "mixed-unit arithmetic: '" + toks[i].text + "' carries " +
+                    lhs_unit + " but '" + toks[rhs].text + "' carries " +
+                    rhs_unit +
+                    " -- convert through a named scale constant or align the "
+                    "suffixes");
+  }
+
+  // (b) bare numeric literal passed for a unit-carrying parameter.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_plain_ident(toks[i]) || !is_punct(toks[i + 1], "(")) continue;
+    if (decl_context(toks, i)) continue;
+    if (i > 0 && is_punct(toks[i - 1], "~")) continue;  // destructor
+    auto fn = units.find(toks[i].text);
+    if (fn == units.end()) continue;
+    const std::size_t close = match_close(toks, i + 1, "(", ")");
+    if (close >= toks.size()) continue;
+    const std::vector<std::vector<Token>> args = split_args(toks, i + 2, close);
+    for (const auto& [idx, unit] : fn->second) {
+      if (unit.empty()) continue;
+      if (idx < 0 || static_cast<std::size_t>(idx) >= args.size()) continue;
+      const std::vector<Token>& arg = args[static_cast<std::size_t>(idx)];
+      if (arg.size() != 1 || arg[0].kind != Token::Kind::kNumber) continue;
+      if (is_zero_literal(arg[0].text)) continue;  // zero is unit-neutral
+      add_finding(findings, lexed, path, arg[0].line, "R13",
+                  "bare numeric literal '" + arg[0].text +
+                      "' passed for unit-carrying parameter #" +
+                      std::to_string(idx + 1) + " (" + unit + ") of '" +
+                      toks[i].text +
+                      "' -- pass a named constant with a matching unit "
+                      "suffix");
+    }
+  }
+
+  // (c) unit-laundering sink: `ArithType lhs = rhs_ms;`.
+  for (std::size_t i = 2; i + 2 < toks.size(); ++i) {
+    if (!is_punct(toks[i], "=")) continue;
+    if (!is_plain_ident(toks[i + 1]) || !is_punct(toks[i + 2], ";")) continue;
+    const std::string unit = unit_suffix(toks[i + 1].text);
+    if (unit.empty()) continue;
+    const Token& lhs = toks[i - 1];
+    if (!is_plain_ident(lhs) || !unit_suffix(lhs.text).empty()) continue;
+    const Token& type = toks[i - 2];
+    if (type.kind != Token::Kind::kIdent ||
+        arith_type_words().count(type.text) == 0) {
+      continue;
+    }
+    add_finding(findings, lexed, path, lhs.line, "R13",
+                "assignment launders the " + unit + " unit away: '" +
+                    lhs.text + "' has no quantity suffix but is initialized "
+                    "from '" + toks[i + 1].text +
+                    "' -- keep the suffix on the new name");
+  }
+}
+
+// ---------------------------------------------------------------- R14 ----
+
+void check_r14(const CallGraph& graph, const AuditConfig& config,
+               const std::map<std::string, const LexedFile*>& lexed,
+               std::vector<Finding>& findings) {
+  // Entries: every function defined in an export-manifest file. Unlike R12
+  // (which flags *non*-manifest code reached from manifest files), R14
+  // cares about the manifest files themselves too -- an unsorted reduction
+  // inside an exporter is the canonical bug.
+  std::vector<std::size_t> entries;
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    if (path_matches(graph.functions[i].file, config.export_manifest)) {
+      entries.push_back(i);
+    }
+  }
+  if (entries.empty()) return;
+
+  const Reachability r = reach(graph, entries);
+  std::set<std::pair<std::string, int>> seen;
+  for (std::size_t idx : r.order) {
+    const FunctionDef& fn = graph.functions[idx];
+    // The canonical-order helper is the sanctioned accumulation site.
+    if (fn.name == "sorted_sum") continue;
+    for (const FpAccumulation& acc : fn.fp_accums) {
+      if (!seen.emplace(fn.file, acc.line).second) continue;
+      std::vector<std::string> chain = witness_chain(graph, r, idx);
+      std::string message =
+          "floating-point accumulation '" + acc.name +
+          (acc.subtract ? " -=" : " +=") + "' in a loop in '" +
+          fn.qualified() + "' is reachable from the export manifest (" +
+          join_path(chain) +
+          "); summation order becomes observable in exported bytes -- "
+          "accumulate through parva::sorted_sum (common/stats.hpp) or "
+          "annotate allow(R14) with why the order is fixed";
+      add_graph_finding(findings, lexed, fn.file, acc.line, "R14",
+                        std::move(message));
+    }
+  }
+}
+
+// ---------------------------------------------------------------- R15 ----
+
+namespace {
+
+const std::set<std::string>& invalidating_members() {
+  static const std::set<std::string> kMut = {
+      "push_back", "emplace_back", "pop_back", "insert", "emplace", "erase",
+      "clear", "resize", "reserve", "assign", "shrink_to_fit"};
+  return kMut;
+}
+
+const std::set<std::string>& iterator_members() {
+  static const std::set<std::string> kIter = {
+      "begin", "end", "cbegin", "cend", "rbegin", "rend",
+      "find", "lower_bound", "upper_bound"};
+  return kIter;
+}
+
+const std::set<std::string>& element_members() {
+  static const std::set<std::string> kElem = {"back", "front", "at", "data"};
+  return kElem;
+}
+
+/// Names declared in this file with a contiguous-storage container type
+/// (vector / deque): the containers whose mutations invalidate.
+std::set<std::string> collect_containers(const std::vector<Token>& toks) {
+  std::set<std::string> out;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "vector") && !is_ident(toks[i], "deque")) continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && is_punct(toks[j], "<")) {
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (is_punct(toks[j], "<")) ++depth;
+        if (is_punct(toks[j], ">") && --depth == 0) {
+          ++j;
+          break;
+        }
+        if (is_punct(toks[j], ";") || is_punct(toks[j], "{")) break;
+      }
+    }
+    while (j < toks.size() &&
+           (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+            is_ident(toks[j], "const"))) {
+      ++j;
+    }
+    if (j < toks.size() && is_plain_ident(toks[j])) out.insert(toks[j].text);
+  }
+  return out;
+}
+
+/// True when the declarator ending just before `i` (the bound name) is a
+/// reference or pointer: scan back to the statement boundary for `&`/`*`.
+bool ref_declarator_before(const std::vector<Token>& toks, std::size_t i) {
+  while (i > 0) {
+    --i;
+    const Token& t = toks[i];
+    if (is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "}") ||
+        is_punct(t, ")")) {
+      return false;
+    }
+    if (is_punct(t, "&") || is_punct(t, "*")) return true;
+  }
+  return false;
+}
+
+struct Binding {
+  std::string name;
+  std::string container;
+  int depth = 0;           ///< brace depth at the declaration
+  bool valid = true;
+  bool rebound_this_stmt = false;
+  std::string invalidated_by;  ///< mutating member that killed it
+};
+
+}  // namespace
+
+void check_r15(const LexedFile& lexed, const std::string& path,
+               std::vector<Finding>& findings) {
+  const auto& toks = lexed.tokens;
+  const std::set<std::string> containers = collect_containers(toks);
+  if (containers.empty()) return;
+
+  std::vector<Binding> bindings;
+  struct Pending {
+    std::string container;
+    std::string op;
+  };
+  std::vector<Pending> pending;
+  int depth = 0;
+
+  const auto find_binding = [&bindings](const std::string& name) -> Binding* {
+    for (Binding& b : bindings) {
+      if (b.name == name) return &b;
+    }
+    return nullptr;
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (is_punct(t, "{")) {
+      ++depth;
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      --depth;
+      for (std::size_t b = bindings.size(); b-- > 0;) {
+        if (bindings[b].depth > depth) bindings.erase(bindings.begin() + b);
+      }
+      continue;
+    }
+    if (is_punct(t, ";")) {
+      // Statement frontier: mutations queued inside the statement now
+      // invalidate, except bindings the same statement rebound
+      // (`it = v.erase(it)` stays valid).
+      for (const Pending& p : pending) {
+        for (Binding& b : bindings) {
+          if (b.container == p.container && !b.rebound_this_stmt) {
+            b.valid = false;
+            b.invalidated_by = p.op;
+          }
+        }
+      }
+      pending.clear();
+      for (Binding& b : bindings) b.rebound_this_stmt = false;
+      continue;
+    }
+    if (!is_plain_ident(t)) continue;
+
+    // Container mutation: `cont . member (`.
+    if (containers.count(t.text) != 0 && i + 3 < toks.size() &&
+        is_punct(toks[i + 1], ".") && toks[i + 2].kind == Token::Kind::kIdent &&
+        invalidating_members().count(toks[i + 2].text) != 0 &&
+        is_punct(toks[i + 3], "(")) {
+      pending.push_back({t.text, toks[i + 2].text});
+      // Fall through: `t` may also be a binding name (it is not, since
+      // binding names are ref/iterator declarators, not containers).
+      continue;
+    }
+
+    // Binding creation / rebinding: `name = <source>`.
+    if (i + 1 < toks.size() && is_punct(toks[i + 1], "=") &&
+        !(i + 2 < toks.size() && is_punct(toks[i + 2], "="))) {
+      const std::size_t k = i + 2;
+      std::string cont;
+      bool makes_binding = false;
+      // Iterator by value: `it = cont.begin(` and friends.
+      if (k + 3 < toks.size() && is_plain_ident(toks[k]) &&
+          containers.count(toks[k].text) != 0 && is_punct(toks[k + 1], ".") &&
+          toks[k + 2].kind == Token::Kind::kIdent &&
+          iterator_members().count(toks[k + 2].text) != 0 &&
+          is_punct(toks[k + 3], "(")) {
+        cont = toks[k].text;
+        makes_binding = true;
+      }
+      // Reference / element pointer: `&name = cont.back(` / `&name = cont[`
+      // (declarator must be ref or pointer) and `p = &cont[`.
+      if (!makes_binding && k + 1 < toks.size() && is_plain_ident(toks[k]) &&
+          containers.count(toks[k].text) != 0 &&
+          (is_punct(toks[k + 1], "[") ||
+           (k + 3 < toks.size() && is_punct(toks[k + 1], ".") &&
+            toks[k + 2].kind == Token::Kind::kIdent &&
+            element_members().count(toks[k + 2].text) != 0 &&
+            is_punct(toks[k + 3], "(")))) {
+        if (ref_declarator_before(toks, i)) {
+          cont = toks[k].text;
+          makes_binding = true;
+        }
+      }
+      if (!makes_binding && k + 2 < toks.size() && is_punct(toks[k], "&") &&
+          is_plain_ident(toks[k + 1]) &&
+          containers.count(toks[k + 1].text) != 0 &&
+          (is_punct(toks[k + 2], "[") || is_punct(toks[k + 2], "."))) {
+        cont = toks[k + 1].text;
+        makes_binding = true;
+      }
+
+      Binding* existing = find_binding(t.text);
+      if (makes_binding) {
+        if (existing != nullptr) {
+          existing->container = cont;
+          existing->valid = true;
+          existing->rebound_this_stmt = true;
+        } else {
+          bindings.push_back({t.text, cont, depth, true, true, ""});
+        }
+        continue;
+      }
+      if (existing != nullptr) {
+        // Plain reassignment from something else: the old capture is gone,
+        // whatever replaced it is the programmer's problem, not R15's.
+        existing->valid = true;
+        existing->rebound_this_stmt = true;
+        continue;
+      }
+      continue;
+    }
+
+    // Use of an invalidated binding.
+    Binding* b = find_binding(t.text);
+    if (b != nullptr && !b->valid) {
+      add_finding(findings, lexed, path, t.line, "R15",
+                  "'" + b->name + "' was obtained from '" + b->container +
+                      "' and is used after '" + b->container + "." +
+                      b->invalidated_by +
+                      "()' may have invalidated it -- re-acquire the "
+                      "reference/iterator after the mutation");
+      // One finding per capture: drop the binding so a chain of uses does
+      // not cascade.
+      const std::string name = b->name;
+      for (std::size_t bi = 0; bi < bindings.size(); ++bi) {
+        if (bindings[bi].name == name) {
+          bindings.erase(bindings.begin() + bi);
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace internal
+
+}  // namespace parva::audit

@@ -35,16 +35,21 @@
 
 namespace parva::audit {
 namespace internal {
-namespace {
 
-/// add_finding against the right file's allow() table. Files outside the
-/// lexed map (impossible in practice) get no suppression.
+// The helpers below are shared with the phase-4 dataflow rules (R14 walks
+// the same reachability structure); declarations live in internal.hpp.
+
 void add_graph_finding(std::vector<Finding>& findings, const LexedByFile& lexed,
                        const std::string& file, int line, const char* rule,
                        std::string message) {
   auto it = lexed.find(file);
   if (it != lexed.end() && is_allowed(*it->second, line, rule)) return;
-  findings.push_back({file, line, rule, std::move(message)});
+  Finding f;
+  f.file = file;
+  f.line = line;
+  f.rule = rule;
+  f.message = std::move(message);
+  findings.push_back(std::move(f));
 }
 
 std::string join_path(const std::vector<std::string>& names) {
@@ -60,10 +65,6 @@ std::string join_path(const std::vector<std::string>& names) {
 /// Returns the visit order plus a parent map for witness paths. Both are
 /// deterministic: start order is the caller's, neighbor order is the
 /// resolve() order (ascending definition index).
-struct Reachability {
-  std::vector<std::size_t> order;
-  std::map<std::size_t, std::size_t> parent;  // absent for start nodes
-};
 Reachability reach(const CallGraph& graph, const std::vector<std::size_t>& starts) {
   Reachability r;
   std::set<std::size_t> visited(starts.begin(), starts.end());
@@ -97,8 +98,6 @@ std::vector<std::string> witness_chain(const CallGraph& graph, const Reachabilit
   std::reverse(names.begin(), names.end());
   return names;
 }
-
-}  // namespace
 
 // ---------------------------------------------------------------- R9 ----
 

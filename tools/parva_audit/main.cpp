@@ -5,31 +5,37 @@
 //   parva_audit --manifest paths.txt src/   # replace the R2 manifest
 //   parva_audit --format sarif src/         # SARIF 2.1.0 for CI upload
 //   parva_audit --baseline accepted.txt src/  # only NEW findings fail
+//   parva_audit --fix src/                  # apply machine-applicable fixes
+//   parva_audit --cache-dir build/audit_cache --jobs 0 src/  # fast CI scan
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "audit.hpp"
+#include "fixits.hpp"
 
 namespace {
 
 constexpr const char* kUsage = R"(usage: parva_audit [options] <path>...
 
 Project-specific static analysis for the ParvaGPU determinism, concurrency,
-status-flow and geometry contracts (DESIGN.md 4.3/4.4/4.8). Scans C++
+status-flow and geometry contracts (DESIGN.md 4.3/4.4/4.8/4.9). Scans C++
 sources/headers under the given files or directories; rules R6-R8 are
-symbol-aware (phase 1 indexes declarations across the whole scan set) and
+symbol-aware (phase 1 indexes declarations across the whole scan set),
 rules R9-R12 are call-graph-aware (phase 1.5 builds a lexical call graph;
-phase 3 runs lock-order, RNG-tag and reachability checks over it).
+phase 3 runs lock-order, RNG-tag and reachability checks over it), and
+rules R13-R15 are dataflow rules (phase 4: unit discipline, floating-point
+determinism, iterator/reference invalidation).
 
 options:
-  --rules R1,R2,...    run only the named rules; ranges expand (R1-R12)
-  --manifest FILE      replace the built-in R2/R12 export-path manifest with
-                       the newline-separated path substrings in FILE
+  --rules R1,R2,...    run only the named rules; ranges expand (R1-R15)
+  --manifest FILE      replace the built-in R2/R12/R14 export-path manifest
+                       with the newline-separated path substrings in FILE
                        ('#' comments)
   --hotpath-roots FILE replace the built-in R11 hot-path roots with the
                        newline-separated qualified function names in FILE
@@ -40,6 +46,15 @@ options:
                        lines); exit 1 only on findings NOT in the baseline
   --update-baseline    with --baseline: rewrite FILE from current findings
                        and exit 0
+  --fix                apply machine-applicable fixes (R4 #pragma once,
+                       R6 [[nodiscard]], R10 literal->enumerator RNG tags)
+                       to the files in place; exit 0 when every remaining
+                       finding was fixed, 1 when unfixable findings remain
+  --cache-dir DIR      incremental cache: per-file results keyed by content
+                       hash; unchanged files are not re-analyzed (stats on
+                       stderr; findings are byte-identical either way)
+  --jobs N             lex/analyze files on N worker threads (0 = hardware
+                       concurrency, default 1); output order is unaffected
   --list-rules         print the rule catalog and exit
   -h, --help           this message
 
@@ -92,6 +107,7 @@ int main(int argc, char** argv) {
   std::string format = "text";
   std::string baseline_path;
   bool update_baseline = false;
+  bool apply_fixes = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -111,6 +127,19 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.rules = split_rules(argv[i]);
+      // A typo here would silently audit nothing and read as a clean
+      // pass, so unknown rule names are a usage error.
+      for (const std::string& rule : config.rules) {
+        bool known = false;
+        for (const parva::audit::RuleInfo& info : parva::audit::rule_catalog()) {
+          if (info.id == rule) { known = true; break; }
+        }
+        if (!known) {
+          std::cerr << "parva_audit: unknown rule '" << rule
+                    << "' (--list-rules prints the catalog)\n";
+          return 2;
+        }
+      }
       continue;
     }
     if (arg == "--format") {
@@ -165,6 +194,31 @@ int main(int argc, char** argv) {
       config.r11_allocations = true;
       continue;
     }
+    if (arg == "--fix") {
+      apply_fixes = true;
+      continue;
+    }
+    if (arg == "--cache-dir") {
+      if (++i >= argc) {
+        std::cerr << "parva_audit: --cache-dir needs an argument\n";
+        return 2;
+      }
+      config.cache_dir = argv[i];
+      continue;
+    }
+    if (arg == "--jobs") {
+      if (++i >= argc) {
+        std::cerr << "parva_audit: --jobs needs an argument\n";
+        return 2;
+      }
+      const int jobs = std::atoi(argv[i]);
+      if (jobs < 0 || (jobs == 0 && std::string(argv[i]) != "0")) {
+        std::cerr << "parva_audit: --jobs needs a non-negative integer\n";
+        return 2;
+      }
+      config.jobs = static_cast<std::size_t>(jobs);
+      continue;
+    }
     if (!arg.empty() && arg[0] == '-') {
       std::cerr << "parva_audit: unknown option " << arg << "\n" << kUsage;
       return 2;
@@ -181,10 +235,16 @@ int main(int argc, char** argv) {
   }
 
   std::vector<std::string> errors;
+  parva::audit::CacheStats cache_stats;
   std::vector<parva::audit::Finding> findings =
-      parva::audit::audit_paths(paths, config, errors);
+      parva::audit::audit_paths(paths, config, errors, &cache_stats);
   for (const std::string& error : errors) {
     std::cerr << "parva_audit: " << error << "\n";
+  }
+  if (cache_stats.enabled) {
+    std::cerr << "parva_audit: cache " << (cache_stats.cold ? "cold" : "warm")
+              << ": analyzed " << cache_stats.analyzed << ", reused "
+              << cache_stats.reused << "\n";
   }
 
   if (update_baseline) {
@@ -217,6 +277,45 @@ int main(int argc, char** argv) {
                 << " (fixed findings; regenerate with --update-baseline)\n";
     }
     findings = std::move(result.fresh);
+  }
+
+  if (apply_fixes) {
+    // Applies to post-baseline findings only: accepted legacy findings are
+    // not silently rewritten out from under their baseline entries.
+    std::set<std::string> fix_files;
+    for (const parva::audit::Finding& f : findings) {
+      if (!f.fix_edits.empty()) fix_files.insert(f.file);
+    }
+    std::size_t fixed = 0;
+    std::size_t files_changed = 0;
+    for (const std::string& file : fix_files) {
+      std::ifstream in(file, std::ios::binary);
+      if (!in) {
+        std::cerr << "parva_audit: cannot open " << file << " for fixing\n";
+        continue;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      std::string content = buffer.str();
+      in.close();
+      const std::size_t n = parva::audit::apply_fix_edits(file, findings, content);
+      if (n == 0) continue;
+      std::ofstream out(file, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::cerr << "parva_audit: cannot write " << file << "\n";
+        continue;
+      }
+      out << content;
+      fixed += n;
+      ++files_changed;
+    }
+    const std::size_t remaining = findings.size() - fixed;
+    std::cout << "parva_audit: fixed " << fixed << " finding"
+              << (fixed == 1 ? "" : "s") << " in " << files_changed << " file"
+              << (files_changed == 1 ? "" : "s") << "; " << remaining
+              << " not auto-fixable\n";
+    if (remaining != 0) return 1;
+    return errors.empty() ? 0 : 2;
   }
 
   if (format == "json") {
